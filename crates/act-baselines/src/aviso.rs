@@ -1,0 +1,244 @@
+//! Aviso-like learning baseline (Lucia & Ceze, reference 12 of the paper): learns *scheduling
+//! constraints* — pairs of nearby inter-thread communication events — from
+//! failing executions, ranking pairs whose proximity correlates with
+//! failure. Its characteristic properties, which the paper's Table V
+//! comparison relies on:
+//!
+//! * it needs the failure to be **reproduced** (often several times) before
+//!   the constraint involving the root cause surfaces and stabilizes;
+//! * it only observes inter-thread events, so **sequential bugs are out of
+//!   scope** entirely.
+
+use act_sim::events::RawDep;
+use act_trace::event::{Trace, TraceKind};
+use act_trace::raw::raw_deps;
+use std::collections::HashMap;
+
+/// An event-pair constraint: two inter-thread communications that occurred
+/// close together in a failing run.
+pub type Constraint = (RawDep, RawDep);
+
+/// A scored constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredConstraint {
+    /// The event pair.
+    pub constraint: Constraint,
+    /// Failure correlation score.
+    pub score: f64,
+    /// Failing runs in which the pair was observed.
+    pub fail_count: u32,
+}
+
+/// The inter-thread communication events of a trace, in order.
+pub fn events_from_trace(trace: &Trace) -> Vec<RawDep> {
+    raw_deps(trace)
+        .into_iter()
+        .filter(|d| d.dep.inter_thread)
+        .map(|d| d.dep)
+        .collect()
+}
+
+/// Whether a trace has any inter-thread communication at all (sequential
+/// programs do not, which is why Aviso cannot handle them).
+pub fn is_concurrent(trace: &Trace) -> bool {
+    let mut tids = trace
+        .records
+        .iter()
+        .filter(|r| matches!(r.kind, TraceKind::Load { .. } | TraceKind::Store { .. }))
+        .map(|r| r.tid)
+        .collect::<Vec<_>>();
+    tids.sort_unstable();
+    tids.dedup();
+    tids.len() > 1
+}
+
+/// The Aviso-like analysis, accumulating runs.
+#[derive(Debug)]
+pub struct Aviso {
+    window: usize,
+    fail_pairs: HashMap<Constraint, u32>,
+    correct_pairs: HashMap<Constraint, u32>,
+    failing_runs: u32,
+    correct_runs: u32,
+}
+
+impl Default for Aviso {
+    fn default() -> Self {
+        Aviso::new(5)
+    }
+}
+
+impl Aviso {
+    /// An analysis pairing events within `window` positions of each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        Aviso {
+            window,
+            fail_pairs: HashMap::new(),
+            correct_pairs: HashMap::new(),
+            failing_runs: 0,
+            correct_runs: 0,
+        }
+    }
+
+    /// Number of failing runs observed so far (the paper's "# of fail."
+    /// column counts how many were needed).
+    pub fn failing_runs(&self) -> u32 {
+        self.failing_runs
+    }
+
+    fn pairs(&self, events: &[RawDep]) -> Vec<Constraint> {
+        let mut out = Vec::new();
+        for i in 0..events.len() {
+            for j in i + 1..(i + 1 + self.window).min(events.len()) {
+                out.push((events[i], events[j]));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Feed a correct run's trace.
+    pub fn add_correct_run(&mut self, trace: &Trace) {
+        self.correct_runs += 1;
+        for pair in self.pairs(&events_from_trace(trace)) {
+            *self.correct_pairs.entry(pair).or_default() += 1;
+        }
+    }
+
+    /// Feed a (reproduced) failing run's trace.
+    pub fn add_failing_run(&mut self, trace: &Trace) {
+        self.failing_runs += 1;
+        for pair in self.pairs(&events_from_trace(trace)) {
+            *self.fail_pairs.entry(pair).or_default() += 1;
+        }
+    }
+
+    /// Constraints ranked by failure correlation: observed in failing runs,
+    /// discounted by how often the same pair appears in correct runs.
+    pub fn ranked(&self) -> Vec<ScoredConstraint> {
+        let mut scored: Vec<ScoredConstraint> = self
+            .fail_pairs
+            .iter()
+            .map(|(&c, &fc)| {
+                let cc = self.correct_pairs.get(&c).copied().unwrap_or(0);
+                let fail_frac = fc as f64 / self.failing_runs.max(1) as f64;
+                let correct_frac = cc as f64 / self.correct_runs.max(1) as f64;
+                ScoredConstraint { constraint: c, score: fail_frac - correct_frac, fail_count: fc }
+            })
+            .filter(|sc| sc.score > 0.0)
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.fail_count.cmp(&a.fail_count))
+                .then_with(|| a.constraint.cmp(&b.constraint))
+        });
+        scored
+    }
+
+    /// 1-based rank of the first constraint either of whose events satisfies
+    /// `matcher`.
+    pub fn rank_where<F>(&self, mut matcher: F) -> Option<usize>
+    where
+        F: FnMut(&RawDep) -> bool,
+    {
+        self.ranked()
+            .iter()
+            .position(|sc| matcher(&sc.constraint.0) || matcher(&sc.constraint.1))
+            .map(|i| i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_trace::event::TraceRecord;
+
+    fn store(seq: u64, tid: u32, pc: u32, addr: u64) -> TraceRecord {
+        TraceRecord { seq, cycle: seq, tid, pc, kind: TraceKind::Store { addr } }
+    }
+
+    fn load(seq: u64, tid: u32, pc: u32, addr: u64) -> TraceRecord {
+        TraceRecord { seq, cycle: seq, tid, pc, kind: TraceKind::Load { addr, dep: None } }
+    }
+
+    fn trace(records: Vec<TraceRecord>) -> Trace {
+        Trace { records, code_len: 100 }
+    }
+
+    /// Correct run: T1 writes 0x2000 (pc 1), T0 reads it (pc 10) then T1
+    /// writes 0x3000 (pc 2), T0 reads (pc 11).
+    fn correct_trace() -> Trace {
+        trace(vec![
+            store(0, 1, 1, 0x2000),
+            load(1, 0, 10, 0x2000),
+            store(2, 1, 2, 0x3000),
+            load(3, 0, 11, 0x3000),
+        ])
+    }
+
+    /// Failing run: an extra racy communication (pc 3 -> pc 12) occurs
+    /// between the two normal ones.
+    fn failing_trace() -> Trace {
+        trace(vec![
+            store(0, 1, 1, 0x2000),
+            load(1, 0, 10, 0x2000),
+            store(2, 1, 3, 0x4000),
+            load(3, 0, 12, 0x4000),
+            store(4, 1, 2, 0x3000),
+            load(5, 0, 11, 0x3000),
+        ])
+    }
+
+    #[test]
+    fn events_are_inter_thread_only() {
+        let t = trace(vec![store(0, 0, 1, 0x2000), load(1, 0, 10, 0x2000)]);
+        assert!(events_from_trace(&t).is_empty(), "intra-thread deps are not events");
+        assert_eq!(events_from_trace(&correct_trace()).len(), 2);
+    }
+
+    #[test]
+    fn concurrency_detection() {
+        assert!(is_concurrent(&correct_trace()));
+        let seq = trace(vec![store(0, 0, 1, 0x2000), load(1, 0, 10, 0x2000)]);
+        assert!(!is_concurrent(&seq));
+    }
+
+    #[test]
+    fn racy_constraint_surfaces_after_failing_runs() {
+        let mut aviso = Aviso::new(5);
+        for _ in 0..3 {
+            aviso.add_correct_run(&correct_trace());
+        }
+        // No failing run yet: nothing to rank.
+        assert!(aviso.ranked().is_empty());
+        aviso.add_failing_run(&failing_trace());
+        let racy = |d: &RawDep| d.store_pc == 3 && d.load_pc == 12;
+        let rank = aviso.rank_where(racy).expect("constraint found");
+        assert!(rank <= 3, "racy constraint rank {rank}");
+        assert_eq!(aviso.failing_runs(), 1);
+    }
+
+    #[test]
+    fn common_pairs_are_discounted() {
+        let mut aviso = Aviso::new(5);
+        for _ in 0..4 {
+            aviso.add_correct_run(&correct_trace());
+        }
+        aviso.add_failing_run(&failing_trace());
+        // The benign pair (1->10, 2->11) appears in every correct run, so
+        // its score must not be positive.
+        let benign = (
+            RawDep { store_pc: 1, load_pc: 10, inter_thread: true },
+            RawDep { store_pc: 2, load_pc: 11, inter_thread: true },
+        );
+        assert!(!aviso.ranked().iter().any(|sc| sc.constraint == benign));
+    }
+}

@@ -1,0 +1,22 @@
+//! # act-baselines — comparison schemes for ACT's evaluation
+//!
+//! The two diagnosis baselines of Table V, built from scratch:
+//!
+//! * [`pbi`] — a sampling-based statistical debugger in the mold of PBI:
+//!   branch-outcome and cache-event predicates, CBI-style Increase scoring
+//!   over correct and failing runs.
+//! * [`aviso`] — a learning-based failure-avoidance system in the mold of
+//!   Aviso, repurposed (as the paper does) for diagnosis: event-pair
+//!   scheduling constraints mined from reproduced failing runs.
+//!
+//! Both intentionally retain their originals' structural limitations —
+//! PBI's blindness to predicate-invariant bugs and need for a failing run,
+//! Aviso's need to reproduce failures and inability to see sequential
+//! bugs — because those limitations are what the paper's comparison
+//! measures.
+
+pub mod aviso;
+pub mod pbi;
+
+pub use aviso::Aviso;
+pub use pbi::{rank_predicates, PredicateCollector};

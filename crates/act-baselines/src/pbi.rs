@@ -1,0 +1,205 @@
+//! PBI-like sampling baseline (Arulraj et al., reference 10 of the paper): per-instruction
+//! predicates from hardware performance events — branch outcomes and cache
+//! events — scored with CBI-style statistical ranking over correct and
+//! failing runs.
+//!
+//! As in the paper's comparison, this is the *extreme* PBI: instead of
+//! sampling 1-in-N instructions over hundreds of runs, it observes every
+//! instruction of every provided run (compensating for using only ~16
+//! executions). Its characteristic weaknesses remain: it needs at least one
+//! failing run, and it cannot see bugs whose predicates do not differ
+//! between correct and failing executions.
+
+use act_sim::attach::Observer;
+use act_sim::events::{BranchEvent, CacheEvent, LoadEvent};
+use act_sim::isa::Pc;
+use std::collections::{HashMap, HashSet};
+
+/// A PBI predicate: an instruction address paired with an observed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Predicate {
+    /// Branch at `pc` with outcome `taken`.
+    Branch {
+        /// Branch instruction address.
+        pc: Pc,
+        /// Observed outcome.
+        taken: bool,
+    },
+    /// Load at `pc` serviced as `event`.
+    Cache {
+        /// Load instruction address.
+        pc: Pc,
+        /// Observed cache event.
+        event: CacheEvent,
+    },
+}
+
+impl Predicate {
+    /// The instruction address the predicate is anchored to.
+    pub fn pc(&self) -> Pc {
+        match *self {
+            Predicate::Branch { pc, .. } | Predicate::Cache { pc, .. } => pc,
+        }
+    }
+}
+
+/// Observer that records the set of predicates observed in one run.
+#[derive(Debug, Default)]
+pub struct PredicateCollector {
+    seen: HashSet<Predicate>,
+}
+
+impl PredicateCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The predicates observed in the run.
+    pub fn into_predicates(self) -> HashSet<Predicate> {
+        self.seen
+    }
+}
+
+impl Observer for PredicateCollector {
+    fn on_load(&mut self, ev: &LoadEvent) {
+        self.seen.insert(Predicate::Cache { pc: ev.pc, event: ev.cache_event });
+    }
+
+    fn on_branch(&mut self, ev: &BranchEvent) {
+        self.seen.insert(Predicate::Branch { pc: ev.pc, taken: ev.taken });
+    }
+}
+
+/// A scored predicate in PBI's ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPredicate {
+    /// The predicate.
+    pub predicate: Predicate,
+    /// CBI `Increase` score: `Failure(P) − Context(P)`.
+    pub increase: f64,
+    /// Failing runs in which the predicate was observed.
+    pub fail_count: usize,
+}
+
+/// Rank predicates from `correct` and `failing` run observations.
+///
+/// `Failure(P) = F(P) / (F(P) + S(P))` over runs observing `P`;
+/// `Context(P)` is the same ratio over runs that executed `P`'s site at
+/// all. Predicates with `Increase > 0` are candidates, ranked by
+/// `Increase` (then failing-run count, then pc for determinism).
+pub fn rank_predicates(
+    correct: &[HashSet<Predicate>],
+    failing: &[HashSet<Predicate>],
+) -> Vec<ScoredPredicate> {
+    let mut f: HashMap<Predicate, usize> = HashMap::new();
+    let mut s: HashMap<Predicate, usize> = HashMap::new();
+    let mut f_site: HashMap<Pc, usize> = HashMap::new();
+    let mut s_site: HashMap<Pc, usize> = HashMap::new();
+
+    for run in failing {
+        let mut sites: HashSet<Pc> = HashSet::new();
+        for p in run {
+            *f.entry(*p).or_default() += 1;
+            sites.insert(p.pc());
+        }
+        for site in sites {
+            *f_site.entry(site).or_default() += 1;
+        }
+    }
+    for run in correct {
+        let mut sites: HashSet<Pc> = HashSet::new();
+        for p in run {
+            *s.entry(*p).or_default() += 1;
+            sites.insert(p.pc());
+        }
+        for site in sites {
+            *s_site.entry(site).or_default() += 1;
+        }
+    }
+
+    let mut scored: Vec<ScoredPredicate> = f
+        .iter()
+        .map(|(&p, &fc)| {
+            let sc = s.get(&p).copied().unwrap_or(0);
+            let failure = fc as f64 / (fc + sc) as f64;
+            let fs = f_site.get(&p.pc()).copied().unwrap_or(0);
+            let ss = s_site.get(&p.pc()).copied().unwrap_or(0);
+            let context = if fs + ss == 0 { 0.0 } else { fs as f64 / (fs + ss) as f64 };
+            ScoredPredicate { predicate: p, increase: failure - context, fail_count: fc }
+        })
+        .filter(|sp| sp.increase > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.increase
+            .partial_cmp(&a.increase)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.fail_count.cmp(&a.fail_count))
+            .then_with(|| a.predicate.cmp(&b.predicate))
+    });
+    scored
+}
+
+/// 1-based rank of the first predicate whose pc satisfies `matcher`, plus
+/// the total number of candidate predicates.
+pub fn rank_where<F>(scored: &[ScoredPredicate], mut matcher: F) -> (Option<usize>, usize)
+where
+    F: FnMut(Pc) -> bool,
+{
+    let rank = scored
+        .iter()
+        .position(|sp| matcher(sp.predicate.pc()))
+        .map(|i| i + 1);
+    (rank, scored.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(preds: &[Predicate]) -> HashSet<Predicate> {
+        preds.iter().copied().collect()
+    }
+
+    const B_TRUE: Predicate = Predicate::Branch { pc: 5, taken: true };
+    const B_FALSE: Predicate = Predicate::Branch { pc: 5, taken: false };
+    const C_HIT: Predicate = Predicate::Cache { pc: 9, event: CacheEvent::L1Hit };
+    const C_C2C: Predicate = Predicate::Cache { pc: 9, event: CacheEvent::CacheToCache };
+
+    #[test]
+    fn failure_only_predicate_ranks_first() {
+        // Correct runs: branch taken, loads hit. Failing run: branch not
+        // taken + a coherence event.
+        let correct = vec![run(&[B_TRUE, C_HIT]), run(&[B_TRUE, C_HIT])];
+        let failing = vec![run(&[B_TRUE, B_FALSE, C_HIT, C_C2C])];
+        let scored = rank_predicates(&correct, &failing);
+        assert!(!scored.is_empty());
+        // The two failure-only predicates must outrank the shared ones.
+        let top2: Vec<Predicate> = scored.iter().take(2).map(|s| s.predicate).collect();
+        assert!(top2.contains(&B_FALSE));
+        assert!(top2.contains(&C_C2C));
+    }
+
+    #[test]
+    fn identical_predicates_yield_no_candidates() {
+        // The PBI blind spot: when failing runs observe exactly the same
+        // predicates as correct runs, nothing has positive Increase.
+        let obs = run(&[B_TRUE, C_HIT]);
+        let scored = rank_predicates(&[obs.clone(), obs.clone()], &[obs]);
+        assert!(scored.is_empty(), "no predicate should have positive increase");
+    }
+
+    #[test]
+    fn rank_where_finds_by_pc() {
+        // The load site (pc 9) is executed in correct runs too, but with a
+        // different cache event — the classic PBI signal.
+        let correct = vec![run(&[B_TRUE, C_HIT])];
+        let failing = vec![run(&[B_TRUE, C_C2C])];
+        let scored = rank_predicates(&correct, &failing);
+        let (rank, total) = rank_where(&scored, |pc| pc == 9);
+        assert_eq!(rank, Some(1));
+        assert!(total >= 1);
+        let (rank, _) = rank_where(&scored, |pc| pc == 999);
+        assert_eq!(rank, None);
+    }
+}

@@ -1,0 +1,55 @@
+//! Micro-benchmarks for the neural substrate: forward/backprop latency per
+//! topology, and the hardware cycle models (pipeline vs NPU).
+
+use act_nn::network::{Network, Topology};
+use act_nn::npu::{pipeline_batch_cycles, NpuConfig};
+use act_nn::pipeline::{NnPipeline, PipelineConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_forward");
+    for (i, h) in [(4usize, 4usize), (8, 8), (10, 10)] {
+        let mut net = Network::random(Topology::new(i, h), 0.2, 1);
+        let x: Vec<f32> = (0..i).map(|k| k as f32 / i as f32).collect();
+        group.bench_function(format!("{i}x{h}x1"), |b| {
+            b.iter(|| black_box(net.predict(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_backprop");
+    for (i, h) in [(8usize, 8usize), (10, 10)] {
+        let mut net = Network::random(Topology::new(i, h), 0.2, 1);
+        let x: Vec<f32> = (0..i).map(|k| k as f32 / i as f32).collect();
+        group.bench_function(format!("{i}x{h}x1"), |b| {
+            b.iter(|| black_box(net.train(black_box(&x), 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_cycle_models");
+    group.bench_function("pipeline_accept_drain", |b| {
+        b.iter(|| {
+            let mut p = NnPipeline::new(PipelineConfig::default());
+            for t in 0..1000u64 {
+                let _ = black_box(p.try_accept(t * 3));
+            }
+            p.stats()
+        })
+    });
+    group.bench_function("npu_batch_1k", |b| {
+        let npu = NpuConfig::default();
+        b.iter(|| black_box(npu.batch_cycles(Topology::new(10, 10), 1000)))
+    });
+    group.bench_function("pipeline_batch_1k", |b| {
+        b.iter(|| black_box(pipeline_batch_cycles(&PipelineConfig::default(), 1000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_train, bench_cycle_models);
+criterion_main!(benches);

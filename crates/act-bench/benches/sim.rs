@@ -1,0 +1,37 @@
+//! Micro-benchmarks for the simulator substrate: whole-kernel simulation
+//! throughput with and without ACT attached (the per-run cost behind the
+//! Fig 8 overhead experiment).
+
+use act_bench::{act_cfg_for, machine_cfg, train_workload};
+use act_core::diagnosis::run_with_act;
+use act_core::weights::shared;
+use act_sim::machine::Machine;
+use act_workloads::registry;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for name in ["fft", "bc"] {
+        let w = registry::by_name(name).unwrap();
+        let built = w.build(&w.default_params());
+        group.bench_function(format!("{name}_plain"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(&built.program, machine_cfg(7));
+                black_box(m.run())
+            })
+        });
+        let trained = train_workload(w.as_ref(), 4, &act_cfg_for(w.as_ref()));
+        let cfg = act_cfg_for(w.as_ref());
+        group.bench_function(format!("{name}_with_act"), |b| {
+            b.iter(|| {
+                let store = shared(trained.store.clone());
+                black_box(run_with_act(&built.program, machine_cfg(7), &cfg, &store).outcome)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates **Fig 7(a)**: misprediction (false-negative) rate on
+//! intentionally formed invalid RAW dependences (the paper's average is
+//! ~0.18%).
+//!
+//! Run with `cargo run --release -p act-bench --bin fig7a`.
+
+use act_bench::{act_cfg_for, train_workload};
+use act_workloads::kernels;
+
+fn main() {
+    println!(
+        "{:<14} {:>24} {:>22}",
+        "Program", "paper-style negatives", "all negatives"
+    );
+    println!("{}", "-".repeat(64));
+    let mut sum_paper = 0.0;
+    let mut sum_all = 0.0;
+    let mut count = 0;
+    for w in kernels::all() {
+        let cfg = act_cfg_for(w.as_ref());
+        let trained = train_workload(w.as_ref(), 10, &cfg);
+        println!(
+            "{:<14} {:>23.3}% {:>21.3}%",
+            w.name(),
+            100.0 * trained.report.test_fn_rate_paper,
+            100.0 * trained.report.test_fn_rate
+        );
+        sum_paper += trained.report.test_fn_rate_paper;
+        sum_all += trained.report.test_fn_rate;
+        count += 1;
+    }
+    println!("{}", "-".repeat(64));
+    println!(
+        "Average: {:.3}% (paper-style), {:.3}% (all)",
+        100.0 * sum_paper / count as f64,
+        100.0 * sum_all / count as f64
+    );
+}

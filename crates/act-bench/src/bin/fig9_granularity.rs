@@ -1,0 +1,61 @@
+//! Regenerates the **false-sharing / metadata-granularity experiment**
+//! (paper §V / §VI-E): last-writer metadata at word vs line granularity,
+//! across line sizes, measured as the online misprediction (invalid-flag)
+//! rate on clean kernels — line granularity aliases writers of neighbouring
+//! words, so it should flag more valid sequences.
+//!
+//! Run with `cargo run --release -p act-bench --bin fig9_granularity`.
+
+use act_bench::{act_cfg_for, train_workload};
+use act_core::diagnosis::run_with_act;
+use act_core::weights::shared;
+use act_sim::config::{MachineConfig, MetaGranularity};
+use act_workloads::kernels;
+
+fn main() {
+    let variants: &[(&str, MetaGranularity, u64)] = &[
+        ("word/64B", MetaGranularity::Word, 64),
+        ("line/32B", MetaGranularity::Line, 32),
+        ("line/64B", MetaGranularity::Line, 64),
+        ("line/128B", MetaGranularity::Line, 128),
+    ];
+    print!("{:<14}", "Program");
+    for (label, _, _) in variants {
+        print!(" {:>12}", label);
+    }
+    println!("   (flagged-invalid rate of valid runs)");
+    println!("{}", "-".repeat(14 + variants.len() * 13));
+
+    let mut sums = vec![0.0f64; variants.len()];
+    let mut count = 0;
+    for w in kernels::all() {
+        let trained = train_workload(w.as_ref(), 10, &act_cfg_for(w.as_ref()));
+        let built = w.build(&w.default_params().with_seed(7));
+        print!("{:<14}", w.name());
+        for (i, &(_, gran, line)) in variants.iter().enumerate() {
+            let cfg = act_cfg_for(w.as_ref());
+            let store = shared(trained.store.clone());
+            let mcfg = MachineConfig {
+                granularity: gran,
+                line_bytes: line,
+                seed: 7,
+                jitter_ppm: 10_000,
+                ..Default::default()
+            };
+            let run = run_with_act(&built.program, mcfg, &cfg, &store);
+            let preds: u64 = run.module_stats.iter().map(|s| s.predictions).sum();
+            let inval: u64 = run.module_stats.iter().map(|s| s.invalids).sum();
+            let rate = if preds == 0 { 0.0 } else { 100.0 * inval as f64 / preds as f64 };
+            print!(" {:>11.2}%", rate);
+            sums[i] += rate;
+        }
+        println!();
+        count += 1;
+    }
+    println!("{}", "-".repeat(14 + variants.len() * 13));
+    print!("{:<14}", "Average");
+    for s in &sums {
+        print!(" {:>11.2}%", s / count as f64);
+    }
+    println!();
+}

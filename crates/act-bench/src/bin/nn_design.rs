@@ -1,0 +1,48 @@
+//! Regenerates the **neural-hardware design comparison** (§IV-A / §VI):
+//! ACT's three-stage partially configurable pipeline versus the fully
+//! configurable time-multiplexed NPU, across topologies — per-prediction
+//! latency and cycles to stream 1000 inputs (testing mode).
+//!
+//! Run with `cargo run --release -p act-bench --bin nn_design`.
+
+use act_nn::network::Topology;
+use act_nn::npu::{pipeline_batch_cycles, NpuConfig};
+use act_nn::pipeline::PipelineConfig;
+
+fn main() {
+    let npu = NpuConfig::default();
+    println!(
+        "{:>9} | {:>14} {:>14} | {:>14} {:>14} | {:>8}",
+        "topology", "pipe lat(cyc)", "npu lat(cyc)", "pipe 1k(cyc)", "npu 1k(cyc)", "speedup"
+    );
+    println!("{}", "-".repeat(88));
+    for (i, h) in [(2usize, 2usize), (4, 4), (6, 6), (8, 8), (10, 10)] {
+        let topo = Topology::new(i, h);
+        let pipe = PipelineConfig::default();
+        let pipe_lat = pipe.prediction_latency();
+        let npu_lat = npu.prediction_latency(topo);
+        let pipe_1k = pipeline_batch_cycles(&pipe, 1000);
+        let npu_1k = npu.batch_cycles(topo, 1000);
+        println!(
+            "{:>9} | {:>14} {:>14} | {:>14} {:>14} | {:>7.2}x",
+            topo.to_string(),
+            pipe_lat,
+            npu_lat,
+            pipe_1k,
+            npu_1k,
+            npu_1k as f64 / pipe_1k as f64
+        );
+    }
+    println!();
+    println!("Multiply-add-unit latency knob (pipeline neuron latency, M = 10):");
+    for x in [1usize, 2, 5, 10] {
+        let cfg = PipelineConfig { mul_add_units: x, ..Default::default() };
+        println!(
+            "  x = {:>2}: neuron {} cycles, prediction {} cycles, throughput 1/{} cycles",
+            x,
+            cfg.neuron_latency(),
+            cfg.prediction_latency(),
+            cfg.service_interval(false)
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Internal diagnostic probe (not a paper experiment).
+use act_bench::{act_cfg_for, find_act_failure, train_workload};
+use act_core::weights::shared;
+use act_workloads::registry;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "apache".into());
+    let w = registry::by_name(&name).expect("workload");
+    let cfg = act_cfg_for(w.as_ref());
+    let trained = train_workload(w.as_ref(), 10, &cfg);
+    println!("report: seq_len={} topo={} fp={:.4} fn={:.4} deps={} distinct={}",
+        trained.report.seq_len, trained.report.topology, trained.report.test_fp_rate,
+        trained.report.test_fn_rate, trained.report.total_deps, trained.report.distinct_deps);
+    println!("threads trained: {:?}", trained.store.known_threads());
+    let store = shared(trained.store.clone());
+    match find_act_failure(w.as_ref(), &store, &cfg, 20) {
+        Some(f) => {
+            println!("failure after {} attempts: {}", f.attempts, f.run.outcome);
+            let bug = f.built.bug.as_ref().unwrap();
+            println!("bug: stores={:?} loads={:?}", bug.store_pcs, bug.load_pcs);
+            for (i, ms) in f.run.module_stats.iter().enumerate() {
+                if ms.predictions > 0 {
+                    println!("core {i}: {:?}", ms);
+                }
+            }
+            println!("debug entries: {}", f.run.debug.len());
+            for e in f.run.debug.iter().rev().take(12) {
+                let hit = bug.matches_any(&e.deps);
+                println!("  cyc {:>7} tid {} out {:.3} {} deps {:?}", e.cycle, e.tid, e.output,
+                    if hit { "<< BUG" } else { "" },
+                    e.deps.iter().map(|d| d.to_string()).collect::<Vec<_>>());
+            }
+        }
+        None => println!("no failure in 20 tries"),
+    }
+}

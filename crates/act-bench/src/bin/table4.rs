@@ -1,0 +1,37 @@
+//! Regenerates **Table IV**: offline training of the neural networks on the
+//! clean kernels — traces used, dependences, chosen topology, and held-out
+//! misprediction rate (false positives; the paper's average is ~0.4%).
+//!
+//! Run with `cargo run --release -p act-bench --bin table4`.
+
+use act_bench::{act_cfg_for, train_workload};
+use act_workloads::kernels;
+
+fn main() {
+    println!(
+        "{:<14} {:>7} {:>9} {:>9} {:>10} {:>10}",
+        "Program", "Traces", "# RAW Dep", "Topology", "%Mispred", "(FN rate)"
+    );
+    println!("{}", "-".repeat(64));
+    let mut fp_sum = 0.0;
+    let mut count = 0;
+    for w in kernels::all() {
+        let cfg = act_cfg_for(w.as_ref());
+        let n_traces = 10;
+        let trained = train_workload(w.as_ref(), n_traces, &cfg);
+        let r = &trained.report;
+        println!(
+            "{:<14} {:>7} {:>9} {:>9} {:>9.3}% {:>9.3}%",
+            w.name(),
+            r.train_traces + r.test_traces,
+            r.distinct_deps,
+            r.topology.to_string(),
+            100.0 * r.test_fp_rate,
+            100.0 * r.test_fn_rate,
+        );
+        fp_sum += r.test_fp_rate;
+        count += 1;
+    }
+    println!("{}", "-".repeat(64));
+    println!("Average %mispred (false positives): {:.3}%", 100.0 * fp_sum / count as f64);
+}

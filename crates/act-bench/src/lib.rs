@@ -1,0 +1,251 @@
+//! # act-bench — the experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and figure
+//! of the paper's evaluation (see `src/bin/`), plus Criterion
+//! micro-benchmarks (see `benches/`).
+//!
+//! The central flow, mirroring the paper's methodology:
+//!
+//! 1. [`collect_clean_traces`] — run a workload's *clean* configuration over
+//!    several input/interleaving seeds, keeping traces of runs its oracle
+//!    accepts (ACT trains only on correct executions).
+//! 2. [`train_workload`] — offline training + topology search.
+//! 3. [`find_act_failure`] — run the *triggering* configuration with ACT
+//!    modules attached until a failure occurs (one production failure; it
+//!    is never reproduced for ACT's diagnosis).
+//! 4. [`diagnose_workload`] — build the Correct Set from fresh correct
+//!    runs, prune + rank, and score against the workload's ground truth.
+//! 5. [`aviso_diagnose`] / [`pbi_diagnose`] — the baselines, each with its
+//!    own methodology (Aviso reproduces failures; PBI uses 15 correct + 1
+//!    failing run).
+
+use act_baselines::aviso::Aviso;
+use act_baselines::pbi;
+use act_core::diagnosis::{diagnose, run_with_act, ActRun};
+use act_core::offline::{offline_train, TrainedAct};
+use act_core::weights::SharedWeightStore;
+use act_core::ActConfig;
+use act_sim::config::MachineConfig;
+use act_sim::machine::Machine;
+use act_trace::collector::TraceCollector;
+use act_trace::event::Trace;
+use act_workloads::spec::{BuiltWorkload, Workload, NORM_CODE_LEN};
+
+/// Machine configuration used by the experiments: the paper's Table III
+/// defaults plus interleaving jitter so seeded runs differ.
+pub fn machine_cfg(seed: u64) -> MachineConfig {
+    MachineConfig { seed, jitter_ppm: 10_000, ..Default::default() }
+}
+
+/// ACT configuration used by the experiments (paper defaults, with a
+/// trimmed topology search so the full table suite runs in minutes).
+pub fn act_cfg() -> ActConfig {
+    let mut cfg = ActConfig::default();
+    // Sequence context is what distinguishes "same dependence, wrong
+    // context" bugs (gzip, seq, apache); N = 1 can win error ties only
+    // because it cannot even express them, so the harness pins N = 2.
+    cfg.search.seq_lens = vec![2];
+    cfg.search.hidden_sizes = vec![10];
+    cfg.train.max_epochs = 300;
+    cfg.train.learning_rate = 0.5;
+    cfg
+}
+
+/// The code length used to normalize `w`'s instruction addresses: the
+/// workload's fixed override if it has one, else the built program length.
+pub fn norm_of(w: &dyn Workload) -> usize {
+    w.norm_code_len()
+        .unwrap_or_else(|| w.build(&w.default_params()).program.code_len())
+}
+
+/// [`act_cfg`] with the normalization length pinned for `w`.
+pub fn act_cfg_for(w: &dyn Workload) -> ActConfig {
+    let mut cfg = act_cfg();
+    cfg.norm_code_len = norm_of(w);
+    cfg
+}
+
+/// Run the workload's clean configuration once per seed (seed drives both
+/// the inputs and the interleaving) and keep correct runs' traces.
+pub fn collect_clean_traces(w: &dyn Workload, seeds: impl Iterator<Item = u64>) -> Vec<Trace> {
+    let mut traces = Vec::new();
+    for seed in seeds {
+        let built = w.build(&w.default_params().with_seed(seed));
+        let mut collector = TraceCollector::new(NORM_CODE_LEN);
+        let mut machine = Machine::new(&built.program, machine_cfg(seed));
+        let outcome = machine.run_observed(&mut collector);
+        if built.is_correct(&outcome) {
+            traces.push(collector.into_trace());
+        }
+    }
+    traces
+}
+
+/// Offline-train ACT for a workload from `n_traces` clean runs.
+///
+/// # Panics
+///
+/// Panics if no clean run was correct (a workload bug).
+pub fn train_workload(w: &dyn Workload, n_traces: usize, cfg: &ActConfig) -> TrainedAct {
+    let traces = collect_clean_traces(w, 0..n_traces as u64 * 2)
+        .into_iter()
+        .take(n_traces)
+        .collect::<Vec<_>>();
+    assert!(!traces.is_empty(), "{}: no correct training runs", w.name());
+    offline_train(norm_of(w), &traces, cfg)
+}
+
+/// A production failure observed under ACT.
+pub struct ActFailure {
+    /// The monitored run (debug buffers, stats).
+    pub run: ActRun,
+    /// The workload build that failed.
+    pub built: BuiltWorkload,
+    /// Machine seeds tried before the failure manifested.
+    pub attempts: u64,
+}
+
+/// Run the triggering configuration with ACT attached until it fails.
+/// Returns `None` if no failure manifests within `max_tries` seeds.
+pub fn find_act_failure(
+    w: &dyn Workload,
+    store: &SharedWeightStore,
+    cfg: &ActConfig,
+    max_tries: u64,
+) -> Option<ActFailure> {
+    for seed in 0..max_tries {
+        let built = w.build(&w.default_params().with_seed(seed).triggered());
+        let run = run_with_act(&built.program, machine_cfg(seed), cfg, store);
+        if built.is_failure(&run.outcome) {
+            return Some(ActFailure { run, built, attempts: seed + 1 });
+        }
+    }
+    None
+}
+
+/// One Table V / Table VI row for ACT.
+#[derive(Debug, Clone)]
+pub struct ActRow {
+    /// Workload name.
+    pub name: String,
+    /// Failure status ("crash" or "completed"-with-wrong-output).
+    pub status: String,
+    /// Position of the buggy sequence from the newest end of the merged
+    /// debug buffer (the paper's "Debug Buf. Pos.").
+    pub debug_pos: Option<usize>,
+    /// Percentage of distinct logged sequences pruned by the Correct Set.
+    pub filter_pct: f64,
+    /// 1-based rank of the first candidate containing the buggy dependence.
+    pub rank: Option<usize>,
+    /// Candidates surviving pruning.
+    pub candidates: usize,
+}
+
+/// Diagnose a failure with ACT and score it against the ground truth.
+pub fn diagnose_workload(w: &dyn Workload, failure: &ActFailure, seq_len: usize) -> ActRow {
+    let bug = failure.built.bug.as_ref().expect("bug workload has ground truth");
+    // Correct Set: ~20 fresh correct executions of the clean configuration
+    // (the failure itself is never reproduced).
+    let traces = collect_clean_traces(w, 100..120u64);
+    let mut merged = act_trace::correct_set::CorrectSet::default();
+    for t in &traces {
+        let deps = act_trace::raw::observed_deps(t);
+        for s in act_trace::input_gen::positive_sequences(&deps, seq_len) {
+            merged.insert(&s.deps);
+        }
+    }
+
+    let diag = diagnose(&failure.run, &merged);
+    let rank = diag.rank_where(|s| bug.matches_any(&s.deps));
+    let debug_pos = failure.run.debug_position_where(|e| bug.matches_any(&e.deps));
+    ActRow {
+        name: w.name().to_string(),
+        status: failure.run.outcome.status().to_string(),
+        debug_pos,
+        filter_pct: diag.filter_pct(),
+        rank,
+        candidates: diag.ranked.len(),
+    }
+}
+
+/// Aviso's result for a workload: rank and the number of failing runs that
+/// had to be reproduced (the paper's "Rank (# of fail.)"), or `None` when
+/// Aviso cannot handle the bug (sequential) or never finds the constraint.
+pub fn aviso_diagnose(w: &dyn Workload, max_failures: u32) -> Option<(usize, u32)> {
+    let bug_built = w.build(&w.default_params().triggered());
+    let bug = bug_built.bug.as_ref()?;
+    if !bug.class.is_concurrency() {
+        return None; // Aviso only sees inter-thread events.
+    }
+    let mut aviso = Aviso::new(5);
+    for t in collect_clean_traces(w, 0..10) {
+        aviso.add_correct_run(&t);
+    }
+    let mut fail_seed = 0u64;
+    for _ in 0..max_failures {
+        // Reproduce a failure (Aviso's methodology requires this).
+        let mut reproduced = false;
+        for _ in 0..50 {
+            let built = w.build(&w.default_params().with_seed(fail_seed).triggered());
+            let mut collector = TraceCollector::new(NORM_CODE_LEN);
+            let mut machine = Machine::new(&built.program, machine_cfg(fail_seed));
+            let outcome = machine.run_observed(&mut collector);
+            fail_seed += 1;
+            if built.is_failure(&outcome) {
+                aviso.add_failing_run(&collector.into_trace());
+                reproduced = true;
+                break;
+            }
+        }
+        if !reproduced {
+            return None;
+        }
+        if let Some(rank) = aviso.rank_where(|d| bug.matches(d)) {
+            return Some((rank, aviso.failing_runs()));
+        }
+    }
+    None
+}
+
+/// PBI's result: rank of the buggy instruction's predicate and the number
+/// of candidate predicates, from 15 correct runs and 1 failing run.
+pub fn pbi_diagnose(w: &dyn Workload) -> (Option<usize>, usize) {
+    let mut correct = Vec::new();
+    for seed in 0..30u64 {
+        let built = w.build(&w.default_params().with_seed(seed));
+        let mut coll = pbi::PredicateCollector::new();
+        let mut machine = Machine::new(&built.program, machine_cfg(seed));
+        let outcome = machine.run_observed(&mut coll);
+        if built.is_correct(&outcome) {
+            correct.push(coll.into_predicates());
+            if correct.len() == 15 {
+                break;
+            }
+        }
+    }
+    let mut failing = Vec::new();
+    let mut bug_pcs: Vec<u32> = Vec::new();
+    for seed in 0..50u64 {
+        let built = w.build(&w.default_params().with_seed(seed).triggered());
+        let mut coll = pbi::PredicateCollector::new();
+        let mut machine = Machine::new(&built.program, machine_cfg(seed));
+        let outcome = machine.run_observed(&mut coll);
+        if built.is_failure(&outcome) {
+            failing.push(coll.into_predicates());
+            if let Some(bug) = &built.bug {
+                bug_pcs = bug.store_pcs.iter().chain(&bug.load_pcs).copied().collect();
+            }
+            break; // a single failing run, per the paper's comparison
+        }
+    }
+    if failing.is_empty() {
+        return (None, 0);
+    }
+    let scored = pbi::rank_predicates(&correct, &failing);
+    pbi::rank_where(&scored, |pc| bug_pcs.contains(&pc))
+}
+
+/// Pretty-print helper: `Option<usize>` as a table cell.
+pub fn opt(v: Option<usize>) -> String {
+    v.map_or_else(|| "-".to_string(), |r| r.to_string())
+}

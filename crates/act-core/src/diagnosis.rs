@@ -1,0 +1,216 @@
+//! End-to-end diagnosis workflow: run a program with ACT modules attached,
+//! collect the per-core debug buffers, build a Correct Set from fresh
+//! correct executions, and postprocess into a ranked diagnosis — all
+//! without ever reproducing the failure.
+
+use crate::config::ActConfig;
+use crate::module::{ActModule, DebugEntry, ModuleStats};
+use crate::postprocess::{postprocess, Diagnosis};
+use crate::weights::SharedWeightStore;
+use act_nn::pipeline::PipelineStats;
+use act_sim::config::MachineConfig;
+use act_sim::machine::Machine;
+use act_sim::outcome::RunOutcome;
+use act_sim::program::Program;
+use act_sim::stats::Stats;
+use act_trace::correct_set::CorrectSet;
+use act_trace::input_gen::positive_sequences;
+use act_trace::raw::observed_deps;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Everything a monitored (production) run produced.
+#[derive(Debug, Clone)]
+pub struct ActRun {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Debug-buffer contents merged across cores, in time order.
+    pub debug: Vec<DebugEntry>,
+    /// Machine statistics (cycles, stalls, cache behaviour).
+    pub machine_stats: Stats,
+    /// Per-core ACT module statistics.
+    pub module_stats: Vec<ModuleStats>,
+    /// Per-core pipeline statistics.
+    pub pipeline_stats: Vec<PipelineStats>,
+}
+
+impl ActRun {
+    /// Position of the first debug entry satisfying `matcher`, counted
+    /// backwards from the most recent entry (1 = newest). This is the
+    /// paper's "Debug Buf. Pos." column: how deep in the buffer the buggy
+    /// sequence sat when the failure happened.
+    pub fn debug_position_where<F>(&self, mut matcher: F) -> Option<usize>
+    where
+        F: FnMut(&DebugEntry) -> bool,
+    {
+        self.debug
+            .iter()
+            .rev()
+            .position(|e| matcher(e))
+            .map(|i| i + 1)
+    }
+}
+
+/// Run `program` once with an ACT module attached to every core.
+///
+/// `store` carries the offline-trained weights in and the online-retrained
+/// weights out (the paper's binary patching on thread exit).
+pub fn run_with_act(
+    program: &Program,
+    machine_cfg: MachineConfig,
+    act_cfg: &ActConfig,
+    store: &SharedWeightStore,
+) -> ActRun {
+    let mut machine = Machine::new(program, machine_cfg);
+    let norm = if act_cfg.norm_code_len > 0 { act_cfg.norm_code_len } else { program.code_len() };
+    let modules: Vec<Rc<RefCell<ActModule>>> = (0..machine.stats().cores.len())
+        .map(|_| {
+            Rc::new(RefCell::new(ActModule::new(act_cfg.clone(), norm, store.clone())))
+        })
+        .collect();
+    for (i, m) in modules.iter().enumerate() {
+        machine.attach(i, Box::new(m.clone()));
+    }
+    let outcome = machine.run();
+    let machine_stats = machine.stats().clone();
+
+    let mut debug: Vec<DebugEntry> = Vec::new();
+    let mut module_stats = Vec::new();
+    let mut pipeline_stats = Vec::new();
+    for m in &modules {
+        let m = m.borrow();
+        debug.extend(m.debug_buffer().entries().cloned());
+        module_stats.push(m.stats());
+        pipeline_stats.push(m.pipeline_stats());
+    }
+    debug.sort_by_key(|e| e.cycle);
+
+    ActRun { outcome, debug, machine_stats, module_stats, pipeline_stats }
+}
+
+/// Build the Correct Set by running `program` a few more times (the paper
+/// uses ~20) with fresh seeds and keeping sequences from runs `is_correct`
+/// accepts. The failure is *not* reproduced — these are correct executions.
+pub fn build_correct_set<F>(
+    program: &Program,
+    base: &MachineConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    seq_len: usize,
+    is_correct: F,
+) -> CorrectSet
+where
+    F: FnMut(&RunOutcome) -> bool,
+{
+    let traces = crate::offline::collect_traces(program, base, seeds, is_correct);
+    let mut set = CorrectSet::default();
+    for t in &traces {
+        let deps = observed_deps(t);
+        for s in positive_sequences(&deps, seq_len) {
+            set.insert(&s.deps);
+        }
+    }
+    set
+}
+
+/// Prune and rank a failed run's debug buffer against the Correct Set.
+pub fn diagnose(run: &ActRun, correct: &CorrectSet) -> Diagnosis {
+    postprocess(&run.debug, correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{shared, WeightStore};
+    use act_nn::network::Topology;
+    use act_sim::asm::Asm;
+    use act_sim::events::RawDep;
+    use act_sim::isa::{AluOp, Reg};
+
+    const R1: Reg = Reg(1);
+    const R2: Reg = Reg(2);
+    const R3: Reg = Reg(3);
+    const R4: Reg = Reg(4);
+
+    fn looping_program() -> Program {
+        let mut a = Asm::new();
+        let buf = a.static_zeroed(8);
+        a.func("main");
+        a.imm(R1, buf as i64);
+        a.imm(R2, 0);
+        let top = a.label_here();
+        a.alui(AluOp::Mul, R3, R2, 8);
+        a.add(R3, R1, R3);
+        a.store(R2, R3, 0);
+        a.load(R4, R3, 0);
+        a.addi(R2, R2, 1);
+        a.alui(AluOp::Lt, R4, R2, 8);
+        a.bnz(R4, top);
+        a.out(R2);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn run_with_act_completes_and_collects_stats() {
+        let p = looping_program();
+        let store = shared(WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1));
+        let cfg = MachineConfig { jitter_ppm: 0, cores: 2, ..Default::default() };
+        let run = run_with_act(&p, cfg, &ActConfig::default(), &store);
+        assert!(run.outcome.completed());
+        assert_eq!(run.module_stats.len(), 2);
+        // The main thread's module made predictions.
+        let total: u64 = run.module_stats.iter().map(|s| s.predictions).sum();
+        assert!(total > 0);
+        // Untrained store -> weights were persisted on thread exit.
+        assert!(store.borrow().has_weights(0));
+    }
+
+    #[test]
+    fn correct_set_built_from_reruns() {
+        let p = looping_program();
+        let base = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let set = build_correct_set(&p, &base, 1..=3, 2, |o| o.completed());
+        assert!(!set.is_empty());
+        assert_eq!(set.seq_len(), 2);
+    }
+
+    #[test]
+    fn diagnose_prunes_correct_sequences() {
+        let p = looping_program();
+        // Untrained weights: the module starts in training mode and logs
+        // whatever it mispredicts. All of those sequences are correct, so a
+        // proper Correct Set prunes every one of them.
+        let store = shared(WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1));
+        let cfg = MachineConfig { jitter_ppm: 0, cores: 1, ..Default::default() };
+        let run = run_with_act(&p, cfg, &ActConfig::default(), &store);
+        let base = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let set = build_correct_set(&p, &base, 1..=3, 2, |o| o.completed());
+        let diag = diagnose(&run, &set);
+        assert_eq!(
+            diag.ranked.len(),
+            0,
+            "all logged sequences occur in correct runs: {:?}",
+            diag.ranked
+        );
+    }
+
+    #[test]
+    fn debug_position_counts_from_newest() {
+        let mk = |pc: u32, cycle: u64| DebugEntry {
+            deps: vec![RawDep { store_pc: pc, load_pc: pc, inter_thread: false }],
+            output: 0.1,
+            cycle,
+            tid: 0,
+        };
+        let run = ActRun {
+            outcome: RunOutcome::Completed { output: vec![] },
+            debug: vec![mk(1, 10), mk(2, 20), mk(3, 30)],
+            machine_stats: Stats::new(1),
+            module_stats: vec![],
+            pipeline_stats: vec![],
+        };
+        assert_eq!(run.debug_position_where(|e| e.deps[0].store_pc == 3), Some(1));
+        assert_eq!(run.debug_position_where(|e| e.deps[0].store_pc == 1), Some(3));
+        assert_eq!(run.debug_position_where(|e| e.deps[0].store_pc == 9), None);
+    }
+}

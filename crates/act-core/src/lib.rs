@@ -1,0 +1,45 @@
+//! # act-core — ACT: Adaptive Communication Tracking
+//!
+//! The paper's primary contribution: production-run software failure
+//! diagnosis by validating RAW data-communication dependence sequences with
+//! per-core neural hardware, logging predicted-invalid sequences, and
+//! prune-and-rank postprocessing that pinpoints the root cause **without
+//! reproducing the failure**.
+//!
+//! ## The workflow
+//!
+//! 1. **Offline training** ([`offline`]): collect traces of correct runs,
+//!    form dependence sequences (positive + synthesized negative examples),
+//!    search `i × h × 1` topologies, store per-thread weights
+//!    ([`weights::WeightStore`] — the paper's binary patching).
+//! 2. **Online testing/training** ([`module::ActModule`]): attached to each
+//!    simulated core, the module verifies every dependence sequence through
+//!    the pipelined network, logs invalid ones in its debug buffer, and
+//!    flips into online training whenever the misprediction rate exceeds
+//!    the threshold — this is what makes ACT *adaptive* to new code,
+//!    inputs, and platforms.
+//! 3. **Offline postprocessing** ([`postprocess`]): after a failure, prune
+//!    the debug buffer against a Correct Set built from fresh correct
+//!    executions, then rank by matched-dependence count.
+//!
+//! [`diagnosis`] ties the three together over `act-sim` machines.
+//!
+//! ## Example
+//!
+//! See `examples/quickstart.rs` for the full train → fail → diagnose loop
+//! on a real bug workload.
+
+pub mod config;
+pub mod diagnosis;
+pub mod encoding;
+pub mod module;
+pub mod offline;
+pub mod postprocess;
+pub mod weights;
+
+pub use config::ActConfig;
+pub use diagnosis::{build_correct_set, diagnose, run_with_act, ActRun};
+pub use module::{ActModule, DebugEntry, Mode};
+pub use offline::{collect_traces, offline_train, TrainedAct};
+pub use postprocess::{Diagnosis, RankedSequence};
+pub use weights::{shared, SharedWeightStore, WeightStore};

@@ -1,0 +1,287 @@
+//! The one-hidden-layer neural network (ACT's partially configurable
+//! topology `i × h × 1`, with `1 ≤ i, h ≤ M`).
+//!
+//! Learning is standard online back-propagation with a sigmoid activation,
+//! exactly as §II-A describes: the output error is
+//! `err = o·(1−o)·(t−o)`, weights are updated along the gradient scaled by
+//! the learning rate, and the error is propagated to the hidden layer in
+//! proportion to the link weights.
+
+use crate::sigmoid::{sigmoid_deriv_from_output, SigmoidMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A network shape: `inputs × hidden × 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Number of inputs (`i`).
+    pub inputs: usize,
+    /// Number of hidden neurons (`h`).
+    pub hidden: usize,
+}
+
+impl Topology {
+    /// Construct a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(inputs: usize, hidden: usize) -> Self {
+        assert!(inputs > 0 && hidden > 0, "topology dimensions must be positive");
+        Topology { inputs, hidden }
+    }
+
+    /// Total number of link weights (including biases): the size of the flat
+    /// weight vector stored per thread in the program binary.
+    pub fn weight_count(&self) -> usize {
+        self.hidden * (self.inputs + 1) + (self.hidden + 1)
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x1", self.inputs, self.hidden)
+    }
+}
+
+/// Classification threshold: outputs at or above this are "valid".
+pub const VALID_THRESHOLD: f32 = 0.5;
+
+/// A one-hidden-layer MLP with a single output neuron.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topo: Topology,
+    /// Hidden weights, `hidden` rows of `inputs + 1` (last is bias).
+    w_hidden: Vec<f32>,
+    /// Output weights, `hidden + 1` (last is bias).
+    w_out: Vec<f32>,
+    /// Learning rate (the paper uses 0.2).
+    lr: f32,
+    sigmoid: SigmoidMode,
+    /// Scratch buffer for hidden activations.
+    hidden_act: Vec<f32>,
+}
+
+impl Network {
+    /// A network with small random weights in `[-0.5, 0.5]`.
+    pub fn random(topo: Topology, lr: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w_hidden = (0..topo.hidden * (topo.inputs + 1))
+            .map(|_| rng.gen_range(-0.5..0.5))
+            .collect();
+        let w_out = (0..topo.hidden + 1).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        Network {
+            topo,
+            w_hidden,
+            w_out,
+            lr,
+            sigmoid: SigmoidMode::Exact,
+            hidden_act: vec![0.0; topo.hidden],
+        }
+    }
+
+    /// Rebuild a network from a flat weight vector (see
+    /// [`Network::weights_flat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != topo.weight_count()`.
+    pub fn from_flat(topo: Topology, weights: &[f32], lr: f32) -> Self {
+        assert_eq!(weights.len(), topo.weight_count(), "weight vector size mismatch");
+        let split = topo.hidden * (topo.inputs + 1);
+        Network {
+            topo,
+            w_hidden: weights[..split].to_vec(),
+            w_out: weights[split..].to_vec(),
+            lr,
+            sigmoid: SigmoidMode::Exact,
+            hidden_act: vec![0.0; topo.hidden],
+        }
+    }
+
+    /// Switch the activation implementation (exact vs hardware table).
+    pub fn set_sigmoid(&mut self, mode: SigmoidMode) {
+        self.sigmoid = mode;
+    }
+
+    /// The network's topology.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Flatten all weights into the order `ldwt`/`stwt` would stream them:
+    /// hidden rows first, then the output row.
+    pub fn weights_flat(&self) -> Vec<f32> {
+        let mut v = self.w_hidden.clone();
+        v.extend_from_slice(&self.w_out);
+        v
+    }
+
+    /// Forward pass. Returns the output activation in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != topology().inputs`.
+    pub fn predict(&mut self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.topo.inputs, "input size mismatch");
+        let ni = self.topo.inputs;
+        for h in 0..self.topo.hidden {
+            let row = &self.w_hidden[h * (ni + 1)..(h + 1) * (ni + 1)];
+            let mut sum = row[ni]; // bias
+            for (w, xi) in row[..ni].iter().zip(x) {
+                sum += w * xi;
+            }
+            self.hidden_act[h] = self.sigmoid.eval(sum);
+        }
+        let mut sum = self.w_out[self.topo.hidden]; // bias
+        for (w, a) in self.w_out[..self.topo.hidden].iter().zip(&self.hidden_act) {
+            sum += w * a;
+        }
+        self.sigmoid.eval(sum)
+    }
+
+    /// Whether an output classifies the sequence as valid.
+    pub fn classify(output: f32) -> bool {
+        output >= VALID_THRESHOLD
+    }
+
+    /// One step of online back-propagation toward target `t` (0 or 1).
+    /// Returns the output *before* the update.
+    ///
+    /// The output-layer gradient uses the cross-entropy form `(t − o)`
+    /// rather than the squared-error form `o·(1−o)·(t−o)` that §II-A
+    /// writes: the extra `o·(1−o)` factor vanishes when the output
+    /// saturates on the wrong side (the "flat spot"), which prevents the
+    /// rare invalid examples from ever pulling a confidently-valid output
+    /// down. Cross-entropy is the standard cure and what practical MLP
+    /// libraries (the paper trains with OpenCV) effectively deliver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != topology().inputs`.
+    pub fn train(&mut self, x: &[f32], t: f32) -> f32 {
+        let o = self.predict(x);
+        let err_o = t - o;
+
+        // Hidden-layer errors use the *pre-update* output weights.
+        let nh = self.topo.hidden;
+        let ni = self.topo.inputs;
+        let mut err_h = vec![0.0f32; nh];
+        for h in 0..nh {
+            err_h[h] = sigmoid_deriv_from_output(self.hidden_act[h]) * self.w_out[h] * err_o;
+        }
+
+        // Update output weights.
+        for h in 0..nh {
+            self.w_out[h] += self.lr * err_o * self.hidden_act[h];
+        }
+        self.w_out[nh] += self.lr * err_o;
+
+        // Update hidden weights.
+        for h in 0..nh {
+            let row = &mut self.w_hidden[h * (ni + 1)..(h + 1) * (ni + 1)];
+            for (w, xi) in row[..ni].iter_mut().zip(x) {
+                *w += self.lr * err_h[h] * xi;
+            }
+            row[ni] += self.lr * err_h[h];
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_count_matches_flat_round_trip() {
+        let topo = Topology::new(4, 3);
+        assert_eq!(topo.weight_count(), 3 * 5 + 4);
+        let mut net = Network::random(topo, 0.2, 1);
+        let flat = net.weights_flat();
+        assert_eq!(flat.len(), topo.weight_count());
+        let mut clone = Network::from_flat(topo, &flat, 0.2);
+        let x = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(net.predict(&x), clone.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_flat_rejects_wrong_length() {
+        let _ = Network::from_flat(Topology::new(2, 2), &[0.0; 5], 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn predict_rejects_wrong_input_len() {
+        let mut net = Network::random(Topology::new(3, 2), 0.2, 0);
+        let _ = net.predict(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn output_is_a_probability() {
+        let mut net = Network::random(Topology::new(6, 5), 0.2, 42);
+        for i in 0..50 {
+            let x: Vec<f32> = (0..6).map(|j| ((i * 7 + j * 3) % 11) as f32 / 11.0).collect();
+            let o = net.predict(&x);
+            assert!(o > 0.0 && o < 1.0);
+        }
+    }
+
+    #[test]
+    fn training_moves_output_toward_target() {
+        let mut net = Network::random(Topology::new(2, 3), 0.5, 7);
+        let x = [0.3, 0.8];
+        let before = net.predict(&x);
+        for _ in 0..200 {
+            net.train(&x, 1.0);
+        }
+        let after = net.predict(&x);
+        assert!(after > before, "output should rise toward 1: {before} -> {after}");
+        assert!(after > 0.9);
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR is the classic non-linearly-separable sanity check: it requires
+        // the hidden layer to work.
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut net = Network::random(Topology::new(2, 4), 0.5, 3);
+        for _ in 0..8000 {
+            for (x, t) in &data {
+                net.train(x, *t);
+            }
+        }
+        for (x, t) in &data {
+            let o = net.predict(x);
+            assert_eq!(Network::classify(o), *t >= 0.5, "xor({x:?}) -> {o}");
+        }
+    }
+
+    #[test]
+    fn classify_threshold() {
+        assert!(Network::classify(0.5));
+        assert!(Network::classify(0.9));
+        assert!(!Network::classify(0.49));
+    }
+
+    #[test]
+    fn table_sigmoid_stays_close_to_exact() {
+        let topo = Topology::new(4, 4);
+        let mut a = Network::random(topo, 0.2, 9);
+        let mut b = a.clone();
+        b.set_sigmoid(SigmoidMode::Table);
+        let x = [0.2, 0.4, 0.6, 0.8];
+        assert!((a.predict(&x) - b.predict(&x)).abs() < 5e-3);
+    }
+}

@@ -1,0 +1,125 @@
+//! The design alternative ACT compares against (§IV-A, Esmaeilzadeh et
+//! al.-style NPU, reference 6 of the paper): a *fully configurable* neural accelerator that
+//! time-multiplexes an arbitrary topology onto a fixed pool of processing
+//! engines.
+//!
+//! Flexibility costs two things relative to ACT's pipeline:
+//!
+//! 1. **Scheduling overhead** — each layer requires configuration/dispatch
+//!    cycles to route inputs and weights to the engines.
+//! 2. **No input pipelining** — an input must finish the whole network
+//!    before the next can start, so throughput equals `1 / latency` instead
+//!    of `1 / T`.
+//!
+//! The `nn_design` experiment binary regenerates the paper's design-choice
+//! comparison using this model.
+
+use crate::network::Topology;
+
+/// Parameters of the time-multiplexed NPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpuConfig {
+    /// Number of processing engines (neurons computed concurrently).
+    pub engines: usize,
+    /// Latency of one multiply-add, in cycles.
+    pub t_mul_add: u64,
+    /// Accumulator + activation tail per neuron, in cycles.
+    pub t_rest: u64,
+    /// Per-layer scheduling/configuration overhead, in cycles.
+    pub schedule_overhead: u64,
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        // Eight engines as in the NPU paper; each engine has one
+        // multiply-add unit; scheduling costs a few cycles per layer.
+        NpuConfig { engines: 8, t_mul_add: 1, t_rest: 2, schedule_overhead: 4 }
+    }
+}
+
+impl NpuConfig {
+    /// Cycles for one engine to evaluate a neuron with `inputs` inputs.
+    /// Unlike ACT's fixed-`M` loop, the NPU iterates only over the actual
+    /// inputs (flexibility has that one advantage).
+    pub fn neuron_cycles(&self, inputs: usize) -> u64 {
+        inputs as u64 * self.t_mul_add + self.t_rest
+    }
+
+    /// End-to-end latency of one prediction for `topo`.
+    pub fn prediction_latency(&self, topo: Topology) -> u64 {
+        let hidden_rounds = topo.hidden.div_ceil(self.engines) as u64;
+        let hidden = self.schedule_overhead + hidden_rounds * self.neuron_cycles(topo.inputs);
+        let output = self.schedule_overhead + self.neuron_cycles(topo.hidden);
+        hidden + output
+    }
+
+    /// Cycles between inputs when the NPU is saturated (no pipelining).
+    pub fn service_interval(&self, topo: Topology) -> u64 {
+        self.prediction_latency(topo)
+    }
+
+    /// Total cycles to process `n` back-to-back inputs.
+    pub fn batch_cycles(&self, topo: Topology, n: u64) -> u64 {
+        n * self.service_interval(topo)
+    }
+}
+
+/// Total cycles for ACT's pipelined design to process `n` back-to-back
+/// inputs in testing mode: fill latency plus one service interval per input.
+pub fn pipeline_batch_cycles(cfg: &crate::pipeline::PipelineConfig, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    cfg.prediction_latency() + (n - 1) * cfg.service_interval(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+
+    #[test]
+    fn latency_scales_with_topology() {
+        let npu = NpuConfig::default();
+        let small = npu.prediction_latency(Topology::new(2, 2));
+        let large = npu.prediction_latency(Topology::new(10, 10));
+        assert!(large > small);
+    }
+
+    #[test]
+    fn engine_rounds_matter() {
+        let npu = NpuConfig { engines: 2, ..Default::default() };
+        // 10 hidden neurons on 2 engines = 5 rounds.
+        let t = npu.prediction_latency(Topology::new(4, 10));
+        let expected = 4 + 5 * (4 + 2) + 4 + (10 + 2);
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn pipelined_design_wins_on_throughput_at_act_scale() {
+        // For ACT's M=10-class topologies and a stream of inputs, the
+        // pipelined partially-configurable design must beat the
+        // time-multiplexed NPU — the paper's design-choice argument.
+        let topo = Topology::new(10, 10);
+        let pipe = PipelineConfig::default();
+        let npu = NpuConfig::default();
+        let n = 1000;
+        let pipe_cycles = pipeline_batch_cycles(&pipe, n);
+        let npu_cycles = npu.batch_cycles(topo, n);
+        assert!(
+            pipe_cycles < npu_cycles,
+            "pipeline {pipe_cycles} should beat NPU {npu_cycles}"
+        );
+    }
+
+    #[test]
+    fn batch_cycles_zero_and_one() {
+        let pipe = PipelineConfig::default();
+        assert_eq!(pipeline_batch_cycles(&pipe, 0), 0);
+        assert_eq!(pipeline_batch_cycles(&pipe, 1), pipe.prediction_latency());
+        let npu = NpuConfig::default();
+        let topo = Topology::new(4, 4);
+        assert_eq!(npu.batch_cycles(topo, 0), 0);
+        assert_eq!(npu.batch_cycles(topo, 1), npu.prediction_latency(topo));
+    }
+}

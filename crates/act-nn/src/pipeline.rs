@@ -1,0 +1,276 @@
+//! Cycle model of ACT's partially configurable neural hardware: the
+//! three-stage pipeline of §IV-A.
+//!
+//! * **S1** — the input layer: an input FIFO. If the FIFO is full the
+//!   corresponding load is stalled at retirement (back-pressure).
+//! * **S2** — the hidden layer: `M` neurons, each with `x` multiply-add
+//!   units, an accumulator, and a sigmoid table. A neuron takes
+//!   `T = ceil(M/x)·t_mul_add + t_rest` cycles.
+//! * **S3** — the single output neuron, another `T` cycles.
+//!
+//! During online *testing* the stages are pipelined: with a full FIFO the
+//! network accepts one input every `T` cycles. During online *training*
+//! back-propagation makes the stage links bidirectional, so an input
+//! occupies the whole network and one is accepted every `4T` cycles.
+//!
+//! The pipeline models *timing only*; the functional result comes from
+//! [`crate::network::Network`]. The ACT module combines the two.
+
+/// Parameters of the neuron/pipeline hardware (paper Table III, "Parameters
+/// of a neuron").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Maximum inputs per neuron, `M` (fixes the hardware loop length).
+    pub max_inputs: usize,
+    /// Multiply-add units per neuron, `x` (the latency knob: 1, 2, 5, 10).
+    pub mul_add_units: usize,
+    /// Latency of one multiply-add, in cycles.
+    pub t_mul_add: u64,
+    /// Latency of the accumulator stage, in cycles.
+    pub t_accumulator: u64,
+    /// Latency of the sigmoid table, in cycles.
+    pub t_sigmoid: u64,
+    /// Input FIFO capacity (4, 8, or 16 in the paper's sweep).
+    pub fifo_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_inputs: 10,
+            mul_add_units: 1,
+            t_mul_add: 1,
+            t_accumulator: 1,
+            t_sigmoid: 1,
+            fifo_capacity: 8,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// `T`: cycles for one neuron to produce its output.
+    pub fn neuron_latency(&self) -> u64 {
+        let serial = self.max_inputs.div_ceil(self.mul_add_units) as u64 * self.t_mul_add;
+        serial + self.t_accumulator + self.t_sigmoid
+    }
+
+    /// End-to-end latency of one prediction: S1 (1 cycle) + S2 + S3.
+    pub fn prediction_latency(&self) -> u64 {
+        1 + 2 * self.neuron_latency()
+    }
+
+    /// Cycles between accepted inputs when the FIFO is backed up.
+    pub fn service_interval(&self, training: bool) -> u64 {
+        let t = self.neuron_latency();
+        if training {
+            4 * t
+        } else {
+            t
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized parameters.
+    pub fn validate(&self) {
+        assert!(self.max_inputs > 0);
+        assert!(self.mul_add_units > 0 && self.mul_add_units <= self.max_inputs);
+        assert!(self.t_mul_add > 0);
+        assert!(self.fifo_capacity > 0);
+    }
+}
+
+/// Throughput/occupancy counters for the pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Inputs accepted into the FIFO.
+    pub accepted: u64,
+    /// Offers rejected because the FIFO was full (each costs the core a
+    /// stall cycle).
+    pub rejected: u64,
+    /// Inputs fully serviced.
+    pub serviced: u64,
+}
+
+/// The timing model of the three-stage pipeline.
+#[derive(Debug, Clone)]
+pub struct NnPipeline {
+    cfg: PipelineConfig,
+    occupancy: usize,
+    /// Cycle at which the S2 stage can begin servicing the next input.
+    busy_until: u64,
+    training: bool,
+    stats: PipelineStats,
+}
+
+impl NnPipeline {
+    /// Build a pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`PipelineConfig::validate`].
+    pub fn new(cfg: PipelineConfig) -> Self {
+        cfg.validate();
+        NnPipeline { cfg, occupancy: 0, busy_until: 0, training: false, stats: PipelineStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Switch between testing (pipelined) and training (serialized) service.
+    /// Mode switches take effect for inputs not yet in service.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether the pipeline is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Current FIFO occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Advance time to `now`, servicing queued inputs.
+    pub fn tick(&mut self, now: u64) {
+        // Service starts back-fill elapsed time: if `tick` jumps forward,
+        // each queued input is charged one interval from the previous
+        // service's end, exactly as if we had ticked every cycle.
+        while self.occupancy > 0 && self.busy_until <= now {
+            self.occupancy -= 1;
+            self.stats.serviced += 1;
+            self.busy_until += self.cfg.service_interval(self.training);
+        }
+    }
+
+    /// Try to accept one input at cycle `now`. Returns `false` (and records
+    /// a rejection) when the FIFO is full — the caller must stall the load.
+    pub fn try_accept(&mut self, now: u64) -> bool {
+        self.tick(now);
+        if self.occupancy >= self.cfg.fifo_capacity {
+            self.stats.rejected += 1;
+            return false;
+        }
+        if self.occupancy == 0 && self.busy_until <= now {
+            // Idle pipeline: this input enters service immediately.
+            self.busy_until = now + self.cfg.service_interval(self.training);
+            self.stats.accepted += 1;
+            self.stats.serviced += 1;
+            return true;
+        }
+        self.occupancy += 1;
+        self.stats.accepted += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_latency_formula() {
+        let mut cfg = PipelineConfig::default();
+        // M=10, x=1: 10*1 + 1 + 1 = 12.
+        assert_eq!(cfg.neuron_latency(), 12);
+        cfg.mul_add_units = 2; // ceil(10/2)=5 -> 7
+        assert_eq!(cfg.neuron_latency(), 7);
+        cfg.mul_add_units = 5; // 2 -> 4
+        assert_eq!(cfg.neuron_latency(), 4);
+        cfg.mul_add_units = 10; // 1 -> 3
+        assert_eq!(cfg.neuron_latency(), 3);
+    }
+
+    #[test]
+    fn more_mul_add_units_reduce_latency_monotonically() {
+        let lat = |x| PipelineConfig { mul_add_units: x, ..Default::default() }.neuron_latency();
+        assert!(lat(1) >= lat(2));
+        assert!(lat(2) >= lat(5));
+        assert!(lat(5) >= lat(10));
+    }
+
+    #[test]
+    fn prediction_latency_is_s1_plus_two_stages() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.prediction_latency(), 1 + 2 * 12);
+    }
+
+    #[test]
+    fn training_interval_is_4t() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.service_interval(false), 12);
+        assert_eq!(cfg.service_interval(true), 48);
+    }
+
+    #[test]
+    fn idle_pipeline_accepts_immediately() {
+        let mut p = NnPipeline::new(PipelineConfig::default());
+        assert!(p.try_accept(100));
+        assert_eq!(p.occupancy(), 0, "entered service directly");
+        assert_eq!(p.stats().accepted, 1);
+    }
+
+    #[test]
+    fn fifo_fills_then_rejects() {
+        let cfg = PipelineConfig { fifo_capacity: 4, ..Default::default() };
+        let mut p = NnPipeline::new(cfg);
+        // Accept in the same cycle: 1 in service + 4 in FIFO = 5 accepted.
+        for i in 0..5 {
+            assert!(p.try_accept(0), "accept {i}");
+        }
+        assert!(!p.try_accept(0), "FIFO full");
+        assert_eq!(p.stats().rejected, 1);
+    }
+
+    #[test]
+    fn backed_up_pipeline_services_every_t() {
+        let cfg = PipelineConfig { fifo_capacity: 4, ..Default::default() };
+        let t = cfg.neuron_latency();
+        let mut p = NnPipeline::new(cfg);
+        for _ in 0..5 {
+            assert!(p.try_accept(0));
+        }
+        assert!(!p.try_accept(0));
+        // After T cycles one slot frees.
+        assert!(p.try_accept(t));
+        // And immediately after, it is full again.
+        assert!(!p.try_accept(t));
+        // After the remaining queue drains (4 more intervals) it all empties.
+        p.tick(t * 10);
+        assert_eq!(p.occupancy(), 0);
+        assert_eq!(p.stats().serviced, 6);
+    }
+
+    #[test]
+    fn training_mode_drains_slower() {
+        let mk = |training: bool| {
+            let mut p = NnPipeline::new(PipelineConfig { fifo_capacity: 8, ..Default::default() });
+            p.set_training(training);
+            for _ in 0..8 {
+                assert!(p.try_accept(0));
+            }
+            p.tick(60);
+            p.stats().serviced
+        };
+        let tested = mk(false);
+        let trained = mk(true);
+        assert!(tested > trained, "testing drains faster: {tested} vs {trained}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_fifo_is_invalid() {
+        let _ = NnPipeline::new(PipelineConfig { fifo_capacity: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,134 @@
+//! Sigmoid activation: exact form and the hardware lookup table.
+//!
+//! The paper's neuron contains a *sigmoid table* rather than a transcendental
+//! unit; [`SigmoidTable`] models it. The offline trainer may use the exact
+//! function; the hardware-faithful path uses the table. A unit test bounds
+//! the divergence between the two so training/inference mismatch cannot
+//! silently skew predictions.
+
+/// Exact logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Derivative of the sigmoid expressed in terms of its output `o`.
+pub fn sigmoid_deriv_from_output(o: f32) -> f32 {
+    o * (1.0 - o)
+}
+
+/// A fixed-size lookup table over `[-range, range]`, linearly interpolated,
+/// saturating outside the range — the hardware sigmoid unit.
+#[derive(Debug, Clone)]
+pub struct SigmoidTable {
+    entries: Vec<f32>,
+    range: f32,
+}
+
+impl SigmoidTable {
+    /// Build a table with `entries` samples over `[-range, range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2` or `range <= 0`.
+    pub fn new(entries: usize, range: f32) -> Self {
+        assert!(entries >= 2 && range > 0.0);
+        let table = (0..entries)
+            .map(|i| {
+                let x = -range + 2.0 * range * (i as f32) / (entries - 1) as f32;
+                sigmoid(x)
+            })
+            .collect();
+        SigmoidTable { entries: table, range }
+    }
+
+    /// The default hardware table: 1024 entries over `[-8, 8]`.
+    pub fn hardware_default() -> &'static SigmoidTable {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<SigmoidTable> = OnceLock::new();
+        TABLE.get_or_init(|| SigmoidTable::new(1024, 8.0))
+    }
+
+    /// Look up `sigmoid(x)` with linear interpolation, saturating outside
+    /// the table range.
+    pub fn eval(&self, x: f32) -> f32 {
+        if x <= -self.range {
+            return self.entries[0];
+        }
+        if x >= self.range {
+            return *self.entries.last().expect("nonempty");
+        }
+        let pos = (x + self.range) / (2.0 * self.range) * (self.entries.len() - 1) as f32;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f32;
+        if i + 1 >= self.entries.len() {
+            self.entries[i]
+        } else {
+            self.entries[i] * (1.0 - frac) + self.entries[i + 1] * frac
+        }
+    }
+}
+
+/// Which sigmoid implementation a network uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SigmoidMode {
+    /// Exact logistic function (software training).
+    #[default]
+    Exact,
+    /// The 1024-entry hardware lookup table.
+    Table,
+}
+
+impl SigmoidMode {
+    /// Evaluate the sigmoid under this mode.
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            SigmoidMode::Exact => sigmoid(x),
+            SigmoidMode::Table => SigmoidTable::hardware_default().eval(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sigmoid_shape() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        // Monotone.
+        assert!(sigmoid(1.0) > sigmoid(0.5));
+    }
+
+    #[test]
+    fn derivative_peaks_at_half() {
+        assert!((sigmoid_deriv_from_output(0.5) - 0.25).abs() < 1e-6);
+        assert!(sigmoid_deriv_from_output(0.9) < 0.25);
+    }
+
+    #[test]
+    fn table_matches_exact_within_tolerance() {
+        let t = SigmoidTable::hardware_default();
+        let mut worst: f32 = 0.0;
+        let mut x = -12.0_f32;
+        while x <= 12.0 {
+            worst = worst.max((t.eval(x) - sigmoid(x)).abs());
+            x += 0.01;
+        }
+        assert!(worst < 1e-3, "table error {worst} too large");
+    }
+
+    #[test]
+    fn table_saturates() {
+        let t = SigmoidTable::new(64, 4.0);
+        assert_eq!(t.eval(-100.0), t.eval(-4.0));
+        assert_eq!(t.eval(100.0), t.eval(4.0));
+    }
+
+    #[test]
+    fn mode_dispatch() {
+        assert!((SigmoidMode::Exact.eval(0.0) - 0.5).abs() < 1e-6);
+        assert!((SigmoidMode::Table.eval(0.0) - 0.5).abs() < 1e-3);
+    }
+}

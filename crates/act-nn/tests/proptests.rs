@@ -1,0 +1,82 @@
+//! Property-based tests for the neural substrate.
+
+use act_nn::network::{Network, Topology};
+use act_nn::pipeline::{NnPipeline, PipelineConfig};
+use act_nn::sigmoid::{sigmoid, SigmoidTable};
+use proptest::prelude::*;
+
+proptest! {
+    /// Network outputs are always valid probabilities, and flat-weight
+    /// round-tripping preserves behaviour exactly.
+    #[test]
+    fn outputs_are_probabilities_and_weights_round_trip(
+        seed in any::<u64>(),
+        inputs in 1usize..10,
+        hidden in 1usize..10,
+        x in prop::collection::vec(0.0f32..1.0, 10),
+    ) {
+        let topo = Topology::new(inputs, hidden);
+        let mut net = Network::random(topo, 0.2, seed);
+        let x = &x[..inputs];
+        let o = net.predict(x);
+        prop_assert!(o > 0.0 && o < 1.0);
+        let mut copy = Network::from_flat(topo, &net.weights_flat(), 0.2);
+        prop_assert_eq!(o, copy.predict(x));
+    }
+
+    /// Training toward a target never produces NaN and moves the output in
+    /// the right direction on average.
+    #[test]
+    fn training_is_stable(
+        seed in any::<u64>(),
+        x in prop::collection::vec(0.0f32..1.0, 6),
+        t in 0u8..2,
+    ) {
+        let mut net = Network::random(Topology::new(6, 4), 0.5, seed);
+        let target = t as f32;
+        let before = net.predict(&x);
+        for _ in 0..50 {
+            net.train(&x, target);
+        }
+        let after = net.predict(&x);
+        prop_assert!(after.is_finite());
+        prop_assert!((after - target).abs() <= (before - target).abs() + 1e-3);
+    }
+
+    /// The sigmoid table approximates the exact function everywhere.
+    #[test]
+    fn sigmoid_table_is_accurate(x in -20.0f32..20.0) {
+        let t = SigmoidTable::hardware_default();
+        prop_assert!((t.eval(x) - sigmoid(x)).abs() < 2e-3);
+    }
+
+    /// Pipeline invariants under arbitrary offer patterns: occupancy never
+    /// exceeds capacity, accepted = serviced + queued, rejected only when
+    /// full.
+    #[test]
+    fn pipeline_conserves_inputs(
+        offers in prop::collection::vec(0u64..5, 1..200),
+        fifo in 1usize..16,
+        units in 1usize..10,
+    ) {
+        let cfg = PipelineConfig {
+            fifo_capacity: fifo,
+            mul_add_units: units,
+            ..Default::default()
+        };
+        let mut p = NnPipeline::new(cfg);
+        let mut now = 0;
+        for gap in &offers {
+            now += gap;
+            let _ = p.try_accept(now);
+            prop_assert!(p.occupancy() <= fifo);
+            let s = p.stats();
+            prop_assert_eq!(s.accepted, s.serviced + p.occupancy() as u64);
+        }
+        // Eventually everything drains.
+        p.tick(now + 10_000);
+        prop_assert_eq!(p.occupancy(), 0);
+        let s = p.stats();
+        prop_assert_eq!(s.accepted, s.serviced);
+    }
+}

@@ -1,0 +1,401 @@
+//! A small assembler for building [`Program`]s with forward labels,
+//! functions, and a static data segment.
+//!
+//! # Examples
+//!
+//! ```
+//! use act_sim::asm::Asm;
+//! use act_sim::isa::Reg;
+//!
+//! let mut a = Asm::new();
+//! let buf = a.static_zeroed(4); // four zeroed words in the data segment
+//! a.func("main");
+//! a.imm(Reg(1), buf as i64);
+//! a.imm(Reg(2), 42);
+//! a.store(Reg(2), Reg(1), 0);
+//! a.load(Reg(3), Reg(1), 0);
+//! a.out(Reg(3));
+//! a.halt();
+//! let program = a.finish().unwrap();
+//! assert_eq!(program.code_len(), 6);
+//! ```
+
+use crate::isa::{AluOp, Instr, Pc, Reg, Word};
+use crate::program::{FunctionInfo, Program, ValidateProgramError, DATA_BASE};
+use std::collections::BTreeMap;
+
+/// An unresolved jump target handed out by [`Asm::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`]s.
+///
+/// Labels may be referenced before they are bound; [`Asm::finish`] patches
+/// all uses and fails if any label was never bound.
+#[derive(Debug, Default)]
+pub struct Asm {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<Pc>>,
+    /// (instruction index, label) pairs whose target needs patching.
+    fixups: Vec<(usize, Label)>,
+    functions: Vec<FunctionInfo>,
+    open_function: Option<(String, Pc)>,
+    data: Vec<Word>,
+    named: BTreeMap<Pc, String>,
+    entry: Pc,
+}
+
+/// Error produced by [`Asm::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(usize),
+    /// The assembled program failed [`Program::validate`].
+    Invalid(ValidateProgramError),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnboundLabel(i) => write!(f, "label {i} was never bound"),
+            AsmError::Invalid(e) => write!(f, "assembled program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl Asm {
+    /// Create an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction index (the pc the next emitted instruction gets).
+    pub fn here(&self) -> Pc {
+        self.instrs.len() as Pc
+    }
+
+    /// Allocate a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound (a builder bug in the caller).
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(here);
+    }
+
+    /// Convenience: allocate a label already bound to the current position.
+    pub fn label_here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Begin a new function at the current position, closing any open one.
+    pub fn func(&mut self, name: &str) -> Pc {
+        self.close_function();
+        let start = self.here();
+        self.open_function = Some((name.to_string(), start));
+        start
+    }
+
+    /// Attach a symbolic name to the *next* emitted instruction
+    /// (used as ground truth for bug signatures in diagnosis reports).
+    pub fn mark(&mut self, name: &str) -> Pc {
+        let pc = self.here();
+        self.named.insert(pc, name.to_string());
+        pc
+    }
+
+    /// The pc a previously emitted `mark` resolved to, if any.
+    pub fn marked(&self, name: &str) -> Option<Pc> {
+        self.named.iter().find(|(_, n)| n.as_str() == name).map(|(pc, _)| *pc)
+    }
+
+    /// Append `values` to the data segment, returning their base byte address.
+    pub fn static_data(&mut self, values: &[Word]) -> u64 {
+        let addr = DATA_BASE + (self.data.len() as u64) * crate::isa::WORD_BYTES;
+        self.data.extend_from_slice(values);
+        addr
+    }
+
+    /// Append `words` zeroed words to the data segment, returning their base
+    /// byte address.
+    pub fn static_zeroed(&mut self, words: usize) -> u64 {
+        self.static_data(&vec![0; words])
+    }
+
+    /// Set the entry point (defaults to pc 0).
+    pub fn entry(&mut self, pc: Pc) {
+        self.entry = pc;
+    }
+
+    fn close_function(&mut self) {
+        if let Some((name, start)) = self.open_function.take() {
+            let end = self.here();
+            if end > start {
+                self.functions.push(FunctionInfo { name, start, end });
+            }
+        }
+    }
+
+    fn push(&mut self, i: Instr) -> Pc {
+        let pc = self.here();
+        self.instrs.push(i);
+        pc
+    }
+
+    // ---- instruction emitters ------------------------------------------
+
+    /// `rd <- value`
+    pub fn imm(&mut self, rd: Reg, value: Word) -> Pc {
+        self.push(Instr::Imm { rd, value })
+    }
+
+    /// `rd <- ra op rb`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, ra: Reg, rb: Reg) -> Pc {
+        self.push(Instr::Alu { op, rd, ra, rb })
+    }
+
+    /// `rd <- ra op imm`
+    pub fn alui(&mut self, op: AluOp, rd: Reg, ra: Reg, imm: Word) -> Pc {
+        self.push(Instr::AluI { op, rd, ra, imm })
+    }
+
+    /// `rd <- ra + rb`
+    pub fn add(&mut self, rd: Reg, ra: Reg, rb: Reg) -> Pc {
+        self.alu(AluOp::Add, rd, ra, rb)
+    }
+
+    /// `rd <- ra + imm`
+    pub fn addi(&mut self, rd: Reg, ra: Reg, imm: Word) -> Pc {
+        self.alui(AluOp::Add, rd, ra, imm)
+    }
+
+    /// `rd <- ra * rb`
+    pub fn mul(&mut self, rd: Reg, ra: Reg, rb: Reg) -> Pc {
+        self.alu(AluOp::Mul, rd, ra, rb)
+    }
+
+    /// `rd <- mem[base + offset]`
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> Pc {
+        self.push(Instr::Load { rd, base, offset })
+    }
+
+    /// `mem[base + offset] <- rs`
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i64) -> Pc {
+        self.push(Instr::Store { rs, base, offset })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> Pc {
+        let pc = self.push(Instr::Jump { target: 0 });
+        self.fixups.push((pc as usize, label));
+        pc
+    }
+
+    /// Branch to `label` if `cond != 0`.
+    pub fn bnz(&mut self, cond: Reg, label: Label) -> Pc {
+        let pc = self.push(Instr::Bnz { cond, target: 0 });
+        self.fixups.push((pc as usize, label));
+        pc
+    }
+
+    /// Branch to `label` if `cond == 0`.
+    pub fn bez(&mut self, cond: Reg, label: Label) -> Pc {
+        let pc = self.push(Instr::Bez { cond, target: 0 });
+        self.fixups.push((pc as usize, label));
+        pc
+    }
+
+    /// Spawn a thread at `entry` with `arg`'s value in its `r1`; thread id in `rd`.
+    pub fn spawn(&mut self, rd: Reg, entry: Label, arg: Reg) -> Pc {
+        let pc = self.push(Instr::Spawn { rd, entry: 0, arg });
+        self.fixups.push((pc as usize, entry));
+        pc
+    }
+
+    /// Block until thread `tid` halts.
+    pub fn join(&mut self, tid: Reg) -> Pc {
+        self.push(Instr::Join { tid })
+    }
+
+    /// Acquire the lock at `[base + offset]`.
+    pub fn lock(&mut self, base: Reg, offset: i64) -> Pc {
+        self.push(Instr::Lock { base, offset })
+    }
+
+    /// Release the lock at `[base + offset]`.
+    pub fn unlock(&mut self, base: Reg, offset: i64) -> Pc {
+        self.push(Instr::Unlock { base, offset })
+    }
+
+    /// Memory fence.
+    pub fn fence(&mut self) -> Pc {
+        self.push(Instr::Fence)
+    }
+
+    /// Barrier on the word at `[base + offset]` (which holds the expected
+    /// participant count).
+    pub fn barrier(&mut self, base: Reg, offset: i64) -> Pc {
+        self.push(Instr::Barrier { base, offset })
+    }
+
+    /// Emit `rs` to the program output stream.
+    pub fn out(&mut self, rs: Reg) -> Pc {
+        self.push(Instr::Out { rs })
+    }
+
+    /// Crash with `code` if `cond == 0`.
+    pub fn assert_nz(&mut self, cond: Reg, code: u32) -> Pc {
+        self.push(Instr::Assert { cond, code })
+    }
+
+    /// Terminate the executing thread.
+    pub fn halt(&mut self) -> Pc {
+        self.push(Instr::Halt)
+    }
+
+    /// One cycle of timing padding.
+    pub fn nop(&mut self) -> Pc {
+        self.push(Instr::Nop)
+    }
+
+    /// `count` cycles of timing padding.
+    pub fn nops(&mut self, count: usize) {
+        for _ in 0..count {
+            self.nop();
+        }
+    }
+
+    // ---- finish ---------------------------------------------------------
+
+    /// Resolve labels, close the open function, validate, and produce the
+    /// [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if any referenced label was never bound, or if the assembled
+    /// program does not pass [`Program::validate`].
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        self.close_function();
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(label.0))?;
+            match &mut self.instrs[idx] {
+                Instr::Jump { target: t }
+                | Instr::Bnz { target: t, .. }
+                | Instr::Bez { target: t, .. }
+                | Instr::Spawn { entry: t, .. } => *t = target,
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        let program = Program {
+            instrs: self.instrs,
+            entry: self.entry,
+            data: self.data,
+            functions: self.functions,
+            labels: self.named,
+        };
+        program.validate().map_err(AsmError::Invalid)?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ZERO;
+
+    const R1: Reg = Reg(1);
+    const R2: Reg = Reg(2);
+
+    #[test]
+    fn forward_label_is_patched() {
+        let mut a = Asm::new();
+        a.func("main");
+        let end = a.new_label();
+        a.imm(R1, 1);
+        a.bnz(R1, end);
+        a.imm(R2, 99); // skipped
+        a.bind(end);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.instrs[1], Instr::Bnz { cond: R1, target: 3 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.jump(l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn data_segment_addresses_are_sequential_words() {
+        let mut a = Asm::new();
+        let x = a.static_data(&[1, 2]);
+        let y = a.static_zeroed(3);
+        assert_eq!(x, DATA_BASE);
+        assert_eq!(y, DATA_BASE + 16);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.data, vec![1, 2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn functions_are_closed_by_next_func_and_finish() {
+        let mut a = Asm::new();
+        a.func("f");
+        a.nop();
+        a.nop();
+        a.func("g");
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[0].name, "f");
+        assert_eq!((p.functions[0].start, p.functions[0].end), (0, 2));
+        assert_eq!((p.functions[1].start, p.functions[1].end), (2, 3));
+    }
+
+    #[test]
+    fn mark_records_named_pcs() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.nop();
+        let pc = a.mark("S1");
+        a.store(ZERO, R1, 0);
+        a.halt();
+        assert_eq!(pc, 1);
+        assert_eq!(a.marked("S1"), Some(1));
+        let p = a.finish().unwrap();
+        assert_eq!(p.describe_pc(1), "S1");
+    }
+
+    #[test]
+    fn finish_validates() {
+        let mut a = Asm::new();
+        a.load(R1, R2, 3); // misaligned
+        a.halt();
+        assert!(matches!(a.finish(), Err(AsmError::Invalid(_))));
+    }
+}

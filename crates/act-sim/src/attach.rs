@@ -1,0 +1,114 @@
+//! Extension points: per-core attachments (the ACT module plugs in here)
+//! and passive observers (trace collectors, baselines).
+
+use crate::events::{BranchEvent, LoadEvent, StoreEvent, ThreadId};
+
+/// A hardware module tightly integrated with a core, able to exert
+/// back-pressure on load retirement — the integration point for the paper's
+/// per-processor ACT Module (AM).
+///
+/// The machine calls [`CoreAttachment::offer_load`] when a load reaches the
+/// retirement stage. Returning `false` stalls the load (and everything behind
+/// it in the ROB) for this cycle; the machine re-offers it every cycle until
+/// accepted. This models the paper's rule that a load may only retire once
+/// the neural network's input FIFO has accepted its RAW dependence.
+pub trait CoreAttachment {
+    /// Advance the attachment's internal clock to `cycle`. Called once per
+    /// machine cycle, before any retirement on this core.
+    fn tick(&mut self, cycle: u64);
+
+    /// Offer a retiring load. Return `true` to let it retire, `false` to
+    /// stall it this cycle.
+    fn offer_load(&mut self, ev: &LoadEvent) -> bool;
+
+    /// A store dispatched on this core.
+    fn on_store(&mut self, _ev: &StoreEvent) {}
+
+    /// A thread started running on this core (context switch-in). The
+    /// attachment should load that thread's neural-network weights.
+    fn on_thread_start(&mut self, _tid: ThreadId) {}
+
+    /// The thread running on this core halted (context switch-out). The
+    /// attachment should save its weights.
+    fn on_thread_end(&mut self, _tid: ThreadId) {}
+}
+
+/// A no-op attachment: loads always retire immediately (machine without ACT).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullAttachment;
+
+impl CoreAttachment for NullAttachment {
+    fn tick(&mut self, _cycle: u64) {}
+
+    fn offer_load(&mut self, _ev: &LoadEvent) -> bool {
+        true
+    }
+}
+
+/// Shared-ownership adapter: lets a caller keep a handle to an attachment
+/// (to read its debug buffer after the run) while the machine drives it.
+impl<T: CoreAttachment> CoreAttachment for std::rc::Rc<std::cell::RefCell<T>> {
+    fn tick(&mut self, cycle: u64) {
+        self.borrow_mut().tick(cycle);
+    }
+
+    fn offer_load(&mut self, ev: &LoadEvent) -> bool {
+        self.borrow_mut().offer_load(ev)
+    }
+
+    fn on_store(&mut self, ev: &StoreEvent) {
+        self.borrow_mut().on_store(ev);
+    }
+
+    fn on_thread_start(&mut self, tid: ThreadId) {
+        self.borrow_mut().on_thread_start(tid);
+    }
+
+    fn on_thread_end(&mut self, tid: ThreadId) {
+        self.borrow_mut().on_thread_end(tid);
+    }
+}
+
+/// A passive, machine-wide observer of retired events. Unlike
+/// [`CoreAttachment`], observers cannot influence timing.
+pub trait Observer {
+    /// A load retired.
+    fn on_load(&mut self, _ev: &LoadEvent) {}
+    /// A store retired.
+    fn on_store(&mut self, _ev: &StoreEvent) {}
+    /// A conditional branch resolved.
+    fn on_branch(&mut self, _ev: &BranchEvent) {}
+    /// A thread was created (`tid`) at `cycle`.
+    fn on_thread_start(&mut self, _tid: ThreadId, _cycle: u64) {}
+    /// A thread halted.
+    fn on_thread_end(&mut self, _tid: ThreadId, _cycle: u64) {}
+}
+
+/// An observer that discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CacheEvent;
+
+    #[test]
+    fn null_attachment_never_stalls() {
+        let mut a = NullAttachment;
+        let ev = LoadEvent {
+            cycle: 0,
+            core: 0,
+            tid: 0,
+            pc: 0,
+            addr: 0x2000,
+            cache_event: CacheEvent::L1Hit,
+            dep: None,
+            stack_access: false,
+        };
+        a.tick(5);
+        assert!(a.offer_load(&ev));
+    }
+}

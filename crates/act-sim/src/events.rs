@@ -1,0 +1,147 @@
+//! Observable events produced by the machine: retired memory accesses,
+//! branch outcomes, RAW dependences, and thread lifecycle.
+//!
+//! These are consumed by trace collectors (the PIN-tool substitute), by the
+//! ACT module (through [`crate::attach::CoreAttachment`]), and by the PBI
+//! baseline (cache events + branch outcomes).
+
+use crate::isa::{Addr, Pc};
+
+/// A thread identifier, assigned deterministically in spawn order.
+///
+/// The paper modifies the thread library so ids depend only on the parent
+/// and spawn order; since this simulator spawns threads from a single
+/// deterministic instruction stream, a global spawn counter gives the same
+/// stability guarantee.
+pub type ThreadId = u32;
+
+/// Identity of the store that last wrote a word (or line), as tracked in
+/// cache-line metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LastWriter {
+    /// Instruction address of the store.
+    pub pc: Pc,
+    /// Thread that executed the store.
+    pub tid: ThreadId,
+}
+
+/// A Read-After-Write dependence `S -> L`: the load at `load_pc` read a word
+/// last written by the store at `store_pc`.
+///
+/// A dependence belongs to the processor/thread that executes the *load*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RawDep {
+    /// Instruction address of the writing store.
+    pub store_pc: Pc,
+    /// Instruction address of the reading load.
+    pub load_pc: Pc,
+    /// Whether the store was executed by a different thread than the load.
+    pub inter_thread: bool,
+}
+
+impl std::fmt::Display for RawDep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let arrow = if self.inter_thread { "=>" } else { "->" };
+        write!(f, "{}{arrow}{}", self.store_pc, self.load_pc)
+    }
+}
+
+/// How the memory hierarchy serviced an access. These are exactly the
+/// per-instruction "cache events" the PBI baseline samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheEvent {
+    /// Hit in the private L1.
+    L1Hit,
+    /// L1 miss, hit in the private L2.
+    L2Hit,
+    /// Miss serviced by a cache-to-cache transfer of a dirty line from
+    /// another core (the line was in another cache's Modified state).
+    CacheToCache,
+    /// Miss serviced from main memory.
+    Memory,
+}
+
+impl CacheEvent {
+    /// All variants, for building predicate tables.
+    pub const ALL: [CacheEvent; 4] =
+        [CacheEvent::L1Hit, CacheEvent::L2Hit, CacheEvent::CacheToCache, CacheEvent::Memory];
+}
+
+/// A retired load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadEvent {
+    /// Cycle at which the load was ready to retire.
+    pub cycle: u64,
+    /// Core that executed the load.
+    pub core: usize,
+    /// Thread that executed the load.
+    pub tid: ThreadId,
+    /// Instruction address of the load.
+    pub pc: Pc,
+    /// Byte address read.
+    pub addr: Addr,
+    /// How the hierarchy serviced it.
+    pub cache_event: CacheEvent,
+    /// The RAW dependence formed from cache-line metadata, if the last-writer
+    /// information was available (it is lost on eviction and on clean
+    /// transfers, per the paper's §V relaxations).
+    pub dep: Option<RawDep>,
+    /// Whether this access went through the stack pointer/frame pointer and
+    /// is therefore filtered from communication tracking (paper §V).
+    pub stack_access: bool,
+}
+
+/// A retired store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEvent {
+    /// Cycle at which the store dispatched.
+    pub cycle: u64,
+    /// Core that executed the store.
+    pub core: usize,
+    /// Thread that executed the store.
+    pub tid: ThreadId,
+    /// Instruction address of the store.
+    pub pc: Pc,
+    /// Byte address written.
+    pub addr: Addr,
+    /// Whether this access went through the stack pointer/frame pointer.
+    pub stack_access: bool,
+}
+
+/// A resolved conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// Cycle at which the branch dispatched.
+    pub cycle: u64,
+    /// Core that executed the branch.
+    pub core: usize,
+    /// Thread that executed the branch.
+    pub tid: ThreadId,
+    /// Instruction address of the branch.
+    pub pc: Pc,
+    /// Whether the branch was taken.
+    pub taken: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_dep_display_distinguishes_inter_thread() {
+        let intra = RawDep { store_pc: 3, load_pc: 9, inter_thread: false };
+        let inter = RawDep { store_pc: 3, load_pc: 9, inter_thread: true };
+        assert_eq!(intra.to_string(), "3->9");
+        assert_eq!(inter.to_string(), "3=>9");
+        assert_ne!(intra, inter);
+    }
+
+    #[test]
+    fn cache_event_all_is_exhaustive_and_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for e in CacheEvent::ALL {
+            set.insert(e);
+        }
+        assert_eq!(set.len(), 4);
+    }
+}

@@ -1,0 +1,305 @@
+//! The mini instruction set interpreted by the simulator.
+//!
+//! Workloads are expressed in a small assembler-level IR rather than a real
+//! binary format: the paper's evaluation instruments native x86 binaries with
+//! PIN, which is unavailable here, so programs are built with [`crate::asm::Asm`]
+//! and executed by [`crate::machine::Machine`]. Every instruction has a
+//! *program counter* (its index in [`crate::program::Program::instrs`]), which
+//! plays the role of the instruction address in RAW dependences.
+
+use std::fmt;
+
+/// A register name, `r0`..`r31`.
+///
+/// `r0` always reads as zero (writes are ignored), mirroring RISC conventions.
+/// Registers [`SP`] and [`FP`] are the stack/frame pointers: loads and stores
+/// whose base register is one of these are filtered from RAW-dependence
+/// tracking, as in the paper (§V, "Filtering of Loads").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+/// Number of architectural registers per thread.
+pub const NUM_REGS: usize = 32;
+
+/// The always-zero register.
+pub const ZERO: Reg = Reg(0);
+/// Stack pointer register (accesses through it are filtered from tracking).
+pub const SP: Reg = Reg(30);
+/// Frame pointer register (accesses through it are filtered from tracking).
+pub const FP: Reg = Reg(29);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SP => write!(f, "sp"),
+            FP => write!(f, "fp"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// An instruction address: index into the program's instruction array.
+pub type Pc = u32;
+
+/// A byte address in the simulated flat address space.
+pub type Addr = u64;
+
+/// The machine word type. All registers and memory words hold an `i64`.
+pub type Word = i64;
+
+/// Width of a memory word in bytes. All loads/stores are word-sized and
+/// word-aligned (the assembler scales offsets accordingly).
+pub const WORD_BYTES: u64 = 8;
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division. Dividing by zero is a [`crate::outcome::CrashKind::DivideByZero`] crash.
+    Div,
+    /// Signed remainder. Remainder by zero crashes like [`AluOp::Div`].
+    Rem,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left (shift amount masked to 0..64).
+    Shl,
+    /// Arithmetic shift right (shift amount masked to 0..64).
+    Shr,
+    /// Set to 1 if `a < b` (signed), else 0.
+    Lt,
+    /// Set to 1 if `a <= b` (signed), else 0.
+    Le,
+    /// Set to 1 if `a == b`, else 0.
+    Eq,
+    /// Set to 1 if `a != b`, else 0.
+    Ne,
+    /// Minimum (signed).
+    Min,
+    /// Maximum (signed).
+    Max,
+}
+
+impl AluOp {
+    /// Apply the operation to two operand values.
+    ///
+    /// Returns `None` for division/remainder by zero.
+    pub fn apply(self, a: Word, b: Word) -> Option<Word> {
+        Some(match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Lt => (a < b) as Word,
+            AluOp::Le => (a <= b) as Word,
+            AluOp::Eq => (a == b) as Word,
+            AluOp::Ne => (a != b) as Word,
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+        })
+    }
+
+    /// Execution latency in cycles for the timing model.
+    pub fn latency(self) -> u64 {
+        match self {
+            AluOp::Mul => 3,
+            AluOp::Div | AluOp::Rem => 12,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Lt => "slt",
+            AluOp::Le => "sle",
+            AluOp::Eq => "seq",
+            AluOp::Ne => "sne",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One instruction of the mini-ISA.
+///
+/// Control flow is expressed with absolute instruction indices (`Pc`); the
+/// assembler resolves labels to these. Memory operands are
+/// `[base + offset]` where `offset` is a byte displacement that must be
+/// word-aligned.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `rd <- imm`
+    Imm { rd: Reg, value: Word },
+    /// `rd <- ra op rb`
+    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Reg },
+    /// `rd <- ra op imm`
+    AluI { op: AluOp, rd: Reg, ra: Reg, imm: Word },
+    /// `rd <- mem[ra + offset]`
+    Load { rd: Reg, base: Reg, offset: i64 },
+    /// `mem[ra + offset] <- rs`
+    Store { rs: Reg, base: Reg, offset: i64 },
+    /// Unconditional jump.
+    Jump { target: Pc },
+    /// Branch to `target` if `cond != 0`.
+    Bnz { cond: Reg, target: Pc },
+    /// Branch to `target` if `cond == 0`.
+    Bez { cond: Reg, target: Pc },
+    /// Spawn a new thread starting at `entry` with `arg`'s value in its `r1`;
+    /// the new thread's id is written to `rd`.
+    Spawn { rd: Reg, entry: Pc, arg: Reg },
+    /// Block until the thread whose id is in `tid` has halted.
+    Join { tid: Reg },
+    /// Acquire the lock at address `ra + offset` (blocking).
+    Lock { base: Reg, offset: i64 },
+    /// Release the lock at address `ra + offset`.
+    Unlock { base: Reg, offset: i64 },
+    /// Memory fence. In this simulator it only drains the ROB (all simulated
+    /// memory is sequentially consistent), but it still consumes a slot so
+    /// workloads can model synchronization cost.
+    Fence,
+    /// Block until the number of threads stored at `[base + offset]` have
+    /// all arrived at a barrier on that address, then release them together.
+    Barrier {
+        /// Base register of the barrier word.
+        base: Reg,
+        /// Byte offset of the barrier word.
+        offset: i64,
+    },
+    /// Append the value of `rs` to the program output stream.
+    Out { rs: Reg },
+    /// Crash with [`crate::outcome::CrashKind::AssertFailed`] if `cond == 0`.
+    Assert { cond: Reg, code: u32 },
+    /// Terminate the executing thread.
+    Halt,
+    /// No operation (1 cycle). Used as timing padding in workloads.
+    Nop,
+}
+
+impl Instr {
+    /// Whether this instruction reads or writes memory through a data address.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// Whether this is a conditional branch (produces a taken/not-taken outcome).
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Bnz { .. } | Instr::Bez { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Imm { rd, value } => write!(f, "imm {rd}, {value}"),
+            Instr::Alu { op, rd, ra, rb } => write!(f, "{op} {rd}, {ra}, {rb}"),
+            Instr::AluI { op, rd, ra, imm } => write!(f, "{op}i {rd}, {ra}, {imm}"),
+            Instr::Load { rd, base, offset } => write!(f, "ld {rd}, [{base}+{offset}]"),
+            Instr::Store { rs, base, offset } => write!(f, "st {rs}, [{base}+{offset}]"),
+            Instr::Jump { target } => write!(f, "j {target}"),
+            Instr::Bnz { cond, target } => write!(f, "bnz {cond}, {target}"),
+            Instr::Bez { cond, target } => write!(f, "bez {cond}, {target}"),
+            Instr::Spawn { rd, entry, arg } => write!(f, "spawn {rd}, {entry}, {arg}"),
+            Instr::Join { tid } => write!(f, "join {tid}"),
+            Instr::Lock { base, offset } => write!(f, "lock [{base}+{offset}]"),
+            Instr::Unlock { base, offset } => write!(f, "unlock [{base}+{offset}]"),
+            Instr::Fence => write!(f, "fence"),
+            Instr::Barrier { base, offset } => write!(f, "barrier [{base}+{offset}]"),
+            Instr::Out { rs } => write!(f, "out {rs}"),
+            Instr::Assert { cond, code } => write!(f, "assert {cond}, {code}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_apply_basics() {
+        assert_eq!(AluOp::Add.apply(2, 3), Some(5));
+        assert_eq!(AluOp::Sub.apply(2, 3), Some(-1));
+        assert_eq!(AluOp::Mul.apply(4, 3), Some(12));
+        assert_eq!(AluOp::Div.apply(7, 2), Some(3));
+        assert_eq!(AluOp::Rem.apply(7, 2), Some(1));
+        assert_eq!(AluOp::Div.apply(7, 0), None);
+        assert_eq!(AluOp::Rem.apply(7, 0), None);
+        assert_eq!(AluOp::Lt.apply(1, 2), Some(1));
+        assert_eq!(AluOp::Lt.apply(2, 1), Some(0));
+        assert_eq!(AluOp::Eq.apply(5, 5), Some(1));
+        assert_eq!(AluOp::Ne.apply(5, 5), Some(0));
+        assert_eq!(AluOp::Min.apply(-3, 9), Some(-3));
+        assert_eq!(AluOp::Max.apply(-3, 9), Some(9));
+    }
+
+    #[test]
+    fn alu_apply_wrapping_and_shifts() {
+        assert_eq!(AluOp::Add.apply(Word::MAX, 1), Some(Word::MIN));
+        assert_eq!(AluOp::Shl.apply(1, 4), Some(16));
+        assert_eq!(AluOp::Shr.apply(-16, 2), Some(-4));
+        // Shift amounts are masked, not UB.
+        assert_eq!(AluOp::Shl.apply(1, 64), Some(1));
+    }
+
+    #[test]
+    fn alu_latencies_ordered() {
+        assert!(AluOp::Add.latency() < AluOp::Mul.latency());
+        assert!(AluOp::Mul.latency() < AluOp::Div.latency());
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(SP.to_string(), "sp");
+        assert_eq!(FP.to_string(), "fp");
+    }
+
+    #[test]
+    fn instr_classification() {
+        assert!(Instr::Load { rd: Reg(1), base: Reg(2), offset: 0 }.is_memory());
+        assert!(Instr::Store { rs: Reg(1), base: Reg(2), offset: 0 }.is_memory());
+        assert!(!Instr::Nop.is_memory());
+        assert!(Instr::Bnz { cond: Reg(1), target: 0 }.is_branch());
+        assert!(Instr::Bez { cond: Reg(1), target: 0 }.is_branch());
+        assert!(!Instr::Jump { target: 0 }.is_branch());
+    }
+
+    #[test]
+    fn instr_display_smoke() {
+        let i = Instr::Load { rd: Reg(1), base: Reg(2), offset: 8 };
+        assert_eq!(i.to_string(), "ld r1, [r2+8]");
+        assert_eq!(Instr::Halt.to_string(), "halt");
+    }
+}

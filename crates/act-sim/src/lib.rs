@@ -1,0 +1,65 @@
+//! # act-sim — cycle-level chip-multiprocessor simulator
+//!
+//! The hardware substrate for reproducing *Production-Run Software Failure
+//! Diagnosis via Adaptive Communication Tracking* (ACT). It models the
+//! machine of the paper's Table III: out-of-order-completing cores with a
+//! reorder buffer, private L1/L2 write-back caches kept coherent with a
+//! snoopy MESI bus, a shared memory, and — crucially for ACT — *last-writer
+//! metadata* in cache lines so each retiring load can be attributed to the
+//! store that produced its value (a RAW dependence).
+//!
+//! Programs are written in a small assembler-level IR (see [`asm::Asm`])
+//! because the paper's PIN-instrumented native binaries are not available in
+//! this environment; the IR provides loads/stores/branches, threads, and
+//! locks, which is everything the evaluation's communication patterns need.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use act_sim::asm::Asm;
+//! use act_sim::config::MachineConfig;
+//! use act_sim::isa::Reg;
+//! use act_sim::machine::Machine;
+//!
+//! let mut a = Asm::new();
+//! let buf = a.static_zeroed(1);
+//! a.func("main");
+//! a.imm(Reg(1), buf as i64);
+//! a.imm(Reg(2), 7);
+//! a.store(Reg(2), Reg(1), 0);
+//! a.load(Reg(3), Reg(1), 0);
+//! a.out(Reg(3));
+//! a.halt();
+//! let program = a.finish()?;
+//!
+//! let mut machine = Machine::new(&program, MachineConfig::default());
+//! let outcome = machine.run();
+//! assert_eq!(outcome.output(), Some(&[7][..]));
+//! # Ok::<(), act_sim::asm::AsmError>(())
+//! ```
+//!
+//! ## Extension points
+//!
+//! * [`attach::CoreAttachment`] — a per-core hardware module that can stall
+//!   load retirement (the ACT module's integration point).
+//! * [`attach::Observer`] — passive, machine-wide event taps used by trace
+//!   collection and the PBI baseline.
+
+pub mod asm;
+pub mod attach;
+pub mod config;
+pub mod events;
+pub mod isa;
+pub mod machine;
+pub mod mem;
+pub mod memsys;
+pub mod outcome;
+pub mod program;
+pub mod stats;
+
+pub use attach::{CoreAttachment, Observer};
+pub use config::{MachineConfig, MetaGranularity};
+pub use events::{BranchEvent, CacheEvent, LoadEvent, RawDep, StoreEvent, ThreadId};
+pub use machine::Machine;
+pub use outcome::{CrashKind, RunOutcome};
+pub use program::Program;

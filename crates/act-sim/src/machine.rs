@@ -1,0 +1,1444 @@
+//! The chip-multiprocessor machine: cores with reorder buffers, thread
+//! spawn/join, locks, and the main cycle loop.
+//!
+//! ## Execution model
+//!
+//! The simulator is *execute-at-dispatch*: when a core dispatches an
+//! instruction, its architectural effect happens immediately (registers and
+//! functional memory are updated, branches resolve), while the timing model
+//! decides when it completes and retires. Cores are processed in index order
+//! within a cycle, so the global functional order is deterministic given the
+//! configuration seed. There is no wrong-path speculation to model: every
+//! dispatched instruction retires, which matches the paper's rule that RAW
+//! dependences are formed once a load is non-speculative.
+//!
+//! Loads carry their [`LoadEvent`] (with the RAW dependence formed from
+//! cache metadata at dispatch) through the ROB and must be *accepted* by the
+//! core's [`CoreAttachment`] before they may retire — this is the ACT
+//! module's back-pressure point (a full NN input FIFO stalls retirement).
+//!
+//! Observers are notified at dispatch, in functional order, which is what
+//! trace-based offline analysis needs.
+
+use crate::attach::{CoreAttachment, NullAttachment, Observer};
+use crate::config::MachineConfig;
+use crate::events::{BranchEvent, LastWriter, LoadEvent, StoreEvent, ThreadId};
+use crate::isa::{Addr, Instr, Pc, Reg, Word, FP, NUM_REGS, SP};
+use crate::mem::{AccessFault, Memory};
+use crate::memsys::MemorySystem;
+use crate::outcome::{CrashKind, RunOutcome};
+use crate::program::{Program, DATA_BASE, STACK_BASE, STACK_SIZE};
+use crate::stats::Stats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Cycles charged for acquiring a free lock (roughly an L2 + bus round trip;
+/// lock operations deliberately bypass the data caches so that
+/// synchronization does not generate RAW dependences, mirroring the paper's
+/// filtering of synchronization accesses).
+const LOCK_LATENCY: u64 = 20;
+
+/// Cycles charged for a spawn instruction.
+const SPAWN_LATENCY: u64 = 40;
+
+/// An executing thread's architectural state.
+#[derive(Debug, Clone)]
+struct ThreadCtx {
+    tid: ThreadId,
+    regs: [Word; NUM_REGS],
+    pc: Pc,
+    /// Dispatch of new instructions stops once a `halt` is in flight.
+    halting: bool,
+    /// Why the thread cannot currently dispatch (travels with the thread
+    /// across context switches).
+    blocked: Option<Blocked>,
+}
+
+impl ThreadCtx {
+    fn new(tid: ThreadId, pc: Pc, arg: Word) -> Self {
+        let mut regs = [0; NUM_REGS];
+        regs[1] = arg;
+        let stack_top = STACK_BASE + (tid as u64 + 1) * STACK_SIZE - crate::isa::WORD_BYTES;
+        regs[SP.0 as usize] = stack_top as Word;
+        regs[FP.0 as usize] = stack_top as Word;
+        ThreadCtx { tid, regs, pc, halting: false, blocked: None }
+    }
+
+    fn read(&self, r: Reg) -> Word {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    fn write(&mut self, r: Reg, v: Word) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+}
+
+/// Why a thread cannot currently dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Waiting for the lock at this address.
+    Lock(Addr),
+    /// Waiting for this thread to halt.
+    Join(ThreadId),
+    /// Waiting at the barrier on this address, for the given generation to
+    /// complete.
+    Barrier(Addr, u64),
+}
+
+/// What a ROB entry does at retirement.
+#[derive(Debug, Clone)]
+enum RobInfo {
+    Plain,
+    /// A load that must be accepted by the core attachment before retiring.
+    Load { ev: LoadEvent, accepted: bool },
+    Halt,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    complete_at: u64,
+    info: RobInfo,
+}
+
+#[derive(Debug)]
+struct Core {
+    thread: Option<ThreadCtx>,
+    rob: VecDeque<RobEntry>,
+    /// Cycle at which the current thread was scheduled onto this core.
+    placed_at: u64,
+    rng: StdRng,
+}
+
+impl Core {
+    fn new(seed: u64, index: usize) -> Self {
+        Core {
+            thread: None,
+            rob: VecDeque::new(),
+            placed_at: 0,
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ index as u64),
+        }
+    }
+}
+
+/// The simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use act_sim::asm::Asm;
+/// use act_sim::isa::Reg;
+/// use act_sim::machine::Machine;
+/// use act_sim::config::MachineConfig;
+///
+/// let mut a = Asm::new();
+/// a.func("main");
+/// a.imm(Reg(1), 21);
+/// a.alui(act_sim::isa::AluOp::Mul, Reg(2), Reg(1), 2);
+/// a.out(Reg(2));
+/// a.halt();
+/// let program = a.finish().unwrap();
+///
+/// let mut m = Machine::new(&program, MachineConfig::default());
+/// let outcome = m.run();
+/// assert_eq!(outcome.output(), Some(&[42][..]));
+/// ```
+pub struct Machine<'p> {
+    cfg: MachineConfig,
+    program: &'p Program,
+    mem: Memory,
+    memsys: MemorySystem,
+    cores: Vec<Core>,
+    attachments: Vec<Box<dyn CoreAttachment>>,
+    /// Threads spawned but not yet placed on a core.
+    pending: VecDeque<ThreadCtx>,
+    halted: HashSet<ThreadId>,
+    locks: HashMap<Addr, ThreadId>,
+    /// Barrier state per address: (threads arrived, completed generations).
+    barriers: HashMap<Addr, (u64, u64)>,
+    next_tid: ThreadId,
+    output: Vec<Word>,
+    cycle: u64,
+    stats: Stats,
+}
+
+impl<'p> std::fmt::Debug for Machine<'p> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cycle", &self.cycle)
+            .field("cores", &self.cores.len())
+            .field("next_tid", &self.next_tid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p> Machine<'p> {
+    /// Build a machine for `program` under `cfg`, with no attachments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MachineConfig::validate`] or the program fails
+    /// [`Program::validate`].
+    pub fn new(program: &'p Program, cfg: MachineConfig) -> Self {
+        cfg.validate();
+        program.validate().expect("invalid program");
+        let mut mem = Memory::new();
+        if !program.data.is_empty() {
+            mem.load_segment(DATA_BASE, &program.data);
+        }
+        // Map a generous stack area for up to 64 threads.
+        mem.map_region(STACK_BASE, 64 * STACK_SIZE);
+        let memsys = MemorySystem::new(&cfg);
+        let cores = (0..cfg.cores).map(|i| Core::new(cfg.seed, i)).collect();
+        let attachments = (0..cfg.cores)
+            .map(|_| Box::new(NullAttachment) as Box<dyn CoreAttachment>)
+            .collect();
+        let stats = Stats::new(cfg.cores);
+        Machine {
+            cfg,
+            program,
+            mem,
+            memsys,
+            cores,
+            attachments,
+            pending: VecDeque::new(),
+            halted: HashSet::new(),
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            next_tid: 0,
+            output: Vec::new(),
+            cycle: 0,
+            stats,
+        }
+    }
+
+    /// Install a per-core attachment (e.g. an ACT module) on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn attach(&mut self, core: usize, attachment: Box<dyn CoreAttachment>) {
+        self.attachments[core] = attachment;
+    }
+
+    /// Accumulated statistics (valid after [`Machine::run`]).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Run to completion with no observer.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_observed(&mut crate::attach::NullObserver)
+    }
+
+    /// Run to completion, reporting dispatch-order events to `observer`.
+    pub fn run_observed(&mut self, observer: &mut dyn Observer) -> RunOutcome {
+        // Start the main thread on core 0.
+        let main = self.create_thread(self.program.entry, 0);
+        self.place_thread(main, observer);
+
+        loop {
+            self.cycle += 1;
+            if self.cycle >= self.cfg.max_cycles {
+                self.finish_stats();
+                return RunOutcome::Timeout { cycle: self.cycle };
+            }
+
+            self.preempt(observer);
+
+            // Place pending threads on free cores.
+            while let Some(core) = self.free_core() {
+                match self.pending.pop_front() {
+                    Some(ctx) => self.place_on(core, ctx, observer),
+                    None => break,
+                }
+            }
+
+            let mut any_live = false;
+            let mut any_progress = false;
+
+            for c in 0..self.cores.len() {
+                self.attachments[c].tick(self.cycle);
+                if self.cores[c].thread.is_some() {
+                    any_live = true;
+                    self.stats.cores[c].busy_cycles += 1;
+                }
+                let retired = self.retire(c, observer);
+                let dispatch = match self.dispatch(c, observer) {
+                    Ok(n) => n,
+                    Err(outcome) => {
+                        self.drain_inflight_loads();
+                        self.finish_stats();
+                        return outcome;
+                    }
+                };
+                if retired > 0 || dispatch > 0 || !self.cores[c].rob.is_empty() {
+                    any_progress = true;
+                }
+            }
+
+            if !any_live && self.pending.is_empty() {
+                self.finish_stats();
+                return RunOutcome::Completed { output: std::mem::take(&mut self.output) };
+            }
+
+            if any_live && !any_progress && self.all_blocked() {
+                self.finish_stats();
+                return RunOutcome::Deadlock { cycle: self.cycle };
+            }
+        }
+    }
+
+    fn finish_stats(&mut self) {
+        self.stats.total_cycles = self.cycle;
+        // Dependence-availability counters are tracked at machine level;
+        // everything else comes from the memory system.
+        let deps_formed = self.stats.mem.deps_formed;
+        let deps_missing = self.stats.mem.deps_missing;
+        self.stats.mem = *self.memsys.stats();
+        self.stats.mem.deps_formed = deps_formed;
+        self.stats.mem.deps_missing = deps_missing;
+    }
+
+    fn all_blocked(&self) -> bool {
+        self.cores.iter().all(|c| match &c.thread {
+            None => true,
+            Some(t) => t.blocked.is_some() && c.rob.is_empty(),
+        })
+    }
+
+    fn free_core(&self) -> Option<usize> {
+        self.cores.iter().position(|c| c.thread.is_none())
+    }
+
+    fn create_thread(&mut self, entry: Pc, arg: Word) -> ThreadCtx {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        self.stats.threads_spawned += 1;
+        ThreadCtx::new(tid, entry, arg)
+    }
+
+    fn place_thread(&mut self, ctx: ThreadCtx, observer: &mut dyn Observer) {
+        match self.free_core() {
+            Some(core) => self.place_on(core, ctx, observer),
+            None => self.pending.push_back(ctx),
+        }
+    }
+
+    fn place_on(&mut self, core: usize, ctx: ThreadCtx, observer: &mut dyn Observer) {
+        let tid = ctx.tid;
+        self.cores[core].thread = Some(ctx);
+        self.cores[core].placed_at = self.cycle;
+        self.attachments[core].on_thread_start(tid);
+        observer.on_thread_start(tid, self.cycle);
+    }
+
+    /// Preemptive scheduling (paper §IV-D): when threads are waiting for a
+    /// core, swap out any thread whose quantum expired — and any blocked
+    /// thread — once its ROB has drained (the "flush in-flight inputs"
+    /// requirement). The attachment callbacks save/restore the neural
+    /// network's weight registers exactly like the OS would via
+    /// `ldwt`/`stwt`.
+    fn preempt(&mut self, observer: &mut dyn Observer) {
+        if self.cfg.preemption_quantum == 0 || self.pending.is_empty() {
+            return;
+        }
+        for c in 0..self.cores.len() {
+            if self.pending.is_empty() {
+                break;
+            }
+            let swap = match &self.cores[c].thread {
+                Some(t) if self.cores[c].rob.is_empty() && !t.halting => {
+                    t.blocked.is_some()
+                        || self.cycle - self.cores[c].placed_at >= self.cfg.preemption_quantum
+                }
+                _ => false,
+            };
+            if swap {
+                let ctx = self.cores[c].thread.take().expect("checked above");
+                self.attachments[c].on_thread_end(ctx.tid);
+                observer.on_thread_end(ctx.tid, self.cycle);
+                self.pending.push_back(ctx);
+                let next = self.pending.pop_front().expect("pending nonempty");
+                self.place_on(c, next, observer);
+            }
+        }
+    }
+
+    /// Retire up to `retire_width` completed instructions from core `c`.
+    fn retire(&mut self, c: usize, observer: &mut dyn Observer) -> usize {
+        let mut retired = 0;
+        for _ in 0..self.cfg.retire_width {
+            let Some(head) = self.cores[c].rob.front_mut() else { break };
+            if head.complete_at > self.cycle {
+                break;
+            }
+            if let RobInfo::Load { ev, accepted } = &mut head.info {
+                if !*accepted {
+                    if self.attachments[c].offer_load(ev) {
+                        *accepted = true;
+                    } else {
+                        self.stats.cores[c].attach_stall_cycles += 1;
+                        break;
+                    }
+                }
+            }
+            let entry = self.cores[c].rob.pop_front().expect("head exists");
+            self.stats.cores[c].retired += 1;
+            retired += 1;
+            if let RobInfo::Halt = entry.info {
+                let ctx = self.cores[c].thread.take().expect("halting thread");
+                debug_assert!(self.cores[c].rob.is_empty(), "halt retires last");
+                self.halted.insert(ctx.tid);
+                self.attachments[c].on_thread_end(ctx.tid);
+                observer.on_thread_end(ctx.tid, self.cycle);
+            }
+        }
+        retired
+    }
+
+    /// Dispatch up to `issue_width` instructions on core `c`.
+    ///
+    /// Returns the number dispatched, or the run-ending outcome on a crash.
+    fn dispatch(
+        &mut self,
+        c: usize,
+        observer: &mut dyn Observer,
+    ) -> Result<usize, RunOutcome> {
+        let mut dispatched = 0;
+        for _ in 0..self.cfg.issue_width {
+            if self.cores[c].thread.is_none() {
+                break;
+            }
+            if self.cores[c].rob.len() >= self.cfg.rob_entries {
+                self.stats.cores[c].rob_full_cycles += 1;
+                break;
+            }
+            // Resolve blocking conditions.
+            if let Some(blocked) = self.cores[c].thread.as_ref().unwrap().blocked {
+                match blocked {
+                    Blocked::Lock(addr) => {
+                        if self.locks.contains_key(&addr) {
+                            break;
+                        }
+                        let tid = self.cores[c].thread.as_ref().unwrap().tid;
+                        self.locks.insert(addr, tid);
+                        self.stats.lock_acquires += 1;
+                        self.thread_mut(c).blocked = None;
+                        // The lock instruction itself was consumed when we
+                        // blocked; charge its latency now.
+                        self.cores[c].rob.push_back(RobEntry {
+                            complete_at: self.cycle + LOCK_LATENCY,
+                            info: RobInfo::Plain,
+                        });
+                        dispatched += 1;
+                        continue;
+                    }
+                    Blocked::Join(tid) => {
+                        if !self.halted.contains(&tid) {
+                            break;
+                        }
+                        self.thread_mut(c).blocked = None;
+                        self.cores[c].rob.push_back(RobEntry {
+                            complete_at: self.cycle + 1,
+                            info: RobInfo::Plain,
+                        });
+                        dispatched += 1;
+                        continue;
+                    }
+                    Blocked::Barrier(addr, gen) => {
+                        let done = self
+                            .barriers
+                            .get(&addr)
+                            .is_some_and(|&(_, g)| g > gen);
+                        if !done {
+                            break;
+                        }
+                        self.thread_mut(c).blocked = None;
+                        self.cores[c].rob.push_back(RobEntry {
+                            complete_at: self.cycle + LOCK_LATENCY,
+                            info: RobInfo::Plain,
+                        });
+                        dispatched += 1;
+                        continue;
+                    }
+                }
+            }
+            if self.cores[c].thread.as_ref().unwrap().halting {
+                break;
+            }
+            // Interleaving jitter: occasionally skip the rest of this cycle.
+            if self.cfg.jitter_ppm > 0
+                && self.cores[c].rng.gen_range(0..1_000_000u32) < self.cfg.jitter_ppm
+            {
+                break;
+            }
+            match self.dispatch_one(c, observer)? {
+                true => dispatched += 1,
+                false => break,
+            }
+        }
+        Ok(dispatched)
+    }
+
+    /// Dispatch a single instruction. `Ok(false)` means "could not dispatch
+    /// this cycle" (fence drain, new block, structural stall).
+    fn dispatch_one(
+        &mut self,
+        c: usize,
+        observer: &mut dyn Observer,
+    ) -> Result<bool, RunOutcome> {
+        let (pc, tid) = {
+            let t = self.cores[c].thread.as_ref().unwrap();
+            (t.pc, t.tid)
+        };
+        let instr = self.program.instrs[pc as usize].clone();
+        let now = self.cycle;
+
+        let crash = |kind: CrashKind, output: &[Word], cycle: u64| RunOutcome::Crash {
+            kind,
+            pc,
+            tid,
+            cycle,
+            output: output.to_vec(),
+        };
+
+        match instr {
+            Instr::Imm { rd, value } => {
+                self.thread_mut(c).write(rd, value);
+                self.advance(c);
+                self.push_plain(c, now + 1);
+            }
+            Instr::Alu { op, rd, ra, rb } => {
+                let t = self.thread_mut(c);
+                let (a, b) = (t.read(ra), t.read(rb));
+                match op.apply(a, b) {
+                    Some(v) => t.write(rd, v),
+                    None => return Err(crash(CrashKind::DivideByZero, &self.output, now)),
+                }
+                self.advance(c);
+                self.push_plain(c, now + op.latency());
+            }
+            Instr::AluI { op, rd, ra, imm } => {
+                let t = self.thread_mut(c);
+                let a = t.read(ra);
+                match op.apply(a, imm) {
+                    Some(v) => t.write(rd, v),
+                    None => return Err(crash(CrashKind::DivideByZero, &self.output, now)),
+                }
+                self.advance(c);
+                self.push_plain(c, now + op.latency());
+            }
+            Instr::Load { rd, base, offset } => {
+                let t = self.cores[c].thread.as_ref().unwrap();
+                let addr = (t.read(base) as u64).wrapping_add(offset as u64);
+                let stack_access = base == SP || base == FP;
+                if let Err(fault) = self.mem.check(addr) {
+                    let kind = match fault {
+                        AccessFault::Null => CrashKind::NullDeref,
+                        AccessFault::Unmapped => CrashKind::OutOfBounds,
+                    };
+                    return Err(crash(kind, &self.output, now));
+                }
+                let value = self.mem.read(addr);
+                let access = self.memsys.load(c, addr, now);
+                let dep = if stack_access {
+                    None
+                } else {
+                    access.last_writer.map(|w| crate::events::RawDep {
+                        store_pc: w.pc,
+                        load_pc: pc,
+                        inter_thread: w.tid != tid,
+                    })
+                };
+                if !stack_access {
+                    if dep.is_some() {
+                        // MemStats counters live inside MemorySystem; mirror
+                        // dependence availability here at machine level.
+                        self.stats.mem.deps_formed += 1;
+                    } else {
+                        self.stats.mem.deps_missing += 1;
+                    }
+                }
+                let ev = LoadEvent {
+                    cycle: now,
+                    core: c,
+                    tid,
+                    pc,
+                    addr,
+                    cache_event: access.event,
+                    dep,
+                    stack_access,
+                };
+                self.thread_mut(c).write(rd, value);
+                self.advance(c);
+                observer.on_load(&ev);
+                self.stats.cores[c].loads += 1;
+                self.cores[c].rob.push_back(RobEntry {
+                    complete_at: access.complete_at,
+                    info: RobInfo::Load { ev, accepted: false },
+                });
+            }
+            Instr::Store { rs, base, offset } => {
+                let t = self.cores[c].thread.as_ref().unwrap();
+                let addr = (t.read(base) as u64).wrapping_add(offset as u64);
+                let value = t.read(rs);
+                let stack_access = base == SP || base == FP;
+                if let Err(fault) = self.mem.check(addr) {
+                    let kind = match fault {
+                        AccessFault::Null => CrashKind::NullDeref,
+                        AccessFault::Unmapped => CrashKind::OutOfBounds,
+                    };
+                    return Err(crash(kind, &self.output, now));
+                }
+                self.mem.write(addr, value);
+                let access = self.memsys.store(c, addr, now, LastWriter { pc, tid });
+                let ev = StoreEvent { cycle: now, core: c, tid, pc, addr, stack_access };
+                self.advance(c);
+                observer.on_store(&ev);
+                self.attachments[c].on_store(&ev);
+                self.stats.cores[c].stores += 1;
+                self.push_plain(c, access.complete_at);
+            }
+            Instr::Jump { target } => {
+                self.thread_mut(c).pc = target;
+                self.push_plain(c, now + 1);
+            }
+            Instr::Bnz { cond, target } | Instr::Bez { cond, target } => {
+                let t = self.cores[c].thread.as_ref().unwrap();
+                let v = t.read(cond);
+                let want_nz = matches!(instr, Instr::Bnz { .. });
+                let taken = (v != 0) == want_nz;
+                let ev = BranchEvent { cycle: now, core: c, tid, pc, taken };
+                let t = self.thread_mut(c);
+                t.pc = if taken { target } else { t.pc + 1 };
+                observer.on_branch(&ev);
+                self.stats.cores[c].branches += 1;
+                self.push_plain(c, now + 1);
+            }
+            Instr::Spawn { rd, entry, arg } => {
+                let argv = self.cores[c].thread.as_ref().unwrap().read(arg);
+                let child = self.create_thread(entry, argv);
+                let child_tid = child.tid;
+                self.place_thread(child, observer);
+                self.thread_mut(c).write(rd, child_tid as Word);
+                self.advance(c);
+                self.push_plain(c, now + SPAWN_LATENCY);
+            }
+            Instr::Join { tid: tr } => {
+                let target = self.cores[c].thread.as_ref().unwrap().read(tr) as ThreadId;
+                self.advance(c);
+                if self.halted.contains(&target) {
+                    self.push_plain(c, now + 1);
+                } else {
+                    self.thread_mut(c).blocked = Some(Blocked::Join(target));
+                    return Ok(false);
+                }
+            }
+            Instr::Lock { base, offset } => {
+                let t = self.cores[c].thread.as_ref().unwrap();
+                let addr = (t.read(base) as u64).wrapping_add(offset as u64);
+                self.advance(c);
+                if self.locks.contains_key(&addr) {
+                    self.thread_mut(c).blocked = Some(Blocked::Lock(addr));
+                    return Ok(false);
+                }
+                self.locks.insert(addr, tid);
+                self.stats.lock_acquires += 1;
+                self.push_plain(c, now + LOCK_LATENCY);
+            }
+            Instr::Unlock { base, offset } => {
+                let t = self.cores[c].thread.as_ref().unwrap();
+                let addr = (t.read(base) as u64).wrapping_add(offset as u64);
+                self.locks.remove(&addr);
+                self.advance(c);
+                self.push_plain(c, now + 1);
+            }
+            Instr::Fence => {
+                if !self.cores[c].rob.is_empty() {
+                    return Ok(false);
+                }
+                self.advance(c);
+                self.push_plain(c, now + 1);
+            }
+            Instr::Barrier { base, offset } => {
+                let t = self.cores[c].thread.as_ref().unwrap();
+                let addr = (t.read(base) as u64).wrapping_add(offset as u64);
+                if let Err(fault) = self.mem.check(addr) {
+                    let kind = match fault {
+                        AccessFault::Null => CrashKind::NullDeref,
+                        AccessFault::Unmapped => CrashKind::OutOfBounds,
+                    };
+                    return Err(crash(kind, &self.output, now));
+                }
+                let expected = self.mem.read(addr).max(1) as u64;
+                self.advance(c);
+                let entry = self.barriers.entry(addr).or_insert((0, 0));
+                entry.0 += 1;
+                if entry.0 >= expected {
+                    // Last arrival releases everyone and completes the
+                    // generation; it pays the synchronization latency too.
+                    entry.0 = 0;
+                    entry.1 += 1;
+                    self.push_plain(c, now + LOCK_LATENCY);
+                } else {
+                    let gen = entry.1;
+                    self.thread_mut(c).blocked = Some(Blocked::Barrier(addr, gen));
+                    return Ok(false);
+                }
+            }
+            Instr::Out { rs } => {
+                let v = self.cores[c].thread.as_ref().unwrap().read(rs);
+                self.output.push(v);
+                self.advance(c);
+                self.push_plain(c, now + 1);
+            }
+            Instr::Assert { cond, code } => {
+                let v = self.cores[c].thread.as_ref().unwrap().read(cond);
+                if v == 0 {
+                    return Err(crash(CrashKind::AssertFailed(code), &self.output, now));
+                }
+                self.advance(c);
+                self.push_plain(c, now + 1);
+            }
+            Instr::Halt => {
+                let t = self.thread_mut(c);
+                t.halting = true;
+                // Halt completes only when it is the last thing in the ROB;
+                // give it a completion far enough that earlier entries drain
+                // naturally (retirement is in order anyway).
+                self.cores[c].rob.push_back(RobEntry {
+                    complete_at: now + 1,
+                    info: RobInfo::Halt,
+                });
+            }
+            Instr::Nop => {
+                self.advance(c);
+                self.push_plain(c, now + 1);
+            }
+        }
+        Ok(true)
+    }
+
+    fn thread_mut(&mut self, c: usize) -> &mut ThreadCtx {
+        self.cores[c].thread.as_mut().expect("core has thread")
+    }
+
+    fn advance(&mut self, c: usize) {
+        self.thread_mut(c).pc += 1;
+    }
+
+    fn push_plain(&mut self, c: usize, complete_at: u64) {
+        self.cores[c].rob.push_back(RobEntry { complete_at, info: RobInfo::Plain });
+    }
+
+    /// On a crash, in-flight loads that have not yet been offered to the
+    /// core attachment are force-drained into it so the ACT module's debug
+    /// buffer contains the dependences immediately preceding the failure
+    /// (the paper forms dependences at execution, before retirement).
+    fn drain_inflight_loads(&mut self) {
+        for c in 0..self.cores.len() {
+            let entries: Vec<RobEntry> = self.cores[c].rob.drain(..).collect();
+            for entry in entries {
+                if let RobInfo::Load { ev, accepted: false } = entry.info {
+                    let mut tick = self.cycle;
+                    for _ in 0..10_000 {
+                        if self.attachments[c].offer_load(&ev) {
+                            break;
+                        }
+                        tick += 1;
+                        self.attachments[c].tick(tick);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::AluOp;
+
+    const R1: Reg = Reg(1);
+    const R2: Reg = Reg(2);
+    const R3: Reg = Reg(3);
+    const R4: Reg = Reg(4);
+
+    fn quiet(seed: u64) -> MachineConfig {
+        MachineConfig { jitter_ppm: 0, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.imm(R1, 6);
+        a.imm(R2, 7);
+        a.alu(AluOp::Mul, R3, R1, R2);
+        a.out(R3);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, quiet(0));
+        assert_eq!(m.run(), RunOutcome::Completed { output: vec![42] });
+        assert!(m.stats().total_cycles > 0);
+        assert_eq!(m.stats().cores[0].retired, 5);
+    }
+
+    #[test]
+    fn loop_sums_and_branches_counted() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.imm(R1, 0); // i
+        a.imm(R2, 0); // sum
+        let top = a.label_here();
+        a.add(R2, R2, R1);
+        a.addi(R1, R1, 1);
+        a.alui(AluOp::Lt, R3, R1, 10);
+        a.bnz(R3, top);
+        a.out(R2);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, quiet(0));
+        assert_eq!(m.run(), RunOutcome::Completed { output: vec![45] });
+        assert_eq!(m.stats().cores[0].branches, 10);
+    }
+
+    #[test]
+    fn memory_round_trip_forms_intra_thread_dep() {
+        let mut a = Asm::new();
+        let buf = a.static_zeroed(2);
+        a.func("main");
+        a.imm(R1, buf as i64);
+        let st = a.here();
+        a.store(R2, R1, 0);
+        a.imm(R2, 5);
+        a.store(R2, R1, 8);
+        let ld = a.here();
+        a.load(R3, R1, 0);
+        a.out(R3);
+        a.halt();
+        let p = a.finish().unwrap();
+
+        struct Collect(Vec<LoadEvent>);
+        impl Observer for Collect {
+            fn on_load(&mut self, ev: &LoadEvent) {
+                self.0.push(*ev);
+            }
+        }
+        let mut obs = Collect(Vec::new());
+        let mut m = Machine::new(&p, quiet(0));
+        let out = m.run_observed(&mut obs);
+        assert!(out.completed());
+        assert_eq!(obs.0.len(), 1);
+        let dep = obs.0[0].dep.expect("dep formed");
+        assert_eq!(dep.store_pc, st);
+        assert_eq!(dep.load_pc, ld);
+        assert!(!dep.inter_thread);
+    }
+
+    #[test]
+    fn null_deref_crashes() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.imm(R1, 0);
+        a.load(R2, R1, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, quiet(0));
+        match m.run() {
+            RunOutcome::Crash { kind, pc, .. } => {
+                assert_eq!(kind, CrashKind::NullDeref);
+                assert_eq!(pc, 1);
+            }
+            other => panic!("expected crash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_crashes() {
+        let mut a = Asm::new();
+        let buf = a.static_zeroed(1);
+        a.func("main");
+        a.imm(R1, buf as i64);
+        a.load(R2, R1, 8 * 100); // way past the data segment
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, quiet(0));
+        match m.run() {
+            RunOutcome::Crash { kind, .. } => assert_eq!(kind, CrashKind::OutOfBounds),
+            other => panic!("expected crash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_crashes() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.imm(R1, 5);
+        a.imm(R2, 0);
+        a.alu(AluOp::Div, R3, R1, R2);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, quiet(0));
+        match m.run() {
+            RunOutcome::Crash { kind, .. } => assert_eq!(kind, CrashKind::DivideByZero),
+            other => panic!("expected crash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn assert_failure_crashes_with_code() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.imm(R1, 0);
+        a.assert_nz(R1, 77);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, quiet(0));
+        match m.run() {
+            RunOutcome::Crash { kind, .. } => assert_eq!(kind, CrashKind::AssertFailed(77)),
+            other => panic!("expected crash, got {other}"),
+        }
+    }
+
+    fn two_thread_program() -> crate::program::Program {
+        // Worker writes 99 to buf[0]; main joins then reads it.
+        let mut a = Asm::new();
+        let buf = a.static_zeroed(1);
+        a.func("main");
+        let worker = a.new_label();
+        a.imm(R2, 0);
+        let spawn_pc = a.here();
+        let _ = spawn_pc;
+        a.spawn(R3, worker, R2);
+        a.join(R3);
+        a.imm(R1, buf as i64);
+        a.load(R4, R1, 0);
+        a.out(R4);
+        a.halt();
+        a.func("worker");
+        a.bind(worker);
+        a.imm(R1, buf as i64);
+        a.imm(R2, 99);
+        a.store(R2, R1, 0);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn spawn_join_and_inter_thread_dep() {
+        let p = two_thread_program();
+        struct Collect(Vec<LoadEvent>);
+        impl Observer for Collect {
+            fn on_load(&mut self, ev: &LoadEvent) {
+                self.0.push(*ev);
+            }
+        }
+        let mut obs = Collect(Vec::new());
+        let mut m = Machine::new(&p, quiet(1));
+        let out = m.run_observed(&mut obs);
+        assert_eq!(out, RunOutcome::Completed { output: vec![99] });
+        assert_eq!(m.stats().threads_spawned, 2);
+        let dep = obs.0[0].dep.expect("dep formed across threads");
+        assert!(dep.inter_thread);
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion() {
+        // Two workers each do 200 lock-protected increments of a counter.
+        let mut a = Asm::new();
+        let counter = a.static_zeroed(1);
+        let lockw = a.static_zeroed(1);
+        a.func("main");
+        let worker = a.new_label();
+        a.imm(R2, 0);
+        a.spawn(R3, worker, R2);
+        a.spawn(R4, worker, R2);
+        a.join(R3);
+        a.join(R4);
+        a.imm(R1, counter as i64);
+        a.load(R2, R1, 0);
+        a.out(R2);
+        a.halt();
+        a.func("worker");
+        a.bind(worker);
+        a.imm(R1, counter as i64);
+        a.imm(R4, lockw as i64);
+        a.imm(R2, 0); // i
+        let top = a.label_here();
+        a.lock(R4, 0);
+        a.load(R3, R1, 0);
+        a.addi(R3, R3, 1);
+        a.store(R3, R1, 0);
+        a.unlock(R4, 0);
+        a.addi(R2, R2, 1);
+        a.alui(AluOp::Lt, R3, R2, 200);
+        a.bnz(R3, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        // Run with jitter to stress interleavings.
+        let cfg = MachineConfig { jitter_ppm: 50_000, seed: 3, ..Default::default() };
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(m.run(), RunOutcome::Completed { output: vec![400] });
+        assert!(m.stats().lock_acquires >= 400);
+    }
+
+    #[test]
+    fn unprotected_increments_can_race() {
+        // Same as above without locks: under jittered interleaving some
+        // increments may be lost. We only assert the run completes and the
+        // result never exceeds the correct total.
+        let mut a = Asm::new();
+        let counter = a.static_zeroed(1);
+        a.func("main");
+        let worker = a.new_label();
+        a.imm(R2, 0);
+        a.spawn(R3, worker, R2);
+        a.spawn(R4, worker, R2);
+        a.join(R3);
+        a.join(R4);
+        a.imm(R1, counter as i64);
+        a.load(R2, R1, 0);
+        a.out(R2);
+        a.halt();
+        a.func("worker");
+        a.bind(worker);
+        a.imm(R1, counter as i64);
+        a.imm(R2, 0);
+        let top = a.label_here();
+        a.load(R3, R1, 0);
+        a.addi(R3, R3, 1);
+        a.store(R3, R1, 0);
+        a.addi(R2, R2, 1);
+        a.alui(AluOp::Lt, R3, R2, 100);
+        a.bnz(R3, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = MachineConfig { jitter_ppm: 100_000, seed: 5, ..Default::default() };
+        let mut m = Machine::new(&p, cfg);
+        match m.run() {
+            RunOutcome::Completed { output } => {
+                assert_eq!(output.len(), 1);
+                assert!(output[0] <= 200);
+                assert!(output[0] > 0);
+            }
+            other => panic!("expected completion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Two threads acquire two locks in opposite order with a rendezvous
+        // so both hold one lock before requesting the other.
+        let mut a = Asm::new();
+        let la = a.static_zeroed(1);
+        let lb = a.static_zeroed(1);
+        let flag = a.static_zeroed(1);
+        a.func("main");
+        let worker = a.new_label();
+        a.imm(R2, 0);
+        a.spawn(R3, worker, R2);
+        // Main: lock A, wait for worker to hold B, then lock B.
+        a.imm(R1, la as i64);
+        a.lock(R1, 0);
+        a.imm(R4, flag as i64);
+        let wait = a.label_here();
+        a.load(R2, R4, 0);
+        a.bez(R2, wait);
+        a.imm(R1, lb as i64);
+        a.lock(R1, 0);
+        a.halt();
+        a.func("worker");
+        a.bind(worker);
+        a.imm(R1, lb as i64);
+        a.lock(R1, 0);
+        a.imm(R4, flag as i64);
+        a.imm(R2, 1);
+        a.store(R2, R4, 0);
+        a.imm(R1, la as i64);
+        a.lock(R1, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, quiet(0));
+        match m.run() {
+            RunOutcome::Deadlock { .. } => {}
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn timeout_guard_fires() {
+        let mut a = Asm::new();
+        a.func("main");
+        let spin = a.label_here();
+        a.nop();
+        a.jump(spin);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = MachineConfig { max_cycles: 5_000, ..quiet(0) };
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(m.run(), RunOutcome::Timeout { cycle: 5_000 });
+    }
+
+    #[test]
+    fn determinism_same_seed_same_cycles() {
+        let p = two_thread_program();
+        let run = |seed| {
+            let mut m = Machine::new(&p, MachineConfig::with_seed(seed));
+            let o = m.run();
+            (o, m.stats().total_cycles)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn stack_accesses_are_filtered() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.imm(R1, 5);
+        a.store(R1, SP, -8);
+        a.load(R2, SP, -8);
+        a.out(R2);
+        a.halt();
+        let p = a.finish().unwrap();
+        struct Collect(Vec<LoadEvent>);
+        impl Observer for Collect {
+            fn on_load(&mut self, ev: &LoadEvent) {
+                self.0.push(*ev);
+            }
+        }
+        let mut obs = Collect(Vec::new());
+        let mut m = Machine::new(&p, quiet(0));
+        let out = m.run_observed(&mut obs);
+        assert_eq!(out, RunOutcome::Completed { output: vec![5] });
+        assert!(obs.0[0].stack_access);
+        assert!(obs.0[0].dep.is_none(), "stack loads form no dependences");
+    }
+
+    #[test]
+    fn attachment_backpressure_stalls_retirement() {
+        // An attachment that refuses the first 50 offers forces stall cycles.
+        struct Sticky {
+            refusals: u32,
+        }
+        impl CoreAttachment for Sticky {
+            fn tick(&mut self, _c: u64) {}
+            fn offer_load(&mut self, _ev: &LoadEvent) -> bool {
+                if self.refusals > 0 {
+                    self.refusals -= 1;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+        let mut a = Asm::new();
+        let buf = a.static_zeroed(1);
+        a.func("main");
+        a.imm(R1, buf as i64);
+        a.store(R1, R1, 0);
+        a.load(R2, R1, 0);
+        a.out(R2);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, quiet(0));
+        m.attach(0, Box::new(Sticky { refusals: 50 }));
+        let out = m.run();
+        assert!(out.completed());
+        assert!(m.stats().cores[0].attach_stall_cycles >= 50);
+    }
+
+    #[test]
+    fn more_threads_than_cores_run_via_pending_queue() {
+        // 4 workers on a 2-core machine, each stores its arg, main sums.
+        let mut a = Asm::new();
+        let buf = a.static_zeroed(4);
+        a.func("main");
+        let worker = a.new_label();
+        let r5 = Reg(5);
+        let r6 = Reg(6);
+        // Spawn 4 workers with args 0..4.
+        for i in 0..4 {
+            a.imm(R2, i);
+            a.spawn(Reg(10 + i as u8), worker, R2);
+        }
+        for i in 0..4 {
+            a.join(Reg(10 + i as u8));
+        }
+        a.imm(R1, buf as i64);
+        a.imm(r5, 0);
+        for i in 0..4 {
+            a.load(r6, R1, i * 8);
+            a.add(r5, r5, r6);
+        }
+        a.out(r5);
+        a.halt();
+        a.func("worker");
+        a.bind(worker);
+        // r1 = arg i; write i+1 to buf[i].
+        a.imm(R2, buf as i64);
+        a.alui(AluOp::Mul, R3, R1, 8);
+        a.add(R2, R2, R3);
+        a.addi(R4, R1, 1);
+        a.store(R4, R2, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = MachineConfig { cores: 2, ..quiet(2) };
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(m.run(), RunOutcome::Completed { output: vec![10] });
+        assert_eq!(m.stats().threads_spawned, 5);
+    }
+}
+
+#[cfg(test)]
+mod preemption_tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::AluOp;
+
+    const R1: Reg = Reg(1);
+    const R2: Reg = Reg(2);
+    const R3: Reg = Reg(3);
+    const R4: Reg = Reg(4);
+
+    /// Thread 0 spins on a flag that only the *last* spawned thread sets.
+    /// With more threads than cores and run-to-completion scheduling the
+    /// flag-setter never runs (the spinner hogs its core); preemption lets
+    /// every thread make progress.
+    fn starvation_program(workers: i64) -> Program {
+        let mut a = Asm::new();
+        let flag = a.static_zeroed(1);
+        a.func("main");
+        let spinner = a.new_label();
+        let setter = a.new_label();
+        a.imm(R2, 0);
+        a.spawn(Reg(10), spinner, R2);
+        a.spawn(Reg(11), setter, R2);
+        a.join(Reg(10));
+        a.join(Reg(11));
+        a.imm(R2, workers);
+        a.out(R2);
+        a.halt();
+        a.func("spinner");
+        a.bind(spinner);
+        a.imm(R1, flag as i64);
+        let top = a.label_here();
+        a.load(R3, R1, 0);
+        a.bez(R3, top);
+        a.halt();
+        a.func("setter");
+        a.bind(setter);
+        a.imm(R1, flag as i64);
+        a.imm(R4, 1);
+        a.store(R4, R1, 0);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn preemption_prevents_starvation() {
+        let p = starvation_program(2);
+        // Two cores: main + spinner occupy them; the setter waits forever
+        // without preemption.
+        let base = MachineConfig {
+            cores: 2,
+            jitter_ppm: 0,
+            max_cycles: 400_000,
+            ..Default::default()
+        };
+        let starved = Machine::new(&p, base.clone()).run();
+        assert_eq!(starved, RunOutcome::Timeout { cycle: 400_000 });
+
+        let cfg = MachineConfig { preemption_quantum: 2_000, ..base };
+        let out = Machine::new(&p, cfg).run();
+        assert_eq!(out, RunOutcome::Completed { output: vec![2] });
+    }
+
+    /// Blocked threads are swapped out immediately when others are waiting,
+    /// so lock-heavy oversubscription still completes correctly.
+    #[test]
+    fn preemption_with_locks_is_correct() {
+        let mut a = Asm::new();
+        let counter = a.static_zeroed(1);
+        let lockw = a.static_zeroed(1);
+        a.func("main");
+        let worker = a.new_label();
+        a.imm(R2, 0);
+        for i in 0..4 {
+            a.spawn(Reg(10 + i), worker, R2);
+        }
+        for i in 0..4 {
+            a.join(Reg(10 + i));
+        }
+        a.imm(R1, counter as i64);
+        a.load(R2, R1, 0);
+        a.out(R2);
+        a.halt();
+        a.func("worker");
+        a.bind(worker);
+        a.imm(R1, counter as i64);
+        a.imm(R4, lockw as i64);
+        a.imm(R2, 0);
+        let top = a.label_here();
+        a.lock(R4, 0);
+        a.load(R3, R1, 0);
+        a.addi(R3, R3, 1);
+        a.store(R3, R1, 0);
+        a.unlock(R4, 0);
+        a.addi(R2, R2, 1);
+        a.alui(AluOp::Lt, R3, R2, 50);
+        a.bnz(R3, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = MachineConfig {
+            cores: 2,
+            jitter_ppm: 20_000,
+            preemption_quantum: 1_000,
+            seed: 5,
+            ..Default::default()
+        };
+        let out = Machine::new(&p, cfg).run();
+        assert_eq!(out, RunOutcome::Completed { output: vec![200] });
+    }
+
+    /// Context switches notify the attachment so it can save/restore the
+    /// neural network's weight registers (§IV-D).
+    #[test]
+    fn context_switch_notifies_attachment() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct SwitchLog {
+            starts: Vec<ThreadId>,
+            ends: Vec<ThreadId>,
+        }
+        #[derive(Default)]
+        struct Tracker(Rc<RefCell<SwitchLog>>);
+        impl CoreAttachment for Tracker {
+            fn tick(&mut self, _c: u64) {}
+            fn offer_load(&mut self, _ev: &LoadEvent) -> bool {
+                true
+            }
+            fn on_thread_start(&mut self, tid: ThreadId) {
+                self.0.borrow_mut().starts.push(tid);
+            }
+            fn on_thread_end(&mut self, tid: ThreadId) {
+                self.0.borrow_mut().ends.push(tid);
+            }
+        }
+
+        let p = starvation_program(2);
+        let cfg = MachineConfig {
+            cores: 2,
+            jitter_ppm: 0,
+            preemption_quantum: 1_000,
+            ..Default::default()
+        };
+        let log = Rc::new(RefCell::new(SwitchLog::default()));
+        let mut m = Machine::new(&p, cfg);
+        for c in 0..2 {
+            m.attach(c, Box::new(Tracker(log.clone())));
+        }
+        assert!(m.run().completed());
+        let log = log.borrow();
+        // Each scheduling-in has a matching switch-out, and at least one
+        // thread was context-switched (scheduled more than once) — here the
+        // blocked main thread yields its core to the setter and returns.
+        assert_eq!(log.starts.len(), log.ends.len());
+        let mut counts = std::collections::HashMap::new();
+        for t in &log.starts {
+            *counts.entry(*t).or_insert(0) += 1;
+        }
+        assert!(counts.values().any(|&c| c > 1), "no context switch: {:?}", log.starts);
+    }
+}
+
+#[cfg(test)]
+mod barrier_tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::AluOp;
+
+    const R1: Reg = Reg(1);
+    const R2: Reg = Reg(2);
+    const R3: Reg = Reg(3);
+
+    /// A barrier whose count is never reached deadlocks (and is detected).
+    #[test]
+    fn unreachable_barrier_deadlocks() {
+        let mut a = Asm::new();
+        let bar = a.static_data(&[5]); // expects 5, only 1 arrives
+        a.func("main");
+        a.imm(R1, bar as i64);
+        a.barrier(R1, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        match Machine::new(&p, cfg).run() {
+            RunOutcome::Deadlock { .. } => {}
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    /// All participants pass a barrier together and every pre-barrier store
+    /// is visible after it.
+    #[test]
+    fn barrier_releases_all_and_orders_memory() {
+        let mut a = Asm::new();
+        let slots = a.static_zeroed(4);
+        let bar = a.static_data(&[4]);
+        a.func("main");
+        let worker = a.new_label();
+        for i in 0..4 {
+            a.imm(R2, i);
+            a.spawn(Reg(10 + i as u8), worker, R2);
+        }
+        for i in 0..4 {
+            a.join(Reg(10 + i));
+        }
+        a.imm(R1, slots as i64);
+        a.imm(R3, 0);
+        for i in 0..4 {
+            a.load(R2, R1, i * 8);
+            a.add(R3, R3, R2);
+        }
+        a.out(R3);
+        a.halt();
+        a.func("worker");
+        a.bind(worker);
+        a.imm(Reg(20), slots as i64);
+        a.imm(Reg(21), bar as i64);
+        // slots[w] = w + 1
+        a.alui(AluOp::Mul, R2, R1, 8);
+        a.alu(AluOp::Add, R2, Reg(20), R2);
+        a.addi(R3, R1, 1);
+        a.store(R3, R2, 0);
+        a.barrier(Reg(21), 0);
+        // After the barrier, double the sum of ALL slots into own slot.
+        a.imm(Reg(22), 0);
+        for i in 0..4 {
+            a.load(Reg(23), Reg(20), i * 8);
+            a.add(Reg(22), Reg(22), Reg(23));
+        }
+        // Every worker must have seen 1+2+3+4 = 10.
+        a.alui(AluOp::Eq, Reg(23), Reg(22), 10);
+        a.assert_nz(Reg(23), 42);
+        a.store(Reg(22), R2, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        for seed in 0..3 {
+            let cfg = MachineConfig { jitter_ppm: 20_000, seed, ..Default::default() };
+            let out = Machine::new(&p, cfg).run();
+            assert_eq!(out, RunOutcome::Completed { output: vec![40] }, "seed {seed}");
+        }
+    }
+}

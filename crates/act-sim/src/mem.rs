@@ -1,0 +1,155 @@
+//! Functional memory: a sparse, word-granular flat address space with a
+//! region map for access validation.
+//!
+//! Timing and coherence are modeled separately in [`crate::memsys`]; this
+//! module only holds architectural values. The page `[0, DATA_BASE)` is never
+//! mapped, so dereferencing a null (or near-null) pointer crashes, which is
+//! how several of the paper's bugs (Apache, MySQL#2, PBzip2) manifest.
+
+use crate::isa::{Addr, Word, WORD_BYTES};
+use crate::program::DATA_BASE;
+use std::collections::HashMap;
+
+/// Why a memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessFault {
+    /// The address falls in the unmapped null page `[0, 0x1000)`.
+    Null,
+    /// The address is outside every mapped region.
+    Unmapped,
+}
+
+/// Sparse functional memory.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    words: HashMap<u64, Word>,
+    /// Mapped `(base, len_bytes)` regions, kept sorted by base.
+    regions: Vec<(Addr, u64)>,
+}
+
+impl Memory {
+    /// Empty memory with no mapped regions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map `len` bytes starting at `base`. Overlapping maps are merged
+    /// implicitly (validity is a union of regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region intersects the null page.
+    pub fn map_region(&mut self, base: Addr, len: u64) {
+        assert!(base >= DATA_BASE, "cannot map the null page");
+        self.regions.push((base, len));
+        self.regions.sort_unstable();
+    }
+
+    /// Whether a word access at `addr` is valid.
+    pub fn check(&self, addr: Addr) -> Result<(), AccessFault> {
+        if addr < DATA_BASE {
+            return Err(AccessFault::Null);
+        }
+        let end = addr + WORD_BYTES;
+        if self
+            .regions
+            .iter()
+            .any(|&(base, len)| addr >= base && end <= base + len)
+        {
+            Ok(())
+        } else {
+            Err(AccessFault::Unmapped)
+        }
+    }
+
+    /// Read the word at `addr` (must be word-aligned). Unwritten words are 0.
+    pub fn read(&self, addr: Addr) -> Word {
+        debug_assert_eq!(addr % WORD_BYTES, 0, "unaligned read at {addr:#x}");
+        self.words.get(&(addr / WORD_BYTES)).copied().unwrap_or(0)
+    }
+
+    /// Write the word at `addr` (must be word-aligned).
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        debug_assert_eq!(addr % WORD_BYTES, 0, "unaligned write at {addr:#x}");
+        self.words.insert(addr / WORD_BYTES, value);
+    }
+
+    /// Bulk-initialize `values` starting at `base` and map the region.
+    pub fn load_segment(&mut self, base: Addr, values: &[Word]) {
+        let len = (values.len() as u64) * WORD_BYTES;
+        if len > 0 {
+            self.map_region(base, len);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            self.write(base + (i as u64) * WORD_BYTES, v);
+        }
+    }
+
+    /// Total number of words ever written (for tests/stats).
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_of_unwritten_word_is_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0x2000), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = Memory::new();
+        m.write(0x2000, -5);
+        assert_eq!(m.read(0x2000), -5);
+        m.write(0x2000, 9);
+        assert_eq!(m.read(0x2000), 9);
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let mut m = Memory::new();
+        m.map_region(0x2000, 64);
+        assert_eq!(m.check(0), Err(AccessFault::Null));
+        assert_eq!(m.check(0xff8), Err(AccessFault::Null));
+    }
+
+    #[test]
+    fn unmapped_faults_and_mapped_passes() {
+        let mut m = Memory::new();
+        m.map_region(0x2000, 64);
+        assert_eq!(m.check(0x2000), Ok(()));
+        assert_eq!(m.check(0x2038), Ok(())); // last full word
+        assert_eq!(m.check(0x2040), Err(AccessFault::Unmapped));
+        assert_eq!(m.check(0x9000), Err(AccessFault::Unmapped));
+    }
+
+    #[test]
+    fn word_straddling_region_end_faults() {
+        let mut m = Memory::new();
+        m.map_region(0x2000, 12); // not a whole number of words
+        assert_eq!(m.check(0x2008), Err(AccessFault::Unmapped));
+    }
+
+    #[test]
+    fn load_segment_maps_and_fills() {
+        let mut m = Memory::new();
+        m.load_segment(0x3000, &[7, 8, 9]);
+        assert_eq!(m.read(0x3000), 7);
+        assert_eq!(m.read(0x3010), 9);
+        assert_eq!(m.check(0x3010), Ok(()));
+        assert_eq!(m.check(0x3018), Err(AccessFault::Unmapped));
+        assert_eq!(m.footprint_words(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "null page")]
+    fn mapping_null_page_panics() {
+        let mut m = Memory::new();
+        m.map_region(0x10, 64);
+    }
+}

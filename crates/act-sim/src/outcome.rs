@@ -1,0 +1,131 @@
+//! Run outcomes and crash kinds.
+
+use crate::events::ThreadId;
+use crate::isa::{Pc, Word};
+use std::fmt;
+
+/// Why a run crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// Load or store through a (near-)null pointer.
+    NullDeref,
+    /// Load or store outside every mapped region.
+    OutOfBounds,
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// An `assert` instruction failed; the code identifies which.
+    AssertFailed(u32),
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashKind::NullDeref => f.write_str("null dereference"),
+            CrashKind::OutOfBounds => f.write_str("out-of-bounds access"),
+            CrashKind::DivideByZero => f.write_str("divide by zero"),
+            CrashKind::AssertFailed(c) => write!(f, "assertion {c} failed"),
+        }
+    }
+}
+
+/// The result of simulating a program to completion (or failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All threads halted; `output` is the values emitted by `out`
+    /// instructions in retirement order.
+    Completed {
+        /// Values emitted by `out` instructions.
+        output: Vec<Word>,
+    },
+    /// A thread crashed.
+    Crash {
+        /// What went wrong.
+        kind: CrashKind,
+        /// Instruction address of the faulting instruction.
+        pc: Pc,
+        /// Thread that crashed.
+        tid: ThreadId,
+        /// Cycle of the crash.
+        cycle: u64,
+        /// Output emitted before the crash.
+        output: Vec<Word>,
+    },
+    /// Every live thread is blocked (locks/joins) and none can make progress.
+    Deadlock {
+        /// Cycle at which deadlock was detected.
+        cycle: u64,
+    },
+    /// The configured `max_cycles` safety limit was reached.
+    Timeout {
+        /// The cycle limit that was hit.
+        cycle: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the run ran to completion (regardless of output correctness).
+    pub fn completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+
+    /// The output stream, if the run completed or crashed mid-way.
+    pub fn output(&self) -> Option<&[Word]> {
+        match self {
+            RunOutcome::Completed { output } | RunOutcome::Crash { output, .. } => Some(output),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable status, e.g. for experiment tables.
+    pub fn status(&self) -> &'static str {
+        match self {
+            RunOutcome::Completed { .. } => "completed",
+            RunOutcome::Crash { .. } => "crash",
+            RunOutcome::Deadlock { .. } => "deadlock",
+            RunOutcome::Timeout { .. } => "timeout",
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed { output } => {
+                write!(f, "completed with {} output values", output.len())
+            }
+            RunOutcome::Crash { kind, pc, tid, cycle, .. } => {
+                write!(f, "crash ({kind}) at pc {pc} in thread {tid}, cycle {cycle}")
+            }
+            RunOutcome::Deadlock { cycle } => write!(f, "deadlock at cycle {cycle}"),
+            RunOutcome::Timeout { cycle } => write!(f, "timeout at cycle {cycle}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let ok = RunOutcome::Completed { output: vec![1, 2] };
+        assert!(ok.completed());
+        assert_eq!(ok.output(), Some(&[1, 2][..]));
+        assert_eq!(ok.status(), "completed");
+
+        let crash = RunOutcome::Crash {
+            kind: CrashKind::NullDeref,
+            pc: 4,
+            tid: 1,
+            cycle: 100,
+            output: vec![7],
+        };
+        assert!(!crash.completed());
+        assert_eq!(crash.output(), Some(&[7][..]));
+        assert_eq!(crash.status(), "crash");
+        assert!(crash.to_string().contains("null dereference"));
+
+        assert_eq!(RunOutcome::Deadlock { cycle: 5 }.output(), None);
+        assert_eq!(RunOutcome::Timeout { cycle: 5 }.status(), "timeout");
+    }
+}

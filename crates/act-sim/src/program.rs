@@ -1,0 +1,299 @@
+//! Program representation: instructions, function map, and static data.
+
+use crate::isa::{Addr, Instr, Pc, Word};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Base byte address of the static data segment.
+pub const DATA_BASE: Addr = 0x1000;
+
+/// Base byte address of the per-thread stack area.
+pub const STACK_BASE: Addr = 0x1000_0000;
+
+/// Bytes of stack reserved per thread.
+pub const STACK_SIZE: u64 = 64 * 1024;
+
+/// A contiguous range of instructions with a symbolic name.
+///
+/// Functions matter for two experiments: Table VI injects bugs into *new*
+/// functions absent from training traces, and Fig 7(b) measures how well the
+/// network generalizes to a function it never saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Symbolic name, e.g. `"compute_densities"`.
+    pub name: String,
+    /// First instruction of the function.
+    pub start: Pc,
+    /// One past the last instruction of the function.
+    pub end: Pc,
+}
+
+impl FunctionInfo {
+    /// Whether `pc` falls inside this function.
+    pub fn contains(&self, pc: Pc) -> bool {
+        pc >= self.start && pc < self.end
+    }
+}
+
+/// An executable program for the simulator.
+///
+/// Built with [`crate::asm::Asm`]; validated on construction so the machine
+/// can assume all jump targets and register indices are in range.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instruction array; a [`Pc`] is an index into it.
+    pub instrs: Vec<Instr>,
+    /// Entry point of the main thread.
+    pub entry: Pc,
+    /// Initial contents of the data segment, starting at [`DATA_BASE`].
+    /// One entry per word; unlisted words are zero.
+    pub data: Vec<Word>,
+    /// Function table, sorted by start pc, non-overlapping.
+    pub functions: Vec<FunctionInfo>,
+    /// Named labels (for diagnosis reports), pc -> name.
+    pub labels: BTreeMap<Pc, String>,
+}
+
+/// Error returned when a program fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateProgramError {
+    /// A control-flow target points outside the instruction array.
+    TargetOutOfRange { pc: Pc, target: Pc },
+    /// The entry point is outside the instruction array.
+    EntryOutOfRange { entry: Pc },
+    /// A register index is >= `NUM_REGS`.
+    BadRegister { pc: Pc },
+    /// A memory offset is not word-aligned.
+    MisalignedOffset { pc: Pc, offset: i64 },
+    /// The program has no instructions.
+    Empty,
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgramError::TargetOutOfRange { pc, target } => {
+                write!(f, "instruction {pc} targets out-of-range pc {target}")
+            }
+            ValidateProgramError::EntryOutOfRange { entry } => {
+                write!(f, "entry point {entry} is out of range")
+            }
+            ValidateProgramError::BadRegister { pc } => {
+                write!(f, "instruction {pc} names an out-of-range register")
+            }
+            ValidateProgramError::MisalignedOffset { pc, offset } => {
+                write!(f, "instruction {pc} has misaligned memory offset {offset}")
+            }
+            ValidateProgramError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+impl Program {
+    /// Number of instructions (the "code length" used to normalize PCs for
+    /// the neural-network input encoding).
+    pub fn code_len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// The function containing `pc`, if any.
+    pub fn function_of(&self, pc: Pc) -> Option<&FunctionInfo> {
+        self.functions.iter().find(|f| f.contains(pc))
+    }
+
+    /// The symbolic name for `pc`: its label if present, else
+    /// `function+offset`, else the raw pc.
+    pub fn describe_pc(&self, pc: Pc) -> String {
+        if let Some(name) = self.labels.get(&pc) {
+            return name.clone();
+        }
+        if let Some(func) = self.function_of(pc) {
+            return format!("{}+{}", func.name, pc - func.start);
+        }
+        format!("pc{pc}")
+    }
+
+    /// Validate structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateProgramError`] found: out-of-range branch
+    /// target or entry point, bad register index, or misaligned memory offset.
+    pub fn validate(&self) -> Result<(), ValidateProgramError> {
+        use crate::isa::{Reg, NUM_REGS, WORD_BYTES};
+        if self.instrs.is_empty() {
+            return Err(ValidateProgramError::Empty);
+        }
+        let len = self.instrs.len() as Pc;
+        if self.entry >= len {
+            return Err(ValidateProgramError::EntryOutOfRange { entry: self.entry });
+        }
+        let check_reg = |pc: Pc, r: Reg| -> Result<(), ValidateProgramError> {
+            if (r.0 as usize) < NUM_REGS {
+                Ok(())
+            } else {
+                Err(ValidateProgramError::BadRegister { pc })
+            }
+        };
+        let check_target = |pc: Pc, t: Pc| -> Result<(), ValidateProgramError> {
+            if t < len {
+                Ok(())
+            } else {
+                Err(ValidateProgramError::TargetOutOfRange { pc, target: t })
+            }
+        };
+        let check_off = |pc: Pc, off: i64| -> Result<(), ValidateProgramError> {
+            if off % WORD_BYTES as i64 == 0 {
+                Ok(())
+            } else {
+                Err(ValidateProgramError::MisalignedOffset { pc, offset: off })
+            }
+        };
+        for (i, ins) in self.instrs.iter().enumerate() {
+            let pc = i as Pc;
+            match *ins {
+                Instr::Imm { rd, .. } => check_reg(pc, rd)?,
+                Instr::Alu { rd, ra, rb, .. } => {
+                    check_reg(pc, rd)?;
+                    check_reg(pc, ra)?;
+                    check_reg(pc, rb)?;
+                }
+                Instr::AluI { rd, ra, .. } => {
+                    check_reg(pc, rd)?;
+                    check_reg(pc, ra)?;
+                }
+                Instr::Load { rd, base, offset } => {
+                    check_reg(pc, rd)?;
+                    check_reg(pc, base)?;
+                    check_off(pc, offset)?;
+                }
+                Instr::Store { rs, base, offset } => {
+                    check_reg(pc, rs)?;
+                    check_reg(pc, base)?;
+                    check_off(pc, offset)?;
+                }
+                Instr::Jump { target } => check_target(pc, target)?,
+                Instr::Bnz { cond, target } | Instr::Bez { cond, target } => {
+                    check_reg(pc, cond)?;
+                    check_target(pc, target)?;
+                }
+                Instr::Spawn { rd, entry, arg } => {
+                    check_reg(pc, rd)?;
+                    check_reg(pc, arg)?;
+                    check_target(pc, entry)?;
+                }
+                Instr::Join { tid } => check_reg(pc, tid)?,
+                Instr::Lock { base, offset }
+                | Instr::Unlock { base, offset }
+                | Instr::Barrier { base, offset } => {
+                    check_reg(pc, base)?;
+                    check_off(pc, offset)?;
+                }
+                Instr::Out { rs } => check_reg(pc, rs)?,
+                Instr::Assert { cond, .. } => check_reg(pc, cond)?,
+                Instr::Fence | Instr::Halt | Instr::Nop => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-print the program as assembler-like text (for debugging and
+    /// diagnosis reports).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, ins) in self.instrs.iter().enumerate() {
+            let pc = i as Pc;
+            if let Some(func) = self.functions.iter().find(|f| f.start == pc) {
+                out.push_str(&format!("{}:\n", func.name));
+            }
+            if let Some(label) = self.labels.get(&pc) {
+                out.push_str(&format!("  .{label}:\n"));
+            }
+            out.push_str(&format!("  {pc:5}  {ins}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    fn tiny() -> Program {
+        Program {
+            instrs: vec![
+                Instr::Imm { rd: Reg(1), value: 7 },
+                Instr::Out { rs: Reg(1) },
+                Instr::Halt,
+            ],
+            entry: 0,
+            data: vec![],
+            functions: vec![FunctionInfo { name: "main".into(), start: 0, end: 3 }],
+            labels: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let p = Program::default();
+        assert_eq!(p.validate(), Err(ValidateProgramError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let mut p = tiny();
+        p.instrs.push(Instr::Jump { target: 99 });
+        assert_eq!(
+            p.validate(),
+            Err(ValidateProgramError::TargetOutOfRange { pc: 3, target: 99 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_register() {
+        let mut p = tiny();
+        p.instrs[0] = Instr::Imm { rd: Reg(32), value: 0 };
+        assert_eq!(p.validate(), Err(ValidateProgramError::BadRegister { pc: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_misaligned_offset() {
+        let mut p = tiny();
+        p.instrs[0] = Instr::Load { rd: Reg(1), base: Reg(2), offset: 3 };
+        assert_eq!(
+            p.validate(),
+            Err(ValidateProgramError::MisalignedOffset { pc: 0, offset: 3 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_entry() {
+        let mut p = tiny();
+        p.entry = 10;
+        assert_eq!(p.validate(), Err(ValidateProgramError::EntryOutOfRange { entry: 10 }));
+    }
+
+    #[test]
+    fn function_lookup_and_pc_description() {
+        let p = tiny();
+        assert_eq!(p.function_of(1).unwrap().name, "main");
+        assert!(p.function_of(5).is_none());
+        assert_eq!(p.describe_pc(1), "main+1");
+        assert_eq!(p.describe_pc(77), "pc77");
+    }
+
+    #[test]
+    fn disassemble_contains_function_header() {
+        let text = tiny().disassemble();
+        assert!(text.contains("main:"));
+        assert!(text.contains("halt"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The PIN-tool substitute: an [`Observer`] that records an execution trace
+//! from the simulator.
+
+use crate::event::{Trace, TraceKind, TraceRecord};
+use act_sim::attach::Observer;
+use act_sim::events::{BranchEvent, LoadEvent, StoreEvent, ThreadId};
+
+/// Collects a [`Trace`] from a simulated run.
+///
+/// Stack accesses (through SP/FP) are filtered out by default, matching the
+/// paper's load filtering (§V); branches are recorded because the PBI
+/// baseline samples branch outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use act_sim::asm::Asm;
+/// use act_sim::config::MachineConfig;
+/// use act_sim::isa::Reg;
+/// use act_sim::machine::Machine;
+/// use act_trace::collector::TraceCollector;
+///
+/// let mut a = Asm::new();
+/// let buf = a.static_zeroed(1);
+/// a.func("main");
+/// a.imm(Reg(1), buf as i64);
+/// a.store(Reg(1), Reg(1), 0);
+/// a.load(Reg(2), Reg(1), 0);
+/// a.halt();
+/// let p = a.finish()?;
+///
+/// let mut collector = TraceCollector::new(p.code_len());
+/// let mut m = Machine::new(&p, MachineConfig::default());
+/// m.run_observed(&mut collector);
+/// let trace = collector.into_trace();
+/// assert_eq!(trace.access_count(), 2);
+/// # Ok::<(), act_sim::asm::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    trace: Trace,
+    include_stack: bool,
+    next_seq: u64,
+}
+
+impl TraceCollector {
+    /// A collector for a program with `code_len` instructions.
+    pub fn new(code_len: usize) -> Self {
+        TraceCollector {
+            trace: Trace { records: Vec::new(), code_len },
+            include_stack: false,
+            next_seq: 0,
+        }
+    }
+
+    /// Also record stack accesses (off by default).
+    pub fn include_stack(mut self, yes: bool) -> Self {
+        self.include_stack = yes;
+        self
+    }
+
+    /// Finish collection and take the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    fn push(&mut self, cycle: u64, tid: ThreadId, pc: u32, kind: TraceKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.trace.records.push(TraceRecord { seq, cycle, tid, pc, kind });
+    }
+}
+
+impl Observer for TraceCollector {
+    fn on_load(&mut self, ev: &LoadEvent) {
+        if ev.stack_access && !self.include_stack {
+            return;
+        }
+        self.push(ev.cycle, ev.tid, ev.pc, TraceKind::Load { addr: ev.addr, dep: ev.dep });
+    }
+
+    fn on_store(&mut self, ev: &StoreEvent) {
+        if ev.stack_access && !self.include_stack {
+            return;
+        }
+        self.push(ev.cycle, ev.tid, ev.pc, TraceKind::Store { addr: ev.addr });
+    }
+
+    fn on_branch(&mut self, ev: &BranchEvent) {
+        self.push(ev.cycle, ev.tid, ev.pc, TraceKind::Branch { taken: ev.taken });
+    }
+
+    fn on_thread_start(&mut self, tid: ThreadId, cycle: u64) {
+        self.push(cycle, tid, 0, TraceKind::ThreadStart);
+    }
+
+    fn on_thread_end(&mut self, tid: ThreadId, cycle: u64) {
+        self.push(cycle, tid, 0, TraceKind::ThreadEnd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::asm::Asm;
+    use act_sim::config::MachineConfig;
+    use act_sim::isa::{Reg, SP};
+    use act_sim::machine::Machine;
+
+    fn quiet() -> MachineConfig {
+        MachineConfig { jitter_ppm: 0, ..Default::default() }
+    }
+
+    #[test]
+    fn collects_accesses_branches_and_lifecycle() {
+        let mut a = Asm::new();
+        let buf = a.static_zeroed(1);
+        a.func("main");
+        a.imm(Reg(1), buf as i64);
+        a.imm(Reg(2), 3);
+        let top = a.label_here();
+        a.store(Reg(2), Reg(1), 0);
+        a.load(Reg(3), Reg(1), 0);
+        a.alui(act_sim::isa::AluOp::Sub, Reg(2), Reg(2), 1);
+        a.bnz(Reg(2), top);
+        a.halt();
+        let p = a.finish().unwrap();
+
+        let mut c = TraceCollector::new(p.code_len());
+        let mut m = Machine::new(&p, quiet());
+        assert!(m.run_observed(&mut c).completed());
+        let trace = c.into_trace();
+        assert_eq!(trace.access_count(), 6); // 3 iterations × (store + load)
+        let branches = trace
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, TraceKind::Branch { .. }))
+            .count();
+        assert_eq!(branches, 3);
+        let starts = trace
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, TraceKind::ThreadStart))
+            .count();
+        assert_eq!(starts, 1);
+        // Records are in sequence order.
+        assert!(trace.records.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn stack_accesses_filtered_by_default() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.imm(Reg(1), 5);
+        a.store(Reg(1), SP, -8);
+        a.load(Reg(2), SP, -8);
+        a.halt();
+        let p = a.finish().unwrap();
+
+        let mut c = TraceCollector::new(p.code_len());
+        let mut m = Machine::new(&p, quiet());
+        m.run_observed(&mut c);
+        assert_eq!(c.into_trace().access_count(), 0);
+
+        let mut c = TraceCollector::new(p.code_len()).include_stack(true);
+        let mut m = Machine::new(&p, quiet());
+        m.run_observed(&mut c);
+        assert_eq!(c.into_trace().access_count(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Trace records: the offline-analysis view of an execution, equivalent to
+//! what the paper collects with a PIN tool (a sequence of memory-access
+//! instructions with their addresses, plus thread lifecycle and branches).
+
+use act_sim::events::{RawDep, ThreadId};
+use act_sim::isa::{Addr, Pc};
+
+/// What a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A load of the word at `addr`.
+    Load {
+        /// Byte address read.
+        addr: Addr,
+        /// The dependence the *hardware* formed from cache-line metadata,
+        /// if it was available (`None` when the metadata was lost to
+        /// eviction or a clean transfer — §V's relaxations). ACT's offline
+        /// analyses use this observed stream so that training, the Correct
+        /// Set, and the online module all see the same dependences.
+        dep: Option<RawDep>,
+    },
+    /// A store to the word at `addr`.
+    Store {
+        /// Byte address written.
+        addr: Addr,
+    },
+    /// A conditional branch with its outcome.
+    Branch {
+        /// Whether the branch was taken.
+        taken: bool,
+    },
+    /// Thread creation.
+    ThreadStart,
+    /// Thread termination.
+    ThreadEnd,
+}
+
+/// One record in an execution trace, in global functional order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global sequence number (functional/dispatch order across cores).
+    pub seq: u64,
+    /// Cycle at which the event happened.
+    pub cycle: u64,
+    /// Thread that executed the instruction.
+    pub tid: ThreadId,
+    /// Instruction address (0 for thread lifecycle records).
+    pub pc: Pc,
+    /// The event payload.
+    pub kind: TraceKind,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Records in global functional order.
+    pub records: Vec<TraceRecord>,
+    /// Instruction count of the traced program (for PC normalization).
+    pub code_len: usize,
+}
+
+impl Trace {
+    /// Number of memory-access records.
+    pub fn access_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.kind, TraceKind::Load { .. } | TraceKind::Store { .. }))
+            .count()
+    }
+
+    /// Thread ids appearing in the trace, ascending.
+    pub fn thread_ids(&self) -> Vec<ThreadId> {
+        let mut ids: Vec<ThreadId> = self.records.iter().map(|r| r.tid).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, tid: ThreadId, kind: TraceKind) -> TraceRecord {
+        TraceRecord { seq, cycle: seq, tid, pc: 0, kind }
+    }
+
+    #[test]
+    fn access_count_ignores_branches() {
+        let t = Trace {
+            records: vec![
+                rec(0, 0, TraceKind::Load { addr: 8, dep: None }),
+                rec(1, 0, TraceKind::Branch { taken: true }),
+                rec(2, 1, TraceKind::Store { addr: 16 }),
+            ],
+            code_len: 10,
+        };
+        assert_eq!(t.access_count(), 2);
+    }
+
+    #[test]
+    fn thread_ids_deduplicated_sorted() {
+        let t = Trace {
+            records: vec![
+                rec(0, 2, TraceKind::Load { addr: 8, dep: None }),
+                rec(1, 0, TraceKind::Load { addr: 8, dep: None }),
+                rec(2, 2, TraceKind::Load { addr: 8, dep: None }),
+            ],
+            code_len: 10,
+        };
+        assert_eq!(t.thread_ids(), vec![0, 2]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Trace (de)serialization: a line-oriented text format so traces can be
+//! archived and shipped between the collection machine and the offline
+//! trainer, like the paper's PIN trace files.
+//!
+//! Format (one record per line, space-separated):
+//!
+//! ```text
+//! acttrace v1 <code_len>
+//! L <seq> <cycle> <tid> <pc> <addr> [<store_pc> <load_pc> <inter>]
+//! S <seq> <cycle> <tid> <pc> <addr>
+//! B <seq> <cycle> <tid> <pc> <taken>
+//! T <seq> <cycle> <tid>
+//! E <seq> <cycle> <tid>
+//! ```
+
+use crate::event::{Trace, TraceKind, TraceRecord};
+use act_sim::events::RawDep;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Error produced when parsing a serialized trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseTraceError::Malformed { line, reason } => {
+                write!(f, "malformed trace at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Serialize `trace` to `w`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "acttrace v1 {}", trace.code_len).expect("string write");
+    for r in &trace.records {
+        match r.kind {
+            TraceKind::Load { addr, dep } => {
+                write!(buf, "L {} {} {} {} {}", r.seq, r.cycle, r.tid, r.pc, addr)
+                    .expect("string write");
+                if let Some(d) = dep {
+                    write!(buf, " {} {} {}", d.store_pc, d.load_pc, d.inter_thread as u8)
+                        .expect("string write");
+                }
+                buf.push('\n');
+            }
+            TraceKind::Store { addr } => {
+                writeln!(buf, "S {} {} {} {} {}", r.seq, r.cycle, r.tid, r.pc, addr)
+                    .expect("string write");
+            }
+            TraceKind::Branch { taken } => {
+                writeln!(buf, "B {} {} {} {} {}", r.seq, r.cycle, r.tid, r.pc, taken as u8)
+                    .expect("string write");
+            }
+            TraceKind::ThreadStart => {
+                writeln!(buf, "T {} {} {}", r.seq, r.cycle, r.tid).expect("string write");
+            }
+            TraceKind::ThreadEnd => {
+                writeln!(buf, "E {} {} {}", r.seq, r.cycle, r.tid).expect("string write");
+            }
+        }
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Parse a trace previously produced by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure or any malformed line.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseTraceError::Malformed { line: 1, reason: "empty input".into() })??;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("acttrace") || hp.next() != Some("v1") {
+        return Err(ParseTraceError::Malformed { line: 1, reason: "bad header".into() });
+    }
+    let code_len: usize = hp
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseTraceError::Malformed { line: 1, reason: "bad code_len".into() })?;
+
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.is_empty() {
+            continue;
+        }
+        let mut t = line.split_whitespace();
+        let bad = |reason: &str| ParseTraceError::Malformed {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        let tag = t.next().ok_or_else(|| bad("missing tag"))?;
+        let mut num = |name: &str| -> Result<u64, ParseTraceError> {
+            t.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(ParseTraceError::Malformed {
+                    line: lineno,
+                    reason: format!("missing/bad {name}"),
+                })
+        };
+        let seq = num("seq")?;
+        let cycle = num("cycle")?;
+        let tid = num("tid")? as u32;
+        let (pc, kind) = match tag {
+            "L" => {
+                let pc = num("pc")? as u32;
+                let addr = num("addr")?;
+                let dep = match t.next() {
+                    None => None,
+                    Some(sp) => {
+                        let store_pc: u32 = sp.parse().map_err(|_| bad("bad dep store_pc"))?;
+                        let load_pc: u32 = t
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| bad("missing dep load_pc"))?;
+                        let inter: u8 = t
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| bad("missing dep inter flag"))?;
+                        Some(RawDep { store_pc, load_pc, inter_thread: inter != 0 })
+                    }
+                };
+                (pc, TraceKind::Load { addr, dep })
+            }
+            "S" => {
+                let pc = num("pc")? as u32;
+                let addr = num("addr")?;
+                (pc, TraceKind::Store { addr })
+            }
+            "B" => {
+                let pc = num("pc")? as u32;
+                let taken = num("taken")? != 0;
+                (pc, TraceKind::Branch { taken })
+            }
+            "T" => (0, TraceKind::ThreadStart),
+            "E" => (0, TraceKind::ThreadEnd),
+            other => return Err(bad(&format!("unknown tag {other}"))),
+        };
+        records.push(TraceRecord { seq, cycle, tid, pc, kind });
+    }
+    Ok(Trace { records, code_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            records: vec![
+                TraceRecord { seq: 0, cycle: 1, tid: 0, pc: 0, kind: TraceKind::ThreadStart },
+                TraceRecord {
+                    seq: 1,
+                    cycle: 4,
+                    tid: 0,
+                    pc: 7,
+                    kind: TraceKind::Store { addr: 0x2000 },
+                },
+                TraceRecord {
+                    seq: 2,
+                    cycle: 9,
+                    tid: 1,
+                    pc: 9,
+                    kind: TraceKind::Load {
+                        addr: 0x2000,
+                        dep: Some(RawDep { store_pc: 7, load_pc: 9, inter_thread: true }),
+                    },
+                },
+                TraceRecord {
+                    seq: 3,
+                    cycle: 10,
+                    tid: 1,
+                    pc: 11,
+                    kind: TraceKind::Load { addr: 0x3000, dep: None },
+                },
+                TraceRecord {
+                    seq: 4,
+                    cycle: 12,
+                    tid: 1,
+                    pc: 12,
+                    kind: TraceKind::Branch { taken: true },
+                },
+                TraceRecord { seq: 5, cycle: 20, tid: 1, pc: 0, kind: TraceKind::ThreadEnd },
+            ],
+            code_len: 42,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.code_len, trace.code_len);
+        assert_eq!(back.records, trace.records);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_trace(&b"nottrace v1 10\n"[..]).unwrap_err();
+        assert!(matches!(err, ParseTraceError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let err = read_trace(&b"acttrace v1 10\nX 1 2 3\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("unknown tag"));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let err = read_trace(&b"acttrace v1 10\nS 1 2\n"[..]).unwrap_err();
+        assert!(matches!(err, ParseTraceError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_body_is_an_empty_trace() {
+        let t = read_trace(&b"acttrace v1 99\n"[..]).unwrap();
+        assert_eq!(t.code_len, 99);
+        assert!(t.records.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! `aget` — order violation on `bwritten` (Table V row 1): the downloader
+//! updates the progress counter *before* writing the corresponding data
+//! chunk. A progress snapshot taken inside that window (the real bug's
+//! SIGINT save) records chunks as written that are not, and the resumed
+//! run reads unwritten data. The program completes with corrupted output
+//! ("Comp." in the paper).
+
+use crate::spec::{BugClass, BugInfo, BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::{count_loop, delay_from};
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The aget-style progress-counter order violation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aget;
+
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+
+/// Number of download chunks.
+const CHUNKS: i64 = 16;
+
+impl Workload for Aget {
+    fn name(&self) -> &'static str {
+        "aget"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::RealBug
+    }
+
+    fn default_params(&self) -> Params {
+        Params { threads: 2, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let jit = (p.seed % 64) as i64;
+        // d_chunk: worker's bwritten-update .. data-write window per chunk.
+        // d_snap: when the main thread snapshots progress.
+        let (d_chunk, d_snap) = if p.trigger_bug {
+            (400, 2500 + jit * 7) // snapshot lands inside some chunk window
+        } else {
+            (0, 1000 + jit) // window is ~2 instructions wide
+        };
+
+        let mut a = Asm::new();
+        let data = a.static_zeroed(CHUNKS as usize);
+        let bwritten = a.static_zeroed(1);
+        let pd_chunk = a.static_data(&[d_chunk]);
+        let pd_snap = a.static_data(&[d_snap]);
+
+        a.func("main");
+        let worker = a.new_label();
+        a.imm(Reg(20), data as i64);
+        a.imm(Reg(21), bwritten as i64);
+        // Initialize data to the "unwritten" marker -1.
+        a.imm(R6, CHUNKS);
+        let mut s_init = 0;
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.imm(R4, -1);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.mark("S_init");
+            s_init = a.store(R4, R5, 0);
+        });
+        a.imm(R2, 0);
+        a.spawn(R3, worker, R2);
+        // Snapshot (the SIGINT handler's save of bwritten).
+        delay_from(&mut a, pd_snap, R5, R2);
+        a.mark("L_snap");
+        a.load(R7, Reg(21), 0); // saved progress
+        // The "state save" also captures the last chunk the snapshot claims
+        // was written — read it NOW (at interrupt time), not after the
+        // download completes; this is what the resumed run will trust.
+        let have = a.new_label();
+        a.bnz(R7, have);
+        a.imm(R7, 1); // snapshot before any chunk: look at chunk 0 anyway
+        a.bind(have);
+        a.alui(AluOp::Sub, R4, R7, 1);
+        a.alui(AluOp::Mul, R4, R4, 8);
+        a.alu(AluOp::Add, R4, Reg(20), R4);
+        a.mark("L_resume");
+        let l_resume = a.load(R5, R4, 0);
+        a.join(R3);
+        // Output 1 if the claimed chunk was really written, 0 if corrupted.
+        a.alui(AluOp::Ne, R5, R5, -1);
+        a.out(R5);
+        // Deterministic checksum of the completed download.
+        a.imm(R6, CHUNKS);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Worker: for each chunk, update bwritten FIRST (the order
+        // violation), then write the data after a window.
+        a.func("http_get");
+        a.bind(worker);
+        a.imm(Reg(20), data as i64);
+        a.imm(Reg(21), bwritten as i64);
+        a.imm(R6, CHUNKS);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Add, R4, R2, 1);
+            a.mark("S_bw");
+            a.store(R4, Reg(21), 0); // bwritten = i + 1 (premature)
+            delay_from(a, pd_chunk, R5, R7);
+            a.alui(AluOp::Add, R4, R2, 1000);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.mark("S_data");
+            a.store(R4, R5, 0); // data[i] = 1000 + i
+        });
+        a.halt();
+
+        let checksum: i64 = (0..CHUNKS).map(|i| 1000 + i).sum();
+        let bug = BugInfo {
+            description: "Order violation on bwritten: progress counter updated before \
+                          the data write, so a snapshot can claim unwritten chunks"
+                .into(),
+            class: BugClass::OrderViolation,
+            store_pcs: vec![s_init],
+            load_pcs: vec![l_resume],
+        };
+
+        BuiltWorkload {
+            program: a.finish().expect("aget assembles"),
+            expected_output: vec![1, checksum],
+            bug: Some(bug),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    fn cfg(seed: u64) -> MachineConfig {
+        MachineConfig { jitter_ppm: 10_000, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn clean_runs_complete_correctly() {
+        let w = Aget;
+        let built = w.build(&w.default_params());
+        for seed in 0..5 {
+            let out = Machine::new(&built.program, cfg(seed)).run();
+            assert!(built.is_correct(&out), "seed {seed}: {out}");
+        }
+    }
+
+    #[test]
+    fn triggered_runs_report_corruption() {
+        let w = Aget;
+        let mut failures = 0;
+        for seed in 0..6 {
+            let built = w.build(&Params { seed, ..w.default_params().triggered() });
+            let out = Machine::new(&built.program, cfg(seed)).run();
+            if built.is_failure(&out) {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 4, "only {failures}/6 triggered runs failed");
+    }
+}

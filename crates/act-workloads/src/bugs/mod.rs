@@ -1,0 +1,40 @@
+//! The 11 real-world bugs of Table V, modeled in the mini-ISA so that each
+//! preserves its paper counterpart's bug class, failure mode (crash vs
+//! silent corruption), and RAW-dependence signature.
+
+pub mod aget;
+pub mod apache;
+pub mod gzip;
+pub mod memcached;
+pub mod mysql;
+pub mod paste;
+pub mod pbzip2;
+pub mod ptx;
+pub mod seq;
+
+pub use aget::Aget;
+pub use apache::Apache;
+pub use gzip::Gzip;
+pub use memcached::Memcached;
+pub use mysql::{Mysql1, Mysql2, Mysql3};
+pub use paste::Paste;
+pub use pbzip2::Pbzip2;
+pub use ptx::Ptx;
+pub use seq::Seq;
+
+/// All real-bug workloads in Table V order.
+pub fn all() -> Vec<Box<dyn crate::spec::Workload>> {
+    vec![
+        Box::new(Aget),
+        Box::new(Apache),
+        Box::new(Memcached),
+        Box::new(Mysql1),
+        Box::new(Mysql2),
+        Box::new(Mysql3),
+        Box::new(Pbzip2),
+        Box::new(Gzip),
+        Box::new(Seq),
+        Box::new(Ptx),
+        Box::new(Paste),
+    ]
+}

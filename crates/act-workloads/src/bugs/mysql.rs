@@ -1,0 +1,422 @@
+//! The three MySQL-modeled atomicity violations of Table V.
+//!
+//! * [`Mysql1`] — non-atomic log append loses an entry; the failure is
+//!   detected long after the race, so many later anomalous dependences push
+//!   the root cause deep into (or out of) the default debug buffer — this is
+//!   the paper's one case that needed a larger buffer.
+//! * [`Mysql2`] — `thd->proc_info` set to NULL by another thread between a
+//!   worker's store and use → crash.
+//! * [`Mysql3`] — `join_init_cache` reads a `size` field re-published by a
+//!   concurrent re-initialization before the backing buffer grows → the
+//!   reader loops out of bounds → crash.
+
+use crate::spec::{BugClass, BugInfo, BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::{count_loop, delay_from};
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+
+/// MySQL#1: atomicity violation causing loss of logged data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mysql1;
+
+/// Entries each appender writes.
+const LOG_ENTRIES: i64 = 60;
+
+impl Workload for Mysql1 {
+    fn name(&self) -> &'static str {
+        "mysql1"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::RealBug
+    }
+
+    fn default_params(&self) -> Params {
+        Params { threads: 2, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let jit = (p.seed % 16) as i64;
+        // Clean: the second appender starts long after the first finished.
+        // Trigger: both run concurrently with a widened read..publish window.
+        let (start2, window) = if p.trigger_bug { (0, 60 + jit) } else { (60_000 + jit, 0) };
+
+        let mut a = Asm::new();
+        let total = 2 * LOG_ENTRIES;
+        let log = a.static_zeroed(total as usize + 4);
+        let log_idx = a.static_zeroed(1);
+        let pstart2 = a.static_data(&[start2]);
+        let pwindow = a.static_data(&[window]);
+
+        a.func("main");
+        let appender = a.new_label();
+        a.imm(Reg(20), log_idx as i64);
+        a.imm(R2, 0);
+        a.mark("S_idx0");
+        let s_idx0 = a.store(R2, Reg(20), 0);
+        a.imm(R2, 0);
+        a.spawn(Reg(10), appender, R2);
+        a.imm(R2, 1);
+        a.spawn(Reg(11), appender, R2);
+        a.join(Reg(10));
+        a.join(Reg(11));
+        // Validation: sum the whole log region and the final index.
+        a.imm(Reg(21), log as i64);
+        a.imm(R6, total);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(21), R5);
+            a.mark("L_scan");
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.load(R2, Reg(20), 0);
+        a.out(R2); // final index
+        a.out(R8); // log checksum
+        a.halt();
+
+        // Appender (arg = worker id): LOG_ENTRIES non-atomic appends.
+        a.func("log_append");
+        a.bind(appender);
+        a.imm(Reg(20), log_idx as i64);
+        a.imm(Reg(21), log as i64);
+        // First appender starts immediately; the second waits per params.
+        let go = a.new_label();
+        a.bez(Reg(1), go);
+        delay_from(&mut a, pstart2, R5, R2);
+        a.bind(go);
+        a.imm(R6, LOG_ENTRIES);
+        let l_i;
+        let s_idx;
+        {
+            // count_loop body needs the marked pcs; emit manually.
+            a.imm(R7, 0); // e
+            let top = a.label_here();
+            a.mark("L_idx");
+            l_i = a.load(R2, Reg(20), 0); // i = log_idx  (racy read)
+            delay_from(&mut a, pwindow, R5, R4);
+            // log[i] = 100 + wid*LOG_ENTRIES + e
+            a.alui(AluOp::Mul, R4, Reg(1), LOG_ENTRIES);
+            a.alu(AluOp::Add, R4, R4, R7);
+            a.alui(AluOp::Add, R4, R4, 100);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(21), R5);
+            a.mark("S_entry");
+            a.store(R4, R5, 0);
+            // log_idx = i + 1  (racy publish)
+            a.alui(AluOp::Add, R2, R2, 1);
+            a.mark("S_idx");
+            s_idx = a.store(R2, Reg(20), 0);
+            a.addi(R7, R7, 1);
+            a.alui(AluOp::Lt, R3, R7, LOG_ENTRIES);
+            a.bnz(R3, top);
+        }
+        a.halt();
+
+        // Oracle: sequential appends -> index = total, checksum = sum of all
+        // entry values.
+        let checksum: i64 = (0..2i64)
+            .flat_map(|w| (0..LOG_ENTRIES).map(move |e| 100 + w * LOG_ENTRIES + e))
+            .sum();
+
+        let bug = BugInfo {
+            description: "Atomicity violation on log index: read and publish of log_idx \
+                          are not atomic, losing logged entries"
+                .into(),
+            class: BugClass::AtomicityViolation,
+            store_pcs: vec![s_idx0, s_idx],
+            load_pcs: vec![l_i],
+        };
+
+        BuiltWorkload {
+            program: a.finish().expect("mysql1 assembles"),
+            expected_output: vec![total, checksum],
+            bug: Some(bug),
+        }
+    }
+}
+
+/// MySQL#2: atomicity violation on `thd->proc_info` → NULL dereference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mysql2;
+
+impl Workload for Mysql2 {
+    fn name(&self) -> &'static str {
+        "mysql2"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::RealBug
+    }
+
+    fn default_params(&self) -> Params {
+        Params { threads: 2, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let jit = (p.seed % 32) as i64;
+        // d_use: worker's set..use window; d_kill: when the killer NULLs.
+        let (d_use, d_kill) = if p.trigger_bug {
+            (1200, 300 + jit) // kill lands inside the window
+        } else {
+            (50, 6000 + jit) // kill lands between rounds
+        };
+
+        let mut a = Asm::new();
+        let proc_info = a.static_zeroed(1);
+        let info = a.static_zeroed(1);
+        let pd_use = a.static_data(&[d_use]);
+        let pd_kill = a.static_data(&[d_kill]);
+
+        a.func("main"); // the killer thread
+        let worker = a.new_label();
+        a.imm(Reg(20), info as i64);
+        a.imm(R2, 77);
+        a.mark("S_info");
+        a.store(R2, Reg(20), 0);
+        a.imm(R2, 0);
+        a.spawn(R3, worker, R2);
+        delay_from(&mut a, pd_kill, R5, R2);
+        a.imm(Reg(21), proc_info as i64);
+        a.imm(R2, 0);
+        a.mark("S_null");
+        let s_null = a.store(R2, Reg(21), 0);
+        a.join(R3);
+        a.imm(R2, 1);
+        a.out(R2);
+        a.halt();
+
+        a.func("query_worker");
+        a.bind(worker);
+        a.imm(Reg(21), proc_info as i64);
+        a.imm(Reg(22), info as i64);
+        // Read the request descriptor before processing (gives the first
+        // round a dependence history).
+        a.mark("L_req");
+        a.load(R6, Reg(22), 0);
+        let mut l_use_pcs = Vec::new();
+        for round in 0..2 {
+            // S_set: proc_info = &info
+            a.imm(R2, info as i64);
+            a.mark(&format!("S_set_{round}"));
+            a.store(R2, Reg(21), 0);
+            delay_from(&mut a, pd_use, R5, R3);
+            // L_use: q = proc_info; use *q
+            a.mark(&format!("L_use_{round}"));
+            l_use_pcs.push(a.load(R4, Reg(21), 0));
+            a.mark(&format!("deref_{round}"));
+            a.load(R6, R4, 0); // crashes when q == NULL
+            // Owner clears its own proc_info after use.
+            a.imm(R2, 0);
+            a.store(R2, Reg(21), 0);
+            delay_from(&mut a, pd_use, R5, R3);
+        }
+        a.halt();
+
+        let bug = BugInfo {
+            description: "Atomicity violation on thd->proc_info: another thread stores \
+                          NULL between the owner's set and use"
+                .into(),
+            class: BugClass::AtomicityViolation,
+            store_pcs: vec![s_null],
+            load_pcs: l_use_pcs,
+        };
+
+        BuiltWorkload {
+            program: a.finish().expect("mysql2 assembles"),
+            expected_output: vec![1],
+            bug: Some(bug),
+        }
+    }
+}
+
+/// MySQL#3: atomicity violation in join-init-cache → out-of-bounds loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mysql3;
+
+/// Initial (valid) cache size in words.
+const CACHE_SMALL: i64 = 8;
+/// Re-published (not yet backed) size.
+const CACHE_BIG: i64 = 4096;
+
+impl Workload for Mysql3 {
+    fn name(&self) -> &'static str {
+        "mysql3"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::RealBug
+    }
+
+    fn default_params(&self) -> Params {
+        Params { threads: 2, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let jit = (p.seed % 16) as i64;
+        // Clean: resize happens long after the reader finished.
+        // Trigger: resize publishes the new size while the reader is mid-scan.
+        let (d_resize, d_read) = if p.trigger_bug { (120 + jit, 0) } else { (8000 + jit, 0) };
+        // Per-element processing time of the reader (same in clean and
+        // triggering builds), wide enough that the scan overlaps the resize.
+        let d_scan = 45i64;
+
+        let mut a = Asm::new();
+        let size_w = a.static_zeroed(1);
+        let pd_resize = a.static_data(&[d_resize]);
+        let pd_read = a.static_data(&[d_read]);
+        let pd_scan = a.static_data(&[d_scan]);
+        // The cache buffer is the LAST allocation: reading past it leaves
+        // the mapped data segment and crashes.
+        let buf = a.static_zeroed(CACHE_SMALL as usize);
+
+        a.func("main"); // initializer + resizer
+        let reader = a.new_label();
+        a.imm(Reg(20), size_w as i64);
+        a.imm(Reg(21), buf as i64);
+        // Fill the small cache.
+        a.imm(R6, CACHE_SMALL);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 3);
+            a.alui(AluOp::Add, R4, R4, 5);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(21), R5);
+            a.store(R4, R5, 0);
+        });
+        // Publish the valid size.
+        a.imm(R2, CACHE_SMALL);
+        a.mark("S_size_ok");
+        a.store(R2, Reg(20), 0);
+        a.imm(R2, 0);
+        a.spawn(R3, reader, R2);
+        delay_from(&mut a, pd_resize, R5, R2);
+        // Buggy re-init: publish the bigger size BEFORE backing it.
+        a.imm(R2, CACHE_BIG);
+        a.mark("S_size_big");
+        let s_big = a.store(R2, Reg(20), 0);
+        a.join(R3);
+        a.imm(R2, 1);
+        a.out(R2);
+        a.halt();
+
+        a.func("join_read_cache");
+        a.bind(reader);
+        a.imm(Reg(20), size_w as i64);
+        a.imm(Reg(21), buf as i64);
+        delay_from(&mut a, pd_read, R5, R2);
+        a.imm(R8, 0); // checksum
+        a.imm(R7, 0); // i
+        let done = a.new_label();
+        let top = a.label_here();
+        // Re-read the bound every iteration (the real bug's pattern).
+        a.mark("L_size");
+        let l_size = a.load(R6, Reg(20), 0);
+        a.alu(AluOp::Lt, R2, R7, R6);
+        a.bez(R2, done);
+        a.alui(AluOp::Mul, R5, R7, 8);
+        a.alu(AluOp::Add, R5, Reg(21), R5);
+        a.mark("L_cache");
+        a.load(R4, R5, 0); // out of bounds once size is the big one
+        a.alu(AluOp::Add, R8, R8, R4);
+        delay_from(&mut a, pd_scan, R5, R3); // per-element processing
+        a.addi(R7, R7, 1);
+        a.jump(top);
+        a.bind(done);
+        a.halt();
+
+        let bug = BugInfo {
+            description: "Atomicity violation in join-init-cache: new size published \
+                          before the buffer is reallocated, reader loops out of bounds"
+                .into(),
+            class: BugClass::AtomicityViolation,
+            store_pcs: vec![s_big],
+            load_pcs: vec![l_size],
+        };
+
+        BuiltWorkload {
+            program: a.finish().expect("mysql3 assembles"),
+            expected_output: vec![1],
+            bug: Some(bug),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+    use act_sim::outcome::{CrashKind, RunOutcome};
+
+    fn cfg(seed: u64) -> MachineConfig {
+        MachineConfig { jitter_ppm: 10_000, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn mysql1_clean_and_triggered() {
+        let w = Mysql1;
+        let built = w.build(&w.default_params());
+        for seed in 0..4 {
+            let out = Machine::new(&built.program, cfg(seed)).run();
+            assert!(built.is_correct(&out), "clean seed {seed}: {out}");
+        }
+        let bad = w.build(&w.default_params().triggered());
+        let mut failures = 0;
+        for seed in 0..6 {
+            let out = Machine::new(&bad.program, cfg(seed)).run();
+            if bad.is_failure(&out) {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 4, "only {failures}/6 triggered runs failed");
+    }
+
+    #[test]
+    fn mysql2_clean_and_triggered() {
+        let w = Mysql2;
+        let built = w.build(&w.default_params());
+        for seed in 0..4 {
+            let out = Machine::new(&built.program, cfg(seed)).run();
+            assert!(built.is_correct(&out), "clean seed {seed}: {out}");
+        }
+        let bad = w.build(&w.default_params().triggered());
+        let mut crashes = 0;
+        for seed in 0..6 {
+            if let RunOutcome::Crash { kind: CrashKind::NullDeref, .. } =
+                Machine::new(&bad.program, cfg(seed)).run()
+            {
+                crashes += 1;
+            }
+        }
+        assert!(crashes >= 4, "only {crashes}/6 triggered runs crashed");
+    }
+
+    #[test]
+    fn mysql3_clean_and_triggered() {
+        let w = Mysql3;
+        let built = w.build(&w.default_params());
+        for seed in 0..4 {
+            let out = Machine::new(&built.program, cfg(seed)).run();
+            assert!(built.is_correct(&out), "clean seed {seed}: {out}");
+        }
+        let bad = w.build(&w.default_params().triggered());
+        let mut crashes = 0;
+        for seed in 0..6 {
+            if let RunOutcome::Crash { kind: CrashKind::OutOfBounds, .. } =
+                Machine::new(&bad.program, cfg(seed)).run()
+            {
+                crashes += 1;
+            }
+        }
+        assert!(crashes >= 4, "only {crashes}/6 triggered runs crashed");
+    }
+}

@@ -1,0 +1,167 @@
+//! `pbzip2` — order violation between threads (Table V): the main thread
+//! tears down the work queue without waiting for the consumer to drain it
+//! (the real bug's missing condition-variable wait). A consumer that is
+//! still running dereferences the freed queue pointer and crashes.
+
+use crate::spec::{BugClass, BugInfo, BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::{count_loop, delay_from};
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The PBZip2-style premature-teardown order violation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pbzip2;
+
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+
+/// Work items in the queue.
+const ITEMS: i64 = 12;
+
+impl Workload for Pbzip2 {
+    fn name(&self) -> &'static str {
+        "pbzip2"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::RealBug
+    }
+
+    fn default_params(&self) -> Params {
+        Params { threads: 2, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let jit = (p.seed % 32) as i64;
+        // d_item: consumer's per-item processing time; d_free: when main
+        // tears the queue down.
+        let (d_item, d_free) = if p.trigger_bug {
+            (200, 500 + jit) // free lands mid-consumption
+        } else {
+            (5, 20_000 + jit) // consumer long done before the free
+        };
+
+        let mut a = Asm::new();
+        let queue = a.static_zeroed(ITEMS as usize);
+        let queue_ptr = a.static_zeroed(1);
+        let result = a.static_zeroed(1);
+        let pd_item = a.static_data(&[d_item]);
+        let pd_free = a.static_data(&[d_free]);
+
+        a.func("main"); // producer + (buggy) teardown
+        let consumer = a.new_label();
+        a.imm(Reg(20), queue as i64);
+        a.imm(Reg(21), queue_ptr as i64);
+        // Fill the queue.
+        a.imm(R6, ITEMS);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 11);
+            a.alui(AluOp::Add, R4, R4, 30);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.mark("S_fill");
+            a.store(R4, R5, 0);
+        });
+        // Publish the queue pointer.
+        a.imm(R2, queue as i64);
+        a.mark("S_publish");
+        a.store(R2, Reg(21), 0);
+        a.imm(R2, 0);
+        a.spawn(R3, consumer, R2);
+        delay_from(&mut a, pd_free, R5, R2);
+        // Buggy teardown: free the queue while the consumer may still run.
+        a.imm(R2, 0);
+        a.mark("S_free");
+        let s_free = a.store(R2, Reg(21), 0);
+        a.join(R3);
+        a.imm(Reg(22), result as i64);
+        a.load(R2, Reg(22), 0);
+        a.out(R2);
+        a.halt();
+
+        a.func("consumer");
+        a.bind(consumer);
+        a.imm(Reg(21), queue_ptr as i64);
+        a.imm(Reg(22), result as i64);
+        a.imm(R8, 0); // checksum
+        a.imm(R6, ITEMS);
+        let l_qp;
+        {
+            a.imm(R7, 0);
+            let top = a.label_here();
+            // Reload the queue pointer every item (trusting the teardown
+            // order — the bug).
+            a.mark("L_qp");
+            l_qp = a.load(R4, Reg(21), 0);
+            delay_from(&mut a, pd_item, R5, R2);
+            a.alui(AluOp::Mul, R5, R7, 8);
+            a.alu(AluOp::Add, R5, R4, R5);
+            a.mark("L_item");
+            a.load(R3, R5, 0); // crashes once the queue is freed (q = 0)
+            a.alu(AluOp::Add, R8, R8, R3);
+            a.addi(R7, R7, 1);
+            a.alu(AluOp::Lt, R2, R7, R6);
+            a.bnz(R2, top);
+        }
+        a.store(R8, Reg(22), 0);
+        a.halt();
+
+        let checksum: i64 = (0..ITEMS).map(|i| i * 11 + 30).sum();
+        let bug = BugInfo {
+            description: "Order violation: main frees the work queue before the consumer \
+                          has drained it (missing wait)"
+                .into(),
+            class: BugClass::OrderViolation,
+            store_pcs: vec![s_free],
+            load_pcs: vec![l_qp],
+        };
+
+        BuiltWorkload {
+            program: a.finish().expect("pbzip2 assembles"),
+            expected_output: vec![checksum],
+            bug: Some(bug),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+    use act_sim::outcome::{CrashKind, RunOutcome};
+
+    fn cfg(seed: u64) -> MachineConfig {
+        MachineConfig { jitter_ppm: 10_000, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn clean_runs_complete_correctly() {
+        let w = Pbzip2;
+        let built = w.build(&w.default_params());
+        for seed in 0..5 {
+            let out = Machine::new(&built.program, cfg(seed)).run();
+            assert!(built.is_correct(&out), "seed {seed}: {out}");
+        }
+    }
+
+    #[test]
+    fn triggered_runs_crash() {
+        let w = Pbzip2;
+        let built = w.build(&w.default_params().triggered());
+        let mut crashes = 0;
+        for seed in 0..6 {
+            if let RunOutcome::Crash { kind, .. } = Machine::new(&built.program, cfg(seed)).run()
+            {
+                assert!(matches!(kind, CrashKind::NullDeref));
+                crashes += 1;
+            }
+        }
+        assert!(crashes >= 4, "only {crashes}/6 triggered runs crashed");
+    }
+}

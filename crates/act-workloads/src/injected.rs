@@ -1,0 +1,770 @@
+//! The five injected bugs of Table VI: each workload is a clean kernel-like
+//! base program plus a *new function* appended at the end of the code. The
+//! base code's instruction addresses are identical with and without the new
+//! function (`Params::new_code`), so a network trained on the base program
+//! can be deployed on the extended one — the adaptivity scenario the paper
+//! injects bugs into.
+//!
+//! As everywhere in this crate, clean and triggering builds share identical
+//! code; only preloaded data parameters (bounds, pointers, delays, lock
+//! addresses) differ.
+
+use crate::spec::{BugClass, BugInfo, BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::{count_loop, delay_from};
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R8: Reg = Reg(8);
+
+/// All injected-bug workloads in Table VI order.
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(FftTouchArray),
+        Box::new(BarnesVlist),
+        Box::new(FluidDensitiesMt),
+        Box::new(LuTouchA),
+        Box::new(SwaptionsWorker),
+    ]
+}
+
+/// Emit the init-loop `arr[i] = (i*mul + add) % modu` over `n` elements.
+fn emit_init(a: &mut Asm, base: u64, n: i64, mul: i64, add: i64, modu: i64, mark: &str) -> u32 {
+    let mut pc = 0;
+    a.imm(R6, n);
+    count_loop(a, R2, R6, R3, |a| {
+        a.alui(AluOp::Mul, R4, R2, mul);
+        a.alui(AluOp::Add, R4, R4, add);
+        a.alui(AluOp::Rem, R4, R4, modu);
+        a.alui(AluOp::Mul, R5, R2, 8);
+        a.alui(AluOp::Add, R5, R5, base as i64);
+        a.mark(mark);
+        pc = a.store(R4, R5, 0);
+    });
+    pc
+}
+
+fn init_vals(n: i64, mul: i64, add: i64, modu: i64) -> Vec<i64> {
+    (0..n).map(|i| (i * mul + add) % modu).collect()
+}
+
+// --------------------------------------------------------------------
+// lu: touch_a — off-by-one diagonal walk reads past the matrix.
+// --------------------------------------------------------------------
+
+/// `lu` with an injected `touch_a` function (Table VI).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LuTouchA;
+
+impl Workload for LuTouchA {
+    fn name(&self) -> &'static str {
+        "lu:touch_a"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::InjectedBug
+    }
+
+    fn norm_code_len(&self) -> Option<usize> {
+        Some(256)
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 8, threads: 1, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.size.max(4) as i64;
+        // The injected bug: the diagonal walk's bound is n+1 when triggered.
+        let bound = if p.trigger_bug { n + 1 } else { n };
+        let add = (p.seed % 9) as i64;
+
+        let mut a = Asm::new();
+        let mat = a.static_zeroed((n * n) as usize);
+        let other = a.static_zeroed((n + 2) as usize);
+        let pbound = a.static_data(&[bound]);
+
+        a.func("main");
+        let s_mat = emit_init(&mut a, mat, n * n, 31, add, 97, "S_mat");
+        let _s_other = emit_init(&mut a, other, n + 2, 7, 1, 50, "S_other");
+        let _ = s_mat;
+        // Base work: one reduction sweep.
+        a.imm(R8, 0);
+        a.imm(R6, n * n);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alui(AluOp::Add, R5, R5, mat as i64);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        let hook = a.new_label();
+        let back = a.new_label();
+        a.jump(hook);
+        a.bind(back);
+        a.halt();
+
+        let mut bug = None;
+        let mut extra_out = Vec::new();
+        if p.new_code {
+            a.func("touch_a");
+            a.bind(hook);
+            // Walk the diagonal up to the (possibly buggy) bound.
+            a.imm(Reg(20), pbound as i64);
+            a.load(R6, Reg(20), 0); // bound (preloaded, no dep)
+            a.imm(R8, 0);
+            let mut l_touch = 0;
+            count_loop(&mut a, R2, R6, R3, |a| {
+                a.alui(AluOp::Mul, R5, R2, n);
+                a.alu(AluOp::Add, R5, R5, R2);
+                a.alui(AluOp::Mul, R5, R5, 8);
+                a.alui(AluOp::Add, R5, R5, mat as i64);
+                a.mark("L_touch");
+                l_touch = a.load(R4, R5, 0);
+                a.alu(AluOp::Add, R8, R8, R4);
+            });
+            a.out(R8);
+            a.jump(back);
+            bug = Some(BugInfo {
+                description: "Injected: touch_a's off-by-one bound reads past the matrix \
+                              into an unrelated array"
+                    .into(),
+                class: BugClass::BufferOverflow,
+                store_pcs: vec![], // whichever unrelated store wrote there
+                load_pcs: vec![l_touch],
+            });
+            // Oracle for the new output.
+            let m = init_vals(n * n, 31, add, 97);
+            let o = init_vals(n + 2, 7, 1, 50);
+            let mut diag = 0i64;
+            for i in 0..n {
+                diag += m[(i * n + i) as usize];
+            }
+            // The CORRECT new function sums n diagonal elements. When the
+            // bug triggers, index n*n+n lands in `other`.
+            let _ = o;
+            extra_out.push(diag);
+        } else {
+            a.func("touch_a_stub");
+            a.bind(hook);
+            a.jump(back);
+        }
+
+        let m = init_vals(n * n, 31, add, 97);
+        let base_sum: i64 = m.iter().sum();
+        let mut expected = vec![base_sum];
+        expected.extend(extra_out);
+
+        BuiltWorkload { program: a.finish().expect("lu:touch_a assembles"), expected_output: expected, bug }
+    }
+}
+
+// --------------------------------------------------------------------
+// fft: touch_array — strided read with a bad stride escapes the array.
+// --------------------------------------------------------------------
+
+/// `fft` with an injected `touch_array` function (Table VI).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FftTouchArray;
+
+impl Workload for FftTouchArray {
+    fn name(&self) -> &'static str {
+        "fft:touch_array"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::InjectedBug
+    }
+
+    fn norm_code_len(&self) -> Option<usize> {
+        Some(256)
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 16, threads: 1, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = (p.size as i64).max(8);
+        // Correct stride 1 covers [0, n/2); buggy stride 3 reaches
+        // 3(n/2 - 1) >= n, escaping into the shadow buffer.
+        let stride = if p.trigger_bug { 3 } else { 1 };
+        let add = (p.seed % 5) as i64;
+
+        let mut a = Asm::new();
+        let arr = a.static_zeroed(n as usize);
+        let shadow = a.static_zeroed(n as usize);
+        let pstride = a.static_data(&[stride]);
+
+        a.func("main");
+        emit_init(&mut a, arr, n, 7, add, 64, "S_arr");
+        emit_init(&mut a, shadow, n, 3, 2, 64, "S_shadow");
+        // Base work: one in-place butterfly pass (pairs (2i, 2i+1)).
+        a.imm(R6, n / 2);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 16);
+            a.alui(AluOp::Add, R5, R5, arr as i64);
+            a.load(R4, R5, 0);
+            a.load(R8, R5, 8);
+            a.alu(AluOp::Add, Reg(9), R4, R8);
+            a.store(Reg(9), R5, 0);
+            a.alu(AluOp::Sub, Reg(9), R4, R8);
+            a.store(Reg(9), R5, 8);
+        });
+        a.imm(R8, 0);
+        a.imm(R6, n);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alui(AluOp::Add, R5, R5, arr as i64);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        let hook = a.new_label();
+        let back = a.new_label();
+        a.jump(hook);
+        a.bind(back);
+        a.halt();
+
+        let mut bug = None;
+        let mut extra = Vec::new();
+        if p.new_code {
+            a.func("touch_array");
+            a.bind(hook);
+            a.imm(Reg(20), pstride as i64);
+            a.load(Reg(21), Reg(20), 0); // stride
+            a.imm(R8, 0);
+            a.imm(R6, n / 2);
+            let mut l_touch = 0;
+            count_loop(&mut a, R2, R6, R3, |a| {
+                a.alu(AluOp::Mul, R5, R2, Reg(21));
+                a.alui(AluOp::Mul, R5, R5, 8);
+                a.alui(AluOp::Add, R5, R5, arr as i64);
+                a.mark("L_touch_arr");
+                l_touch = a.load(R4, R5, 0);
+                a.alu(AluOp::Add, R8, R8, R4);
+            });
+            a.out(R8);
+            a.jump(back);
+            bug = Some(BugInfo {
+                description: "Injected: touch_array's stride escapes the array into the \
+                              shadow buffer"
+                    .into(),
+                class: BugClass::BufferOverflow,
+                store_pcs: vec![],
+                load_pcs: vec![l_touch],
+            });
+            // Correct new output: sum of arr[0..n/2] after the base pass.
+            let after = base_pass(n, add);
+            let correct: i64 = (0..n / 2).map(|i| after[i as usize]).sum();
+            extra.push(correct);
+        } else {
+            a.func("touch_array_stub");
+            a.bind(hook);
+            a.jump(back);
+        }
+
+        let after = base_pass(n, add);
+        let base_sum: i64 = after.iter().sum();
+        let mut expected = vec![base_sum];
+        expected.extend(extra);
+
+        BuiltWorkload {
+            program: a.finish().expect("fft:touch_array assembles"),
+            expected_output: expected,
+            bug,
+        }
+    }
+}
+
+fn base_pass(n: i64, add: i64) -> Vec<i64> {
+    let mut x = init_vals(n, 7, add, 64);
+    for i in 0..(n / 2) as usize {
+        let (a, b) = (x[2 * i], x[2 * i + 1]);
+        x[2 * i] = a + b;
+        x[2 * i + 1] = a - b;
+    }
+    x
+}
+
+// --------------------------------------------------------------------
+// barnes: vlist_interaction — wrong base pointer reads bodies, not forces.
+// --------------------------------------------------------------------
+
+/// `barnes` with an injected `vlist_interaction` function (Table VI).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BarnesVlist;
+
+impl Workload for BarnesVlist {
+    fn name(&self) -> &'static str {
+        "barnes:vlist_interaction"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::InjectedBug
+    }
+
+    fn norm_code_len(&self) -> Option<usize> {
+        Some(256)
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 12, threads: 1, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = (p.size as i64).max(8);
+        let add = (p.seed % 6) as i64;
+
+        let mut a = Asm::new();
+        let bodies = a.static_zeroed(n as usize);
+        let forces = a.static_zeroed(n as usize);
+        // The parameter is the base pointer the new function walks: the
+        // correct forces array, or (injected bug) the bodies array.
+        let base_ptr = if p.trigger_bug { bodies } else { forces };
+        let pbase = a.static_data(&[base_ptr as i64]);
+
+        a.func("main");
+        emit_init(&mut a, bodies, n, 9, add, 70, "S_body");
+        // Base work: forces[i] = (bodies[i] - bodies[(i+1)%n]) >> 1.
+        a.imm(R6, n);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alui(AluOp::Add, R5, R5, bodies as i64);
+            a.load(R4, R5, 0);
+            a.alui(AluOp::Add, R5, R2, 1);
+            a.alui(AluOp::Rem, R5, R5, n);
+            a.alui(AluOp::Mul, R5, R5, 8);
+            a.alui(AluOp::Add, R5, R5, bodies as i64);
+            a.load(R8, R5, 0);
+            a.alu(AluOp::Sub, R4, R4, R8);
+            a.alui(AluOp::Shr, R4, R4, 1);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alui(AluOp::Add, R5, R5, forces as i64);
+            a.mark("S_force");
+            a.store(R4, R5, 0);
+        });
+        a.imm(R8, 0);
+        a.imm(R6, n);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alui(AluOp::Add, R5, R5, forces as i64);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        let hook = a.new_label();
+        let back = a.new_label();
+        a.jump(hook);
+        a.bind(back);
+        a.halt();
+
+        let bodies_v = init_vals(n, 9, add, 70);
+        let forces_v: Vec<i64> = (0..n)
+            .map(|i| (bodies_v[i as usize] - bodies_v[((i + 1) % n) as usize]) >> 1)
+            .collect();
+
+        let mut bug = None;
+        let mut extra = Vec::new();
+        if p.new_code {
+            a.func("vlist_interaction");
+            a.bind(hook);
+            a.imm(Reg(20), pbase as i64);
+            a.load(Reg(21), Reg(20), 0); // base pointer (param)
+            a.imm(R8, 0);
+            a.imm(R6, n);
+            let mut l_vl = 0;
+            count_loop(&mut a, R2, R6, R3, |a| {
+                a.alui(AluOp::Mul, R5, R2, 8);
+                a.alu(AluOp::Add, R5, Reg(21), R5);
+                a.mark("L_vlist");
+                l_vl = a.load(R4, R5, 0);
+                a.alui(AluOp::Mul, R4, R4, 3);
+                a.alu(AluOp::Add, R8, R8, R4);
+            });
+            a.out(R8);
+            a.jump(back);
+            bug = Some(BugInfo {
+                description: "Injected: vlist_interaction walks the bodies array instead \
+                              of the forces array"
+                    .into(),
+                class: BugClass::Semantic,
+                store_pcs: vec![],
+                load_pcs: vec![l_vl],
+            });
+            let correct: i64 = forces_v.iter().map(|v| v * 3).sum();
+            extra.push(correct);
+        } else {
+            a.func("vlist_stub");
+            a.bind(hook);
+            a.jump(back);
+        }
+
+        let base_sum: i64 = forces_v.iter().sum();
+        let mut expected = vec![base_sum];
+        expected.extend(extra);
+
+        BuiltWorkload {
+            program: a.finish().expect("barnes:vlist assembles"),
+            expected_output: expected,
+            bug,
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// fluidanimate: compute_densities_mt — broken lock sharing loses updates.
+// --------------------------------------------------------------------
+
+/// `fluidanimate` with an injected parallel `compute_densities_mt`
+/// function (Table VI).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FluidDensitiesMt;
+
+/// Increments each new-code worker adds to the shared accumulator.
+const MT_ROUNDS: i64 = 6;
+
+impl Workload for FluidDensitiesMt {
+    fn name(&self) -> &'static str {
+        "fluidanimate:compute_densities_mt"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::InjectedBug
+    }
+
+    fn norm_code_len(&self) -> Option<usize> {
+        Some(256)
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 16, threads: 2, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = (p.size as i64).max(8);
+        let add = (p.seed % 7) as i64;
+
+        let mut a = Asm::new();
+        let cells = a.static_zeroed(n as usize);
+        let acc = a.static_zeroed(1);
+        let lock_a = a.static_zeroed(1);
+        let lock_b = a.static_zeroed(1);
+        // Parameters: each worker's lock address, start delay, and in-lock
+        // window. Clean: both use lock_a and worker 1 starts late. Trigger:
+        // different locks, simultaneous start, wide read..write window.
+        let (lock0, lock1, start1, window) = if p.trigger_bug {
+            (lock_a as i64, lock_b as i64, 0i64, 120i64)
+        } else {
+            (lock_a as i64, lock_a as i64, 4000, 0)
+        };
+        let plock0 = a.static_data(&[lock0]);
+        let plock1 = a.static_data(&[lock1]);
+        let pstart1 = a.static_data(&[start1]);
+        let pwindow = a.static_data(&[window]);
+        let pzero = a.static_data(&[0]);
+
+        a.func("main");
+        emit_init(&mut a, cells, n, 5, add, 40, "S_cell");
+        // Base: sequential density sum.
+        a.imm(R8, 0);
+        a.imm(R6, n);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alui(AluOp::Add, R5, R5, cells as i64);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        let hook = a.new_label();
+        let back = a.new_label();
+        a.jump(hook);
+        a.bind(back);
+        a.halt();
+
+        let cells_v = init_vals(n, 5, add, 40);
+        let base_sum: i64 = cells_v.iter().sum();
+
+        let mut bug = None;
+        let mut extra = Vec::new();
+        if p.new_code {
+            // New code: two workers each add MT_ROUNDS increments of 1 into
+            // the shared accumulator under (what they think is) a lock.
+            let mt_worker = a.new_label();
+            a.func("compute_densities_mt");
+            a.bind(hook);
+            a.imm(Reg(20), acc as i64);
+            a.imm(R2, 0);
+            a.mark("S_acc0");
+            let s_acc0 = a.store(R2, Reg(20), 0);
+            a.imm(R2, 0);
+            a.spawn(Reg(10), mt_worker, R2);
+            a.imm(R2, 1);
+            a.spawn(Reg(11), mt_worker, R2);
+            a.join(Reg(10));
+            a.join(Reg(11));
+            a.mark("L_acc_final");
+            let l_acc_final = a.load(R4, Reg(20), 0);
+            a.out(R4);
+            a.jump(back);
+
+            a.func("mt_worker");
+            a.bind(mt_worker);
+            a.imm(Reg(20), acc as i64);
+            // Pick this worker's lock address and start delay.
+            let use0 = a.new_label();
+            let picked = a.new_label();
+            a.bez(Reg(1), use0);
+            a.imm(Reg(22), plock1 as i64);
+            a.load(Reg(21), Reg(22), 0);
+            delay_from(&mut a, pstart1, R5, R2);
+            a.jump(picked);
+            a.bind(use0);
+            a.imm(Reg(22), plock0 as i64);
+            a.load(Reg(21), Reg(22), 0);
+            a.bind(picked);
+            a.imm(R6, MT_ROUNDS);
+            let mut l_acc = 0;
+            let _ = s_acc0;
+            count_loop(&mut a, R2, R6, R3, |a| {
+                a.lock(Reg(21), 0);
+                a.mark("L_acc");
+                l_acc = a.load(R4, Reg(20), 0);
+                delay_from(a, if window > 0 { pwindow } else { pzero }, R5, R8);
+                a.alui(AluOp::Add, R4, R4, 1);
+                a.mark("S_acc");
+                a.store(R4, Reg(20), 0);
+                a.unlock(Reg(21), 0);
+            });
+            a.halt();
+
+            bug = Some(BugInfo {
+                description: "Injected: compute_densities_mt workers use different lock \
+                              words, so the accumulator read-modify-write races"
+                    .into(),
+                class: BugClass::AtomicityViolation,
+                store_pcs: vec![],
+                load_pcs: vec![l_acc, l_acc_final],
+            });
+            extra.push(2 * MT_ROUNDS);
+        } else {
+            a.func("compute_densities_mt_stub");
+            a.bind(hook);
+            a.jump(back);
+        }
+
+        let mut expected = vec![base_sum];
+        expected.extend(extra);
+
+        BuiltWorkload {
+            program: a.finish().expect("fluid:mt assembles"),
+            expected_output: expected,
+            bug,
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// swaptions: worker — aggregate reads results before they are final.
+// --------------------------------------------------------------------
+
+/// `swaptions` with an injected early-aggregation `worker` function
+/// (Table VI).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwaptionsWorker;
+
+impl Workload for SwaptionsWorker {
+    fn name(&self) -> &'static str {
+        "swaptions:worker"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::InjectedBug
+    }
+
+    fn norm_code_len(&self) -> Option<usize> {
+        Some(256)
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 30, threads: 2, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let iters = (p.size as i64).max(8);
+        let add = (p.seed % 23) as i64;
+        // The new aggregator waits d_agg before reading the result slots.
+        let d_agg = if p.trigger_bug { 20i64 } else { 30_000 };
+
+        let mut a = Asm::new();
+        let results = a.static_zeroed(2);
+        let pd_agg = a.static_data(&[d_agg]);
+
+        let price = |w: i64| {
+            let mut acc = w * 100 + add;
+            for it in 0..iters {
+                acc = (acc * 31 + it) % 100_003;
+            }
+            acc
+        };
+
+        a.func("main");
+        let worker = a.new_label();
+        a.imm(Reg(20), results as i64);
+        // Zero the result slots (stores, so the early read forms a dep).
+        a.imm(R2, 0);
+        a.mark("S_zero0");
+        let s_zero0 = a.store(R2, Reg(20), 0);
+        a.mark("S_zero1");
+        let s_zero1 = a.store(R2, Reg(20), 8);
+        a.imm(R2, 0);
+        a.spawn(Reg(10), worker, R2);
+        a.imm(R2, 1);
+        a.spawn(Reg(11), worker, R2);
+        let hook = a.new_label();
+        let back = a.new_label();
+        a.jump(hook);
+        a.bind(back);
+        a.join(Reg(10));
+        a.join(Reg(11));
+        a.load(R4, Reg(20), 0);
+        a.load(R5, Reg(20), 8);
+        a.alu(AluOp::Add, R4, R4, R5);
+        a.out(R4);
+        a.halt();
+
+        a.func("price_worker");
+        a.bind(worker);
+        a.alui(AluOp::Mul, R4, Reg(1), 100);
+        a.alui(AluOp::Add, R4, R4, add);
+        a.imm(R6, iters);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R4, 31);
+            a.alu(AluOp::Add, R4, R4, R2);
+            a.alui(AluOp::Rem, R4, R4, 100_003);
+        });
+        a.alui(AluOp::Mul, R5, Reg(1), 8);
+        a.alui(AluOp::Add, R5, R5, results as i64);
+        a.mark("S_final");
+        a.store(R4, R5, 0);
+        a.halt();
+
+        let mut bug = None;
+        let mut extra = Vec::new();
+        if p.new_code {
+            a.func("worker_aggregate");
+            a.bind(hook);
+            // New code: report partial totals WITHOUT joining first — only a
+            // long delay makes it correct. The injected bug shrinks the
+            // delay so the zeros are read.
+            delay_from(&mut a, pd_agg, R5, R2);
+            a.imm(Reg(20), results as i64);
+            a.mark("L_agg0");
+            let l0 = a.load(R4, Reg(20), 0);
+            a.mark("L_agg1");
+            let l1 = a.load(R5, Reg(20), 8);
+            a.alu(AluOp::Add, R4, R4, R5);
+            a.out(R4);
+            a.jump(back);
+            bug = Some(BugInfo {
+                description: "Injected: aggregation reads worker results before the \
+                              workers have finished (missing join)"
+                    .into(),
+                class: BugClass::OrderViolation,
+                store_pcs: vec![s_zero0, s_zero1],
+                load_pcs: vec![l0, l1],
+            });
+            extra.push(price(0) + price(1));
+        } else {
+            a.func("worker_stub");
+            a.bind(hook);
+            a.jump(back);
+        }
+
+        // Output order: the aggregate (if any) prints before the final sum.
+        let mut expected = extra;
+        expected.push(price(0) + price(1));
+
+        BuiltWorkload {
+            program: a.finish().expect("swaptions:worker assembles"),
+            expected_output: expected,
+            bug,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    fn cfg(seed: u64) -> MachineConfig {
+        MachineConfig { jitter_ppm: 10_000, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn base_variants_run_correctly() {
+        for w in all() {
+            let built = w.build(&w.default_params());
+            for seed in 0..3 {
+                let out = Machine::new(&built.program, cfg(seed)).run();
+                assert!(built.is_correct(&out), "{} base seed {seed}: {out}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn new_code_clean_variants_run_correctly() {
+        for w in all() {
+            let p = Params { new_code: true, ..w.default_params() };
+            let built = w.build(&p);
+            for seed in 0..3 {
+                let out = Machine::new(&built.program, cfg(seed)).run();
+                assert!(built.is_correct(&out), "{} new-code seed {seed}: {out}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn new_code_triggered_variants_fail() {
+        for w in all() {
+            let p = Params { new_code: true, ..w.default_params().triggered() };
+            let built = w.build(&p);
+            let mut failures = 0;
+            for seed in 0..4 {
+                let out = Machine::new(&built.program, cfg(seed)).run();
+                if built.is_failure(&out) {
+                    failures += 1;
+                }
+            }
+            assert!(failures >= 3, "{}: only {failures}/4 triggered runs failed", w.name());
+        }
+    }
+
+    #[test]
+    fn shared_code_has_identical_pcs_across_variants() {
+        for w in all() {
+            let base = w.build(&w.default_params());
+            let ext = w.build(&Params { new_code: true, ..w.default_params() });
+            let shared = base
+                .program
+                .instrs
+                .len()
+                .min(ext.program.instrs.len());
+            // Everything up to the hook stub must be identical. The stub is
+            // at most 2 instructions from the end of the base program.
+            let check = shared.saturating_sub(2);
+            assert_eq!(
+                &base.program.instrs[..check],
+                &ext.program.instrs[..check],
+                "{}: shared code shifted between variants",
+                w.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! `barnes` — a pairwise-interaction kernel in the spirit of SPLASH2's
+//! Barnes-Hut force phase: workers walk a precomputed interaction list and
+//! accumulate forces into *private* per-worker arrays (read-shared bodies,
+//! private accumulation), which the main thread reduces.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Barnes-Hut-style interaction kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Barnes;
+
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const RB: Reg = Reg(21);
+const RF: Reg = Reg(22);
+const RS: Reg = Reg(23);
+
+const PAIRS_PER_WORKER: usize = 16;
+
+impl Workload for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 20, threads: 4, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.size.max(8);
+        let t = p.threads.clamp(1, 7);
+        let mut rng = StdRng::seed_from_u64(p.seed.wrapping_mul(0xbadc0de) ^ 3);
+        let pairs: Vec<(i64, i64)> = (0..t * PAIRS_PER_WORKER)
+            .map(|_| (rng.gen_range(0..n as i64), rng.gen_range(0..n as i64)))
+            .collect();
+        let flat: Vec<i64> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
+        let body = |i: i64| (i * 9 + (p.seed as i64 % 5)) % 70;
+
+        // Oracle.
+        let mut forces = vec![0i64; n * t];
+        for (w, chunk) in pairs.chunks(PAIRS_PER_WORKER).enumerate() {
+            for &(i, j) in chunk {
+                let d = (body(i) - body(j)) >> 2;
+                forces[w * n + i as usize] = forces[w * n + i as usize].wrapping_add(d);
+                forces[w * n + j as usize] = forces[w * n + j as usize].wrapping_sub(d);
+            }
+        }
+        let expected: i64 = forces.iter().fold(0, |a, &b| a.wrapping_add(b.wrapping_mul(3)));
+
+        let mut a = Asm::new();
+        let bodies = a.static_zeroed(n);
+        let force = a.static_zeroed(n * t);
+        let sched = a.static_data(&flat);
+        let seed_term = (p.seed % 5) as i64;
+
+        a.func("main");
+        a.imm(RB, bodies as i64);
+        a.imm(R6, n as i64);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 9);
+            a.alui(AluOp::Add, R4, R4, seed_term);
+            a.alui(AluOp::Rem, R4, R4, 70);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.store(R4, R5, 0);
+        });
+        let worker = a.new_label();
+        for w in 0..t {
+            a.imm(R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        a.imm(RF, force as i64);
+        a.imm(R6, (n * t) as i64);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RF, R5);
+            a.load(R4, R5, 0);
+            a.alui(AluOp::Mul, R4, R4, 3);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Worker w: pairs [w*P .. (w+1)*P), private force slice at w*n.
+        a.func("vlist_walk");
+        a.bind(worker);
+        a.imm(RB, bodies as i64);
+        a.alui(AluOp::Mul, RF, R1, (n * 8) as i64);
+        a.alui(AluOp::Add, RF, RF, force as i64);
+        a.alui(AluOp::Mul, RS, R1, (PAIRS_PER_WORKER * 16) as i64);
+        a.alui(AluOp::Add, RS, RS, sched as i64);
+        a.imm(R8, PAIRS_PER_WORKER as i64);
+        count_loop(&mut a, R2, R8, R3, |a| {
+            a.load(R4, RS, 0); // i (schedule: preloaded, no dep)
+            a.load(R5, RS, 8); // j
+            // d = (body[i] - body[j]) >> 2
+            a.alui(AluOp::Mul, R6, R4, 8);
+            a.alu(AluOp::Add, R6, RB, R6);
+            a.load(R6, R6, 0);
+            a.alui(AluOp::Mul, R7, R5, 8);
+            a.alu(AluOp::Add, R7, RB, R7);
+            a.load(R7, R7, 0);
+            a.alu(AluOp::Sub, R6, R6, R7);
+            a.alui(AluOp::Shr, R6, R6, 2);
+            // force[i] += d
+            a.alui(AluOp::Mul, R7, R4, 8);
+            a.alu(AluOp::Add, R7, RF, R7);
+            a.load(R9, R7, 0);
+            a.alu(AluOp::Add, R9, R9, R6);
+            a.store(R9, R7, 0);
+            // force[j] -= d
+            a.alui(AluOp::Mul, R7, R5, 8);
+            a.alu(AluOp::Add, R7, RF, R7);
+            a.load(R9, R7, 0);
+            a.alu(AluOp::Sub, R9, R9, R6);
+            a.store(R9, R7, 0);
+            a.alui(AluOp::Add, RS, RS, 16);
+        });
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("barnes assembles"),
+            expected_output: vec![expected],
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn matches_oracle() {
+        let w = Barnes;
+        let built = w.build(&w.default_params());
+        let cfg = MachineConfig { jitter_ppm: 30_000, seed: 2, ..Default::default() };
+        let out = Machine::new(&built.program, cfg).run();
+        assert!(built.is_correct(&out), "{out}");
+    }
+}

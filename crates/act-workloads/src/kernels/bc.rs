@@ -1,0 +1,186 @@
+//! `bc` — a sequential stack-machine expression evaluator in the spirit of
+//! GNU `bc`: a random arithmetic program (push / add / sub / mul opcodes)
+//! is interpreted over an in-memory operand stack. This is the crate's
+//! representative *sequential* application with data-dependent control flow
+//! (an opcode dispatch chain) and rich intra-thread RAW dependences through
+//! the stack.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The bc-style stack-machine interpreter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bc;
+
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const RIP: Reg = Reg(20);
+const RSP: Reg = Reg(21);
+
+/// Opcodes of the interpreted bytecode.
+const OP_PUSH: i64 = 0;
+const OP_ADD: i64 = 1;
+const OP_SUB: i64 = 2;
+const OP_MUL: i64 = 3;
+const OP_END: i64 = 4;
+
+/// Generate a well-formed bytecode program and its result. The *structure*
+/// (opcode sequence) is fixed — it is the program being interpreted — while
+/// the pushed immediates vary with the seed, like running the same bc
+/// script on different inputs.
+fn gen_bytecode(size: usize, seed: u64) -> (Vec<i64>, i64) {
+    let mut structure = StdRng::seed_from_u64(0xbc_bc_bc);
+    let mut values = StdRng::seed_from_u64(seed.wrapping_mul(0x5eed) ^ 99);
+    let mut code = Vec::new();
+    let mut stack: Vec<i64> = Vec::new();
+    let ops = size.max(6);
+    for _ in 0..ops {
+        if stack.len() < 2 || structure.gen_bool(0.5) {
+            let v = values.gen_range(-20i64..20);
+            code.extend([OP_PUSH, v]);
+            stack.push(v);
+        } else {
+            let b = stack.pop().unwrap();
+            let a = stack.pop().unwrap();
+            let (op, r) = match structure.gen_range(0..3) {
+                0 => (OP_ADD, a.wrapping_add(b)),
+                1 => (OP_SUB, a.wrapping_sub(b)),
+                _ => (OP_MUL, (a.wrapping_mul(b)) % 1000),
+            };
+            code.push(op);
+            stack.push(r);
+        }
+    }
+    // Fold the stack down to one value with adds.
+    while stack.len() > 1 {
+        let b = stack.pop().unwrap();
+        let a = stack.pop().unwrap();
+        code.push(OP_ADD);
+        stack.push(a.wrapping_add(b));
+    }
+    code.push(OP_END);
+    (code, stack[0])
+}
+
+impl Workload for Bc {
+    fn name(&self) -> &'static str {
+        "bc"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 40, threads: 1, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let (code, result) = gen_bytecode(p.size, p.seed);
+        let mut a = Asm::new();
+        let bytecode = a.static_data(&code);
+        // Worst case every opcode is a push, so size the stack accordingly.
+        let stack = a.static_zeroed(p.size.max(6) + 8);
+
+        a.func("main");
+        a.imm(RIP, bytecode as i64);
+        a.imm(RSP, stack as i64); // empty ascending stack
+        let fetch = a.new_label();
+        let do_push = a.new_label();
+        let do_add = a.new_label();
+        let do_sub = a.new_label();
+        let do_mul = a.new_label();
+        let do_end = a.new_label();
+        let binop_done = a.new_label();
+
+        a.bind(fetch);
+        a.load(R2, RIP, 0); // opcode (preloaded bytecode: no dep noise)
+        a.addi(RIP, RIP, 8);
+        a.alui(AluOp::Eq, R3, R2, OP_PUSH);
+        a.bnz(R3, do_push);
+        a.alui(AluOp::Eq, R3, R2, OP_ADD);
+        a.bnz(R3, do_add);
+        a.alui(AluOp::Eq, R3, R2, OP_SUB);
+        a.bnz(R3, do_sub);
+        a.alui(AluOp::Eq, R3, R2, OP_MUL);
+        a.bnz(R3, do_mul);
+        a.jump(do_end);
+
+        a.bind(do_push);
+        a.load(R4, RIP, 0); // immediate operand
+        a.addi(RIP, RIP, 8);
+        a.store(R4, RSP, 0);
+        a.addi(RSP, RSP, 8);
+        a.jump(fetch);
+
+        // Binary ops: pop b, pop a, push result (stack loads form deps).
+        a.bind(do_add);
+        a.load(R5, RSP, -8); // b
+        a.load(R4, RSP, -16); // a
+        a.alu(AluOp::Add, R4, R4, R5);
+        a.jump(binop_done);
+
+        a.bind(do_sub);
+        a.load(R5, RSP, -8);
+        a.load(R4, RSP, -16);
+        a.alu(AluOp::Sub, R4, R4, R5);
+        a.jump(binop_done);
+
+        a.bind(do_mul);
+        a.load(R5, RSP, -8);
+        a.load(R4, RSP, -16);
+        a.alu(AluOp::Mul, R4, R4, R5);
+        a.alui(AluOp::Rem, R4, R4, 1000);
+        a.jump(binop_done);
+
+        a.bind(binop_done);
+        a.addi(RSP, RSP, -16);
+        a.store(R4, RSP, 0);
+        a.addi(RSP, RSP, 8);
+        a.jump(fetch);
+
+        a.bind(do_end);
+        a.load(R4, RSP, -8);
+        a.out(R4);
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("bc assembles"),
+            expected_output: vec![result],
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn evaluates_random_programs_correctly() {
+        for seed in 0..5 {
+            let w = Bc;
+            let built = w.build(&Params { seed, ..w.default_params() });
+            let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+            let out = Machine::new(&built.program, cfg).run();
+            assert!(built.is_correct(&out), "seed {seed}: {out}");
+        }
+    }
+
+    #[test]
+    fn stack_traffic_forms_dependences() {
+        let w = Bc;
+        let built = w.build(&w.default_params());
+        let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let mut m = Machine::new(&built.program, cfg);
+        let _ = m.run();
+        assert!(m.stats().mem.deps_formed > 10);
+    }
+}

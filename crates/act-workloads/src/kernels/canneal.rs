@@ -1,0 +1,162 @@
+//! `canneal` — a lock-based element-swapping kernel in the spirit of
+//! PARSEC's canneal: worker threads repeatedly pick element pairs (from a
+//! precomputed random schedule) and conditionally swap them under a global
+//! lock. The element *sum* is swap-invariant, giving a deterministic oracle
+//! under any interleaving.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The canneal-style swapping kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Canneal;
+
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const RB: Reg = Reg(21);
+const RL: Reg = Reg(22);
+const RS: Reg = Reg(23);
+
+const ITERS_PER_WORKER: usize = 12;
+
+impl Workload for Canneal {
+    fn name(&self) -> &'static str {
+        "canneal"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 24, threads: 4, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.size.max(8);
+        let t = p.threads.clamp(1, 7);
+        let mut rng = StdRng::seed_from_u64(p.seed.wrapping_mul(0xc0ffee) ^ 7);
+
+        // Precomputed swap schedule: 2 indices per iteration per worker.
+        let schedule: Vec<i64> = (0..t * ITERS_PER_WORKER * 2)
+            .map(|_| rng.gen_range(0..n as i64))
+            .collect();
+        let init: Vec<i64> = (0..n).map(|i| ((i as i64) * 13 + (p.seed as i64 % 17)) % 50).collect();
+        let expected: i64 = init.iter().sum();
+
+        let mut a = Asm::new();
+        let elems = a.static_zeroed(n);
+        let lock_word = a.static_zeroed(1);
+        let sched = a.static_data(&schedule);
+
+        a.func("main");
+        a.imm(RB, elems as i64);
+        a.imm(R6, n as i64);
+        let seed_term = (p.seed % 17) as i64;
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 13);
+            a.alui(AluOp::Add, R4, R4, seed_term);
+            a.alui(AluOp::Rem, R4, R4, 50);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.store(R4, R5, 0);
+        });
+        let worker = a.new_label();
+        for w in 0..t {
+            a.imm(R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        // Sum (swap-invariant).
+        a.imm(R6, n as i64);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Worker w: iterate the schedule slice [w*ITERS .. (w+1)*ITERS).
+        a.func("canneal_worker");
+        a.bind(worker);
+        a.imm(RB, elems as i64);
+        a.imm(RL, lock_word as i64);
+        a.imm(RS, sched as i64);
+        // schedule cursor = (w * ITERS) * 2 words
+        a.alui(AluOp::Mul, R9, R1, (ITERS_PER_WORKER * 16) as i64);
+        a.alu(AluOp::Add, R9, RS, R9);
+        a.imm(R8, ITERS_PER_WORKER as i64);
+        count_loop(&mut a, R2, R8, R3, |a| {
+            a.load(R4, R9, 0); // i (preloaded schedule: no dep)
+            a.load(R5, R9, 8); // j
+            a.alui(AluOp::Mul, R4, R4, 8);
+            a.alu(AluOp::Add, R4, RB, R4);
+            a.alui(AluOp::Mul, R5, R5, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.lock(RL, 0);
+            a.load(R6, R4, 0);
+            a.load(R7, R5, 0);
+            // Swap into sorted order if out of order.
+            let skip = a.new_label();
+            let tmp = Reg(15);
+            a.alu(AluOp::Le, tmp, R6, R7);
+            a.bnz(tmp, skip);
+            a.store(R7, R4, 0);
+            a.store(R6, R5, 0);
+            a.bind(skip);
+            a.unlock(RL, 0);
+            a.alui(AluOp::Add, R9, R9, 16);
+        });
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("canneal assembles"),
+            expected_output: vec![expected],
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn sum_is_invariant_under_heavy_jitter() {
+        let w = Canneal;
+        let built = w.build(&w.default_params());
+        for seed in 0..3 {
+            let cfg = MachineConfig { jitter_ppm: 80_000, seed, ..Default::default() };
+            let out = Machine::new(&built.program, cfg).run();
+            assert!(built.is_correct(&out), "seed {seed}: {out}");
+        }
+    }
+
+    #[test]
+    fn uses_locks() {
+        let w = Canneal;
+        let built = w.build(&w.default_params());
+        let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let mut m = Machine::new(&built.program, cfg);
+        let _ = m.run();
+        assert!(m.stats().lock_acquires >= (4 * ITERS_PER_WORKER) as u64);
+    }
+}

@@ -1,0 +1,172 @@
+//! `fft` — a butterfly-network kernel in the spirit of SPLASH2's FFT:
+//! `log2(n)` passes over an array, each pass combining disjoint element
+//! pairs, with worker threads partitioning the pairs. Pairs are disjoint
+//! within a pass, so the integer result is interleaving-independent.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The FFT-style butterfly kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fft;
+
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const RN: Reg = Reg(20);
+const RB: Reg = Reg(21);
+
+fn oracle(n: usize, seed: u64) -> Vec<i64> {
+    let mut x: Vec<i64> = (0..n as i64).map(|i| (i * 7 + (seed as i64 % 11)) % 64).collect();
+    let passes = n.trailing_zeros() as usize;
+    for pass in 0..passes {
+        let stride = 1i64 << pass;
+        let mut y = x.clone();
+        for p in 0..(n as i64) / 2 {
+            let q = p / stride;
+            let r = p % stride;
+            let i1 = (q * 2 * stride + r) as usize;
+            let i2 = (i1 as i64 + stride) as usize;
+            let (a, b) = (x[i1], x[i2]);
+            y[i1] = a.wrapping_add(b);
+            y[i2] = a.wrapping_sub(b);
+        }
+        x = y;
+    }
+    let sum = x.iter().fold(0i64, |a, &b| a.wrapping_add(b.wrapping_mul(b) & 0xffff));
+    vec![sum]
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 32, threads: 4, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.size.next_power_of_two().max(8);
+        let t = p.threads.clamp(1, 7);
+        let passes = n.trailing_zeros() as i64;
+        let mut a = Asm::new();
+        let arr = a.static_zeroed(n);
+        let seed_term = (p.seed % 11) as i64;
+
+        a.func("main");
+        a.imm(RN, n as i64);
+        a.imm(RB, arr as i64);
+        count_loop(&mut a, R2, RN, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 7);
+            a.alui(AluOp::Add, R4, R4, seed_term);
+            a.alui(AluOp::Rem, R4, R4, 64);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.store(R4, R5, 0);
+        });
+
+        // Pass loop.
+        let worker = a.new_label();
+        a.imm(R9, 0); // pass
+        let pass_top = a.label_here();
+        for w in 0..t {
+            a.alui(AluOp::Mul, R2, R9, 256);
+            a.alui(AluOp::Add, R2, R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        a.addi(R9, R9, 1);
+        a.alui(AluOp::Lt, R2, R9, passes);
+        a.bnz(R2, pass_top);
+
+        // Checksum: sum of (x[i]^2 & 0xffff).
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, RN, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Mul, R4, R4, R4);
+            a.alui(AluOp::And, R4, R4, 0xffff);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Worker: arg = pass*256 + w. Pairs p = w, w+t, ... < n/2.
+        a.func("fft_worker");
+        a.bind(worker);
+        a.alui(AluOp::Shr, R2, R1, 8); // pass
+        a.alui(AluOp::And, R3, R1, 255); // w
+        a.imm(RB, arr as i64);
+        a.imm(R9, 1);
+        a.alu(AluOp::Shl, R9, R9, R2); // stride = 1 << pass
+        a.imm(RN, (n / 2) as i64);
+        a.alui(AluOp::Add, R4, R3, 0); // p = w
+        let done = a.new_label();
+        let top = a.label_here();
+        a.alu(AluOp::Lt, R5, R4, RN);
+        a.bez(R5, done);
+        // i1 = (p / stride) * 2*stride + p % stride
+        a.alu(AluOp::Div, R5, R4, R9);
+        a.alu(AluOp::Mul, R5, R5, R9);
+        a.alui(AluOp::Mul, R5, R5, 2);
+        a.alu(AluOp::Rem, R6, R4, R9);
+        a.alu(AluOp::Add, R5, R5, R6); // i1
+        a.alu(AluOp::Add, R6, R5, R9); // i2 = i1 + stride
+        // addresses
+        a.alui(AluOp::Mul, R5, R5, 8);
+        a.alu(AluOp::Add, R5, RB, R5);
+        a.alui(AluOp::Mul, R6, R6, 8);
+        a.alu(AluOp::Add, R6, RB, R6);
+        a.load(R7, R5, 0); // a
+        a.load(R8, R6, 0); // b
+        a.alu(AluOp::Add, R2, R7, R8);
+        a.store(R2, R5, 0);
+        a.alu(AluOp::Sub, R2, R7, R8);
+        a.store(R2, R6, 0);
+        // NOTE: R2 was pass; stride already captured in R9 so this is safe.
+        a.alui(AluOp::Add, R4, R4, t as i64);
+        a.jump(top);
+        a.bind(done);
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("fft assembles"),
+            expected_output: oracle(n, p.seed),
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn matches_oracle() {
+        let w = Fft;
+        for threads in [1, 3] {
+            let built = w.build(&Params { threads, ..w.default_params() });
+            let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+            let out = Machine::new(&built.program, cfg).run();
+            assert!(built.is_correct(&out), "threads={threads}: {out}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! `fluidanimate` — a two-phase stencil kernel in the spirit of PARSEC's
+//! fluidanimate: phase one computes each cell's "density" from its
+//! neighborhood (reads cross thread-partition boundaries), phase two folds
+//! the densities back into the cells. Phases are separated by joins, so the
+//! result is deterministic.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The fluidanimate-style stencil kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fluidanimate;
+
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const RB: Reg = Reg(21);
+const RD: Reg = Reg(22);
+
+fn oracle(n: usize, steps: usize, seed: u64) -> Vec<i64> {
+    let mut c: Vec<i64> = (0..n as i64).map(|i| (i * 5 + (seed as i64 % 7)) % 40).collect();
+    for _ in 0..steps {
+        let mut d = vec![0i64; n];
+        for i in 0..n {
+            let left = if i == 0 { 0 } else { c[i - 1] };
+            let right = if i + 1 == n { 0 } else { c[i + 1] };
+            d[i] = left.wrapping_add(c[i]).wrapping_add(right);
+        }
+        for i in 0..n {
+            c[i] = d[i] >> 1;
+        }
+    }
+    vec![c.iter().fold(0i64, |a, &b| a.wrapping_add(b))]
+}
+
+impl Workload for Fluidanimate {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 32, threads: 4, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.size.max(8);
+        let t = p.threads.clamp(1, 7);
+        let steps = 3usize;
+        let mut a = Asm::new();
+        let cells = a.static_zeroed(n);
+        let dens = a.static_zeroed(n);
+
+        a.func("main");
+        a.imm(RB, cells as i64);
+        a.imm(R6, n as i64);
+        let seed_term = (p.seed % 7) as i64;
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 5);
+            a.alui(AluOp::Add, R4, R4, seed_term);
+            a.alui(AluOp::Rem, R4, R4, 40);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.store(R4, R5, 0);
+        });
+        // Step loop: phase A (density) workers, then phase B (fold) workers.
+        let worker_a = a.new_label();
+        let worker_b = a.new_label();
+        a.imm(R9, 0);
+        let step_top = a.label_here();
+        for w in 0..t {
+            a.imm(R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker_a, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        for w in 0..t {
+            a.imm(R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker_b, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        a.addi(R9, R9, 1);
+        a.alui(AluOp::Lt, R2, R9, steps as i64);
+        a.bnz(R2, step_top);
+        // Checksum.
+        a.imm(R6, n as i64);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Phase A worker: d[i] = c[i-1] + c[i] + c[i+1] for owned cells.
+        a.func("compute_densities");
+        a.bind(worker_a);
+        a.imm(RB, cells as i64);
+        a.imm(RD, dens as i64);
+        a.alui(AluOp::Add, R4, R1, 0); // i = w
+        let done_a = a.new_label();
+        let top_a = a.label_here();
+        a.alui(AluOp::Lt, R5, R4, n as i64);
+        a.bez(R5, done_a);
+        a.alui(AluOp::Mul, R6, R4, 8);
+        a.alu(AluOp::Add, R6, RB, R6);
+        a.load(R7, R6, 0); // c[i]
+        // left neighbor (0 at boundary)
+        let no_left = a.new_label();
+        let have_left = a.new_label();
+        a.bez(R4, no_left);
+        a.load(R8, R6, -8);
+        a.jump(have_left);
+        a.bind(no_left);
+        a.imm(R8, 0);
+        a.bind(have_left);
+        a.alu(AluOp::Add, R7, R7, R8);
+        // right neighbor (0 at boundary)
+        let no_right = a.new_label();
+        let have_right = a.new_label();
+        a.alui(AluOp::Lt, R5, R4, (n - 1) as i64);
+        a.bez(R5, no_right);
+        a.load(R8, R6, 8);
+        a.jump(have_right);
+        a.bind(no_right);
+        a.imm(R8, 0);
+        a.bind(have_right);
+        a.alu(AluOp::Add, R7, R7, R8);
+        a.alui(AluOp::Mul, R9, R4, 8);
+        a.alu(AluOp::Add, R9, RD, R9);
+        a.store(R7, R9, 0);
+        a.alui(AluOp::Add, R4, R4, t as i64);
+        a.jump(top_a);
+        a.bind(done_a);
+        a.halt();
+
+        // Phase B worker: c[i] = d[i] >> 1.
+        a.func("fold_densities");
+        a.bind(worker_b);
+        a.imm(RB, cells as i64);
+        a.imm(RD, dens as i64);
+        a.alui(AluOp::Add, R4, R1, 0);
+        let done_b = a.new_label();
+        let top_b = a.label_here();
+        a.alui(AluOp::Lt, R5, R4, n as i64);
+        a.bez(R5, done_b);
+        a.alui(AluOp::Mul, R6, R4, 8);
+        a.alu(AluOp::Add, R7, RD, R6);
+        a.load(R8, R7, 0);
+        a.alui(AluOp::Shr, R8, R8, 1);
+        a.alu(AluOp::Add, R7, RB, R6);
+        a.store(R8, R7, 0);
+        a.alui(AluOp::Add, R4, R4, t as i64);
+        a.jump(top_b);
+        a.bind(done_b);
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("fluidanimate assembles"),
+            expected_output: oracle(n, steps, p.seed),
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn matches_oracle_with_jitter() {
+        let w = Fluidanimate;
+        let built = w.build(&w.default_params());
+        for seed in 0..2 {
+            let cfg = MachineConfig { jitter_ppm: 50_000, seed, ..Default::default() };
+            let out = Machine::new(&built.program, cfg).run();
+            assert!(built.is_correct(&out), "seed {seed}: {out}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! `hmmer` — a dynamic-programming kernel in the spirit of SPEC INT's
+//! hmmer (profile HMM scoring): fills a scoring table row by row, each cell
+//! reading its three predecessors (left, up, diagonal), clamped through a
+//! max — dense, regular intra-thread RAW chains.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The hmmer-style dynamic-programming kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hmmer;
+
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+
+fn score(i: i64, j: i64, seed: u64) -> i64 {
+    (i * 7 + j * 3 + (seed as i64 % 13)) % 17 - 8
+}
+
+fn oracle(rows: i64, cols: i64, seed: u64) -> Vec<i64> {
+    let idx = |i: i64, j: i64| (i * cols + j) as usize;
+    let mut t = vec![0i64; (rows * cols) as usize];
+    for i in 1..rows {
+        for j in 1..cols {
+            let best = t[idx(i - 1, j)].max(t[idx(i, j - 1)]).max(t[idx(i - 1, j - 1)]);
+            t[idx(i, j)] = (best + score(i, j, seed)).max(0);
+        }
+    }
+    vec![t[idx(rows - 1, cols - 1)], t.iter().sum::<i64>()]
+}
+
+impl Workload for Hmmer {
+    fn name(&self) -> &'static str {
+        "hmmer"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 10, threads: 1, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let rows = p.size.max(6) as i64;
+        let cols = rows;
+        let seed_term = (p.seed % 13) as i64;
+        let mut a = Asm::new();
+        let table = a.static_zeroed((rows * cols) as usize);
+
+        a.func("main");
+        a.imm(Reg(20), table as i64);
+        // Zero row 0 and column 0 with explicit stores so the first real
+        // cells form dependences.
+        a.imm(R6, cols);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.imm(R4, 0);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.store(R4, R5, 0);
+        });
+        a.imm(R6, rows);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.imm(R4, 0);
+            a.alui(AluOp::Mul, R5, R2, cols * 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.store(R4, R5, 0);
+        });
+        // Fill: for i in 1..rows, j in 1..cols.
+        a.imm(R8, 1); // i
+        let row_top = a.label_here();
+        a.imm(R9, 1); // j
+        let col_top = a.label_here();
+        // cell address = table + (i*cols + j)*8
+        a.alui(AluOp::Mul, R2, R8, cols);
+        a.alu(AluOp::Add, R2, R2, R9);
+        a.alui(AluOp::Mul, R2, R2, 8);
+        a.alu(AluOp::Add, R2, Reg(20), R2);
+        a.mark("L_up");
+        a.load(R3, R2, -(cols * 8)); // up
+        a.mark("L_left");
+        a.load(R4, R2, -8); // left
+        a.mark("L_diag");
+        a.load(R5, R2, -(cols * 8) - 8); // diagonal
+        a.alu(AluOp::Max, R3, R3, R4);
+        a.alu(AluOp::Max, R3, R3, R5);
+        // score(i, j) = (i*7 + j*3 + seed) % 17 - 8
+        a.alui(AluOp::Mul, R4, R8, 7);
+        a.alui(AluOp::Mul, R5, R9, 3);
+        a.alu(AluOp::Add, R4, R4, R5);
+        a.alui(AluOp::Add, R4, R4, seed_term);
+        a.alui(AluOp::Rem, R4, R4, 17);
+        a.alui(AluOp::Sub, R4, R4, 8);
+        a.alu(AluOp::Add, R3, R3, R4);
+        a.alui(AluOp::Max, R3, R3, 0);
+        a.mark("S_cell");
+        a.store(R3, R2, 0);
+        a.addi(R9, R9, 1);
+        a.alui(AluOp::Lt, R4, R9, cols);
+        a.bnz(R4, col_top);
+        a.addi(R8, R8, 1);
+        a.alui(AluOp::Lt, R4, R8, rows);
+        a.bnz(R4, row_top);
+        // Emit the final cell and the table checksum.
+        a.imm(R2, rows * cols - 1); // final cell index
+        a.alui(AluOp::Mul, R2, R2, 8);
+        a.alu(AluOp::Add, R2, Reg(20), R2);
+        a.load(R3, R2, 0);
+        a.out(R3);
+        a.imm(R6, rows * cols);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("hmmer assembles"),
+            expected_output: oracle(rows, cols, p.seed),
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn matches_oracle_across_seeds() {
+        let w = Hmmer;
+        for seed in 0..4 {
+            let built = w.build(&Params { seed, ..w.default_params() });
+            let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+            let out = Machine::new(&built.program, cfg).run();
+            assert!(built.is_correct(&out), "seed {seed}: {out}");
+        }
+    }
+}

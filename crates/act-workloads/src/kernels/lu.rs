@@ -1,0 +1,208 @@
+//! `lu` — a blocked row-reduction kernel in the spirit of SPLASH2's LU:
+//! phase `k` updates every row below `k` using row `k`, with worker threads
+//! owning interleaved rows. Row `k` is read-only during phase `k`, so the
+//! result is deterministic while still exercising inter-thread RAW
+//! dependences (workers read rows finalized by other workers in earlier
+//! phases).
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The LU-style row-reduction kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lu;
+
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const RN: Reg = Reg(20);
+const RB: Reg = Reg(21);
+
+fn init_value(i: i64, seed: u64) -> i64 {
+    (i * 31 + (seed as i64 % 13)) % 97 + 3
+}
+
+/// Rust oracle mirroring the assembly exactly (wrapping i64 arithmetic).
+fn oracle(n: usize, threads: usize, seed: u64) -> Vec<i64> {
+    let mut m = vec![0i64; n * n];
+    for (i, v) in m.iter_mut().enumerate() {
+        *v = init_value(i as i64, seed);
+    }
+    let _ = threads; // row ownership does not affect the result
+    for k in 0..n - 1 {
+        for i in k + 1..n {
+            for j in 0..n {
+                let delta = (m[i * n + k].wrapping_mul(m[k * n + j])) >> 8;
+                m[i * n + j] = m[i * n + j].wrapping_sub(delta);
+            }
+        }
+    }
+    let sum = m.iter().fold(0i64, |a, &b| a.wrapping_add(b));
+    vec![sum]
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        "lu"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 8, threads: 4, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.size.max(4);
+        let t = p.threads.clamp(1, 7);
+        let mut a = Asm::new();
+        let mat = a.static_zeroed(n * n);
+
+        a.func("main");
+        // Init: m[i] = (i*31 + seed%13) % 97 + 3, via stores so deps form.
+        a.imm(RN, (n * n) as i64);
+        a.imm(RB, mat as i64);
+        let seed_term = (p.seed % 13) as i64;
+        count_loop(&mut a, R2, RN, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 31);
+            a.alui(AluOp::Add, R4, R4, seed_term);
+            a.alui(AluOp::Rem, R4, R4, 97);
+            a.alui(AluOp::Add, R4, R4, 3);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.store(R4, R5, 0);
+        });
+
+        // Phase loop: k in 0..n-1, spawning t workers per phase.
+        let worker = a.new_label();
+        a.imm(R9, 0); // k
+        let phase_top = a.label_here();
+        for w in 0..t {
+            a.alui(AluOp::Mul, R2, R9, 256);
+            a.alui(AluOp::Add, R2, R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        a.addi(R9, R9, 1);
+        a.alui(AluOp::Lt, R2, R9, (n - 1) as i64);
+        a.bnz(R2, phase_top);
+
+        // Sum and emit.
+        a.imm(RN, (n * n) as i64);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, RN, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Worker: arg = k*256 + w; rows i = w, w+t, ... with i > k.
+        a.func("lu_worker");
+        a.bind(worker);
+        a.alui(AluOp::Shr, R2, R1, 8); // k
+        a.alui(AluOp::And, R3, R1, 255); // w
+        a.imm(RN, n as i64);
+        a.imm(RB, mat as i64);
+        a.alui(AluOp::Add, R4, R3, 0); // i = w
+        let done = a.new_label();
+        let next_i = a.new_label();
+        let row_top = a.label_here();
+        a.alu(AluOp::Lt, R5, R4, RN);
+        a.bez(R5, done);
+        a.alu(AluOp::Le, R5, R4, R2); // i <= k -> skip
+        a.bnz(R5, next_i);
+        // j loop over the row.
+        a.imm(R6, 0);
+        let j_top = a.label_here();
+        // r7 = m[i*n + k]
+        a.alu(AluOp::Mul, R7, R4, RN);
+        a.alu(AluOp::Add, R7, R7, R2);
+        a.alui(AluOp::Mul, R7, R7, 8);
+        a.alu(AluOp::Add, R7, RB, R7);
+        a.load(R7, R7, 0);
+        // r8 = m[k*n + j]
+        a.alu(AluOp::Mul, R8, R2, RN);
+        a.alu(AluOp::Add, R8, R8, R6);
+        a.alui(AluOp::Mul, R8, R8, 8);
+        a.alu(AluOp::Add, R8, RB, R8);
+        a.load(R8, R8, 0);
+        // delta = (r7*r8) >> 8
+        a.alu(AluOp::Mul, R7, R7, R8);
+        a.alui(AluOp::Shr, R7, R7, 8);
+        // m[i*n + j] -= delta
+        a.alu(AluOp::Mul, R8, R4, RN);
+        a.alu(AluOp::Add, R8, R8, R6);
+        a.alui(AluOp::Mul, R8, R8, 8);
+        a.alu(AluOp::Add, R8, RB, R8);
+        a.load(R9, R8, 0);
+        a.alu(AluOp::Sub, R9, R9, R7);
+        a.store(R9, R8, 0);
+        a.addi(R6, R6, 1);
+        a.alu(AluOp::Lt, R5, R6, RN);
+        a.bnz(R5, j_top);
+        a.bind(next_i);
+        a.alui(AluOp::Add, R4, R4, t as i64);
+        a.jump(row_top);
+        a.bind(done);
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("lu assembles"),
+            expected_output: oracle(n, t, p.seed),
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn matches_oracle_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            let w = Lu;
+            let p = Params { threads, ..w.default_params() };
+            let built = w.build(&p);
+            let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+            let out = Machine::new(&built.program, cfg).run();
+            assert!(built.is_correct(&out), "threads={threads}: {out}");
+        }
+    }
+
+    #[test]
+    fn produces_inter_thread_dependences() {
+        let w = Lu;
+        let built = w.build(&w.default_params());
+        struct Count(u64);
+        impl act_sim::attach::Observer for Count {
+            fn on_load(&mut self, ev: &act_sim::events::LoadEvent) {
+                if ev.dep.is_some_and(|d| d.inter_thread) {
+                    self.0 += 1;
+                }
+            }
+        }
+        let mut obs = Count(0);
+        let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let mut m = Machine::new(&built.program, cfg);
+        let _ = m.run_observed(&mut obs);
+        assert!(obs.0 > 10, "only {} inter-thread deps", obs.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Clean benchmark kernels modeled on the paper's SPLASH2 / PARSEC /
+//! SPEC / coreutils applications. Each kernel is a deterministic
+//! multithreaded (or sequential) program with a Rust-side oracle, used by
+//! the training (Table IV), prediction (Fig 7), overhead (Fig 8), and
+//! granularity (Fig 9) experiments.
+
+pub mod barnes;
+pub mod bc;
+pub mod bzip2;
+pub mod canneal;
+pub mod fft;
+pub mod fluidanimate;
+pub mod hmmer;
+pub mod lu;
+pub mod mcf;
+pub mod ocean;
+pub mod streamcluster;
+pub mod swaptions;
+
+pub use barnes::Barnes;
+pub use bc::Bc;
+pub use bzip2::Bzip2;
+pub use canneal::Canneal;
+pub use fft::Fft;
+pub use fluidanimate::Fluidanimate;
+pub use hmmer::Hmmer;
+pub use lu::Lu;
+pub use mcf::Mcf;
+pub use ocean::Ocean;
+pub use streamcluster::Streamcluster;
+pub use swaptions::Swaptions;
+
+/// All clean kernels, boxed for the registry.
+pub fn all() -> Vec<Box<dyn crate::spec::Workload>> {
+    vec![
+        Box::new(Lu),
+        Box::new(Fft),
+        Box::new(Canneal),
+        Box::new(Fluidanimate),
+        Box::new(Swaptions),
+        Box::new(Barnes),
+        Box::new(Streamcluster),
+        Box::new(Bc),
+        Box::new(Mcf),
+        Box::new(Hmmer),
+        Box::new(Bzip2),
+        Box::new(Ocean),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::{Params, WorkloadKind};
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    /// Every kernel must run correctly under its oracle, both without and
+    /// with interleaving jitter, at a couple of seeds.
+    #[test]
+    fn all_kernels_run_correctly() {
+        for w in super::all() {
+            assert_eq!(w.kind(), WorkloadKind::CleanKernel);
+            for seed in [0u64, 3] {
+                let params = Params { seed, ..w.default_params() };
+                let built = w.build(&params);
+                built.program.validate().expect("valid program");
+                assert!(built.bug.is_none());
+                for (jitter, mseed) in [(0u32, 0u64), (20_000, 11)] {
+                    let cfg = MachineConfig {
+                        jitter_ppm: jitter,
+                        seed: mseed,
+                        ..Default::default()
+                    };
+                    let outcome = Machine::new(&built.program, cfg).run();
+                    assert!(
+                        built.is_correct(&outcome),
+                        "{} seed {seed} jitter {jitter}: {outcome} (expected {:?}, got {:?})",
+                        w.name(),
+                        built.expected_output,
+                        outcome.output(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Kernels must produce RAW dependences (otherwise they are useless for
+    /// training communication invariants).
+    #[test]
+    fn all_kernels_form_dependences() {
+        for w in super::all() {
+            let built = w.build(&w.default_params());
+            let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+            let mut m = Machine::new(&built.program, cfg);
+            let _ = m.run();
+            assert!(
+                m.stats().mem.deps_formed > 12,
+                "{} formed only {} deps",
+                w.name(),
+                m.stats().mem.deps_formed
+            );
+        }
+    }
+
+    /// Concurrent kernels must actually communicate across threads.
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = super::all().iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

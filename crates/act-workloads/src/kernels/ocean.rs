@@ -1,0 +1,199 @@
+//! `ocean` — a red/black relaxation kernel in the spirit of SPLASH2's
+//! Ocean: persistent worker threads sweep a grid for several iterations,
+//! separated by **barriers** (not per-phase spawn/join like `lu`/`fft`).
+//! Red cells (even index) update from their odd neighbours and vice versa,
+//! so each phase's read and write sets are disjoint and the result is
+//! interleaving-independent.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The ocean-style barrier-synchronized relaxation kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ocean;
+
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+
+const ITERS: i64 = 4;
+
+fn oracle(n: i64, t: usize, seed: u64) -> Vec<i64> {
+    let _ = t;
+    let mut g: Vec<i64> = (0..n).map(|i| (i * 11 + (seed as i64 % 9)) % 60).collect();
+    for _ in 0..ITERS {
+        for parity in [0i64, 1] {
+            let prev = g.clone();
+            for i in 0..n {
+                if i % 2 == parity {
+                    let left = if i == 0 { 0 } else { prev[(i - 1) as usize] };
+                    let right = if i + 1 == n { 0 } else { prev[(i + 1) as usize] };
+                    g[i as usize] =
+                        (prev[i as usize] + ((left + right) >> 1)) % 1000;
+                }
+            }
+        }
+    }
+    vec![g.iter().fold(0i64, |a, &b| a.wrapping_add(b))]
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        "ocean"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 24, threads: 4, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.size.max(8) as i64;
+        let t = p.threads.clamp(1, 7);
+        let seed_term = (p.seed % 9) as i64;
+        let mut a = Asm::new();
+        let grid = a.static_zeroed(n as usize);
+        // The barrier word holds the participant count (the T workers).
+        let bar = a.static_data(&[t as i64]);
+
+        a.func("main");
+        a.imm(Reg(20), grid as i64);
+        a.imm(R6, n);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 11);
+            a.alui(AluOp::Add, R4, R4, seed_term);
+            a.alui(AluOp::Rem, R4, R4, 60);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.store(R4, R5, 0);
+        });
+        let worker = a.new_label();
+        for w in 0..t {
+            a.imm(R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        a.imm(R6, n);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, Reg(20), R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Persistent worker: ITERS iterations × (red phase, barrier, black
+        // phase, barrier). Cells are partitioned i = w, w+t, ...
+        a.func("relax_worker");
+        a.bind(worker);
+        a.imm(Reg(20), grid as i64);
+        a.imm(Reg(21), bar as i64);
+        a.imm(Reg(22), 0); // iteration
+        let iter_top = a.label_here();
+        for parity in 0..2i64 {
+            // Sweep owned cells of this parity.
+            a.alui(AluOp::Add, R4, Reg(1), 0); // i = w
+            let done = a.new_label();
+            let next = a.new_label();
+            let top = a.label_here();
+            a.alui(AluOp::Lt, R5, R4, n);
+            a.bez(R5, done);
+            a.alui(AluOp::Rem, R5, R4, 2);
+            a.alui(AluOp::Ne, R5, R5, parity);
+            a.bnz(R5, next);
+            // address of cell i
+            a.alui(AluOp::Mul, R6, R4, 8);
+            a.alu(AluOp::Add, R6, Reg(20), R6);
+            // left neighbour (0 at boundary)
+            let no_left = a.new_label();
+            let have_left = a.new_label();
+            a.bez(R4, no_left);
+            a.load(R7, R6, -8);
+            a.jump(have_left);
+            a.bind(no_left);
+            a.imm(R7, 0);
+            a.bind(have_left);
+            // right neighbour (0 at boundary)
+            let no_right = a.new_label();
+            let have_right = a.new_label();
+            a.alui(AluOp::Lt, R5, R4, n - 1);
+            a.bez(R5, no_right);
+            a.load(R8, R6, 8);
+            a.jump(have_right);
+            a.bind(no_right);
+            a.imm(R8, 0);
+            a.bind(have_right);
+            a.alu(AluOp::Add, R7, R7, R8);
+            a.alui(AluOp::Shr, R7, R7, 1);
+            a.load(R8, R6, 0);
+            a.alu(AluOp::Add, R8, R8, R7);
+            a.alui(AluOp::Rem, R8, R8, 1000);
+            a.store(R8, R6, 0);
+            a.bind(next);
+            a.alui(AluOp::Add, R4, R4, t as i64);
+            a.jump(top);
+            a.bind(done);
+            a.barrier(Reg(21), 0);
+        }
+        a.addi(Reg(22), Reg(22), 1);
+        a.alui(AluOp::Lt, R5, Reg(22), ITERS);
+        a.bnz(R5, iter_top);
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("ocean assembles"),
+            expected_output: oracle(n, t, p.seed),
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn matches_oracle_with_jitter() {
+        let w = Ocean;
+        for (threads, seed) in [(1, 0u64), (4, 1), (4, 2)] {
+            let built = w.build(&Params { threads, seed, ..w.default_params() });
+            let cfg = MachineConfig { jitter_ppm: 30_000, seed, ..Default::default() };
+            let out = Machine::new(&built.program, cfg).run();
+            assert!(built.is_correct(&out), "threads={threads} seed={seed}: {out}");
+        }
+    }
+
+    #[test]
+    fn barrier_phases_communicate_across_threads() {
+        let w = Ocean;
+        let built = w.build(&w.default_params());
+        struct Count(u64);
+        impl act_sim::attach::Observer for Count {
+            fn on_load(&mut self, ev: &act_sim::events::LoadEvent) {
+                if ev.dep.is_some_and(|d| d.inter_thread) {
+                    self.0 += 1;
+                }
+            }
+        }
+        let mut obs = Count(0);
+        let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let mut m = Machine::new(&built.program, cfg);
+        assert!(m.run_observed(&mut obs).completed());
+        assert!(obs.0 > 10, "only {} inter-thread deps across barriers", obs.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! `streamcluster` — a nearest-center assignment kernel in the spirit of
+//! PARSEC's streamcluster: workers scan their slice of points, compute the
+//! distance to every shared center, and accumulate the minimum distances
+//! into per-worker cost cells that the main thread reduces.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The streamcluster-style clustering kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Streamcluster;
+
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const RB: Reg = Reg(21);
+const RC: Reg = Reg(22);
+const RK: Reg = Reg(23);
+const RACC: Reg = Reg(24);
+
+const CENTERS: usize = 4;
+
+fn point(i: i64, seed: u64) -> i64 {
+    (i * 23 + (seed as i64 % 19)) % 200
+}
+
+fn center(c: i64) -> i64 {
+    c * 50 + 10
+}
+
+fn oracle(n: usize, t: usize, seed: u64) -> Vec<i64> {
+    let mut total = 0i64;
+    for i in 0..n as i64 {
+        let x = point(i, seed);
+        let best = (0..CENTERS as i64)
+            .map(|c| {
+                let d = x - center(c);
+                d.max(-d)
+            })
+            .min()
+            .unwrap();
+        total = total.wrapping_add(best);
+    }
+    let _ = t;
+    vec![total]
+}
+
+impl Workload for Streamcluster {
+    fn name(&self) -> &'static str {
+        "streamcluster"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 32, threads: 4, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.size.max(8);
+        let t = p.threads.clamp(1, 7);
+        let mut a = Asm::new();
+        let points = a.static_zeroed(n);
+        let centers = a.static_zeroed(CENTERS);
+        let costs = a.static_zeroed(t);
+        let seed_term = (p.seed % 19) as i64;
+
+        a.func("main");
+        a.imm(RB, points as i64);
+        a.imm(R6, n as i64);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 23);
+            a.alui(AluOp::Add, R4, R4, seed_term);
+            a.alui(AluOp::Rem, R4, R4, 200);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.store(R4, R5, 0);
+        });
+        a.imm(RC, centers as i64);
+        a.imm(R6, CENTERS as i64);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R2, 50);
+            a.alui(AluOp::Add, R4, R4, 10);
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RC, R5);
+            a.store(R4, R5, 0);
+        });
+        let worker = a.new_label();
+        for w in 0..t {
+            a.imm(R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        a.imm(RB, costs as i64);
+        a.imm(R6, t as i64);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Worker w: points i = w, w+t, ...; acc of min distances.
+        a.func("assign_points");
+        a.bind(worker);
+        a.imm(RB, points as i64);
+        a.imm(RC, centers as i64);
+        a.imm(RACC, 0);
+        a.alui(AluOp::Add, R4, R1, 0); // i = w
+        let done = a.new_label();
+        let top = a.label_here();
+        a.alui(AluOp::Lt, R5, R4, n as i64);
+        a.bez(R5, done);
+        a.alui(AluOp::Mul, R5, R4, 8);
+        a.alu(AluOp::Add, R5, RB, R5);
+        a.load(R6, R5, 0); // x
+        a.imm(R9, i64::MAX); // best
+        a.imm(RK, CENTERS as i64);
+        count_loop(&mut a, R2, RK, R3, |a| {
+            a.alui(AluOp::Mul, R7, R2, 8);
+            a.alu(AluOp::Add, R7, RC, R7);
+            a.load(R7, R7, 0); // center
+            a.alu(AluOp::Sub, R8, R6, R7); // d
+            a.alu(AluOp::Sub, R7, act_sim::isa::ZERO, R8); // -d
+            a.alu(AluOp::Max, R8, R8, R7); // |d|
+            a.alu(AluOp::Min, R9, R9, R8);
+        });
+        a.alu(AluOp::Add, RACC, RACC, R9);
+        a.alui(AluOp::Add, R4, R4, t as i64);
+        a.jump(top);
+        a.bind(done);
+        a.alui(AluOp::Mul, R5, R1, 8);
+        a.alui(AluOp::Add, R5, R5, costs as i64);
+        a.store(RACC, R5, 0);
+        a.halt();
+
+        BuiltWorkload {
+            program: a.finish().expect("streamcluster assembles"),
+            expected_output: oracle(n, t, p.seed),
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn matches_oracle() {
+        let w = Streamcluster;
+        let built = w.build(&w.default_params());
+        let cfg = MachineConfig { jitter_ppm: 20_000, seed: 4, ..Default::default() };
+        let out = Machine::new(&built.program, cfg).run();
+        assert!(built.is_correct(&out), "{out}");
+    }
+}

@@ -1,0 +1,122 @@
+//! `swaptions` — an embarrassingly parallel Monte-Carlo-style kernel in the
+//! spirit of PARSEC's swaptions: each worker runs an independent pricing
+//! loop over its own scratch memory and publishes one result; the main
+//! thread reduces. Sharing is minimal (results only), making this the
+//! low-communication end of the kernel spectrum.
+
+use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use crate::util::count_loop;
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// The swaptions-style independent-worker kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Swaptions;
+
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R8: Reg = Reg(8);
+const RB: Reg = Reg(21);
+
+fn worker_result(w: i64, iters: i64, seed: u64) -> i64 {
+    let mut acc: i64 = w * 100 + (seed as i64 % 23);
+    for it in 0..iters {
+        acc = acc.wrapping_mul(31).wrapping_add(it) % 100_003;
+    }
+    acc
+}
+
+impl Workload for Swaptions {
+    fn name(&self) -> &'static str {
+        "swaptions"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CleanKernel
+    }
+
+    fn default_params(&self) -> Params {
+        Params { size: 40, threads: 4, ..Params::default() }
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let iters = p.size.max(8) as i64;
+        let t = p.threads.clamp(1, 7);
+        let mut a = Asm::new();
+        let results = a.static_zeroed(t);
+        // Per-worker scratch: each worker streams through its own slice so
+        // private (intra-thread) dependences dominate.
+        let scratch = a.static_zeroed(t * 8);
+        let seed_term = (p.seed % 23) as i64;
+
+        a.func("main");
+        let worker = a.new_label();
+        for w in 0..t {
+            a.imm(R2, w as i64);
+            a.spawn(Reg(10 + w as u8), worker, R2);
+        }
+        for w in 0..t {
+            a.join(Reg(10 + w as u8));
+        }
+        a.imm(RB, results as i64);
+        a.imm(R6, t as i64);
+        a.imm(R8, 0);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R5, R2, 8);
+            a.alu(AluOp::Add, R5, RB, R5);
+            a.load(R4, R5, 0);
+            a.alu(AluOp::Add, R8, R8, R4);
+        });
+        a.out(R8);
+        a.halt();
+
+        // Worker: acc = w*100 + seed%23; iters times:
+        //   acc = (acc*31 + it) % 100003, round-tripped through scratch.
+        a.func("worker");
+        a.bind(worker);
+        a.alui(AluOp::Mul, R4, R1, 100);
+        a.alui(AluOp::Add, R4, R4, seed_term); // acc
+        a.alui(AluOp::Mul, R5, R1, 64);
+        a.alui(AluOp::Add, R5, R5, scratch as i64); // scratch base
+        a.imm(R6, iters);
+        count_loop(&mut a, R2, R6, R3, |a| {
+            a.alui(AluOp::Mul, R4, R4, 31);
+            a.alu(AluOp::Add, R4, R4, R2);
+            a.alui(AluOp::Rem, R4, R4, 100_003);
+            // Round-trip through private scratch (forms intra-thread deps).
+            a.store(R4, R5, 0);
+            a.load(R4, R5, 0);
+        });
+        a.alui(AluOp::Mul, R5, R1, 8);
+        a.alui(AluOp::Add, R5, R5, results as i64);
+        a.store(R4, R5, 0);
+        a.halt();
+
+        let expected: i64 = (0..t as i64).map(|w| worker_result(w, iters, p.seed)).sum();
+        BuiltWorkload {
+            program: a.finish().expect("swaptions assembles"),
+            expected_output: vec![expected],
+            bug: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+
+    #[test]
+    fn matches_oracle() {
+        let w = Swaptions;
+        let built = w.build(&w.default_params());
+        let cfg = MachineConfig { jitter_ppm: 30_000, seed: 1, ..Default::default() };
+        let out = Machine::new(&built.program, cfg).run();
+        assert!(built.is_correct(&out), "{out}");
+    }
+}

@@ -1,0 +1,18 @@
+//! # act-workloads — benchmark kernels and buggy applications
+//!
+//! Mini-ISA programs standing in for the paper's evaluation targets:
+//! clean SPLASH2/PARSEC/coreutils-style kernels (Table IV, Figs 7–9), the
+//! 11 real-world bugs of Table V, and the 5 injected-in-new-code bugs of
+//! Table VI. Every workload carries a Rust-side oracle (its expected
+//! output) and, when buggy, a ground-truth [`spec::BugInfo`] naming the
+//! buggy store/load instruction addresses so diagnosis rankings can be
+//! scored automatically.
+
+pub mod bugs;
+pub mod injected;
+pub mod kernels;
+pub mod registry;
+pub mod spec;
+pub mod util;
+
+pub use spec::{BugClass, BugInfo, BuiltWorkload, Params, Workload, WorkloadKind, NORM_CODE_LEN};

@@ -1,0 +1,54 @@
+//! Name-indexed access to every workload.
+
+use crate::spec::Workload;
+
+/// All workloads: clean kernels, real bugs, injected bugs.
+pub fn all() -> Vec<Box<dyn Workload>> {
+    let mut v = crate::kernels::all();
+    v.extend(crate::bugs::all());
+    v.extend(crate::injected::all());
+    v
+}
+
+/// Look a workload up by its `name()`.
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadKind;
+
+    #[test]
+    fn registry_has_all_paper_workloads() {
+        let names: Vec<&str> = all().iter().map(|w| w.name()).collect();
+        // 8 clean kernels.
+        for k in [
+            "lu", "fft", "canneal", "fluidanimate", "swaptions", "barnes", "streamcluster",
+            "bc", "mcf", "hmmer", "bzip2", "ocean",
+        ] {
+            assert!(names.contains(&k), "missing kernel {k}");
+        }
+        // 11 real bugs (Table V).
+        for b in [
+            "aget", "apache", "memcached", "mysql1", "mysql2", "mysql3", "pbzip2", "gzip",
+            "seq", "ptx", "paste",
+        ] {
+            assert!(names.contains(&b), "missing real bug {b}");
+        }
+        // 5 injected bugs (Table VI).
+        assert_eq!(
+            all().iter().filter(|w| w.kind() == WorkloadKind::InjectedBug).count(),
+            5
+        );
+        assert_eq!(all().iter().filter(|w| w.kind() == WorkloadKind::RealBug).count(), 11);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert!(by_name("apache").is_some());
+        assert!(by_name("lu").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

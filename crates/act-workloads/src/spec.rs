@@ -1,0 +1,228 @@
+//! Workload descriptors: parameters, ground-truth bug signatures, and the
+//! [`Workload`] trait the experiment harness drives.
+
+use act_sim::events::RawDep;
+use act_sim::isa::{Pc, Word};
+use act_sim::outcome::RunOutcome;
+use act_sim::program::Program;
+
+/// Fixed code-length used to normalize instruction addresses for the
+/// neural-network encoding, shared by *all* workloads and variants.
+///
+/// Using one constant (rather than each program's own length) keeps the
+/// encoding of an instruction address stable when a program grows — the
+/// paper's adaptivity experiments (Fig 7(b), Table VI) add new functions to
+/// trained programs, and the old code's features must not shift.
+pub const NORM_CODE_LEN: usize = 2048;
+
+/// What kind of workload this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// A correct kernel used for training/overhead experiments (Table IV,
+    /// Fig 7, Fig 8, Fig 9).
+    CleanKernel,
+    /// A workload modeling one of the paper's 11 real-world bugs (Table V).
+    RealBug,
+    /// A clean kernel plus a *new* buggy function absent from training
+    /// (Table VI).
+    InjectedBug,
+}
+
+/// The paper's bug taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugClass {
+    /// Operations expected in one order can interleave in another.
+    OrderViolation,
+    /// A read-modify-write or check-then-act region is not atomic.
+    AtomicityViolation,
+    /// A sequential logic error triggered by particular inputs.
+    Semantic,
+    /// A memory-safety error (overflow / out-of-bounds read).
+    BufferOverflow,
+}
+
+impl BugClass {
+    /// Whether this class requires multiple threads to manifest.
+    pub fn is_concurrency(&self) -> bool {
+        matches!(self, BugClass::OrderViolation | BugClass::AtomicityViolation)
+    }
+}
+
+/// Ground truth about a workload's bug, used to score diagnosis rankings.
+#[derive(Debug, Clone)]
+pub struct BugInfo {
+    /// Human-readable description (the Table V "Bug Description" column).
+    pub description: String,
+    /// The bug's class.
+    pub class: BugClass,
+    /// Store PCs of the buggy communication (empty = any store).
+    pub store_pcs: Vec<Pc>,
+    /// Load PCs of the buggy communication.
+    pub load_pcs: Vec<Pc>,
+}
+
+impl BugInfo {
+    /// Whether `dep` is the buggy communication.
+    pub fn matches(&self, dep: &RawDep) -> bool {
+        let store_ok = self.store_pcs.is_empty() || self.store_pcs.contains(&dep.store_pc);
+        let load_ok = self.load_pcs.is_empty() || self.load_pcs.contains(&dep.load_pc);
+        store_ok && load_ok
+    }
+
+    /// Whether any dependence in `deps` is the buggy communication.
+    pub fn matches_any(&self, deps: &[RawDep]) -> bool {
+        deps.iter().any(|d| self.matches(d))
+    }
+}
+
+/// Build-time parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Seed for input generation (kept separate from the machine's
+    /// interleaving seed).
+    pub seed: u64,
+    /// Problem-size scale (arrays, iterations).
+    pub size: usize,
+    /// Worker threads for concurrent kernels.
+    pub threads: usize,
+    /// Whether to arrange the bug-triggering condition (the racy timing
+    /// window, or the bug-triggering input shape). The *code* is identical
+    /// either way; only data-segment parameters differ.
+    pub trigger_bug: bool,
+    /// For injected-bug workloads: include the new (untrained) function.
+    pub new_code: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { seed: 0, size: 16, threads: 4, trigger_bug: false, new_code: false }
+    }
+}
+
+impl Params {
+    /// Same parameters with a different seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        Params { seed, ..self }
+    }
+
+    /// Same parameters with the bug trigger set.
+    pub fn triggered(self) -> Self {
+        Params { trigger_bug: true, ..self }
+    }
+}
+
+/// A concrete program built for specific parameters, with its oracle.
+#[derive(Debug, Clone)]
+pub struct BuiltWorkload {
+    /// The executable program.
+    pub program: Program,
+    /// The output a correct execution must produce for these parameters.
+    pub expected_output: Vec<Word>,
+    /// Ground-truth bug signature, if this workload carries a bug.
+    pub bug: Option<BugInfo>,
+}
+
+impl BuiltWorkload {
+    /// Whether `outcome` is a correct execution (ran to completion with the
+    /// expected output).
+    pub fn is_correct(&self, outcome: &RunOutcome) -> bool {
+        matches!(outcome, RunOutcome::Completed { output } if *output == self.expected_output)
+    }
+
+    /// Whether `outcome` is a failure (crash, deadlock, timeout, or wrong
+    /// output).
+    pub fn is_failure(&self, outcome: &RunOutcome) -> bool {
+        !self.is_correct(outcome)
+    }
+}
+
+/// A parameterized workload program.
+pub trait Workload {
+    /// Short name, e.g. `"apache"`.
+    fn name(&self) -> &'static str;
+
+    /// The workload's kind.
+    fn kind(&self) -> WorkloadKind;
+
+    /// Build the program and oracle for `params`.
+    fn build(&self, params: &Params) -> BuiltWorkload;
+
+    /// Reasonable default parameters for experiments.
+    fn default_params(&self) -> Params {
+        Params::default()
+    }
+
+    /// Code length to normalize instruction addresses by, when it must be
+    /// fixed independently of the built program (workloads whose code grows
+    /// across variants override this so shared code's features stay put).
+    /// `None` means "use the built program's length".
+    fn norm_code_len(&self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_info_matching() {
+        let bug = BugInfo {
+            description: "test".into(),
+            class: BugClass::AtomicityViolation,
+            store_pcs: vec![5, 6],
+            load_pcs: vec![9],
+        };
+        let hit = RawDep { store_pc: 5, load_pc: 9, inter_thread: true };
+        let wrong_store = RawDep { store_pc: 7, load_pc: 9, inter_thread: true };
+        let wrong_load = RawDep { store_pc: 5, load_pc: 8, inter_thread: true };
+        assert!(bug.matches(&hit));
+        assert!(!bug.matches(&wrong_store));
+        assert!(!bug.matches(&wrong_load));
+        assert!(bug.matches_any(&[wrong_store, hit]));
+        assert!(!bug.matches_any(&[wrong_store, wrong_load]));
+    }
+
+    #[test]
+    fn empty_store_set_matches_any_store() {
+        let bug = BugInfo {
+            description: "t".into(),
+            class: BugClass::BufferOverflow,
+            store_pcs: vec![],
+            load_pcs: vec![9],
+        };
+        assert!(bug.matches(&RawDep { store_pc: 123, load_pc: 9, inter_thread: false }));
+    }
+
+    #[test]
+    fn bug_class_concurrency_split() {
+        assert!(BugClass::OrderViolation.is_concurrency());
+        assert!(BugClass::AtomicityViolation.is_concurrency());
+        assert!(!BugClass::Semantic.is_concurrency());
+        assert!(!BugClass::BufferOverflow.is_concurrency());
+    }
+
+    #[test]
+    fn is_correct_requires_exact_output() {
+        let w = BuiltWorkload {
+            program: {
+                let mut a = act_sim::asm::Asm::new();
+                a.halt();
+                a.finish().unwrap()
+            },
+            expected_output: vec![1, 2],
+            bug: None,
+        };
+        assert!(w.is_correct(&RunOutcome::Completed { output: vec![1, 2] }));
+        assert!(w.is_failure(&RunOutcome::Completed { output: vec![1, 3] }));
+        assert!(w.is_failure(&RunOutcome::Deadlock { cycle: 1 }));
+    }
+
+    #[test]
+    fn params_builders() {
+        let p = Params::default().with_seed(9).triggered();
+        assert_eq!(p.seed, 9);
+        assert!(p.trigger_bug);
+        assert!(!p.new_code);
+    }
+}

@@ -1,0 +1,109 @@
+//! Assembly-emission helpers shared by workload builders.
+
+use act_sim::asm::Asm;
+use act_sim::isa::{AluOp, Reg};
+
+/// Emit `for i in 0..n { body }` where `n` is already in register `n`.
+/// `i` is the loop counter register, `t` a scratch register for the
+/// condition. The body runs at least once, so callers must guarantee
+/// `n >= 1`.
+pub fn count_loop<F: FnOnce(&mut Asm)>(a: &mut Asm, i: Reg, n: Reg, t: Reg, body: F) {
+    a.imm(i, 0);
+    let top = a.label_here();
+    body(a);
+    a.addi(i, i, 1);
+    a.alu(AluOp::Lt, t, i, n);
+    a.bnz(t, top);
+}
+
+/// Emit a register-only delay loop whose iteration count is loaded from the
+/// data-segment word at `param_addr`.
+///
+/// Delay parameters are *preloaded* data (never stored to by the program),
+/// so the load forms no RAW dependence — delays perturb timing without
+/// adding communication noise. A zero parameter skips the loop entirely.
+pub fn delay_from(a: &mut Asm, param_addr: u64, addr_t: Reg, ctr: Reg) {
+    a.imm(addr_t, param_addr as i64);
+    a.load(ctr, addr_t, 0);
+    let done = a.new_label();
+    let top = a.label_here();
+    a.bez(ctr, done);
+    a.alui(AluOp::Sub, ctr, ctr, 1);
+    a.jump(top);
+    a.bind(done);
+}
+
+/// Emit `dst = base_addr + idx * 8` (word-address computation).
+pub fn word_addr(a: &mut Asm, dst: Reg, base_addr: u64, idx: Reg) {
+    a.alui(AluOp::Mul, dst, idx, 8);
+    a.alui(AluOp::Add, dst, dst, base_addr as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_sim::config::MachineConfig;
+    use act_sim::machine::Machine;
+    use act_sim::outcome::RunOutcome;
+
+    const R1: Reg = Reg(1);
+    const R2: Reg = Reg(2);
+    const R3: Reg = Reg(3);
+    const R4: Reg = Reg(4);
+
+    fn run(p: &act_sim::program::Program) -> RunOutcome {
+        let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        Machine::new(p, cfg).run()
+    }
+
+    #[test]
+    fn count_loop_iterates_n_times() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.imm(R2, 5); // n
+        a.imm(R4, 0); // sum
+        count_loop(&mut a, R1, R2, R3, |a| {
+            a.addi(R4, R4, 2);
+        });
+        a.out(R4);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(run(&p), RunOutcome::Completed { output: vec![10] });
+    }
+
+    #[test]
+    fn delay_from_burns_cycles_without_deps() {
+        let build = |d: i64| {
+            let mut a = Asm::new();
+            let param = a.static_data(&[d]);
+            a.func("main");
+            delay_from(&mut a, param, R1, R2);
+            a.halt();
+            a.finish().unwrap()
+        };
+        let fast = build(0);
+        let slow = build(500);
+        let cfg = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let mut mf = Machine::new(&fast, cfg.clone());
+        mf.run();
+        let mut ms = Machine::new(&slow, cfg);
+        ms.run();
+        assert!(ms.stats().total_cycles > mf.stats().total_cycles + 400);
+        // Parameter loads form no dependences (preloaded data).
+        assert_eq!(ms.stats().mem.deps_formed, 0);
+    }
+
+    #[test]
+    fn word_addr_computes_element_address() {
+        let mut a = Asm::new();
+        let arr = a.static_data(&[10, 20, 30]);
+        a.func("main");
+        a.imm(R1, 2);
+        word_addr(&mut a, R2, arr, R1);
+        a.load(R3, R2, 0);
+        a.out(R3);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(run(&p), RunOutcome::Completed { output: vec![30] });
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration invariants that no single crate can test alone.
+
+use act_bench::{collect_clean_traces, machine_cfg};
+use act_sim::machine::Machine;
+use act_trace::raw::{observed_deps, raw_deps};
+use act_workloads::registry;
+use act_workloads::spec::Params;
+
+/// The hardware-observed dependence stream must be a subsequence of the
+/// precise replay: cache metadata can *lose* writers (evictions, clean
+/// transfers) but can never invent one that functional replay disagrees
+/// with at word granularity.
+#[test]
+fn observed_deps_subset_of_precise_deps() {
+    for name in ["fft", "bc", "canneal"] {
+        let w = registry::by_name(name).unwrap();
+        let traces = collect_clean_traces(w.as_ref(), 0..2);
+        for t in &traces {
+            let precise: std::collections::HashSet<_> =
+                raw_deps(t).into_iter().map(|d| (d.seq, d.dep)).collect();
+            let observed = observed_deps(t);
+            assert!(!observed.is_empty(), "{name}: no observed deps");
+            for d in &observed {
+                assert!(
+                    precise.contains(&(d.seq, d.dep)),
+                    "{name}: observed dep {} at seq {} not in precise replay",
+                    d.dep,
+                    d.seq
+                );
+            }
+            assert!(observed.len() <= raw_deps(t).len());
+        }
+    }
+}
+
+/// Workload determinism: same seed, same machine config -> same outcome and
+/// cycle count, across every registered workload (clean configuration).
+#[test]
+fn workloads_are_deterministic() {
+    for w in registry::all() {
+        let built = w.build(&w.default_params().with_seed(3));
+        let run = |_: u32| {
+            let mut m = Machine::new(&built.program, machine_cfg(3));
+            let o = m.run();
+            (o, m.stats().total_cycles)
+        };
+        assert_eq!(run(0), run(1), "{} is nondeterministic", w.name());
+    }
+}
+
+/// Triggered builds change only the data segment, never the code: the
+/// paper's bugs are latent in the binary and triggered by timing/input.
+#[test]
+fn trigger_changes_data_not_code() {
+    for w in registry::all() {
+        let clean = w.build(&w.default_params());
+        let hot = w.build(&w.default_params().triggered());
+        assert_eq!(
+            clean.program.instrs, hot.program.instrs,
+            "{}: triggering must not modify code",
+            w.name()
+        );
+    }
+}
+
+/// Every real-bug workload must actually fail under its trigger within a
+/// few interleaving seeds, and run correctly without it.
+#[test]
+fn real_bugs_trigger_and_clean_runs_pass() {
+    for w in act_workloads::bugs::all() {
+        let clean = w.build(&w.default_params().with_seed(1));
+        let out = Machine::new(&clean.program, machine_cfg(1)).run();
+        assert!(clean.is_correct(&out), "{} clean run failed: {out}", w.name());
+
+        let mut failed = false;
+        for seed in 0..10 {
+            let hot = w.build(&Params { seed, ..w.default_params().triggered() });
+            let out = Machine::new(&hot.program, machine_cfg(seed)).run();
+            if hot.is_failure(&out) {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "{} never failed under trigger", w.name());
+    }
+}

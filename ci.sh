@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 verification — everything here must pass fully offline (the
+# workspace has zero registry dependencies; see DESIGN.md §6).
+set -eux
+
+cargo fmt --all --check
+cargo build --release
+cargo test -q --release

@@ -31,11 +31,7 @@ pub struct ScoredConstraint {
 
 /// The inter-thread communication events of a trace, in order.
 pub fn events_from_trace(trace: &Trace) -> Vec<RawDep> {
-    raw_deps(trace)
-        .into_iter()
-        .filter(|d| d.dep.inter_thread)
-        .map(|d| d.dep)
-        .collect()
+    raw_deps(trace).into_iter().filter(|d| d.dep.inter_thread).map(|d| d.dep).collect()
 }
 
 /// Whether a trace has any inter-thread communication at all (sequential

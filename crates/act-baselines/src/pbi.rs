@@ -146,10 +146,7 @@ pub fn rank_where<F>(scored: &[ScoredPredicate], mut matcher: F) -> (Option<usiz
 where
     F: FnMut(Pc) -> bool,
 {
-    let rank = scored
-        .iter()
-        .position(|sp| matcher(sp.predicate.pc()))
-        .map(|i| i + 1);
+    let rank = scored.iter().position(|sp| matcher(sp.predicate.pc())).map(|i| i + 1);
     (rank, scored.len())
 }
 

@@ -45,9 +45,7 @@ fn bench_postprocess(c: &mut Criterion) {
             tid: 0,
         })
         .collect();
-    c.bench_function("prune_and_rank_60", |b| {
-        b.iter(|| black_box(postprocess(&entries, &set)))
-    });
+    c.bench_function("prune_and_rank_60", |b| b.iter(|| black_box(postprocess(&entries, &set))));
 }
 
 fn bench_offline_training(c: &mut Criterion) {

@@ -4,78 +4,45 @@
 //! (b) the false-flag rate on a trained clean kernel run — showing that
 //! every ingredient earns its place.
 //!
-//! Run with `cargo run --release -p act-bench --bin ablation`.
+//! Cells run in parallel via `act-fleet` (one job per (ablation, workload)
+//! pair); the table is identical at any `--jobs` count.
+//!
+//! Run with `cargo run --release -p act-bench --bin ablation -- [--jobs N] [--out report.json]`.
 
-use act_bench::{act_cfg_for, collect_clean_traces, find_act_failure, machine_cfg, train_workload};
-use act_core::diagnosis::{diagnose, run_with_act};
-use act_core::weights::shared;
-use act_core::ActConfig;
-use act_trace::correct_set::CorrectSet;
-use act_trace::input_gen::positive_sequences;
-use act_trace::raw::observed_deps;
-use act_workloads::registry;
-
-const BUGS: [&str; 4] = ["apache", "pbzip2", "seq", "paste"];
-
-fn bugs_diagnosed(mutate: &dyn Fn(&mut ActConfig)) -> usize {
-    let mut found = 0;
-    for name in BUGS {
-        let w = registry::by_name(name).unwrap();
-        let mut cfg = act_cfg_for(w.as_ref());
-        mutate(&mut cfg);
-        let trained = train_workload(w.as_ref(), 10, &cfg);
-        let store = shared(trained.store.clone());
-        let Some(failure) = find_act_failure(w.as_ref(), &store, &cfg, 20) else {
-            continue;
-        };
-        let mut set = CorrectSet::default();
-        for t in collect_clean_traces(w.as_ref(), 100..116) {
-            for s in positive_sequences(&observed_deps(&t), trained.report.seq_len) {
-                set.insert(&s.deps);
-            }
-        }
-        let diag = diagnose(&failure.run, &set);
-        let bug = failure.built.bug.as_ref().unwrap();
-        if diag.rank_where(|s| bug.matches_any(&s.deps)).is_some_and(|r| r <= 5) {
-            found += 1;
-        }
-    }
-    found
-}
-
-fn clean_flag_rate(mutate: &dyn Fn(&mut ActConfig)) -> f64 {
-    let w = registry::by_name("fluidanimate").unwrap();
-    let mut cfg = act_cfg_for(w.as_ref());
-    mutate(&mut cfg);
-    let trained = train_workload(w.as_ref(), 10, &cfg);
-    let store = shared(trained.store.clone());
-    let built = w.build(&w.default_params().with_seed(7));
-    let run = run_with_act(&built.program, machine_cfg(7), &cfg, &store);
-    let preds: u64 = run.module_stats.iter().map(|s| s.predictions).sum();
-    let inval: u64 = run.module_stats.iter().map(|s| s.invalids).sum();
-    if preds == 0 {
-        0.0
-    } else {
-        100.0 * inval as f64 / preds as f64
-    }
-}
+use act_bench::campaign::{
+    ablation_spec, run_cli_campaign, timing_footer, ABLATIONS, ABLATION_BUGS,
+};
+use act_fleet::Metric;
 
 fn main() {
-    let ablations: Vec<(&str, Box<dyn Fn(&mut ActConfig)>)> = vec![
-        ("full system", Box::new(|_| {})),
-        ("no cross negatives", Box::new(|c| c.cross_negs = 0)),
-        ("no noise negatives", Box::new(|c| c.noise_fraction = 0.0)),
-        ("sequence length N=1", Box::new(|c| c.search.seq_lens = vec![1])),
-        ("tiny hidden layer (h=2)", Box::new(|c| c.search.hidden_sizes = vec![2])),
-    ];
-    println!(
-        "{:<26} {:>18} {:>18}",
-        "Ablation", "bugs found (of 4)", "clean flag rate"
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = ablation_spec();
+    let report = match run_cli_campaign(&spec, &args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ablation: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{:<26} {:>18} {:>18}", "Ablation", "bugs found (of 4)", "clean flag rate");
     println!("{}", "-".repeat(64));
-    for (label, mutate) in &ablations {
-        let found = bugs_diagnosed(mutate.as_ref());
-        let rate = clean_flag_rate(mutate.as_ref());
-        println!("{:<26} {:>18} {:>17.2}%", label, found, rate);
+    for (label, display) in ABLATIONS {
+        // Reduce this ablation's row from its cells in the report.
+        let mut found = 0i64;
+        let mut rate = 0.0f64;
+        for r in report.results.iter().filter(|r| r.job.config == label) {
+            let Some(out) = r.outcome.output() else { continue };
+            match out.metric("diagnosed") {
+                Some(&Metric::Int(v)) => found += v,
+                _ => {
+                    if let Some(&Metric::Float(v)) = out.metric("clean_flag_pct") {
+                        rate = v;
+                    }
+                }
+            }
+        }
+        debug_assert!(found <= ABLATION_BUGS.len() as i64);
+        println!("{:<26} {:>18} {:>17.2}%", display, found, rate);
     }
+    println!("{}", timing_footer(&report));
 }

@@ -8,10 +8,7 @@ use act_bench::{act_cfg_for, train_workload};
 use act_workloads::kernels;
 
 fn main() {
-    println!(
-        "{:<14} {:>24} {:>22}",
-        "Program", "paper-style negatives", "all negatives"
-    );
+    println!("{:<14} {:>24} {:>22}", "Program", "paper-style negatives", "all negatives");
     println!("{}", "-".repeat(64));
     let mut sum_paper = 0.0;
     let mut sum_all = 0.0;

@@ -64,7 +64,8 @@ fn main() {
         for t in &traces {
             let deps = observed_deps(t);
             for s in positive_sequences(&deps, n) {
-                let touches = s.deps.iter().any(|d| d.load_pc >= func.start && d.load_pc < func.end);
+                let touches =
+                    s.deps.iter().any(|d| d.load_pc >= func.start && d.load_pc < func.end);
                 if touches && seen.insert(s.deps.clone()) {
                     let mut net = trained.store.network_for(s.tid, 0.2);
                     if !Network::classify(net.predict(&enc.encode_seq(&s.deps))) {

@@ -3,58 +3,42 @@
 //! clean kernel with and without ACT modules attached and reports the cycle
 //! overhead, sweeping the multiply-add-unit count and input-FIFO size.
 //!
-//! Run with `cargo run --release -p act-bench --bin fig8_overhead`.
+//! Kernels run in parallel via `act-fleet` (one job per kernel; each job
+//! trains once and runs all six hardware sweeps); the table is identical at
+//! any `--jobs` count.
+//!
+//! Run with `cargo run --release -p act-bench --bin fig8_overhead -- [--jobs N] [--out report.json]`.
 
-use act_bench::{act_cfg_for, machine_cfg, train_workload};
-use act_core::diagnosis::run_with_act;
-use act_core::weights::shared;
-use act_sim::machine::Machine;
-use act_workloads::kernels;
+use act_bench::campaign::{fig8_spec, run_cli_campaign, timing_footer, FIG8_SWEEPS};
 
 fn main() {
-    let sweeps: &[(&str, usize, usize)] = &[
-        ("default (x=1, fifo=8)", 1, 8),
-        ("x=2", 2, 8),
-        ("x=5", 5, 8),
-        ("x=10", 10, 8),
-        ("fifo=4", 1, 4),
-        ("fifo=16", 1, 16),
-    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = fig8_spec();
+    let report = match run_cli_campaign(&spec, &args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig8_overhead: {e}");
+            std::process::exit(2);
+        }
+    };
     print!("{:<14}", "Program");
-    for (label, _, _) in sweeps {
+    for (label, _, _) in FIG8_SWEEPS {
         print!(" {:>20}", label);
     }
     println!();
-    println!("{}", "-".repeat(14 + sweeps.len() * 21));
-
-    let mut sums = vec![0.0f64; sweeps.len()];
-    let mut count = 0;
-    for w in kernels::all() {
-        let trained = train_workload(w.as_ref(), 10, &act_cfg_for(w.as_ref()));
-        let built = w.build(&w.default_params().with_seed(7));
-        // Baseline: no ACT.
-        let mut m = Machine::new(&built.program, machine_cfg(7));
-        let _ = m.run();
-        let base_cycles = m.stats().total_cycles as f64;
-
-        print!("{:<14}", w.name());
-        for (i, &(_, mul_add, fifo)) in sweeps.iter().enumerate() {
-            let mut cfg = act_cfg_for(w.as_ref());
-            cfg.pipeline.mul_add_units = mul_add;
-            cfg.pipeline.fifo_capacity = fifo;
-            let store = shared(trained.store.clone());
-            let run = run_with_act(&built.program, machine_cfg(7), &cfg, &store);
-            let overhead = 100.0 * (run.machine_stats.total_cycles as f64 / base_cycles - 1.0);
-            print!(" {:>19.1}%", overhead);
-            sums[i] += overhead;
-        }
-        println!();
-        count += 1;
+    println!("{}", "-".repeat(14 + FIG8_SWEEPS.len() * 21));
+    for line in report.lines() {
+        println!("{line}");
     }
-    println!("{}", "-".repeat(14 + sweeps.len() * 21));
+    println!("{}", "-".repeat(14 + FIG8_SWEEPS.len() * 21));
     print!("{:<14}", "Average");
-    for s in &sums {
-        print!(" {:>19.1}%", s / count as f64);
+    for i in 0..FIG8_SWEEPS.len() {
+        let m = report
+            .aggregate
+            .metric(&format!("overhead_pct_{i}"))
+            .expect("every kernel reports every sweep");
+        print!(" {:>19.1}%", m.mean);
     }
     println!();
+    println!("{}", timing_footer(&report));
 }

@@ -8,9 +8,15 @@ fn main() {
     let w = registry::by_name(&name).expect("workload");
     let cfg = act_cfg_for(w.as_ref());
     let trained = train_workload(w.as_ref(), 10, &cfg);
-    println!("report: seq_len={} topo={} fp={:.4} fn={:.4} deps={} distinct={}",
-        trained.report.seq_len, trained.report.topology, trained.report.test_fp_rate,
-        trained.report.test_fn_rate, trained.report.total_deps, trained.report.distinct_deps);
+    println!(
+        "report: seq_len={} topo={} fp={:.4} fn={:.4} deps={} distinct={}",
+        trained.report.seq_len,
+        trained.report.topology,
+        trained.report.test_fp_rate,
+        trained.report.test_fn_rate,
+        trained.report.total_deps,
+        trained.report.distinct_deps
+    );
     println!("threads trained: {:?}", trained.store.known_threads());
     let store = shared(trained.store.clone());
     match find_act_failure(w.as_ref(), &store, &cfg, 20) {
@@ -26,9 +32,14 @@ fn main() {
             println!("debug entries: {}", f.run.debug.len());
             for e in f.run.debug.iter().rev().take(12) {
                 let hit = bug.matches_any(&e.deps);
-                println!("  cyc {:>7} tid {} out {:.3} {} deps {:?}", e.cycle, e.tid, e.output,
+                println!(
+                    "  cyc {:>7} tid {} out {:.3} {} deps {:?}",
+                    e.cycle,
+                    e.tid,
+                    e.output,
                     if hit { "<< BUG" } else { "" },
-                    e.deps.iter().map(|d| d.to_string()).collect::<Vec<_>>());
+                    e.deps.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+                );
             }
         }
         None => println!("no failure in 20 tries"),

@@ -2,36 +2,33 @@
 //! clean kernels — traces used, dependences, chosen topology, and held-out
 //! misprediction rate (false positives; the paper's average is ~0.4%).
 //!
-//! Run with `cargo run --release -p act-bench --bin table4`.
+//! Kernels train in parallel via `act-fleet` (one job per kernel); the
+//! table is identical at any `--jobs` count.
+//!
+//! Run with `cargo run --release -p act-bench --bin table4 -- [--jobs N] [--out report.json]`.
 
-use act_bench::{act_cfg_for, train_workload};
-use act_workloads::kernels;
+use act_bench::campaign::{run_cli_campaign, table4_spec, timing_footer};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = table4_spec();
+    let report = match run_cli_campaign(&spec, &args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("table4: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "{:<14} {:>7} {:>9} {:>9} {:>10} {:>10}",
         "Program", "Traces", "# RAW Dep", "Topology", "%Mispred", "(FN rate)"
     );
     println!("{}", "-".repeat(64));
-    let mut fp_sum = 0.0;
-    let mut count = 0;
-    for w in kernels::all() {
-        let cfg = act_cfg_for(w.as_ref());
-        let n_traces = 10;
-        let trained = train_workload(w.as_ref(), n_traces, &cfg);
-        let r = &trained.report;
-        println!(
-            "{:<14} {:>7} {:>9} {:>9} {:>9.3}% {:>9.3}%",
-            w.name(),
-            r.train_traces + r.test_traces,
-            r.distinct_deps,
-            r.topology.to_string(),
-            100.0 * r.test_fp_rate,
-            100.0 * r.test_fn_rate,
-        );
-        fp_sum += r.test_fp_rate;
-        count += 1;
+    for line in report.lines() {
+        println!("{line}");
     }
     println!("{}", "-".repeat(64));
-    println!("Average %mispred (false positives): {:.3}%", 100.0 * fp_sum / count as f64);
+    let fp = report.aggregate.metric("test_fp_rate").expect("every kernel reports FP rate");
+    println!("Average %mispred (false positives): {:.3}%", 100.0 * fp.mean);
+    println!("{}", timing_footer(&report));
 }

@@ -1,64 +1,31 @@
 //! Regenerates **Table V**: diagnosis of the 11 real-world bugs, comparing
 //! ACT's single-failure rank against the Aviso-like and PBI-like baselines.
 //!
-//! Run with `cargo run --release -p act-bench --bin table5`.
+//! Bugs diagnose in parallel via `act-fleet` (one job per bug, the full
+//! train → fail → diagnose pipeline inside); the table is identical at any
+//! `--jobs` count.
+//!
+//! Run with `cargo run --release -p act-bench --bin table5 -- [--jobs N] [--out report.json]`.
 
-use act_bench::{act_cfg_for, aviso_diagnose, diagnose_workload, find_act_failure, opt, pbi_diagnose, train_workload};
-use act_core::weights::shared;
-use act_workloads::registry;
-use act_workloads::spec::WorkloadKind;
+use act_bench::campaign::{run_cli_campaign, table5_spec, timing_footer};
 
 fn main() {
-    let names = [
-        "aget", "apache", "memcached", "mysql1", "mysql2", "mysql3", "pbzip2", "gzip", "seq",
-        "ptx", "paste",
-    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = table5_spec();
+    let report = match run_cli_campaign(&spec, &args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("table5: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "{:<10} {:>7} {:>9} {:>8} {:>5} | {:>12} | {:>14} {:>6}",
         "Prog.", "Traces", "DebugPos", "Filter%", "Rank", "Aviso(fails)", "PBI rank(tot)", "Status"
     );
     println!("{}", "-".repeat(88));
-    for name in names {
-        let w = registry::by_name(name).expect("workload exists");
-        assert_eq!(w.kind(), WorkloadKind::RealBug);
-        let cfg = act_cfg_for(w.as_ref());
-        let n_traces = 10;
-        let trained = train_workload(w.as_ref(), n_traces, &cfg);
-        let store = shared(trained.store.clone());
-
-        // MySQL#1 needs a larger debug buffer (as in the paper); run with
-        // the default first and fall back to 4x if the root cause was
-        // evicted.
-        let mut failure = find_act_failure(w.as_ref(), &store, &cfg, 20).expect("failure manifests");
-        let mut row = diagnose_workload(w.as_ref(), &failure, trained.report.seq_len);
-        let mut note = String::new();
-        if row.rank.is_none() {
-            let mut big = cfg.clone();
-            big.debug_capacity *= 4;
-            let store2 = shared(trained.store.clone());
-            if let Some(f2) = find_act_failure(w.as_ref(), &store2, &big, 20) {
-                failure = f2;
-                row = diagnose_workload(w.as_ref(), &failure, trained.report.seq_len);
-                note = " [4x debug buffer]".into();
-            }
-        }
-
-        let aviso = aviso_diagnose(w.as_ref(), 10);
-        let aviso_s = aviso.map_or("-".to_string(), |(r, f)| format!("{r} ({f})"));
-        let (pbi_rank, pbi_total) = pbi_diagnose(w.as_ref());
-        let pbi_s = format!("{} ({pbi_total})", opt(pbi_rank));
-
-        println!(
-            "{:<10} {:>7} {:>9} {:>8.1} {:>5} | {:>12} | {:>14} {:>6}{}",
-            row.name,
-            n_traces,
-            opt(row.debug_pos),
-            row.filter_pct,
-            opt(row.rank),
-            aviso_s,
-            pbi_s,
-            row.status,
-            note,
-        );
+    for line in report.lines() {
+        println!("{line}");
     }
+    println!("{}", timing_footer(&report));
 }

@@ -8,10 +8,10 @@
 use act_bench::{act_cfg_for, machine_cfg, opt, train_workload};
 use act_core::diagnosis::{diagnose, run_with_act};
 use act_core::weights::shared;
+use act_sim::machine::Machine;
 use act_trace::collector::TraceCollector;
 use act_trace::input_gen::positive_sequences;
 use act_trace::raw::observed_deps;
-use act_sim::machine::Machine;
 use act_workloads::injected;
 use act_workloads::spec::Params;
 
@@ -34,8 +34,7 @@ fn main() {
         }
         let mut failure = None;
         for seed in 0..20u64 {
-            let built =
-                w.build(&Params { seed, new_code: true, ..w.default_params().triggered() });
+            let built = w.build(&Params { seed, new_code: true, ..w.default_params().triggered() });
             let run = run_with_act(&built.program, machine_cfg(seed), &cfg, &store);
             if built.is_failure(&run.outcome) {
                 failure = Some((run, built));

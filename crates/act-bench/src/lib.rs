@@ -19,6 +19,8 @@
 //!    own methodology (Aviso reproduces failures; PBI uses 15 correct + 1
 //!    failing run).
 
+pub mod campaign;
+
 use act_baselines::aviso::Aviso;
 use act_baselines::pbi;
 use act_core::diagnosis::{diagnose, run_with_act, ActRun};
@@ -54,8 +56,7 @@ pub fn act_cfg() -> ActConfig {
 /// The code length used to normalize `w`'s instruction addresses: the
 /// workload's fixed override if it has one, else the built program length.
 pub fn norm_of(w: &dyn Workload) -> usize {
-    w.norm_code_len()
-        .unwrap_or_else(|| w.build(&w.default_params()).program.code_len())
+    w.norm_code_len().unwrap_or_else(|| w.build(&w.default_params()).program.code_len())
 }
 
 /// [`act_cfg`] with the normalization length pinned for `w`.

@@ -7,9 +7,12 @@
 //! act trace <workload> --out DIR [--runs N] collect correct-run traces
 //! act train <workload> --out FILE [--runs N] offline-train, save weights
 //! act diagnose <workload> [--weights FILE]  full single-failure diagnosis
+//! act campaign <spec> [--jobs N] [--out FILE] [--no-timing]
 //! ```
 
-use act_bench::{act_cfg_for, collect_clean_traces, find_act_failure, machine_cfg, norm_of, train_workload};
+use act_bench::{
+    act_cfg_for, collect_clean_traces, find_act_failure, machine_cfg, norm_of, train_workload,
+};
 use act_core::diagnosis::diagnose;
 use act_core::offline::offline_train;
 use act_core::weights::{shared, WeightStore};
@@ -33,7 +36,9 @@ fn usage() -> ExitCode {
          \x20 run <workload> [--seed N] [--trigger] [--new-code]\n\
          \x20 trace <workload> --out DIR [--runs N]  collect correct-run traces\n\
          \x20 train <workload> --out FILE [--runs N] offline-train, save weights\n\
-         \x20 diagnose <workload> [--weights FILE]   diagnose a single failure"
+         \x20 diagnose <workload> [--weights FILE]   diagnose a single failure\n\
+         \x20 campaign <spec> [--jobs N] [--out FILE] [--no-timing]\n\
+         \x20                                        run a campaign spec in parallel"
     );
     ExitCode::from(2)
 }
@@ -45,17 +50,14 @@ struct Args {
 }
 
 fn parse_args(raw: &[String]) -> Args {
-    let mut a = Args {
-        positional: Vec::new(),
-        flags: Default::default(),
-        switches: Default::default(),
-    };
+    let mut a =
+        Args { positional: Vec::new(), flags: Default::default(), switches: Default::default() };
     let mut i = 0;
     while i < raw.len() {
         let t = &raw[i];
         if let Some(name) = t.strip_prefix("--") {
             // Value-taking flags.
-            if ["seed", "runs", "out", "weights"].contains(&name) && i + 1 < raw.len() {
+            if ["seed", "runs", "out", "weights", "jobs"].contains(&name) && i + 1 < raw.len() {
                 a.flags.insert(name.to_string(), raw[i + 1].clone());
                 i += 2;
                 continue;
@@ -89,6 +91,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "train" => cmd_train(&args),
         "diagnose" => cmd_diagnose(&args),
+        "campaign" => cmd_campaign(&args),
         _ => usage(),
     }
 }
@@ -310,6 +313,85 @@ fn cmd_diagnose(args: &Args) -> ExitCode {
             Some(rank) => println!("ground truth: root cause at rank {rank}"),
             None => println!("ground truth: root cause not ranked"),
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `act campaign <spec>`: run a declarative workload × config × seed grid
+/// across worker threads (default: all cores) and print the results.
+///
+/// The deterministic `results` section of the report is byte-identical at
+/// any `--jobs` count; `--out FILE` writes the JSON report (`--no-timing`
+/// strips the wall-clock section so the file itself is reproducible).
+fn cmd_campaign(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        eprintln!(
+            "campaign requires a spec file, e.g.\n\
+             \x20 act campaign table5.spec --jobs 8 --out report.json\n\
+             \n\
+             spec format (key = value lines, `#` comments):\n\
+             \x20 name      = my-campaign\n\
+             \x20 kind      = run | train | diagnose | overhead | ablation\n\
+             \x20 workloads = fft, lu, apache\n\
+             \x20 configs   = default          # optional\n\
+             \x20 seeds     = 0..8             # or: 0, 1, 7\n\
+             other keys become executor parameters (e.g. traces = 10)"
+        );
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match act_fleet::CampaignSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let exec = match act_bench::campaign::executor_for(&spec) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let jobs = args
+        .flags
+        .get("jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(act_fleet::default_workers);
+    let report = act_fleet::run_campaign(&spec, jobs, exec);
+    for line in report.lines() {
+        println!("{line}");
+    }
+    for r in report.results.iter().filter(|r| !r.outcome.is_completed()) {
+        if let act_fleet::JobOutcome::Crashed { message } = &r.outcome {
+            eprintln!(
+                "CRASHED job {} ({}/{}/seed {}): {message}",
+                r.job.id, r.job.workload, r.job.config, r.job.seed
+            );
+        }
+    }
+    println!("{}", act_bench::campaign::timing_footer(&report));
+    if let Some(out) = args.flags.get("out") {
+        let json = if args.switches.contains("no-timing") {
+            report.deterministic_json()
+        } else {
+            report.json()
+        };
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {out}");
+    }
+    if report.aggregate.crashed > 0 {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

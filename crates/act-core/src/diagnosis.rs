@@ -43,11 +43,7 @@ impl ActRun {
     where
         F: FnMut(&DebugEntry) -> bool,
     {
-        self.debug
-            .iter()
-            .rev()
-            .position(|e| matcher(e))
-            .map(|i| i + 1)
+        self.debug.iter().rev().position(|e| matcher(e)).map(|i| i + 1)
     }
 }
 
@@ -64,9 +60,7 @@ pub fn run_with_act(
     let mut machine = Machine::new(program, machine_cfg);
     let norm = if act_cfg.norm_code_len > 0 { act_cfg.norm_code_len } else { program.code_len() };
     let modules: Vec<Rc<RefCell<ActModule>>> = (0..machine.stats().cores.len())
-        .map(|_| {
-            Rc::new(RefCell::new(ActModule::new(act_cfg.clone(), norm, store.clone())))
-        })
+        .map(|_| Rc::new(RefCell::new(ActModule::new(act_cfg.clone(), norm, store.clone()))))
         .collect();
     for (i, m) in modules.iter().enumerate() {
         machine.attach(i, Box::new(m.clone()));
@@ -153,7 +147,8 @@ mod tests {
     #[test]
     fn run_with_act_completes_and_collects_stats() {
         let p = looping_program();
-        let store = shared(WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1));
+        let store =
+            shared(WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1));
         let cfg = MachineConfig { jitter_ppm: 0, cores: 2, ..Default::default() };
         let run = run_with_act(&p, cfg, &ActConfig::default(), &store);
         assert!(run.outcome.completed());
@@ -180,7 +175,8 @@ mod tests {
         // Untrained weights: the module starts in training mode and logs
         // whatever it mispredicts. All of those sequences are correct, so a
         // proper Correct Set prunes every one of them.
-        let store = shared(WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1));
+        let store =
+            shared(WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1));
         let cfg = MachineConfig { jitter_ppm: 0, cores: 1, ..Default::default() };
         let run = run_with_act(&p, cfg, &ActConfig::default(), &store);
         let base = MachineConfig { jitter_ppm: 0, ..Default::default() };

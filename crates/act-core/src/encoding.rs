@@ -129,8 +129,7 @@ mod tests {
         let a = e.encode_seq(&[dep(500, 600, false)]);
         let b = e.encode_seq(&[dep(501, 601, false)]);
         let far = e.encode_seq(&[dep(10, 990, false)]);
-        let dist =
-            |u: &[f32], v: &[f32]| (u[0] - v[0]).abs().max((u[1] - v[1]).abs());
+        let dist = |u: &[f32], v: &[f32]| (u[0] - v[0]).abs().max((u[1] - v[1]).abs());
         assert!(dist(&a, &b) < dist(&a, &far));
     }
 
@@ -142,11 +141,7 @@ mod tests {
         let e = Encoder::new(200);
         let pos = e.encode_seq(&[dep(14, 35, true)]);
         let neg = e.encode_seq(&[dep(10, 35, true)]);
-        let max_gap = pos
-            .iter()
-            .zip(&neg)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        let max_gap = pos.iter().zip(&neg).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_gap > 0.05, "gap {max_gap} too small to learn");
     }
 

@@ -106,8 +106,8 @@ fn balance(pos: Vec<Example>, neg: Vec<Example>, cap: usize) -> Vec<Example> {
 /// Random input points labelled invalid: they anchor the classifier's
 /// default in unpopulated input regions to "invalid".
 fn noise_negatives(count: usize, width: usize, seed: u64) -> Vec<Example> {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed_0bad);
+    use act_rng::{Rng, SeedableRng};
+    let mut rng = act_rng::rngs::StdRng::seed_from_u64(seed ^ 0x5eed_0bad);
     (0..count)
         .map(|_| Example::invalid((0..width).map(|_| rng.gen_range(0.0..1.0)).collect()))
         .collect()
@@ -142,10 +142,7 @@ fn encode_examples(
         pos.extend(p);
         neg.extend(ng);
     }
-    let neg: Vec<_> = neg
-        .into_iter()
-        .filter(|s| !global_positives.contains(&s.deps))
-        .collect();
+    let neg: Vec<_> = neg.into_iter().filter(|s| !global_positives.contains(&s.deps)).collect();
 
     let mut pos_ex = Vec::with_capacity(pos.len());
     let mut by_tid = Vec::with_capacity(pos.len());
@@ -161,9 +158,7 @@ fn encode_examples(
     distinct_pos.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     distinct_pos.dedup();
     let collides = |x: &[f32]| {
-        distinct_pos
-            .iter()
-            .any(|p| x.iter().zip(p.iter()).all(|(a, b)| (a - b).abs() < 0.05))
+        distinct_pos.iter().any(|p| x.iter().zip(p.iter()).all(|(a, b)| (a - b).abs() < 0.05))
     };
 
     let mut neg_ex = Vec::with_capacity(neg.len());
@@ -223,7 +218,6 @@ pub fn offline_train(code_len: usize, traces: &[Trace], cfg: &ActConfig) -> Trai
         per_trace_deps[..train_count].iter().collect(),
         per_trace_deps[train_count..].iter().collect(),
     );
-
 
     // Topology search over pooled examples. Training sets are seeded with
     // "noise negatives" — random input points labelled invalid — so the

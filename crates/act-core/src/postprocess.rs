@@ -94,10 +94,8 @@ pub fn postprocess(entries: &[DebugEntry], correct: &CorrectSet) -> Diagnosis {
     let distinct = dedup.len();
 
     // Prune sequences that occur in correct executions.
-    let mut survivors: Vec<RankedSequence> = dedup
-        .into_values()
-        .filter(|r| !correct.contains(&r.deps))
-        .collect();
+    let mut survivors: Vec<RankedSequence> =
+        dedup.into_values().filter(|r| !correct.contains(&r.deps)).collect();
     let pruned = distinct - survivors.len();
 
     // Rank: most matched dependences first; ties by most negative output;

@@ -212,19 +212,17 @@ impl WeightStore {
     /// Returns [`ParseWeightsError`] on I/O failure or malformed input.
     pub fn load<R: std::io::BufRead>(r: R) -> Result<WeightStore, ParseWeightsError> {
         let mut lines = r.lines();
-        let header = lines.next().ok_or(ParseWeightsError::Malformed {
-            line: 1,
-            reason: "empty input".into(),
-        })??;
+        let header = lines
+            .next()
+            .ok_or(ParseWeightsError::Malformed { line: 1, reason: "empty input".into() })??;
         let mut h = header.split_whitespace();
         if h.next() != Some("actweights") || h.next() != Some("v1") {
             return Err(ParseWeightsError::Malformed { line: 1, reason: "bad header".into() });
         }
         let mut dim = |name: &str| -> Result<usize, ParseWeightsError> {
-            h.next().and_then(|v| v.parse().ok()).ok_or(ParseWeightsError::Malformed {
-                line: 1,
-                reason: format!("bad {name}"),
-            })
+            h.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(ParseWeightsError::Malformed { line: 1, reason: format!("bad {name}") })
         };
         let inputs = dim("inputs")?;
         let hidden = dim("hidden")?;
@@ -240,24 +238,25 @@ impl WeightStore {
             let mut t = line.split_whitespace();
             let bad = |reason: String| ParseWeightsError::Malformed { line: lineno, reason };
             let tag = t.next().ok_or_else(|| bad("missing tag".into()))?;
-            let parse_weights = |t: std::str::SplitWhitespace<'_>| -> Result<Vec<f32>, ParseWeightsError> {
-                let ws: Result<Vec<f32>, _> = t.map(|v| v.parse::<f32>()).collect();
-                let ws = ws.map_err(|e| ParseWeightsError::Malformed {
-                    line: lineno,
-                    reason: format!("bad weight: {e}"),
-                })?;
-                if ws.len() != topology.weight_count() {
-                    return Err(ParseWeightsError::Malformed {
+            let parse_weights =
+                |t: std::str::SplitWhitespace<'_>| -> Result<Vec<f32>, ParseWeightsError> {
+                    let ws: Result<Vec<f32>, _> = t.map(|v| v.parse::<f32>()).collect();
+                    let ws = ws.map_err(|e| ParseWeightsError::Malformed {
                         line: lineno,
-                        reason: format!(
-                            "expected {} weights, got {}",
-                            topology.weight_count(),
-                            ws.len()
-                        ),
-                    });
-                }
-                Ok(ws)
-            };
+                        reason: format!("bad weight: {e}"),
+                    })?;
+                    if ws.len() != topology.weight_count() {
+                        return Err(ParseWeightsError::Malformed {
+                            line: lineno,
+                            reason: format!(
+                                "expected {} weights, got {}",
+                                topology.weight_count(),
+                                ws.len()
+                            ),
+                        });
+                    }
+                    Ok(ws)
+                };
             match tag {
                 "default" => store.default_weights = parse_weights(t)?,
                 "tid" => {

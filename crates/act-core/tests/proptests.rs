@@ -1,5 +1,9 @@
 //! Property-based tests for ACT's core analyses.
 
+// Property suites are opt-in: run with `--features slow-tests` (they use
+// the in-tree proptest shim, so they work offline too).
+#![cfg(feature = "slow-tests")]
+
 use act_core::encoding::{Encoder, FEATURES_PER_DEP};
 use act_core::module::DebugEntry;
 use act_core::postprocess::postprocess;
@@ -8,8 +12,11 @@ use act_trace::correct_set::CorrectSet;
 use proptest::prelude::*;
 
 fn arb_dep() -> impl Strategy<Value = RawDep> {
-    (0u32..200, 0u32..200, any::<bool>())
-        .prop_map(|(s, l, i)| RawDep { store_pc: s, load_pc: l, inter_thread: i })
+    (0u32..200, 0u32..200, any::<bool>()).prop_map(|(s, l, i)| RawDep {
+        store_pc: s,
+        load_pc: l,
+        inter_thread: i,
+    })
 }
 
 proptest! {

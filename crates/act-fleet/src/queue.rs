@@ -1,0 +1,72 @@
+//! The shared work queue.
+//!
+//! Deliberately minimal: the expanded job list is immutable, so "the queue"
+//! is one atomic cursor over a slice. Workers claim the next unclaimed job
+//! with a single `fetch_add` — no locks, no channels on the claim path, and
+//! (because each job owns its whole `Machine`/`ActModule` pipeline) no
+//! shared mutable state afterwards either. Claim order is scheduling-
+//! dependent; *result* order is not, because the aggregator re-indexes by
+//! job id (see `worker`/`aggregate`).
+
+use crate::spec::JobDesc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A lock-free multi-consumer view over an immutable job list.
+pub struct JobQueue<'a> {
+    jobs: &'a [JobDesc],
+    next: AtomicUsize,
+}
+
+impl<'a> JobQueue<'a> {
+    /// A queue over `jobs` with nothing claimed yet.
+    pub fn new(jobs: &'a [JobDesc]) -> Self {
+        JobQueue { jobs, next: AtomicUsize::new(0) }
+    }
+
+    /// Claim the next job, or `None` when the grid is exhausted.
+    pub fn claim(&self) -> Option<&'a JobDesc> {
+        // Relaxed is enough: the slice is immutable and the cursor is the
+        // only coordination; result movement synchronizes via the workers'
+        // result channel.
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        self.jobs.get(i)
+    }
+
+    /// Total number of jobs (claimed or not).
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue started empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    #[test]
+    fn claims_each_job_exactly_once() {
+        let mut spec = CampaignSpec::new("t", "run", &["a"]);
+        spec.seeds = (0..100).collect();
+        let jobs = spec.expand();
+        let queue = JobQueue::new(&jobs);
+        let seen: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(job) = queue.claim() {
+                        seen.lock().unwrap().push(job.id);
+                    }
+                });
+            }
+        });
+        let mut ids = seen.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+        assert!(queue.claim().is_none());
+    }
+}

@@ -1,0 +1,231 @@
+//! Declarative campaign specifications.
+//!
+//! A campaign is a grid — workloads × configs × seeds — plus a `kind`
+//! naming the per-job procedure (the *executor*; see `act-bench`'s
+//! `campaign` module for the standard ones). Specs are plain text so they
+//! can be checked in next to experiment results:
+//!
+//! ```text
+//! # table5-style diagnosis campaign
+//! name = bugs-nightly
+//! kind = diagnose
+//! workloads = aget, apache, memcached
+//! configs = default
+//! seeds = 0..3
+//! traces = 10
+//! ```
+//!
+//! `key = value` per line, `#` comments. `workloads` and `configs` are
+//! comma-separated lists; `seeds` is either a comma list (`0, 7, 9`) or a
+//! half-open range (`0..8`). Unknown keys are collected into
+//! [`CampaignSpec::params`] for the executor to interpret (e.g. `traces`,
+//! `max_tries`). The expansion order — workload-major, then config, then
+//! seed — fixes every job's id, which is what the determinism guarantee of
+//! the aggregate report is keyed on.
+
+use std::collections::BTreeMap;
+
+/// One cell of the campaign grid: what a single worker invocation runs.
+///
+/// A job owns its whole pipeline — the executor builds the workload,
+/// machine, and any ACT modules *inside* the job from `seed`, so jobs share
+/// no mutable state and the hot path takes no locks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobDesc {
+    /// Position in the expanded grid; results are re-ordered by this id, so
+    /// reports do not depend on scheduling.
+    pub id: usize,
+    /// Workload name (resolved by the executor, e.g. via `act-workloads`).
+    pub workload: String,
+    /// Config-variant label (executor-interpreted; `"default"` if the spec
+    /// lists none).
+    pub config: String,
+    /// Base seed for everything random in the job.
+    pub seed: u64,
+}
+
+/// A parsed campaign: the grid plus executor-specific parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Campaign name (report header; defaults to `"campaign"`).
+    pub name: String,
+    /// Executor selector (`run`, `train`, `diagnose`, `overhead`, ...).
+    pub kind: String,
+    /// Workload axis. Must be non-empty.
+    pub workloads: Vec<String>,
+    /// Config-variant axis. Never empty (defaults to `["default"]`).
+    pub configs: Vec<String>,
+    /// Seed axis. Never empty (defaults to `[0]`).
+    pub seeds: Vec<u64>,
+    /// Remaining `key = value` pairs, for the executor.
+    pub params: BTreeMap<String, String>,
+}
+
+impl CampaignSpec {
+    /// A minimal spec for `kind` over `workloads`, one seed, default config.
+    pub fn new(name: &str, kind: &str, workloads: &[&str]) -> Self {
+        CampaignSpec {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            workloads: workloads.iter().map(|s| s.to_string()).collect(),
+            configs: vec!["default".to_string()],
+            seeds: vec![0],
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Parse the text spec format described at module level.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut name = None;
+        let mut kind = None;
+        let mut workloads = Vec::new();
+        let mut configs = Vec::new();
+        let mut seeds = Vec::new();
+        let mut params = BTreeMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                format!("line {}: expected `key = value`, got `{line}`", lineno + 1)
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "name" => name = Some(value.to_string()),
+                "kind" => kind = Some(value.to_string()),
+                "workloads" => workloads = split_list(value),
+                "configs" => configs = split_list(value),
+                "seeds" => {
+                    seeds = parse_seeds(value).map_err(|e| format!("line {}: {e}", lineno + 1))?
+                }
+                _ => {
+                    params.insert(key.to_string(), value.to_string());
+                }
+            }
+        }
+        if workloads.is_empty() {
+            return Err("spec lists no workloads".to_string());
+        }
+        if configs.is_empty() {
+            configs.push("default".to_string());
+        }
+        if seeds.is_empty() {
+            seeds.push(0);
+        }
+        Ok(CampaignSpec {
+            name: name.unwrap_or_else(|| "campaign".to_string()),
+            kind: kind.ok_or("spec is missing `kind`")?,
+            workloads,
+            configs,
+            seeds,
+            params,
+        })
+    }
+
+    /// An executor parameter, parsed, with a default.
+    pub fn param_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.params.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Expand the grid into jobs, workload-major. Job ids are the positions
+    /// in this fixed order — the anchor for deterministic aggregation.
+    pub fn expand(&self) -> Vec<JobDesc> {
+        let mut jobs =
+            Vec::with_capacity(self.workloads.len() * self.configs.len() * self.seeds.len());
+        for workload in &self.workloads {
+            for config in &self.configs {
+                for &seed in &self.seeds {
+                    jobs.push(JobDesc {
+                        id: jobs.len(),
+                        workload: workload.clone(),
+                        config: config.clone(),
+                        seed,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+}
+
+fn split_list(value: &str) -> Vec<String> {
+    value.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+}
+
+fn parse_seeds(value: &str) -> Result<Vec<u64>, String> {
+    if let Some((lo, hi)) = value.split_once("..") {
+        let lo: u64 = lo.trim().parse().map_err(|_| format!("bad seed range start `{lo}`"))?;
+        let hi: u64 = hi.trim().parse().map_err(|_| format!("bad seed range end `{hi}`"))?;
+        if lo >= hi {
+            return Err(format!("empty seed range `{value}`"));
+        }
+        return Ok((lo..hi).collect());
+    }
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let spec = CampaignSpec::parse(
+            "# demo\nname = nightly\nkind = diagnose\nworkloads = aget, apache\n\
+             configs = default, big-buffer\nseeds = 0..3\ntraces = 12\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "nightly");
+        assert_eq!(spec.kind, "diagnose");
+        assert_eq!(spec.workloads, ["aget", "apache"]);
+        assert_eq!(spec.configs, ["default", "big-buffer"]);
+        assert_eq!(spec.seeds, [0, 1, 2]);
+        assert_eq!(spec.param_or("traces", 0usize), 12);
+        assert_eq!(spec.param_or("max_tries", 20u64), 20);
+    }
+
+    #[test]
+    fn seed_lists_and_defaults() {
+        let spec = CampaignSpec::parse("kind = run\nworkloads = fft\nseeds = 4, 9\n").unwrap();
+        assert_eq!(spec.seeds, [4, 9]);
+        assert_eq!(spec.configs, ["default"]);
+        assert_eq!(spec.name, "campaign");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(CampaignSpec::parse("kind = run\n").is_err(), "no workloads");
+        assert!(CampaignSpec::parse("workloads = fft\n").is_err(), "no kind");
+        assert!(CampaignSpec::parse("kind = run\nworkloads = fft\nseeds = 5..2\n").is_err());
+        assert!(CampaignSpec::parse("kind = run\nworkloads = fft\nnot a kv line\n").is_err());
+    }
+
+    #[test]
+    fn expansion_is_workload_major_with_dense_ids() {
+        let mut spec = CampaignSpec::new("t", "run", &["a", "b"]);
+        spec.configs = vec!["x".into(), "y".into()];
+        spec.seeds = vec![0, 1, 2];
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 12);
+        assert!(jobs.iter().enumerate().all(|(i, j)| j.id == i));
+        assert_eq!(
+            (jobs[0].workload.as_str(), jobs[0].config.as_str(), jobs[0].seed),
+            ("a", "x", 0)
+        );
+        assert_eq!(
+            (jobs[3].workload.as_str(), jobs[3].config.as_str(), jobs[3].seed),
+            ("a", "y", 0)
+        );
+        assert_eq!(
+            (jobs[6].workload.as_str(), jobs[6].config.as_str(), jobs[6].seed),
+            ("b", "x", 0)
+        );
+        assert_eq!(jobs[11].seed, 2);
+    }
+}

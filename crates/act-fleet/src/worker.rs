@@ -1,0 +1,208 @@
+//! Worker threads and failure isolation.
+//!
+//! Each worker pulls from the [`JobQueue`](crate::queue::JobQueue), runs the
+//! executor inside `catch_unwind`, stamps the wall-clock time, and sends the
+//! result home over a channel. A panicking job becomes
+//! [`JobOutcome::Crashed`] — it is recorded like any other result and never
+//! poisons the campaign (a poisoned job's worker keeps pulling). The
+//! collector re-indexes results by job id, which is what makes the
+//! aggregate report independent of worker count and scheduling.
+
+use crate::spec::JobDesc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// A single metric value in a job's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// An integer metric (counts, ranks, cycles).
+    Int(i64),
+    /// A floating-point metric (rates, percentages).
+    Float(f64),
+    /// A non-numeric metric (statuses, topology labels). Excluded from
+    /// numeric aggregation but carried into the report.
+    Text(String),
+}
+
+impl Metric {
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Metric::Int(v) => Some(*v as f64),
+            Metric::Float(v) => Some(*v),
+            Metric::Text(_) => None,
+        }
+    }
+}
+
+/// What a completed job hands back.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobOutput {
+    /// Named metrics, in the executor's emission order (kept stable so the
+    /// report is byte-identical across runs).
+    pub metrics: Vec<(String, Metric)>,
+    /// Pre-rendered human-readable lines (e.g. a table row); binaries print
+    /// these in job order after the campaign finishes.
+    pub lines: Vec<String>,
+}
+
+impl JobOutput {
+    /// Append an integer metric.
+    pub fn int(mut self, key: &str, v: i64) -> Self {
+        self.metrics.push((key.to_string(), Metric::Int(v)));
+        self
+    }
+
+    /// Append a float metric.
+    pub fn float(mut self, key: &str, v: f64) -> Self {
+        self.metrics.push((key.to_string(), Metric::Float(v)));
+        self
+    }
+
+    /// Append a text metric.
+    pub fn text(mut self, key: &str, v: &str) -> Self {
+        self.metrics.push((key.to_string(), Metric::Text(v.to_string())));
+        self
+    }
+
+    /// Append a display line.
+    pub fn line(mut self, l: String) -> Self {
+        self.lines.push(l);
+        self
+    }
+
+    /// Look up a metric by key.
+    pub fn metric(&self, key: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, m)| m)
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The executor returned normally.
+    Completed(JobOutput),
+    /// The executor panicked; the payload is the panic message.
+    Crashed {
+        /// Panic payload rendered to text (`&str`/`String` payloads; other
+        /// types become a placeholder).
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// Whether the job completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+
+    /// The output, if completed.
+    pub fn output(&self) -> Option<&JobOutput> {
+        match self {
+            JobOutcome::Completed(out) => Some(out),
+            JobOutcome::Crashed { .. } => None,
+        }
+    }
+}
+
+/// One finished job: description, outcome, and wall-clock time.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The grid cell that ran.
+    pub job: JobDesc,
+    /// How it ended.
+    pub outcome: JobOutcome,
+    /// Wall-clock time of the executor call (timing only — never part of
+    /// the deterministic report section).
+    pub wall: Duration,
+}
+
+/// Run every job across `workers` threads; results come back **ordered by
+/// job id** regardless of scheduling.
+///
+/// The executor is shared by reference across workers, so it must be
+/// [`Sync`]; everything job-specific should be built inside the call from
+/// the [`JobDesc`] (that is what keeps jobs deterministic and lock-free).
+pub fn run_jobs<F>(jobs: &[JobDesc], workers: usize, exec: &F) -> Vec<JobResult>
+where
+    F: Fn(&JobDesc) -> JobOutput + Sync,
+{
+    let workers = workers.max(1).min(jobs.len().max(1));
+    let queue = crate::queue::JobQueue::new(jobs);
+    let (tx, rx) = mpsc::channel::<JobResult>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || {
+                while let Some(job) = queue.claim() {
+                    let start = Instant::now();
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| exec(job))) {
+                        Ok(out) => JobOutcome::Completed(out),
+                        Err(payload) => JobOutcome::Crashed { message: panic_message(&*payload) },
+                    };
+                    let result = JobResult { job: job.clone(), outcome, wall: start.elapsed() };
+                    if tx.send(result).is_err() {
+                        break; // collector is gone; stop pulling
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Collect as results arrive (any order), then re-index by id.
+        let mut slots: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+        for result in rx {
+            let id = result.job.id;
+            debug_assert!(slots[id].is_none(), "job {id} reported twice");
+            slots[id] = Some(result);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(id, r)| r.unwrap_or_else(|| panic!("job {id} produced no result")))
+            .collect()
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    #[test]
+    fn results_come_back_in_id_order() {
+        let mut spec = CampaignSpec::new("t", "run", &["w"]);
+        spec.seeds = (0..24).collect();
+        let jobs = spec.expand();
+        let exec = |job: &JobDesc| {
+            // Stagger finish times against claim order.
+            std::thread::sleep(Duration::from_millis((job.seed % 3) * 2));
+            JobOutput::default().int("seed", job.seed as i64)
+        };
+        let results = run_jobs(&jobs, 6, &exec);
+        assert_eq!(results.len(), 24);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.job.id, i);
+            assert_eq!(r.outcome.output().unwrap().metric("seed"), Some(&Metric::Int(i as i64)));
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let jobs = CampaignSpec::new("t", "run", &["w"]).expand();
+        let results = run_jobs(&jobs, 0, &|_| JobOutput::default());
+        assert_eq!(results.len(), 1);
+        assert!(results[0].outcome.is_completed());
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration tests for the fleet layer's two load-bearing guarantees:
+//! determinism under parallelism and crash isolation.
+
+use act_fleet::{run_campaign, CampaignSpec, JobDesc, JobOutput};
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
+
+/// A deterministic, seed-keyed stand-in for a simulation job: mixes the
+/// job's grid coordinates into an RNG stream and does a little arithmetic,
+/// with a scheduling-dependent sleep so parallel runs genuinely interleave.
+fn sim_like(job: &JobDesc) -> JobOutput {
+    let mut h: u64 = job.seed ^ 0x5eed;
+    for b in job.workload.bytes().chain(job.config.bytes()) {
+        h = h.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    let mut acc = 0i64;
+    for _ in 0..1_000 {
+        acc = acc.wrapping_add(rng.gen_range(-1000i64..1000));
+    }
+    // Perturb completion order without touching the result.
+    std::thread::sleep(std::time::Duration::from_millis(job.seed % 4));
+    JobOutput::default()
+        .int("acc", acc)
+        .float("acc_scaled", acc as f64 / 1e3)
+        .text("status", "completed")
+        .line(format!("{} {} {} -> {acc}", job.workload, job.config, job.seed))
+}
+
+fn grid_12() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("determinism", "sim-like", &["alpha", "beta"]);
+    spec.configs = vec!["default".into(), "tuned".into()];
+    spec.seeds = vec![0, 1, 2];
+    spec
+}
+
+#[test]
+fn aggregate_report_is_byte_identical_across_worker_counts() {
+    let spec = grid_12();
+    assert_eq!(spec.expand().len(), 12, "test wants a 12-job campaign");
+    let serial = run_campaign(&spec, 1, sim_like);
+    let parallel = run_campaign(&spec, 8, sim_like);
+    // The deterministic section is the guarantee: byte-identical.
+    assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+    // And it is meaningful: jobs differ from each other.
+    let j = serial.deterministic_json();
+    assert!(j.contains("\"acc\":"));
+    // Repeat runs at the same worker count are stable too.
+    assert_eq!(
+        parallel.deterministic_json(),
+        run_campaign(&spec, 8, sim_like).deterministic_json()
+    );
+}
+
+#[test]
+fn display_lines_preserve_job_order() {
+    let spec = grid_12();
+    let report = run_campaign(&spec, 8, sim_like);
+    let lines: Vec<&str> = report.lines().collect();
+    assert_eq!(lines.len(), 12);
+    assert!(lines[0].starts_with("alpha default 0 "));
+    assert!(lines[3].starts_with("alpha tuned 0 "));
+    assert!(lines[6].starts_with("beta default 0 "));
+    assert!(lines[11].starts_with("beta tuned 2 "));
+}
+
+#[test]
+fn crashing_job_is_isolated_and_recorded() {
+    let mut spec = CampaignSpec::new("crashes", "sim-like", &["alpha", "boom", "gamma"]);
+    spec.seeds = vec![0, 1];
+    let report = run_campaign(&spec, 4, |job: &JobDesc| {
+        if job.workload == "boom" && job.seed == 1 {
+            panic!("injected failure in {}/{}", job.workload, job.seed);
+        }
+        sim_like(job)
+    });
+    assert_eq!(report.aggregate.total, 6);
+    assert_eq!(report.aggregate.crashed, 1);
+    assert_eq!(report.aggregate.completed, 5);
+    let crashed: Vec<_> = report.results.iter().filter(|r| !r.outcome.is_completed()).collect();
+    assert_eq!(crashed.len(), 1);
+    assert_eq!(crashed[0].job.workload, "boom");
+    assert_eq!(crashed[0].job.seed, 1);
+    match &crashed[0].outcome {
+        act_fleet::JobOutcome::Crashed { message } => {
+            assert!(message.contains("injected failure in boom/1"), "message: {message}");
+        }
+        other => panic!("expected crash, got {other:?}"),
+    }
+    // The report carries the crash as a row.
+    let j = report.deterministic_json();
+    assert!(j.contains("\"outcome\":\"crashed\""));
+    assert!(j.contains("injected failure in boom/1"));
+    // Aggregation only folded completed jobs.
+    let acc = report.aggregate.metrics.iter().find(|m| m.key == "acc").unwrap();
+    assert_eq!(acc.count, 5);
+}
+
+#[test]
+fn timing_section_reports_speedup_inputs() {
+    let report = run_campaign(&grid_12(), 2, sim_like);
+    assert_eq!(report.timing.workers, 2);
+    assert_eq!(report.timing.per_job_ms.len(), 12);
+    assert!(report.timing.total_ms > 0.0);
+    assert!((report.timing.sum_job_ms - report.timing.per_job_ms.iter().sum::<f64>()).abs() < 1e-9);
+    let j = report.json();
+    assert!(j.contains("\"timing\""));
+    assert!(!report.deterministic_json().contains("\"timing\""));
+}

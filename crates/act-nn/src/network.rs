@@ -8,8 +8,8 @@
 //! proportion to the link weights.
 
 use crate::sigmoid::{sigmoid_deriv_from_output, SigmoidMode};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
 
 /// A network shape: `inputs × hidden × 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,9 +66,8 @@ impl Network {
     /// A network with small random weights in `[-0.5, 0.5]`.
     pub fn random(topo: Topology, lr: f32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let w_hidden = (0..topo.hidden * (topo.inputs + 1))
-            .map(|_| rng.gen_range(-0.5..0.5))
-            .collect();
+        let w_hidden =
+            (0..topo.hidden * (topo.inputs + 1)).map(|_| rng.gen_range(-0.5..0.5)).collect();
         let w_out = (0..topo.hidden + 1).map(|_| rng.gen_range(-0.5..0.5)).collect();
         Network {
             topo,
@@ -250,12 +249,7 @@ mod tests {
     fn learns_xor() {
         // XOR is the classic non-linearly-separable sanity check: it requires
         // the hidden layer to work.
-        let data = [
-            ([0.0, 0.0], 0.0),
-            ([0.0, 1.0], 1.0),
-            ([1.0, 0.0], 1.0),
-            ([1.0, 1.0], 0.0),
-        ];
+        let data = [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
         let mut net = Network::random(Topology::new(2, 4), 0.5, 3);
         for _ in 0..8000 {
             for (x, t) in &data {

@@ -106,10 +106,7 @@ mod tests {
         let n = 1000;
         let pipe_cycles = pipeline_batch_cycles(&pipe, n);
         let npu_cycles = npu.batch_cycles(topo, n);
-        assert!(
-            pipe_cycles < npu_cycles,
-            "pipeline {pipe_cycles} should beat NPU {npu_cycles}"
-        );
+        assert!(pipe_cycles < npu_cycles, "pipeline {pipe_cycles} should beat NPU {npu_cycles}");
     }
 
     #[test]

@@ -113,7 +113,13 @@ impl NnPipeline {
     /// Panics if `cfg` fails [`PipelineConfig::validate`].
     pub fn new(cfg: PipelineConfig) -> Self {
         cfg.validate();
-        NnPipeline { cfg, occupancy: 0, busy_until: 0, training: false, stats: PipelineStats::default() }
+        NnPipeline {
+            cfg,
+            occupancy: 0,
+            busy_until: 0,
+            training: false,
+            stats: PipelineStats::default(),
+        }
     }
 
     /// The configuration.

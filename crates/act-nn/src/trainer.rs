@@ -7,9 +7,9 @@
 //! the lowest held-out misprediction rate.
 
 use crate::network::{Network, Topology};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use act_rng::rngs::StdRng;
+use act_rng::seq::SliceRandom;
+use act_rng::SeedableRng;
 
 /// One labelled training example.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,17 +206,13 @@ where
             let topo = Topology::new(inputs, h);
             let result = train_network(topo, &train, cfg);
             let mut net = result.network;
-            let err = if test.is_empty() {
-                result.train_error
-            } else {
-                evaluate(&mut net, &test).rate()
-            };
+            let err =
+                if test.is_empty() { result.train_error } else { evaluate(&mut net, &test).rate() };
             let better = match &best {
                 None => true,
                 Some(b) => {
                     err < b.test_error
-                        || (err == b.test_error
-                            && topo.weight_count() < b.topology.weight_count())
+                        || (err == b.test_error && topo.weight_count() < b.topology.weight_count())
                 }
             };
             if better {
@@ -241,7 +237,7 @@ mod tests {
 
     /// A toy separable problem: valid iff x[0] > x[1].
     fn toy_examples(n: usize, seed: u64) -> Vec<Example> {
-        use rand::Rng;
+        use act_rng::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
@@ -281,10 +277,7 @@ mod tests {
         for _ in 0..500 {
             net.train(&[0.5], 1.0);
         }
-        let stats = evaluate(
-            &mut net,
-            &[Example::valid(vec![0.5]), Example::invalid(vec![0.5])],
-        );
+        let stats = evaluate(&mut net, &[Example::valid(vec![0.5]), Example::invalid(vec![0.5])]);
         assert_eq!(stats.false_positives, 0);
         assert_eq!(stats.false_negatives, 1);
         assert_eq!(stats.mispredictions(), 1);

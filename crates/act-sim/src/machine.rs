@@ -29,8 +29,8 @@ use crate::memsys::MemorySystem;
 use crate::outcome::{CrashKind, RunOutcome};
 use crate::program::{Program, DATA_BASE, STACK_BASE, STACK_SIZE};
 use crate::stats::Stats;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Cycles charged for acquiring a free lock (roughly an L2 + bus round trip;
@@ -97,7 +97,10 @@ enum Blocked {
 enum RobInfo {
     Plain,
     /// A load that must be accepted by the core attachment before retiring.
-    Load { ev: LoadEvent, accepted: bool },
+    Load {
+        ev: LoadEvent,
+        accepted: bool,
+    },
     Halt,
 }
 
@@ -196,9 +199,8 @@ impl<'p> Machine<'p> {
         mem.map_region(STACK_BASE, 64 * STACK_SIZE);
         let memsys = MemorySystem::new(&cfg);
         let cores = (0..cfg.cores).map(|i| Core::new(cfg.seed, i)).collect();
-        let attachments = (0..cfg.cores)
-            .map(|_| Box::new(NullAttachment) as Box<dyn CoreAttachment>)
-            .collect();
+        let attachments =
+            (0..cfg.cores).map(|_| Box::new(NullAttachment) as Box<dyn CoreAttachment>).collect();
         let stats = Stats::new(cfg.cores);
         Machine {
             cfg,
@@ -406,11 +408,7 @@ impl<'p> Machine<'p> {
     /// Dispatch up to `issue_width` instructions on core `c`.
     ///
     /// Returns the number dispatched, or the run-ending outcome on a crash.
-    fn dispatch(
-        &mut self,
-        c: usize,
-        observer: &mut dyn Observer,
-    ) -> Result<usize, RunOutcome> {
+    fn dispatch(&mut self, c: usize, observer: &mut dyn Observer) -> Result<usize, RunOutcome> {
         let mut dispatched = 0;
         for _ in 0..self.cfg.issue_width {
             if self.cores[c].thread.is_none() {
@@ -453,10 +451,7 @@ impl<'p> Machine<'p> {
                         continue;
                     }
                     Blocked::Barrier(addr, gen) => {
-                        let done = self
-                            .barriers
-                            .get(&addr)
-                            .is_some_and(|&(_, g)| g > gen);
+                        let done = self.barriers.get(&addr).is_some_and(|&(_, g)| g > gen);
                         if !done {
                             break;
                         }
@@ -489,11 +484,7 @@ impl<'p> Machine<'p> {
 
     /// Dispatch a single instruction. `Ok(false)` means "could not dispatch
     /// this cycle" (fence drain, new block, structural stall).
-    fn dispatch_one(
-        &mut self,
-        c: usize,
-        observer: &mut dyn Observer,
-    ) -> Result<bool, RunOutcome> {
+    fn dispatch_one(&mut self, c: usize, observer: &mut dyn Observer) -> Result<bool, RunOutcome> {
         let (pc, tid) = {
             let t = self.cores[c].thread.as_ref().unwrap();
             (t.pc, t.tid)
@@ -713,10 +704,7 @@ impl<'p> Machine<'p> {
                 // Halt completes only when it is the last thing in the ROB;
                 // give it a completion far enough that earlier entries drain
                 // naturally (retirement is in order anyway).
-                self.cores[c].rob.push_back(RobEntry {
-                    complete_at: now + 1,
-                    info: RobInfo::Halt,
-                });
+                self.cores[c].rob.push_back(RobEntry { complete_at: now + 1, info: RobInfo::Halt });
             }
             Instr::Nop => {
                 self.advance(c);
@@ -1248,12 +1236,8 @@ mod preemption_tests {
         let p = starvation_program(2);
         // Two cores: main + spinner occupy them; the setter waits forever
         // without preemption.
-        let base = MachineConfig {
-            cores: 2,
-            jitter_ppm: 0,
-            max_cycles: 400_000,
-            ..Default::default()
-        };
+        let base =
+            MachineConfig { cores: 2, jitter_ppm: 0, max_cycles: 400_000, ..Default::default() };
         let starved = Machine::new(&p, base.clone()).run();
         assert_eq!(starved, RunOutcome::Timeout { cycle: 400_000 });
 

@@ -51,11 +51,7 @@ impl Memory {
             return Err(AccessFault::Null);
         }
         let end = addr + WORD_BYTES;
-        if self
-            .regions
-            .iter()
-            .any(|&(base, len)| addr >= base && end <= base + len)
-        {
+        if self.regions.iter().any(|&(base, len)| addr >= base && end <= base + len) {
             Ok(())
         } else {
             Err(AccessFault::Unmapped)

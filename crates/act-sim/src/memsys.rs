@@ -89,8 +89,7 @@ impl L1Array {
         if self.sets[set].iter().any(|w| w.valid && w.tag == line_addr) {
             return;
         }
-        let victim = self
-            .sets[set]
+        let victim = self.sets[set]
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
             .expect("nonzero ways");
@@ -117,11 +116,7 @@ struct L2Array {
 impl L2Array {
     fn new(sets: usize, ways: usize, meta_slots: usize) -> Self {
         let line = L2Line { tag: 0, state: Mesi::Invalid, meta: vec![None; meta_slots], lru: 0 };
-        L2Array {
-            sets: vec![vec![line; ways]; sets],
-            set_mask: sets as u64 - 1,
-            meta_slots,
-        }
+        L2Array { sets: vec![vec![line; ways]; sets], set_mask: sets as u64 - 1, meta_slots }
     }
 
     fn set_of(&self, line_addr: u64) -> usize {
@@ -130,16 +125,12 @@ impl L2Array {
 
     fn get_mut(&mut self, line_addr: u64) -> Option<&mut L2Line> {
         let set = self.set_of(line_addr);
-        self.sets[set]
-            .iter_mut()
-            .find(|w| w.state != Mesi::Invalid && w.tag == line_addr)
+        self.sets[set].iter_mut().find(|w| w.state != Mesi::Invalid && w.tag == line_addr)
     }
 
     fn get(&self, line_addr: u64) -> Option<&L2Line> {
         let set = self.set_of(line_addr);
-        self.sets[set]
-            .iter()
-            .find(|w| w.state != Mesi::Invalid && w.tag == line_addr)
+        self.sets[set].iter().find(|w| w.state != Mesi::Invalid && w.tag == line_addr)
     }
 
     /// Insert a line, returning the evicted victim (if it was valid).
@@ -153,8 +144,7 @@ impl L2Array {
         debug_assert_eq!(meta.len(), self.meta_slots);
         let set = self.set_of(line_addr);
         debug_assert!(self.get(line_addr).is_none(), "fill of present line");
-        let victim_idx = self
-            .sets[set]
+        let victim_idx = self.sets[set]
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| if w.state == Mesi::Invalid { 0 } else { w.lru + 1 })
@@ -236,9 +226,7 @@ impl MemorySystem {
 
     fn meta_index(&self, addr: Addr) -> usize {
         match self.granularity {
-            MetaGranularity::Word => {
-                ((addr % self.line_bytes) / crate::isa::WORD_BYTES) as usize
-            }
+            MetaGranularity::Word => ((addr % self.line_bytes) / crate::isa::WORD_BYTES) as usize,
             MetaGranularity::Line => 0,
         }
     }
@@ -333,9 +321,7 @@ impl MemorySystem {
 
         if self.l1[core].hit(line_addr, clock) {
             self.stats.l1_hits += 1;
-            let meta = self.l2[core]
-                .get(line_addr)
-                .and_then(|l| l.meta[widx]);
+            let meta = self.l2[core].get(line_addr).and_then(|l| l.meta[widx]);
             return AccessResult {
                 complete_at: now + self.l1_lat,
                 event: CacheEvent::L1Hit,
@@ -429,9 +415,7 @@ impl MemorySystem {
         };
 
         // The line is now Modified with updated metadata.
-        let line = self.l2[core]
-            .get_mut(line_addr)
-            .expect("line present after store path");
+        let line = self.l2[core].get_mut(line_addr).expect("line present after store path");
         line.state = Mesi::Modified;
         line.lru = clock;
         line.meta[widx] = Some(writer);
@@ -547,7 +531,7 @@ mod tests {
         let mut ms = MemorySystem::new(&small_cfg());
         let _ = ms.load(0, 0x2000, 0); // E in core 0
         let _ = ms.load(1, 0x2000, 500); // both S
-        // Core 0 stores: upgrade, core 1 must lose the line.
+                                         // Core 0 stores: upgrade, core 1 must lose the line.
         ms.store(0, 0x2000, 1000, w(3, 0));
         let r = ms.load(1, 0x2000, 2000);
         // Core 1 refetches; core 0 has it dirty -> c2c with metadata.

@@ -251,10 +251,7 @@ mod tests {
     fn validate_rejects_bad_target() {
         let mut p = tiny();
         p.instrs.push(Instr::Jump { target: 99 });
-        assert_eq!(
-            p.validate(),
-            Err(ValidateProgramError::TargetOutOfRange { pc: 3, target: 99 })
-        );
+        assert_eq!(p.validate(), Err(ValidateProgramError::TargetOutOfRange { pc: 3, target: 99 }));
     }
 
     #[test]
@@ -268,10 +265,7 @@ mod tests {
     fn validate_rejects_misaligned_offset() {
         let mut p = tiny();
         p.instrs[0] = Instr::Load { rd: Reg(1), base: Reg(2), offset: 3 };
-        assert_eq!(
-            p.validate(),
-            Err(ValidateProgramError::MisalignedOffset { pc: 0, offset: 3 })
-        );
+        assert_eq!(p.validate(), Err(ValidateProgramError::MisalignedOffset { pc: 0, offset: 3 }));
     }
 
     #[test]

@@ -131,17 +131,11 @@ mod tests {
         assert!(m.run_observed(&mut c).completed());
         let trace = c.into_trace();
         assert_eq!(trace.access_count(), 6); // 3 iterations × (store + load)
-        let branches = trace
-            .records
-            .iter()
-            .filter(|r| matches!(r.kind, TraceKind::Branch { .. }))
-            .count();
+        let branches =
+            trace.records.iter().filter(|r| matches!(r.kind, TraceKind::Branch { .. })).count();
         assert_eq!(branches, 3);
-        let starts = trace
-            .records
-            .iter()
-            .filter(|r| matches!(r.kind, TraceKind::ThreadStart))
-            .count();
+        let starts =
+            trace.records.iter().filter(|r| matches!(r.kind, TraceKind::ThreadStart)).count();
         assert_eq!(starts, 1);
         // Records are in sequence order.
         assert!(trace.records.windows(2).all(|w| w[0].seq < w[1].seq));

@@ -116,18 +116,14 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
             continue;
         }
         let mut t = line.split_whitespace();
-        let bad = |reason: &str| ParseTraceError::Malformed {
-            line: lineno,
-            reason: reason.to_string(),
-        };
+        let bad =
+            |reason: &str| ParseTraceError::Malformed { line: lineno, reason: reason.to_string() };
         let tag = t.next().ok_or_else(|| bad("missing tag"))?;
         let mut num = |name: &str| -> Result<u64, ParseTraceError> {
-            t.next()
-                .and_then(|v| v.parse().ok())
-                .ok_or(ParseTraceError::Malformed {
-                    line: lineno,
-                    reason: format!("missing/bad {name}"),
-                })
+            t.next().and_then(|v| v.parse().ok()).ok_or(ParseTraceError::Malformed {
+                line: lineno,
+                reason: format!("missing/bad {name}"),
+            })
         };
         let seq = num("seq")?;
         let cycle = num("cycle")?;

@@ -34,11 +34,7 @@ impl DepEvent {
     /// exists and differs from the actual one.
     pub fn negative(&self) -> Option<RawDep> {
         let (pc, tid) = self.prev_writer?;
-        let neg = RawDep {
-            store_pc: pc,
-            load_pc: self.dep.load_pc,
-            inter_thread: tid != self.tid,
-        };
+        let neg = RawDep { store_pc: pc, load_pc: self.dep.load_pc, inter_thread: tid != self.tid };
         (neg != self.dep).then_some(neg)
     }
 }
@@ -69,11 +65,7 @@ pub fn raw_deps(trace: &Trace) -> Vec<DepEvent> {
             TraceKind::Load { addr, .. } => {
                 if let Some(&((wpc, wtid), prev)) = writers.get(&addr) {
                     out.push(DepEvent {
-                        dep: RawDep {
-                            store_pc: wpc,
-                            load_pc: r.pc,
-                            inter_thread: wtid != r.tid,
-                        },
+                        dep: RawDep { store_pc: wpc, load_pc: r.pc, inter_thread: wtid != r.tid },
                         tid: r.tid,
                         seq: r.seq,
                         prev_writer: prev,
@@ -143,7 +135,8 @@ mod tests {
 
     #[test]
     fn load_after_store_forms_dep() {
-        let t = Trace { records: vec![store(0, 0, 5, 0x2000), load(1, 0, 9, 0x2000)], code_len: 10 };
+        let t =
+            Trace { records: vec![store(0, 0, 5, 0x2000), load(1, 0, 9, 0x2000)], code_len: 10 };
         let deps = raw_deps(&t);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].dep, RawDep { store_pc: 5, load_pc: 9, inter_thread: false });
@@ -153,7 +146,8 @@ mod tests {
 
     #[test]
     fn inter_thread_flag_set_when_tids_differ() {
-        let t = Trace { records: vec![store(0, 1, 5, 0x2000), load(1, 0, 9, 0x2000)], code_len: 10 };
+        let t =
+            Trace { records: vec![store(0, 1, 5, 0x2000), load(1, 0, 9, 0x2000)], code_len: 10 };
         let deps = raw_deps(&t);
         assert!(deps[0].dep.inter_thread);
     }
@@ -167,11 +161,7 @@ mod tests {
     #[test]
     fn previous_writer_enables_negative_example() {
         let t = Trace {
-            records: vec![
-                store(0, 0, 3, 0x2000),
-                store(1, 0, 5, 0x2000),
-                load(2, 0, 9, 0x2000),
-            ],
+            records: vec![store(0, 0, 3, 0x2000), store(1, 0, 5, 0x2000), load(2, 0, 9, 0x2000)],
             code_len: 10,
         };
         let deps = raw_deps(&t);
@@ -188,11 +178,7 @@ mod tests {
         // Previous writer is the same pc/tid (a loop re-storing): synthesized
         // negative would equal the positive, so it is suppressed.
         let t = Trace {
-            records: vec![
-                store(0, 0, 5, 0x2000),
-                store(1, 0, 5, 0x2000),
-                load(2, 0, 9, 0x2000),
-            ],
+            records: vec![store(0, 0, 5, 0x2000), store(1, 0, 5, 0x2000), load(2, 0, 9, 0x2000)],
             code_len: 10,
         };
         let deps = raw_deps(&t);
@@ -220,11 +206,7 @@ mod tests {
     #[test]
     fn distinct_deps_deduplicates() {
         let t = Trace {
-            records: vec![
-                store(0, 0, 3, 0x2000),
-                load(1, 0, 9, 0x2000),
-                load(2, 0, 9, 0x2000),
-            ],
+            records: vec![store(0, 0, 3, 0x2000), load(1, 0, 9, 0x2000), load(2, 0, 9, 0x2000)],
             code_len: 10,
         };
         let deps = raw_deps(&t);

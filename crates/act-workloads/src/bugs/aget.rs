@@ -74,9 +74,9 @@ impl Workload for Aget {
         delay_from(&mut a, pd_snap, R5, R2);
         a.mark("L_snap");
         a.load(R7, Reg(21), 0); // saved progress
-        // The "state save" also captures the last chunk the snapshot claims
-        // was written — read it NOW (at interrupt time), not after the
-        // download completes; this is what the resumed run will trust.
+                                // The "state save" also captures the last chunk the snapshot claims
+                                // was written — read it NOW (at interrupt time), not after the
+                                // download completes; this is what the resumed run will trust.
         let have = a.new_label();
         a.bnz(R7, have);
         a.imm(R7, 1); // snapshot before any chunk: look at chunk 0 anyway

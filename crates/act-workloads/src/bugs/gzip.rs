@@ -38,9 +38,7 @@ fn tokens(p: &Params) -> Vec<i64> {
 /// Correct semantics: `-` processes stdin (descriptor 0), every other token
 /// opens its own descriptor.
 fn oracle(toks: &[i64]) -> Vec<i64> {
-    toks.iter()
-        .map(|&t| if t == STDIN_TOKEN { 100 } else { 200 + t })
-        .collect()
+    toks.iter().map(|&t| if t == STDIN_TOKEN { 100 } else { 200 + t }).collect()
 }
 
 impl Workload for Gzip {

@@ -124,9 +124,8 @@ impl Workload for Mysql1 {
 
         // Oracle: sequential appends -> index = total, checksum = sum of all
         // entry values.
-        let checksum: i64 = (0..2i64)
-            .flat_map(|w| (0..LOG_ENTRIES).map(move |e| 100 + w * LOG_ENTRIES + e))
-            .sum();
+        let checksum: i64 =
+            (0..2i64).flat_map(|w| (0..LOG_ENTRIES).map(move |e| 100 + w * LOG_ENTRIES + e)).sum();
 
         let bug = BugInfo {
             description: "Atomicity violation on log index: read and publish of log_idx \
@@ -215,7 +214,7 @@ impl Workload for Mysql2 {
             l_use_pcs.push(a.load(R4, Reg(21), 0));
             a.mark(&format!("deref_{round}"));
             a.load(R6, R4, 0); // crashes when q == NULL
-            // Owner clears its own proc_info after use.
+                               // Owner clears its own proc_info after use.
             a.imm(R2, 0);
             a.store(R2, Reg(21), 0);
             delay_from(&mut a, pd_use, R5, R3);

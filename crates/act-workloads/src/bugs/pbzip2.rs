@@ -156,8 +156,7 @@ mod tests {
         let built = w.build(&w.default_params().triggered());
         let mut crashes = 0;
         for seed in 0..6 {
-            if let RunOutcome::Crash { kind, .. } = Machine::new(&built.program, cfg(seed)).run()
-            {
+            if let RunOutcome::Crash { kind, .. } = Machine::new(&built.program, cfg(seed)).run() {
                 assert!(matches!(kind, CrashKind::NullDeref));
                 crashes += 1;
             }

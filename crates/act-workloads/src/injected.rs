@@ -159,7 +159,11 @@ impl Workload for LuTouchA {
         let mut expected = vec![base_sum];
         expected.extend(extra_out);
 
-        BuiltWorkload { program: a.finish().expect("lu:touch_a assembles"), expected_output: expected, bug }
+        BuiltWorkload {
+            program: a.finish().expect("lu:touch_a assembles"),
+            expected_output: expected,
+            bug,
+        }
     }
 }
 
@@ -751,11 +755,7 @@ mod tests {
         for w in all() {
             let base = w.build(&w.default_params());
             let ext = w.build(&Params { new_code: true, ..w.default_params() });
-            let shared = base
-                .program
-                .instrs
-                .len()
-                .min(ext.program.instrs.len());
+            let shared = base.program.instrs.len().min(ext.program.instrs.len());
             // Everything up to the hook stub must be identical. The stub is
             // at most 2 instructions from the end of the base program.
             let check = shared.saturating_sub(2);

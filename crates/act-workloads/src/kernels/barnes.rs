@@ -5,10 +5,10 @@
 
 use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
 use crate::util::count_loop;
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
 use act_sim::asm::Asm;
 use act_sim::isa::{AluOp, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The Barnes-Hut-style interaction kernel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -113,7 +113,7 @@ impl Workload for Barnes {
         count_loop(&mut a, R2, R8, R3, |a| {
             a.load(R4, RS, 0); // i (schedule: preloaded, no dep)
             a.load(R5, RS, 8); // j
-            // d = (body[i] - body[j]) >> 2
+                               // d = (body[i] - body[j]) >> 2
             a.alui(AluOp::Mul, R6, R4, 8);
             a.alu(AluOp::Add, R6, RB, R6);
             a.load(R6, R6, 0);

@@ -6,10 +6,10 @@
 //! the stack.
 
 use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
 use act_sim::asm::Asm;
 use act_sim::isa::{AluOp, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The bc-style stack-machine interpreter.
 #[derive(Debug, Clone, Copy, Default)]

@@ -5,10 +5,10 @@
 //! producer/consumer RAW chain through memory.
 
 use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
 use act_sim::asm::Asm;
 use act_sim::isa::{AluOp, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The bzip2-style run-length compress/verify kernel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,11 +68,7 @@ impl Workload for Bzip2 {
         let n = p.size.max(12);
         let input = gen_input(n, p.seed);
         let encoded = rle(&input);
-        let checksum: i64 = input
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| v * (i as i64 + 1))
-            .sum();
+        let checksum: i64 = input.iter().enumerate().map(|(i, &v)| v * (i as i64 + 1)).sum();
 
         let mut a = Asm::new();
         let raw = a.static_data(&input);

@@ -6,10 +6,10 @@
 
 use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
 use crate::util::count_loop;
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
 use act_sim::asm::Asm;
 use act_sim::isa::{AluOp, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The canneal-style swapping kernel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,10 +49,10 @@ impl Workload for Canneal {
         let mut rng = StdRng::seed_from_u64(p.seed.wrapping_mul(0xc0ffee) ^ 7);
 
         // Precomputed swap schedule: 2 indices per iteration per worker.
-        let schedule: Vec<i64> = (0..t * ITERS_PER_WORKER * 2)
-            .map(|_| rng.gen_range(0..n as i64))
-            .collect();
-        let init: Vec<i64> = (0..n).map(|i| ((i as i64) * 13 + (p.seed as i64 % 17)) % 50).collect();
+        let schedule: Vec<i64> =
+            (0..t * ITERS_PER_WORKER * 2).map(|_| rng.gen_range(0..n as i64)).collect();
+        let init: Vec<i64> =
+            (0..n).map(|i| ((i as i64) * 13 + (p.seed as i64 % 17)) % 50).collect();
         let expected: i64 = init.iter().sum();
 
         let mut a = Asm::new();

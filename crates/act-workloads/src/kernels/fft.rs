@@ -128,7 +128,7 @@ impl Workload for Fft {
         a.alu(AluOp::Rem, R6, R4, R9);
         a.alu(AluOp::Add, R5, R5, R6); // i1
         a.alu(AluOp::Add, R6, R5, R9); // i2 = i1 + stride
-        // addresses
+                                       // addresses
         a.alui(AluOp::Mul, R5, R5, 8);
         a.alu(AluOp::Add, R5, RB, R5);
         a.alui(AluOp::Mul, R6, R6, 8);

@@ -121,7 +121,7 @@ impl Workload for Fluidanimate {
         a.alui(AluOp::Mul, R6, R4, 8);
         a.alu(AluOp::Add, R6, RB, R6);
         a.load(R7, R6, 0); // c[i]
-        // left neighbor (0 at boundary)
+                           // left neighbor (0 at boundary)
         let no_left = a.new_label();
         let have_left = a.new_label();
         a.bez(R4, no_left);

@@ -5,11 +5,11 @@
 //! load-to-load chains mcf is famous for.
 
 use crate::spec::{BuiltWorkload, Params, Workload, WorkloadKind};
+use act_rng::rngs::StdRng;
+use act_rng::seq::SliceRandom;
+use act_rng::SeedableRng;
 use act_sim::asm::Asm;
 use act_sim::isa::{AluOp, Reg};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// The mcf-style pointer-chasing kernel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,8 +41,7 @@ impl Workload for Mcf {
         // A random permutation defines the traversal order.
         let mut order: Vec<usize> = (1..n).collect();
         order.shuffle(&mut rng);
-        let chain: Vec<usize> =
-            std::iter::once(0).chain(order.iter().copied()).collect();
+        let chain: Vec<usize> = std::iter::once(0).chain(order.iter().copied()).collect();
 
         let mut a = Asm::new();
         // Node layout: [value, next_ptr] per node.
@@ -65,7 +64,7 @@ impl Workload for Mcf {
         a.alui(AluOp::Mul, R3, R2, 8);
         a.alu(AluOp::Add, R3, Reg(20), R3);
         a.load(R4, R3, 0); // node address (preloaded: no dep)
-        // value = (chain_pos * 37 + seed) % 90, computed from the index.
+                           // value = (chain_pos * 37 + seed) % 90, computed from the index.
         a.alui(AluOp::Mul, R5, R2, 37);
         a.alui(AluOp::Add, R5, R5, (p.seed % 11) as i64);
         a.alui(AluOp::Rem, R5, R5, 90);

@@ -66,11 +66,8 @@ mod tests {
                 built.program.validate().expect("valid program");
                 assert!(built.bug.is_none());
                 for (jitter, mseed) in [(0u32, 0u64), (20_000, 11)] {
-                    let cfg = MachineConfig {
-                        jitter_ppm: jitter,
-                        seed: mseed,
-                        ..Default::default()
-                    };
+                    let cfg =
+                        MachineConfig { jitter_ppm: jitter, seed: mseed, ..Default::default() };
                     let outcome = Machine::new(&built.program, cfg).run();
                     assert!(
                         built.is_correct(&outcome),

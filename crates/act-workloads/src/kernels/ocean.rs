@@ -34,8 +34,7 @@ fn oracle(n: i64, t: usize, seed: u64) -> Vec<i64> {
                 if i % 2 == parity {
                     let left = if i == 0 { 0 } else { prev[(i - 1) as usize] };
                     let right = if i + 1 == n { 0 } else { prev[(i + 1) as usize] };
-                    g[i as usize] =
-                        (prev[i as usize] + ((left + right) >> 1)) % 1000;
+                    g[i as usize] = (prev[i as usize] + ((left + right) >> 1)) % 1000;
                 }
             }
         }

@@ -25,23 +25,39 @@ mod tests {
         let names: Vec<&str> = all().iter().map(|w| w.name()).collect();
         // 8 clean kernels.
         for k in [
-            "lu", "fft", "canneal", "fluidanimate", "swaptions", "barnes", "streamcluster",
-            "bc", "mcf", "hmmer", "bzip2", "ocean",
+            "lu",
+            "fft",
+            "canneal",
+            "fluidanimate",
+            "swaptions",
+            "barnes",
+            "streamcluster",
+            "bc",
+            "mcf",
+            "hmmer",
+            "bzip2",
+            "ocean",
         ] {
             assert!(names.contains(&k), "missing kernel {k}");
         }
         // 11 real bugs (Table V).
         for b in [
-            "aget", "apache", "memcached", "mysql1", "mysql2", "mysql3", "pbzip2", "gzip",
-            "seq", "ptx", "paste",
+            "aget",
+            "apache",
+            "memcached",
+            "mysql1",
+            "mysql2",
+            "mysql3",
+            "pbzip2",
+            "gzip",
+            "seq",
+            "ptx",
+            "paste",
         ] {
             assert!(names.contains(&b), "missing real bug {b}");
         }
         // 5 injected bugs (Table VI).
-        assert_eq!(
-            all().iter().filter(|w| w.kind() == WorkloadKind::InjectedBug).count(),
-            5
-        );
+        assert_eq!(all().iter().filter(|w| w.kind() == WorkloadKind::InjectedBug).count(), 5);
         assert_eq!(all().iter().filter(|w| w.kind() == WorkloadKind::RealBug).count(), 11);
     }
 

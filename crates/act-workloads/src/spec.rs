@@ -137,7 +137,11 @@ impl BuiltWorkload {
 }
 
 /// A parameterized workload program.
-pub trait Workload {
+///
+/// `Send + Sync` is part of the contract: workload definitions are
+/// immutable descriptions (all state lives in the built program), and the
+/// fleet layer (`act-fleet`) resolves and builds them from worker threads.
+pub trait Workload: Send + Sync {
     /// Short name, e.g. `"apache"`.
     fn name(&self) -> &'static str;
 

@@ -48,8 +48,7 @@ fn main() {
     // rounds and it eventually would not: §III-C's online training treats
     // every dependence as correct, and the paper accepts that an invalid
     // one may be absorbed — "some of them might, in fact, be invalid".)
-    let built =
-        w.build(&Params { seed: 99, new_code: true, ..w.default_params().triggered() });
+    let built = w.build(&Params { seed: 99, new_code: true, ..w.default_params().triggered() });
     let run = run_with_act(&built.program, machine_cfg(99), &cfg, &store);
     let bug = built.bug.as_ref().unwrap();
     println!("triggered run: {}", run.outcome);

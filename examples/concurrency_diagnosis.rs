@@ -42,7 +42,9 @@ fn diagnose_one(name: &str) {
         let text: Vec<String> = cand
             .deps
             .iter()
-            .map(|d| format!("{}->{}", program.describe_pc(d.store_pc), program.describe_pc(d.load_pc)))
+            .map(|d| {
+                format!("{}->{}", program.describe_pc(d.store_pc), program.describe_pc(d.load_pc))
+            })
             .collect();
         let hit = if bug.matches_any(&cand.deps) { "  <-- root cause" } else { "" };
         println!("  rank {}: [{}]{hit}", i + 1, text.join(", "));

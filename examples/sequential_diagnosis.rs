@@ -7,7 +7,9 @@
 //!
 //! Run with `cargo run --release -p act-bench --example sequential_diagnosis`.
 
-use act_bench::{act_cfg_for, aviso_diagnose, collect_clean_traces, find_act_failure, train_workload};
+use act_bench::{
+    act_cfg_for, aviso_diagnose, collect_clean_traces, find_act_failure, train_workload,
+};
 use act_core::diagnosis::diagnose;
 use act_core::weights::shared;
 use act_trace::correct_set::CorrectSet;
@@ -24,10 +26,12 @@ fn main() {
         let store = shared(trained.store.clone());
 
         let failure = find_act_failure(w.as_ref(), &store, &cfg, 20).expect("bug triggers");
-        println!("failure: {} (expected {:?}, got {:?})",
+        println!(
+            "failure: {} (expected {:?}, got {:?})",
             failure.run.outcome,
             failure.built.expected_output,
-            failure.run.outcome.output());
+            failure.run.outcome.output()
+        );
 
         let mut set = CorrectSet::default();
         for t in collect_clean_traces(w.as_ref(), 100..120) {
@@ -45,7 +49,11 @@ fn main() {
                     .deps
                     .iter()
                     .map(|d| {
-                        format!("{}->{}", program.describe_pc(d.store_pc), program.describe_pc(d.load_pc))
+                        format!(
+                            "{}->{}",
+                            program.describe_pc(d.store_pc),
+                            program.describe_pc(d.load_pc)
+                        )
                     })
                     .collect();
                 println!("ACT rank {rank}: [{}]", text.join(", "));

@@ -56,7 +56,8 @@ fn trigger_changes_data_not_code() {
         let clean = w.build(&w.default_params());
         let hot = w.build(&w.default_params().triggered());
         assert_eq!(
-            clean.program.instrs, hot.program.instrs,
+            clean.program.instrs,
+            hot.program.instrs,
             "{}: triggering must not modify code",
             w.name()
         );

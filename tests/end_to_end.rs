@@ -60,12 +60,8 @@ fn clean_runs_produce_quiet_testing_mode() {
     let trained = train_workload(w.as_ref(), 8, &cfg);
     let store = shared(trained.store.clone());
     let built = w.build(&w.default_params().with_seed(7));
-    let run = act_core::diagnosis::run_with_act(
-        &built.program,
-        act_bench::machine_cfg(7),
-        &cfg,
-        &store,
-    );
+    let run =
+        act_core::diagnosis::run_with_act(&built.program, act_bench::machine_cfg(7), &cfg, &store);
     assert!(run.outcome.completed());
     let preds: u64 = run.module_stats.iter().map(|s| s.predictions).sum();
     let inval: u64 = run.module_stats.iter().map(|s| s.invalids).sum();

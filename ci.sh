@@ -6,3 +6,20 @@ set -eux
 cargo fmt --all --check
 cargo build --release
 cargo test -q --release
+
+# Daemon smoke test: boot act-serve on loopback, train + diagnose over the
+# wire, assert the ranked suspect list is non-empty, shut down cleanly.
+ACT=target/release/act
+ADDR=127.0.0.1:7461
+"$ACT" serve --addr "$ADDR" --workers 2 --queue-depth 8 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+sleep 1
+"$ACT" request train seq --addr "$ADDR" | grep "trained seq"
+"$ACT" request diagnose seq --addr "$ADDR" | tee /tmp/act-smoke-diagnosis.txt
+grep "^diagnosis workload=seq" /tmp/act-smoke-diagnosis.txt
+grep "^#1 " /tmp/act-smoke-diagnosis.txt
+"$ACT" request status --addr "$ADDR" | grep "cache_hits 1"
+"$ACT" request shutdown --addr "$ADDR"
+wait "$SERVE_PID"
+trap - EXIT

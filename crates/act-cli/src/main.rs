@@ -8,6 +8,8 @@
 //! act train <workload> --out FILE [--runs N] offline-train, save weights
 //! act diagnose <workload> [--weights FILE]  full single-failure diagnosis
 //! act campaign <spec> [--jobs N] [--out FILE] [--no-timing]
+//! act serve [--addr A] [--workers N] [--queue-depth D] [--model-dir DIR]
+//! act request <train|diagnose|status|shutdown> [workload] [--addr A] ...
 //! ```
 
 use act_bench::{
@@ -38,7 +40,14 @@ fn usage() -> ExitCode {
          \x20 train <workload> --out FILE [--runs N] offline-train, save weights\n\
          \x20 diagnose <workload> [--weights FILE]   diagnose a single failure\n\
          \x20 campaign <spec> [--jobs N] [--out FILE] [--no-timing]\n\
-         \x20                                        run a campaign spec in parallel"
+         \x20                                        run a campaign spec in parallel\n\
+         \x20 serve [--addr A] [--unix PATH] [--workers N] [--queue-depth D]\n\
+         \x20       [--model-dir DIR] [--cache N] [--deadline-ms MS]\n\
+         \x20                                        run the diagnosis daemon\n\
+         \x20 request <train|diagnose|status|shutdown> [workload]\n\
+         \x20       [--addr A] [--unix PATH] [--seed N] [--traces N]\n\
+         \x20       [--seq-len N] [--hidden N] [--epochs N] [--trace FILE]\n\
+         \x20                                        talk to a running daemon"
     );
     ExitCode::from(2)
 }
@@ -57,7 +66,26 @@ fn parse_args(raw: &[String]) -> Args {
         let t = &raw[i];
         if let Some(name) = t.strip_prefix("--") {
             // Value-taking flags.
-            if ["seed", "runs", "out", "weights", "jobs"].contains(&name) && i + 1 < raw.len() {
+            let takes_value = [
+                "seed",
+                "runs",
+                "out",
+                "weights",
+                "jobs",
+                "addr",
+                "unix",
+                "workers",
+                "queue-depth",
+                "model-dir",
+                "cache",
+                "deadline-ms",
+                "traces",
+                "seq-len",
+                "hidden",
+                "epochs",
+                "trace",
+            ];
+            if takes_value.contains(&name) && i + 1 < raw.len() {
                 a.flags.insert(name.to_string(), raw[i + 1].clone());
                 i += 2;
                 continue;
@@ -69,6 +97,29 @@ fn parse_args(raw: &[String]) -> Args {
         i += 1;
     }
     a
+}
+
+/// Resolve a worker-count flag (`--jobs`, `--workers`): absent means "all
+/// cores", `0` and non-numbers are rejected with a clear message instead of
+/// being silently replaced.
+fn resolve_workers(args: &Args, flag: &str) -> Result<usize, ExitCode> {
+    match args.flags.get(flag) {
+        None => Ok(act_fleet::default_workers()),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(0) => {
+                eprintln!(
+                    "--{flag} must be at least 1 (got 0); omit the flag to use all {} cores",
+                    act_fleet::default_workers()
+                );
+                Err(ExitCode::from(2))
+            }
+            Ok(n) => Ok(n),
+            Err(_) => {
+                eprintln!("--{flag} expects a positive integer, got `{raw}`");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
 }
 
 fn lookup(name: &str) -> Result<Box<dyn Workload>, ExitCode> {
@@ -92,6 +143,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "diagnose" => cmd_diagnose(&args),
         "campaign" => cmd_campaign(&args),
+        "serve" => cmd_serve(&args),
+        "request" => cmd_request(&args),
         _ => usage(),
     }
 }
@@ -227,14 +280,9 @@ fn cmd_train(args: &Args) -> ExitCode {
         100.0 * r.test_fp_rate,
         100.0 * r.test_fn_rate_paper
     );
-    let file = match std::fs::File::create(out) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot create {out}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Err(e) = trained.store.save(file) {
+    // Atomic save (temp file + rename): an interrupted `act train` never
+    // leaves a torn weight file behind.
+    if let Err(e) = trained.store.save_to_path(out) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -360,11 +408,10 @@ fn cmd_campaign(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let jobs = args
-        .flags
-        .get("jobs")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(act_fleet::default_workers);
+    let jobs = match resolve_workers(args, "jobs") {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
     let report = act_fleet::run_campaign(&spec, jobs, exec);
     for line in report.lines() {
         println!("{line}");
@@ -394,6 +441,213 @@ fn cmd_campaign(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// act serve / act request — the diagnosis-as-a-service daemon.
+// ---------------------------------------------------------------------
+
+/// Set by the SIGINT/SIGTERM handler; the serve loop polls it.
+static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_stop_signal(_sig: i32) {
+    STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Install `on_stop_signal` for SIGINT and SIGTERM. Raw `signal(2)` via the
+/// platform libc the binary is already linked against — the workspace is
+/// offline, so no `libc`/`signal-hook` crates.
+fn install_stop_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_stop_signal as *const () as usize);
+        signal(SIGTERM, on_stop_signal as *const () as usize);
+    }
+}
+
+/// `act serve`: run the diagnosis daemon until SIGINT/SIGTERM or a client's
+/// SHUTDOWN frame, then drain accepted requests and print final counters.
+fn cmd_serve(args: &Args) -> ExitCode {
+    let workers = match resolve_workers(args, "workers") {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    let parse_or = |flag: &str, default: usize| -> Result<usize, ExitCode> {
+        match args.flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                eprintln!("--{flag} expects a positive integer, got `{raw}`");
+                ExitCode::from(2)
+            }),
+        }
+    };
+    let queue_depth = match parse_or("queue-depth", 64) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    let cache_capacity = match parse_or("cache", 32) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    let deadline_ms = match parse_or("deadline-ms", 120_000) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    let unix_path = args.flags.get("unix").map(std::path::PathBuf::from);
+    let cfg = act_serve::ServeConfig {
+        tcp_addr: if unix_path.is_some() && !args.flags.contains_key("addr") {
+            None // --unix alone means Unix-socket only
+        } else {
+            Some(args.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7411".to_string()))
+        },
+        unix_path,
+        workers,
+        queue_depth,
+        model_dir: args.flags.get("model-dir").map(std::path::PathBuf::from),
+        cache_capacity,
+        deadline: std::time::Duration::from_millis(deadline_ms as u64),
+        ..act_serve::ServeConfig::default()
+    };
+    let server = match act_serve::Server::start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        println!("act-serve listening on tcp://{addr}");
+    }
+    if let Some(path) = &cfg.unix_path {
+        println!("act-serve listening on unix://{}", path.display());
+    }
+    println!("workers {workers} | queue depth {queue_depth} | cache {cache_capacity} models");
+    install_stop_handler();
+    while !STOP.load(std::sync::atomic::Ordering::SeqCst) && !server.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("draining...");
+    server.shutdown();
+    let final_status = server.status_text();
+    server.join();
+    print!("{final_status}");
+    ExitCode::SUCCESS
+}
+
+/// The daemon endpoint named by `--addr`/`--unix` (default local TCP port).
+fn endpoint_from(args: &Args) -> act_serve::Endpoint {
+    if let Some(path) = args.flags.get("unix") {
+        act_serve::Endpoint::Unix(std::path::PathBuf::from(path))
+    } else {
+        act_serve::Endpoint::Tcp(
+            args.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7411".to_string()),
+        )
+    }
+}
+
+/// The model spec named by `act request` flags.
+fn spec_from(args: &Args, workload: &str) -> act_serve::ModelSpec {
+    let mut spec = act_serve::ModelSpec::new(workload);
+    let num = |flag: &str| args.flags.get(flag).and_then(|s| s.parse::<u64>().ok());
+    if let Some(v) = num("seed") {
+        spec.seed = v;
+    }
+    if let Some(v) = num("traces") {
+        spec.traces = v as u32;
+    }
+    if let Some(v) = num("seq-len") {
+        spec.seq_len = v as u16;
+    }
+    if let Some(v) = num("hidden") {
+        spec.hidden = v as u16;
+    }
+    if let Some(v) = num("epochs") {
+        spec.max_epochs = v as u32;
+    }
+    spec
+}
+
+/// A serialized failing trace of `name`: from `--trace FILE` when given,
+/// otherwise by running the triggered configuration locally until the bug
+/// manifests (what a production client's tracing layer would ship).
+fn failing_trace_bytes(args: &Args, name: &str) -> Result<Vec<u8>, ExitCode> {
+    if let Some(path) = args.flags.get("trace") {
+        return std::fs::read(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        });
+    }
+    let w = lookup(name)?;
+    let base = args.flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    for seed in base..base + 64 {
+        let built = w.build(&w.default_params().triggered().with_seed(seed));
+        let mut coll = TraceCollector::new(norm_of(w.as_ref()));
+        let mut m = Machine::new(&built.program, machine_cfg(seed));
+        let out = m.run_observed(&mut coll);
+        if built.is_failure(&out) {
+            println!("(failure manifested at seed {seed}; shipping its trace)");
+            return Ok(act_trace::io::trace_to_bytes(&coll.into_trace()));
+        }
+    }
+    eprintln!("{name}: no failure manifested in 64 triggered runs");
+    Err(ExitCode::FAILURE)
+}
+
+/// `act request <train|diagnose|status|shutdown>`: one request, one reply.
+fn cmd_request(args: &Args) -> ExitCode {
+    let Some(verb) = args.positional.first().map(String::as_str) else { return usage() };
+    let endpoint = endpoint_from(args);
+    let request = match verb {
+        "status" => act_serve::Request::Status,
+        "shutdown" => act_serve::Request::Shutdown,
+        "train" | "diagnose" => {
+            let Some(name) = args.positional.get(1) else {
+                eprintln!("request {verb} requires a workload name");
+                return ExitCode::from(2);
+            };
+            let spec = spec_from(args, name);
+            if verb == "train" {
+                act_serve::Request::Train(spec)
+            } else {
+                let bytes = match failing_trace_bytes(args, name) {
+                    Ok(b) => b,
+                    Err(e) => return e,
+                };
+                act_serve::Request::Diagnose(spec, bytes)
+            }
+        }
+        _ => return usage(),
+    };
+    match act_serve::request(&endpoint, &request) {
+        Ok(act_serve::Reply::Trained(text)) | Ok(act_serve::Reply::Diagnosis(text)) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(act_serve::Reply::StatusText(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(act_serve::Reply::Bye) => {
+            println!("server shutting down");
+            ExitCode::SUCCESS
+        }
+        Ok(act_serve::Reply::Busy) => {
+            eprintln!("server busy (queue full); retry later");
+            ExitCode::FAILURE
+        }
+        Ok(act_serve::Reply::Error(msg)) => {
+            eprintln!("server error: {msg}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{endpoint}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 // The offline_train import is exercised indirectly through act_bench's

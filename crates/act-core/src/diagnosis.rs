@@ -111,6 +111,66 @@ pub fn diagnose(run: &ActRun, correct: &CorrectSet) -> Diagnosis {
     postprocess(&run.debug, correct)
 }
 
+/// Replay a *shipped* failing trace through trained per-thread networks and
+/// return the sequences they classify invalid, as debug-buffer entries.
+///
+/// This is the service-side counterpart of the online module: a production
+/// machine that ran without ACT hardware can still ship its failing trace
+/// (`act-trace::io`) to a diagnosis service, which reconstructs what the
+/// module's debug buffer would have held — every length-`N` per-thread
+/// dependence window whose network output falls below `threshold` (the
+/// module's 0.5 decision boundary).
+///
+/// `norm_code_len` must be the code length the store was *trained* with
+/// (trace and training encodings must agree); the trace's own `code_len` is
+/// ignored for exactly that reason.
+///
+/// # Panics
+///
+/// Panics if `norm_code_len == 0` or the store's sequence length is 0.
+pub fn classify_trace(
+    store: &crate::weights::WeightStore,
+    trace: &act_trace::event::Trace,
+    norm_code_len: usize,
+    threshold: f32,
+) -> Vec<DebugEntry> {
+    use std::collections::HashMap;
+    let enc = crate::encoding::Encoder::new(norm_code_len);
+    let deps = observed_deps(trace);
+    // The final load's cycle, by global sequence number (SeqSample carries
+    // the seq of its final load; DebugEntry wants the cycle).
+    let cycle_of: HashMap<u64, u64> = trace.records.iter().map(|r| (r.seq, r.cycle)).collect();
+    let mut nets: HashMap<act_sim::events::ThreadId, act_nn::network::Network> = HashMap::new();
+    let mut entries = Vec::new();
+    for s in positive_sequences(&deps, store.seq_len()) {
+        let net = nets.entry(s.tid).or_insert_with(|| store.network_for(s.tid, 0.0));
+        let output = net.predict(&enc.encode_seq(&s.deps));
+        if output < threshold {
+            entries.push(DebugEntry {
+                deps: s.deps,
+                output,
+                cycle: cycle_of.get(&s.seq).copied().unwrap_or(0),
+                tid: s.tid,
+            });
+        }
+    }
+    entries
+}
+
+/// Full service-side diagnosis of a shipped failing trace: classify every
+/// dependence window with the trained `store`, then prune and rank the
+/// flagged ones against the Correct Set — the same postprocessing a
+/// hardware debug buffer gets.
+pub fn diagnose_trace(
+    store: &crate::weights::WeightStore,
+    correct: &CorrectSet,
+    trace: &act_trace::event::Trace,
+    norm_code_len: usize,
+) -> Diagnosis {
+    let entries = classify_trace(store, trace, norm_code_len, 0.5);
+    postprocess(&entries, correct)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +246,39 @@ mod tests {
             diag.ranked.len(),
             0,
             "all logged sequences occur in correct runs: {:?}",
+            diag.ranked
+        );
+    }
+
+    #[test]
+    fn classify_trace_flags_windows_with_untrained_store() {
+        let p = looping_program();
+        let base = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let traces = crate::offline::collect_traces(&p, &base, [1], |o| o.completed());
+        // Untrained store: default weights are biased invalid, so every
+        // window of the shipped trace is flagged.
+        let store = WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1);
+        let entries = classify_trace(&store, &traces[0], p.code_len(), 0.5);
+        assert!(!entries.is_empty(), "untrained networks must flag sequences");
+        for e in &entries {
+            assert_eq!(e.deps.len(), 2, "windows match the store's seq_len");
+            assert!(e.output < 0.5);
+        }
+    }
+
+    #[test]
+    fn diagnose_trace_prunes_correct_sequences() {
+        let p = looping_program();
+        let base = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let traces = crate::offline::collect_traces(&p, &base, [1], |o| o.completed());
+        let store = WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1);
+        let set = build_correct_set(&p, &base, 1..=3, 2, |o| o.completed());
+        let diag = diagnose_trace(&store, &set, &traces[0], p.code_len());
+        assert!(diag.total_logged > 0, "untrained store logs everything");
+        assert_eq!(
+            diag.ranked.len(),
+            0,
+            "every sequence of a correct run is in the Correct Set: {:?}",
             diag.ranked
         );
     }

@@ -205,6 +205,49 @@ impl WeightStore {
         w.write_all(buf.as_bytes())
     }
 
+    /// Save atomically to `path`: write the full serialization to a
+    /// temporary file in the *same directory*, then `rename` it into place.
+    /// A crash (or poisoned request — see `act-serve`) mid-save can
+    /// therefore never leave a torn, half-written model file: readers see
+    /// either the old complete file or the new complete one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating, writing, or renaming the
+    /// temporary file (which is removed on write failure).
+    pub fn save_to_path<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        // Unique per process so concurrent savers in different processes
+        // cannot clobber each other's partial writes; the final rename is
+        // last-writer-wins either way.
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = std::fs::File::create(&tmp).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            self.save(&mut w)?;
+            use std::io::Write as _;
+            w.flush()
+        });
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a store saved by [`WeightStore::save`] / [`WeightStore::save_to_path`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseWeightsError`] on I/O failure or malformed content.
+    pub fn load_from_path<P: AsRef<std::path::Path>>(
+        path: P,
+    ) -> Result<WeightStore, ParseWeightsError> {
+        let f = std::fs::File::open(path)?;
+        WeightStore::load(std::io::BufReader::new(f))
+    }
+
     /// Parse a store previously produced by [`WeightStore::save`].
     ///
     /// # Errors
@@ -301,9 +344,88 @@ mod persistence_tests {
     }
 
     #[test]
+    fn empty_store_round_trips() {
+        let topo = Topology::new(4, 2);
+        let store = WeightStore::new(topo, 3, 11);
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+        let back = WeightStore::load(buf.as_slice()).unwrap();
+        assert_eq!(back.topology(), topo);
+        assert_eq!(back.seq_len(), 3);
+        assert!(back.known_threads().is_empty());
+        // Default weights survive (untrained threads behave identically).
+        for (x, y) in store.weights_for(0).iter().zip(back.weights_for(0)) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn multi_thread_store_round_trips_per_thread() {
+        let topo = Topology::new(5, 4);
+        let mut store = WeightStore::new(topo, 2, 3);
+        for tid in [0u32, 1, 2, 7, 31] {
+            store.store_weights(
+                tid,
+                Network::random(topo, 0.2, 100 + u64::from(tid)).weights_flat(),
+            );
+        }
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+        let back = WeightStore::load(buf.as_slice()).unwrap();
+        assert_eq!(back.known_threads(), vec![0, 1, 2, 7, 31]);
+        for tid in [0u32, 1, 2, 7, 31] {
+            for (x, y) in store.weights_for(tid).iter().zip(back.weights_for(tid)) {
+                assert!((x - y).abs() < 1e-5, "tid {tid}");
+            }
+        }
+    }
+
+    #[test]
     fn load_rejects_garbage() {
         assert!(WeightStore::load(&b"nope"[..]).is_err());
+        assert!(WeightStore::load(&b""[..]).is_err());
+        // Wrong version tag.
+        assert!(WeightStore::load(&b"actweights v2 2 2 1\n"[..]).is_err());
+        // Missing dimensions.
+        assert!(WeightStore::load(&b"actweights v1 2\n"[..]).is_err());
+        // Wrong weight count for the declared topology.
         assert!(WeightStore::load(&b"actweights v1 2 2 1\ndefault 1 2\n"[..]).is_err());
+        // Unknown tag.
         assert!(WeightStore::load(&b"actweights v1 2 2 1\nwhat 1\n"[..]).is_err());
+        // Non-numeric weight.
+        assert!(WeightStore::load(&b"actweights v1 1 1 1\ntid 0 a b c d\n"[..]).is_err());
+        // Missing thread id.
+        assert!(WeightStore::load(&b"actweights v1 1 1 1\ntid\n"[..]).is_err());
+    }
+
+    #[test]
+    fn atomic_save_to_path_round_trips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("actw-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.weights");
+        let topo = Topology::new(3, 2);
+        let mut store = WeightStore::new(topo, 2, 5);
+        store.store_weights(4, Network::random(topo, 0.2, 9).weights_flat());
+        store.save_to_path(&path).unwrap();
+        // Overwrite with a second save: the rename must replace atomically.
+        store.store_weights(5, Network::random(topo, 0.2, 10).weights_flat());
+        store.save_to_path(&path).unwrap();
+        let back = WeightStore::load_from_path(&path).unwrap();
+        assert_eq!(back.known_threads(), vec![4, 5]);
+        // No .tmp.* litter remains next to the target.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_to_path_into_missing_dir_fails_cleanly() {
+        let store = WeightStore::new(Topology::new(2, 2), 1, 1);
+        let err = store.save_to_path("/nonexistent-dir-for-act-tests/model.weights");
+        assert!(err.is_err());
     }
 }

@@ -36,9 +36,10 @@ pub mod spec;
 pub mod worker;
 
 pub use aggregate::{Aggregate, MetricSummary};
+pub use queue::BoundedQueue;
 pub use report::{CampaignReport, Timing};
 pub use spec::{CampaignSpec, JobDesc};
-pub use worker::{JobOutcome, JobOutput, JobResult, Metric};
+pub use worker::{panic_message, JobOutcome, JobOutput, JobResult, Metric};
 
 use std::time::Instant;
 

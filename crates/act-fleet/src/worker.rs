@@ -165,7 +165,10 @@ where
     })
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Render a `catch_unwind` payload to text (`&str`/`String` payloads; other
+/// types become a placeholder). Shared with `act-serve`'s request-level
+/// crash isolation, which wants the same message shape in its error frames.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

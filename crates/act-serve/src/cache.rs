@@ -1,0 +1,432 @@
+//! The model cache: trained `(workload, topology, seed)` models kept hot in
+//! an LRU map and persisted to a model directory so repeat clients — and
+//! daemon restarts — skip retraining.
+//!
+//! A *model* is everything `DIAGNOSE` needs: the per-thread
+//! [`WeightStore`] (the paper's binary-patched weights), the Correct Set
+//! the ranked suspects are pruned against, and the code-length the encoder
+//! normalizes by. Lookup order is memory → disk → train; only the last is
+//! a cache miss. Disk writes go through [`WeightStore::save_to_path`]'s
+//! atomic temp-file + `rename`, so a crash mid-save never leaves a torn
+//! model for the next boot to trip over.
+
+use crate::proto::ModelSpec;
+use act_core::offline::offline_train;
+use act_core::weights::WeightStore;
+use act_core::ActConfig;
+use act_sim::config::MachineConfig;
+use act_sim::events::RawDep;
+use act_sim::machine::Machine;
+use act_trace::collector::TraceCollector;
+use act_trace::correct_set::CorrectSet;
+use act_trace::event::Trace;
+use act_trace::input_gen::positive_sequences;
+use act_trace::raw::observed_deps;
+use act_workloads::registry;
+use act_workloads::spec::Workload;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Default training epoch cap when the request leaves `max_epochs` at 0
+/// (matches the experiment harness's `act_cfg`).
+pub const DEFAULT_MAX_EPOCHS: usize = 300;
+
+/// Cache key: the issue's `(workload, topology, seed)` — `seq_len` and
+/// `hidden` pin the topology (`inputs = FEATURES_PER_DEP * seq_len`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Workload name.
+    pub workload: String,
+    /// Dependence-sequence length `N`.
+    pub seq_len: usize,
+    /// Hidden-layer size.
+    pub hidden: usize,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl ModelKey {
+    /// The key a request spec names.
+    pub fn of(spec: &ModelSpec) -> Self {
+        ModelKey {
+            workload: spec.workload.clone(),
+            seq_len: spec.seq_len.max(1) as usize,
+            hidden: spec.hidden.max(1) as usize,
+            seed: spec.seed,
+        }
+    }
+
+    /// Stable on-disk stem for this key (workload names are `[a-z0-9_]`,
+    /// so no escaping is needed; `__`-reserved names never reach the
+    /// cache).
+    fn file_stem(&self) -> String {
+        format!("{}-n{}-h{}-s{}", self.workload, self.seq_len, self.hidden, self.seed)
+    }
+}
+
+/// A trained, servable model.
+#[derive(Debug)]
+pub struct Model {
+    /// Per-thread weights (the paper's binary patching, server-side).
+    pub store: WeightStore,
+    /// Sequences observed in correct runs, for pruning and ranking.
+    pub correct: CorrectSet,
+    /// Code length the encoder normalizes by (must match training).
+    pub norm_code_len: usize,
+    /// One-line training summary for `TRAIN` replies.
+    pub summary: String,
+}
+
+/// Where a served model came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Already resident in memory.
+    Memory,
+    /// Loaded from the model directory (no retraining).
+    Disk,
+    /// Trained from scratch (the only outcome counted as a miss).
+    Trained,
+}
+
+struct Slot {
+    model: Arc<Model>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<ModelKey, Slot>,
+    tick: u64,
+}
+
+/// LRU cache over trained models, optionally backed by a model directory.
+pub struct ModelCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    dir: Option<PathBuf>,
+}
+
+impl ModelCache {
+    /// An empty cache holding at most `capacity` models in memory, spilling
+    /// to `dir` (if given) for persistence across evictions and restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ModelCache { inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }), capacity, dir }
+    }
+
+    /// Models currently resident in memory.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Fetch the model for `spec`, training it on a miss. The lock is *not*
+    /// held across training (which takes seconds) — concurrent first
+    /// requests for the same key may train redundantly, but no request ever
+    /// blocks behind another key's training.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the workload is unknown or training fails.
+    pub fn get_or_train(&self, spec: &ModelSpec) -> Result<(Arc<Model>, CacheOutcome), String> {
+        let key = ModelKey::of(spec);
+        if let Some(model) = self.lookup(&key) {
+            return Ok((model, CacheOutcome::Memory));
+        }
+        if let Some(model) = self.load_from_dir(&key) {
+            let model = Arc::new(model);
+            self.insert(key, model.clone());
+            return Ok((model, CacheOutcome::Disk));
+        }
+        let model = Arc::new(train_model(spec)?);
+        self.save_to_dir(&key, &model);
+        self.insert(key, model.clone());
+        Ok((model, CacheOutcome::Trained))
+    }
+
+    fn lookup(&self, key: &ModelKey) -> Option<Arc<Model>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.map.get_mut(key)?;
+        slot.last_used = tick;
+        Some(slot.model.clone())
+    }
+
+    fn insert(&self, key: ModelKey, model: Arc<Model>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, Slot { model, last_used: tick });
+        while inner.map.len() > self.capacity {
+            let evict = inner
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty map");
+            inner.map.remove(&evict);
+        }
+    }
+
+    fn weights_path(&self, key: &ModelKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{}.weights", key.file_stem())))
+    }
+
+    fn cset_path(&self, key: &ModelKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{}.cset", key.file_stem())))
+    }
+
+    fn load_from_dir(&self, key: &ModelKey) -> Option<Model> {
+        let store = WeightStore::load_from_path(self.weights_path(key)?).ok()?;
+        let correct = read_correct_set(&self.cset_path(key)?).ok()?;
+        // The store must actually match the key (a hand-edited or stale
+        // file with the wrong topology would poison every diagnosis).
+        if store.seq_len() != key.seq_len || store.topology().hidden != key.hidden {
+            return None;
+        }
+        let norm_code_len = norm_of(registry::by_name(&key.workload)?.as_ref());
+        let summary = format!(
+            "model {} loaded from disk ({} threads, {} correct sequences)",
+            key.file_stem(),
+            store.known_threads().len(),
+            correct.len()
+        );
+        Some(Model { store, correct, norm_code_len, summary })
+    }
+
+    fn save_to_dir(&self, key: &ModelKey, model: &Model) {
+        let (Some(wpath), Some(cpath)) = (self.weights_path(key), self.cset_path(key)) else {
+            return;
+        };
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        // Persistence is best-effort: a full disk degrades the daemon to
+        // in-memory caching, it does not fail requests.
+        let _ = model.store.save_to_path(&wpath);
+        let _ = write_correct_set(&cpath, &model.correct);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Training (server-side): clean traces -> offline training -> Correct Set.
+// ---------------------------------------------------------------------
+
+/// Machine configuration for server-side runs: the experiment harness's
+/// defaults (interleaving jitter so seeded runs differ).
+fn run_cfg(seed: u64) -> MachineConfig {
+    MachineConfig { seed, jitter_ppm: 10_000, ..Default::default() }
+}
+
+/// The code length `w`'s traces are normalized by.
+fn norm_of(w: &dyn Workload) -> usize {
+    w.norm_code_len().unwrap_or_else(|| w.build(&w.default_params()).program.code_len())
+}
+
+/// Collect up to `want` correct-run traces of `w`'s clean configuration.
+fn clean_traces(w: &dyn Workload, base_seed: u64, want: usize, norm: usize) -> Vec<Trace> {
+    let mut traces = Vec::new();
+    for offset in 0..(want as u64 * 2) {
+        if traces.len() == want {
+            break;
+        }
+        let seed = base_seed + offset;
+        let built = w.build(&w.default_params().with_seed(seed));
+        let mut collector = TraceCollector::new(norm);
+        let mut machine = Machine::new(&built.program, run_cfg(seed));
+        let outcome = machine.run_observed(&mut collector);
+        if built.is_correct(&outcome) {
+            traces.push(collector.into_trace());
+        }
+    }
+    traces
+}
+
+/// Train the model a spec names: collect clean traces, run offline
+/// training with the spec's pinned topology, and build the Correct Set
+/// from ~20 fresh correct executions (disjoint seeds — the paper's
+/// methodology; the failure itself is never reproduced).
+///
+/// # Errors
+///
+/// Returns a message when the workload is unknown or produces no correct
+/// training runs.
+pub fn train_model(spec: &ModelSpec) -> Result<Model, String> {
+    let w = registry::by_name(&spec.workload)
+        .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
+    let norm = norm_of(w.as_ref());
+    let want = (spec.traces.max(2)) as usize;
+    let traces = clean_traces(w.as_ref(), spec.seed, want, norm);
+    if traces.is_empty() {
+        return Err(format!("{}: no correct training runs", spec.workload));
+    }
+
+    let mut cfg = ActConfig::default();
+    cfg.search.seq_lens = vec![spec.seq_len.max(1) as usize];
+    cfg.search.hidden_sizes = vec![spec.hidden.max(1) as usize];
+    cfg.train.max_epochs =
+        if spec.max_epochs == 0 { DEFAULT_MAX_EPOCHS } else { spec.max_epochs as usize };
+    cfg.train.learning_rate = 0.5;
+    cfg.train.seed = spec.seed.wrapping_add(1);
+    cfg.norm_code_len = norm;
+    let trained = offline_train(norm, &traces, &cfg);
+
+    // Correct Set from fresh correct runs at disjoint seeds.
+    let seq_len = trained.store.seq_len();
+    let mut correct = CorrectSet::default();
+    for t in clean_traces(w.as_ref(), spec.seed + 100, 20, norm) {
+        for s in positive_sequences(&observed_deps(&t), seq_len) {
+            correct.insert(&s.deps);
+        }
+    }
+
+    let r = &trained.report;
+    let summary = format!(
+        "trained {}: topology {} (N = {}), {} traces, held-out FP {:.2}%, {} correct sequences",
+        spec.workload,
+        r.topology,
+        r.seq_len,
+        r.train_traces + r.test_traces,
+        100.0 * r.test_fp_rate,
+        correct.len()
+    );
+    Ok(Model { store: trained.store, correct, norm_code_len: norm, summary })
+}
+
+// ---------------------------------------------------------------------
+// Correct Set persistence (one sequence per line).
+// ---------------------------------------------------------------------
+
+fn write_correct_set(path: &Path, set: &CorrectSet) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut buf = String::new();
+    writeln!(buf, "actcset v1 {}", set.seq_len()).expect("string write");
+    for seq in set.sequences() {
+        let mut first = true;
+        for d in seq {
+            if !first {
+                buf.push(' ');
+            }
+            first = false;
+            let _ = write!(buf, "{} {} {}", d.store_pc, d.load_pc, u8::from(d.inter_thread));
+        }
+        buf.push('\n');
+    }
+    // Same atomic discipline as the weight files.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    if let Err(e) = std::fs::write(&tmp, &buf) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn read_correct_set(path: &Path) -> Result<CorrectSet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty correct-set file")?;
+    let mut h = header.split_whitespace();
+    if h.next() != Some("actcset") || h.next() != Some("v1") {
+        return Err("bad correct-set header".into());
+    }
+    let n: usize = h.next().and_then(|v| v.parse().ok()).ok_or("bad correct-set seq_len")?;
+    let mut set = CorrectSet::default();
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let nums: Result<Vec<u64>, _> = line.split_whitespace().map(str::parse).collect();
+        let nums = nums.map_err(|e| format!("line {}: {e}", i + 2))?;
+        if n > 0 && nums.len() != 3 * n {
+            return Err(format!("line {}: expected {} fields, got {}", i + 2, 3 * n, nums.len()));
+        }
+        let deps: Vec<RawDep> = nums
+            .chunks(3)
+            .map(|c| RawDep {
+                store_pc: c[0] as u32,
+                load_pc: c[1] as u32,
+                inter_thread: c[2] != 0,
+            })
+            .collect();
+        set.insert(&deps);
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(s: u32, l: u32) -> RawDep {
+        RawDep { store_pc: s, load_pc: l, inter_thread: s % 2 == 0 }
+    }
+
+    #[test]
+    fn correct_set_file_round_trips() {
+        let dir = std::env::temp_dir().join(format!("act-cset-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.cset");
+        let mut set = CorrectSet::default();
+        set.insert(&[dep(1, 10), dep(2, 20)]);
+        set.insert(&[dep(3, 30), dep(4, 40)]);
+        write_correct_set(&path, &set).unwrap();
+        let back = read_correct_set(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.seq_len(), 2);
+        assert!(back.contains(&[dep(1, 10), dep(2, 20)]));
+        assert!(back.contains(&[dep(3, 30), dep(4, 40)]));
+        assert_eq!(back.matched_prefix(&[dep(1, 10), dep(9, 9)]), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_correct_set_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("act-cset-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.cset");
+        std::fs::write(&path, "nope\n").unwrap();
+        assert!(read_correct_set(&path).is_err());
+        std::fs::write(&path, "actcset v1 2\n1 2\n").unwrap();
+        assert!(read_correct_set(&path).is_err(), "wrong field count rejected");
+        std::fs::write(&path, "actcset v1 2\n1 2 x 3 4 0\n").unwrap();
+        assert!(read_correct_set(&path).is_err(), "non-numeric field rejected");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ModelCache::new(2, None);
+        let model = |name: &str| {
+            Arc::new(Model {
+                store: WeightStore::new(act_nn::network::Topology::new(2, 2), 1, 1),
+                correct: CorrectSet::default(),
+                norm_code_len: 10,
+                summary: name.to_string(),
+            })
+        };
+        let key =
+            |name: &str| ModelKey { workload: name.to_string(), seq_len: 1, hidden: 2, seed: 0 };
+        cache.insert(key("a"), model("a"));
+        cache.insert(key("b"), model("b"));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.lookup(&key("a")).is_some());
+        cache.insert(key("c"), model("c"));
+        assert_eq!(cache.resident(), 2);
+        assert!(cache.lookup(&key("a")).is_some(), "recently used survives");
+        assert!(cache.lookup(&key("b")).is_none(), "LRU evicted");
+        assert!(cache.lookup(&key("c")).is_some());
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error_not_a_panic() {
+        let cache = ModelCache::new(2, None);
+        let err = cache.get_or_train(&ModelSpec::new("no-such-workload")).unwrap_err();
+        assert!(err.contains("unknown workload"));
+    }
+}

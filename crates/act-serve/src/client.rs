@@ -1,0 +1,129 @@
+//! Minimal blocking client for the act-serve protocol: connect, send one
+//! request frame, read one reply frame, done. Used by `act request` and the
+//! integration tests.
+
+use crate::proto::{read_frame, write_frame, ProtoError, Reply, Request};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// TCP address, e.g. `127.0.0.1:7411`.
+    Tcp(String),
+    /// Unix-domain-socket path.
+    Unix(PathBuf),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// Client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failed.
+    Io(io::Error),
+    /// The daemon answered with something that is not a valid reply frame.
+    Proto(ProtoError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        // A transport error mid-frame is more usefully reported as i/o.
+        match e {
+            ProtoError::Io(io) => ClientError::Io(io),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// Send `request` and wait for the reply (no timeout — training a cold
+/// model can legitimately take a while).
+pub fn request(endpoint: &Endpoint, request: &Request) -> Result<Reply, ClientError> {
+    exchange(endpoint, request, None)
+}
+
+/// Send `request` with a socket read/write timeout.
+pub fn request_timeout(
+    endpoint: &Endpoint,
+    request: &Request,
+    timeout: Duration,
+) -> Result<Reply, ClientError> {
+    exchange(endpoint, request, Some(timeout))
+}
+
+fn exchange(
+    endpoint: &Endpoint,
+    request: &Request,
+    timeout: Option<Duration>,
+) -> Result<Reply, ClientError> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(timeout)?;
+            stream.set_write_timeout(timeout)?;
+            roundtrip(stream, request)
+        }
+        Endpoint::Unix(path) => {
+            let stream = UnixStream::connect(path)?;
+            stream.set_read_timeout(timeout)?;
+            stream.set_write_timeout(timeout)?;
+            roundtrip(stream, request)
+        }
+    }
+}
+
+fn roundtrip<S: Read + Write>(mut stream: S, request: &Request) -> Result<Reply, ClientError> {
+    write_frame(&mut stream, &request.to_frame())?;
+    let frame = read_frame(&mut stream)?;
+    Ok(Reply::from_frame(&frame)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_display_with_scheme() {
+        assert_eq!(Endpoint::Tcp("127.0.0.1:7411".into()).to_string(), "tcp://127.0.0.1:7411");
+        assert_eq!(
+            Endpoint::Unix(PathBuf::from("/tmp/act.sock")).to_string(),
+            "unix:///tmp/act.sock"
+        );
+    }
+
+    #[test]
+    fn connect_to_dead_endpoint_is_io_error() {
+        // Port 1 on loopback is essentially never listening.
+        let err = request(&Endpoint::Tcp("127.0.0.1:1".into()), &Request::Status)
+            .expect_err("connect must fail");
+        assert!(matches!(err, ClientError::Io(_)), "got: {err}");
+    }
+}

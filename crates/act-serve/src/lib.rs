@@ -1,0 +1,45 @@
+//! act-serve: diagnosis-as-a-service for ACT.
+//!
+//! The paper's workflow is offline: run the instrumented program, collect
+//! communication traces, train per-thread models, diagnose a failing run.
+//! This crate wraps that pipeline in a long-lived daemon so a fleet of
+//! production machines can *ship* a failing trace to a central diagnosis
+//! service instead of carrying the training stack themselves — the
+//! software analogue of the paper's centralized offline analysis step.
+//!
+//! Architecture (all std, no external dependencies):
+//!
+//! ```text
+//!  clients ── TCP / Unix socket ──► acceptor threads
+//!                                      │  STATUS / SHUTDOWN answered inline
+//!                                      ▼
+//!                            BoundedQueue<Job>   ── full ──► BUSY reply
+//!                                      │
+//!                                      ▼
+//!                            worker pool (catch_unwind)
+//!                                      │
+//!                                      ▼
+//!                     ModelCache: memory ─► disk ─► train
+//!                                      │
+//!                                      ▼
+//!                    diagnose_trace ─► ranked suspect list reply
+//! ```
+//!
+//! - [`proto`] — the length-prefixed binary frame protocol (see
+//!   `PROTOCOL.md` for the wire spec).
+//! - [`server`] — listeners, acceptors, backpressure, graceful drain.
+//! - [`pool`] — crash-isolated request workers.
+//! - [`cache`] — the LRU model cache keyed by (workload, topology, seed),
+//!   persisted through `act-core`'s weight store.
+//! - [`client`] — the one-shot blocking client used by `act request`.
+
+pub mod cache;
+pub mod client;
+pub(crate) mod pool;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheOutcome, Model, ModelCache, ModelKey};
+pub use client::{request, request_timeout, ClientError, Endpoint};
+pub use proto::{Frame, FrameKind, ModelSpec, ProtoError, Reply, Request};
+pub use server::{ServeConfig, Server, ServerStats};

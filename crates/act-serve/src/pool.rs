@@ -1,0 +1,234 @@
+//! Request workers: a pool of threads draining the daemon's bounded job
+//! queue ([`act_fleet::BoundedQueue`]), each request executed inside
+//! `catch_unwind` — the same crash-isolation discipline as `act-fleet`'s
+//! campaign workers, so one poisoned request becomes an `ERROR` reply, not
+//! a dead daemon.
+
+use crate::cache::{CacheOutcome, ModelCache};
+use crate::proto::{write_frame, ModelSpec, Reply, Request};
+use crate::server::{Conn, ServerStats};
+use act_core::diagnosis::diagnose_trace;
+use act_core::postprocess::Diagnosis;
+use act_fleet::{panic_message, BoundedQueue};
+use act_trace::io::trace_from_bytes;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One accepted request, queued for a worker: the parsed request plus the
+/// connection its reply goes back on.
+pub(crate) struct Job {
+    /// Where the reply is written.
+    pub conn: Conn,
+    /// The parsed request (only `Train`/`Diagnose` are queued; `STATUS` and
+    /// `SHUTDOWN` are answered by the acceptor).
+    pub request: Request,
+    /// When the acceptor enqueued it — the deadline clock starts here, so
+    /// time spent *queued* counts against the request.
+    pub accepted: Instant,
+}
+
+/// Spawn `n` worker threads draining `queue` until it is closed and empty.
+pub(crate) fn spawn_workers(
+    n: usize,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<ModelCache>,
+    stats: Arc<ServerStats>,
+    deadline: Duration,
+) -> Vec<JoinHandle<()>> {
+    (0..n.max(1))
+        .map(|i| {
+            let queue = queue.clone();
+            let cache = cache.clone();
+            let stats = stats.clone();
+            std::thread::Builder::new()
+                .name(format!("act-serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        process(job, &cache, &stats, deadline);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+/// Execute one job: deadline check, crash-isolated request handling, reply.
+fn process(mut job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Duration) {
+    let waited = job.accepted.elapsed();
+    let reply = if waited > deadline {
+        stats.bump_deadline_expired();
+        Reply::Error(format!(
+            "deadline exceeded: request waited {}ms in queue (limit {}ms)",
+            waited.as_millis(),
+            deadline.as_millis()
+        ))
+    } else {
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(&job.request, cache, stats)));
+        stats.record_service(started.elapsed());
+        match outcome {
+            Ok(reply) => reply,
+            Err(payload) => {
+                stats.bump_crashed();
+                Reply::Error(format!("request crashed: {}", panic_message(&*payload)))
+            }
+        }
+    };
+    match &reply {
+        Reply::Trained(_) | Reply::Diagnosis(_) => stats.bump_served(),
+        Reply::Error(_) => stats.bump_errored(),
+        _ => {}
+    }
+    // A vanished client is its own problem; the daemon moves on.
+    let _ = write_frame(&mut job.conn, &reply.to_frame());
+}
+
+/// Map a request to its reply. Runs *inside* `catch_unwind`: panics out of
+/// the diagnosis stack (malformed topologies, workload asserts, injected
+/// faults) surface as `ERROR` frames.
+fn handle_request(request: &Request, cache: &ModelCache, stats: &ServerStats) -> Reply {
+    match request {
+        Request::Train(spec) => {
+            if let Some(reply) = fault_hook(spec) {
+                return reply;
+            }
+            match cache.get_or_train(spec) {
+                Ok((model, outcome)) => {
+                    stats.note_cache(outcome);
+                    Reply::Trained(format!("{} [{}]", model.summary, outcome_tag(outcome)))
+                }
+                Err(e) => Reply::Error(e),
+            }
+        }
+        Request::Diagnose(spec, trace_bytes) => {
+            if let Some(reply) = fault_hook(spec) {
+                return reply;
+            }
+            let trace = match trace_from_bytes(trace_bytes) {
+                Ok(t) => t,
+                Err(e) => return Reply::Error(format!("bad trace payload: {e}")),
+            };
+            let (model, outcome) = match cache.get_or_train(spec) {
+                Ok(pair) => pair,
+                Err(e) => return Reply::Error(e),
+            };
+            stats.note_cache(outcome);
+            let diag = diagnose_trace(&model.store, &model.correct, &trace, model.norm_code_len);
+            Reply::Diagnosis(render_diagnosis(&spec.workload, outcome, &diag))
+        }
+        // STATUS and SHUTDOWN never reach the queue (acceptor fast path).
+        Request::Status | Request::Shutdown => {
+            Reply::Error("status/shutdown are acceptor-handled".into())
+        }
+    }
+}
+
+/// Reserved `__`-prefixed workload names inject faults for testing the
+/// daemon's isolation properties (documented in `PROTOCOL.md`):
+/// `__panic` panics inside the worker, `__sleep` holds the worker for
+/// `seed` milliseconds. Neither touches the model cache.
+fn fault_hook(spec: &ModelSpec) -> Option<Reply> {
+    match spec.workload.as_str() {
+        "__panic" => panic!("injected fault: __panic workload"),
+        "__sleep" => {
+            std::thread::sleep(Duration::from_millis(spec.seed));
+            Some(Reply::Trained(format!("slept {}ms", spec.seed)))
+        }
+        _ => None,
+    }
+}
+
+fn outcome_tag(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::Memory => "cache-hit",
+        CacheOutcome::Disk => "cache-hit:disk",
+        CacheOutcome::Trained => "trained",
+    }
+}
+
+/// Render a diagnosis as the `DIAGNOSIS` reply text: one header line of
+/// `key=value` counters, then one `#<rank>` line per suspect (top 10).
+fn render_diagnosis(workload: &str, outcome: CacheOutcome, diag: &Diagnosis) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "diagnosis workload={} model={} ranked={} logged={} distinct={} pruned={} filter_pct={:.1}",
+        workload,
+        outcome_tag(outcome),
+        diag.ranked.len(),
+        diag.total_logged,
+        diag.distinct,
+        diag.pruned,
+        diag.filter_pct()
+    )
+    .expect("string write");
+    for (i, c) in diag.ranked.iter().take(10).enumerate() {
+        let deps: Vec<String> = c
+            .deps
+            .iter()
+            .map(|d| {
+                format!("{}->{}{}", d.store_pc, d.load_pc, if d.inter_thread { "*" } else { "" })
+            })
+            .collect();
+        writeln!(
+            out,
+            "#{} nn={:.3} matched={} occurrences={} tid={} deps={}",
+            i + 1,
+            c.output,
+            c.matched,
+            c.occurrences,
+            c.tid,
+            deps.join(",")
+        )
+        .expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_core::postprocess::RankedSequence;
+    use act_sim::events::RawDep;
+
+    #[test]
+    fn diagnosis_rendering_is_grep_stable() {
+        let diag = Diagnosis {
+            ranked: vec![RankedSequence {
+                deps: vec![
+                    RawDep { store_pc: 7, load_pc: 9, inter_thread: true },
+                    RawDep { store_pc: 3, load_pc: 5, inter_thread: false },
+                ],
+                output: 0.123,
+                matched: 1,
+                cycle: 42,
+                tid: 2,
+                occurrences: 4,
+            }],
+            total_logged: 10,
+            distinct: 6,
+            pruned: 5,
+        };
+        let text = render_diagnosis("apache", CacheOutcome::Trained, &diag);
+        assert!(text.starts_with("diagnosis workload=apache model=trained ranked=1 "));
+        assert!(text.contains("#1 nn=0.123 matched=1 occurrences=4 tid=2 deps=7->9*,3->5"));
+    }
+
+    #[test]
+    fn sleep_hook_replies_without_touching_the_cache() {
+        let mut spec = ModelSpec::new("__sleep");
+        spec.seed = 1;
+        let reply = fault_hook(&spec).expect("sleep hook fires");
+        assert!(matches!(reply, Reply::Trained(s) if s.contains("slept 1ms")));
+        assert!(fault_hook(&ModelSpec::new("fft")).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_hook_panics() {
+        let _ = fault_hook(&ModelSpec::new("__panic"));
+    }
+}

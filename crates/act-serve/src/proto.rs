@@ -1,0 +1,563 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! Every message — request or reply — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "ACTS"
+//! 4       1     protocol version (1)
+//! 5       1     frame kind (see [`FrameKind`])
+//! 6       4     payload length, little-endian u32 (<= MAX_PAYLOAD)
+//! 10      n     payload
+//! ```
+//!
+//! The connection model is one-shot: a client connects, writes one request
+//! frame, reads one reply frame, and the connection closes. That keeps the
+//! daemon's acceptor trivial (no per-connection session state, no pipelining
+//! ambiguity under backpressure) and makes `BUSY` semantics exact: a
+//! rejected request was never queued. See `crates/act-serve/PROTOCOL.md`
+//! for the full specification.
+//!
+//! Payload schemas are hand-rolled little-endian (the workspace is offline
+//! and std-only — no serde): length-prefixed strings and byte blobs plus
+//! fixed-width integers, via [`Cursor`].
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"ACTS";
+/// Protocol version this implementation speaks.
+pub const VERSION: u8 = 1;
+/// Upper bound on payload length; longer declared lengths are rejected
+/// *before* any allocation, so a corrupt or hostile length prefix cannot
+/// balloon memory.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+/// Bytes of frame header before the payload.
+pub const HEADER_LEN: usize = 10;
+
+/// What a frame carries. Requests are < 0x80, replies >= 0x80.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Request: train (or load) a model for a workload key.
+    Train = 0x01,
+    /// Request: diagnose a shipped failing trace against a model.
+    Diagnose = 0x02,
+    /// Request: the daemon's plain-text counters block.
+    Status = 0x03,
+    /// Request: graceful drain and exit.
+    Shutdown = 0x04,
+    /// Reply to [`FrameKind::Train`]: training summary text.
+    Trained = 0x81,
+    /// Reply to [`FrameKind::Diagnose`]: the ranked suspect list, text.
+    Diagnosis = 0x82,
+    /// Reply to [`FrameKind::Status`]: the counters block, text.
+    StatusText = 0x83,
+    /// Reply to [`FrameKind::Shutdown`]: acknowledged, draining.
+    Bye = 0x84,
+    /// Reply: the job queue is full — retry later (backpressure; the
+    /// request was *not* accepted).
+    Busy = 0xe0,
+    /// Reply: the request failed; payload is the error message.
+    Error = 0xe1,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        use FrameKind::*;
+        Some(match v {
+            0x01 => Train,
+            0x02 => Diagnose,
+            0x03 => Status,
+            0x04 => Shutdown,
+            0x81 => Trained,
+            0x82 => Diagnosis,
+            0x83 => StatusText,
+            0x84 => Bye,
+            0xe0 => Busy,
+            0xe1 => Error,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol frame: a kind plus its raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload means.
+    pub kind: FrameKind,
+    /// Schema depends on `kind`; see the module docs and `PROTOCOL.md`.
+    pub payload: Vec<u8>,
+}
+
+/// Everything that can go wrong reading or interpreting a frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The stream ended before the declared payload arrived.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+    },
+    /// The payload did not match its kind's schema.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtoError::Oversized(n) => {
+                write!(f, "declared payload length {n} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            ProtoError::Truncated { expected } => {
+                write!(f, "stream ended before the declared {expected}-byte payload arrived")
+            }
+            ProtoError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Write one frame to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD`] (a caller bug: requests
+/// are built by this crate and replies are bounded text).
+pub fn write_frame<W: Write>(mut w: W, frame: &Frame) -> io::Result<()> {
+    assert!(frame.payload.len() <= MAX_PAYLOAD as usize, "frame payload too large");
+    let mut buf = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(frame.kind as u8);
+    buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&frame.payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame from `r`, validating magic, version, kind, and length
+/// before allocating for the payload.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] for I/O failures, bad headers, oversized declared
+/// lengths, and truncated payloads.
+pub fn read_frame<R: Read>(mut r: R) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated { expected: HEADER_LEN }
+        } else {
+            ProtoError::Io(e)
+        }
+    })?;
+    if header[0..4] != MAGIC {
+        return Err(ProtoError::BadMagic([header[0], header[1], header[2], header[3]]));
+    }
+    if header[4] != VERSION {
+        return Err(ProtoError::BadVersion(header[4]));
+    }
+    let kind = FrameKind::from_u8(header[5]).ok_or(ProtoError::UnknownKind(header[5]))?;
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated { expected: len as usize }
+        } else {
+            ProtoError::Io(e)
+        }
+    })?;
+    Ok(Frame { kind, payload })
+}
+
+// ---------------------------------------------------------------------
+// Payload schemas.
+// ---------------------------------------------------------------------
+
+/// The model key + training parameters a client names in `TRAIN` and
+/// `DIAGNOSE` requests. `(workload, seq_len, hidden, seed)` identifies the
+/// cached model — `seq_len`/`hidden` pin the network topology (inputs are
+/// `FEATURES_PER_DEP * seq_len`), so the cache key is the issue's
+/// `(workload, topology, seed)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Workload name (resolved via `act-workloads::registry`). Names
+    /// starting with `__` are reserved fault-injection hooks (see
+    /// `PROTOCOL.md`).
+    pub workload: String,
+    /// Base seed for trace collection and training.
+    pub seed: u64,
+    /// Correct-run traces to train from.
+    pub traces: u32,
+    /// Dependence-sequence length `N`.
+    pub seq_len: u16,
+    /// Hidden-layer size.
+    pub hidden: u16,
+    /// Training epoch cap (0 = the server default).
+    pub max_epochs: u32,
+}
+
+impl ModelSpec {
+    /// Server-default parameters for `workload` (10 traces, the harness's
+    /// pinned N = 2 / hidden = 10 topology, default epochs).
+    pub fn new(workload: &str) -> Self {
+        ModelSpec {
+            workload: workload.to_string(),
+            seed: 0,
+            traces: 10,
+            seq_len: 2,
+            hidden: 10,
+            max_epochs: 0,
+        }
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_str(buf, &self.workload);
+        buf.extend_from_slice(&self.seed.to_le_bytes());
+        buf.extend_from_slice(&self.traces.to_le_bytes());
+        buf.extend_from_slice(&self.seq_len.to_le_bytes());
+        buf.extend_from_slice(&self.hidden.to_le_bytes());
+        buf.extend_from_slice(&self.max_epochs.to_le_bytes());
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Result<Self, ProtoError> {
+        Ok(ModelSpec {
+            workload: c.take_str()?,
+            seed: c.take_u64()?,
+            traces: c.take_u32()?,
+            seq_len: c.take_u16()?,
+            hidden: c.take_u16()?,
+            max_epochs: c.take_u32()?,
+        })
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Train (or load from cache/disk) the model for a key.
+    Train(ModelSpec),
+    /// Diagnose a shipped failing trace (`act-trace::io` v1 bytes) against
+    /// the model for a key.
+    Diagnose(ModelSpec, Vec<u8>),
+    /// Fetch the counters block.
+    Status,
+    /// Drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            Request::Train(spec) => {
+                let mut payload = Vec::new();
+                spec.encode_into(&mut payload);
+                Frame { kind: FrameKind::Train, payload }
+            }
+            Request::Diagnose(spec, trace) => {
+                let mut payload = Vec::new();
+                spec.encode_into(&mut payload);
+                put_bytes(&mut payload, trace);
+                Frame { kind: FrameKind::Diagnose, payload }
+            }
+            Request::Status => Frame { kind: FrameKind::Status, payload: Vec::new() },
+            Request::Shutdown => Frame { kind: FrameKind::Shutdown, payload: Vec::new() },
+        }
+    }
+
+    /// Decode a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] when the frame is a reply kind or
+    /// its payload does not match the schema.
+    pub fn from_frame(frame: &Frame) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(&frame.payload);
+        let req = match frame.kind {
+            FrameKind::Train => Request::Train(ModelSpec::decode(&mut c)?),
+            FrameKind::Diagnose => {
+                let spec = ModelSpec::decode(&mut c)?;
+                let trace = c.take_bytes()?;
+                Request::Diagnose(spec, trace)
+            }
+            FrameKind::Status => Request::Status,
+            FrameKind::Shutdown => Request::Shutdown,
+            other => return Err(ProtoError::Malformed(format!("{other:?} is not a request"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+/// A decoded reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Training finished (or the model was already cached); text summary.
+    Trained(String),
+    /// The ranked suspect list, rendered as text (see `PROTOCOL.md`).
+    Diagnosis(String),
+    /// The counters block.
+    StatusText(String),
+    /// Shutdown acknowledged; the daemon is draining.
+    Bye,
+    /// Queue full — the request was rejected, not accepted-then-dropped.
+    Busy,
+    /// The request failed (bad workload, crash, deadline, parse error...).
+    Error(String),
+}
+
+impl Reply {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        let (kind, payload) = match self {
+            Reply::Trained(s) => (FrameKind::Trained, s.clone().into_bytes()),
+            Reply::Diagnosis(s) => (FrameKind::Diagnosis, s.clone().into_bytes()),
+            Reply::StatusText(s) => (FrameKind::StatusText, s.clone().into_bytes()),
+            Reply::Bye => (FrameKind::Bye, Vec::new()),
+            Reply::Busy => (FrameKind::Busy, Vec::new()),
+            Reply::Error(s) => (FrameKind::Error, s.clone().into_bytes()),
+        };
+        Frame { kind, payload }
+    }
+
+    /// Decode a reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] when the frame is a request kind
+    /// or a text payload is not UTF-8.
+    pub fn from_frame(frame: &Frame) -> Result<Reply, ProtoError> {
+        let text = |payload: &[u8]| {
+            String::from_utf8(payload.to_vec())
+                .map_err(|_| ProtoError::Malformed("reply text is not UTF-8".into()))
+        };
+        Ok(match frame.kind {
+            FrameKind::Trained => Reply::Trained(text(&frame.payload)?),
+            FrameKind::Diagnosis => Reply::Diagnosis(text(&frame.payload)?),
+            FrameKind::StatusText => Reply::StatusText(text(&frame.payload)?),
+            FrameKind::Bye => Reply::Bye,
+            FrameKind::Busy => Reply::Busy,
+            FrameKind::Error => Reply::Error(text(&frame.payload)?),
+            other => return Err(ProtoError::Malformed(format!("{other:?} is not a reply"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian cursor helpers.
+// ---------------------------------------------------------------------
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    buf.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { rest: bytes }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.rest.len() < n {
+            return Err(ProtoError::Malformed(format!(
+                "payload truncated: wanted {n} more bytes, have {}",
+                self.rest.len()
+            )));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn take_u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn take_u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn take_bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.take_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn take_str(&mut self) -> Result<String, ProtoError> {
+        String::from_utf8(self.take_bytes()?)
+            .map_err(|_| ProtoError::Malformed("string field is not UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(format!("{} trailing payload bytes", self.rest.len())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ModelSpec {
+        ModelSpec {
+            workload: "apache".into(),
+            seed: 7,
+            traces: 10,
+            seq_len: 2,
+            hidden: 10,
+            max_epochs: 300,
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_over_a_byte_stream() {
+        let frame = Frame { kind: FrameKind::Diagnosis, payload: b"ranked=3".to_vec() };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        assert_eq!(&wire[0..4], b"ACTS");
+        assert_eq!(wire[4], VERSION);
+        let back = read_frame(wire.as_slice()).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let reqs = [
+            Request::Train(spec()),
+            Request::Diagnose(spec(), b"acttrace v1 10\n".to_vec()),
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let frame = req.to_frame();
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &frame).unwrap();
+            let back = Request::from_frame(&read_frame(wire.as_slice()).unwrap()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn every_reply_round_trips() {
+        let replies = [
+            Reply::Trained("topology 10x10x1".into()),
+            Reply::Diagnosis("ranked=2\n#1 ...".into()),
+            Reply::StatusText("requests_served 5".into()),
+            Reply::Bye,
+            Reply::Busy,
+            Reply::Error("unknown workload".into()),
+        ];
+        for reply in replies {
+            let frame = reply.to_frame();
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &frame).unwrap();
+            let back = Reply::from_frame(&read_frame(wire.as_slice()).unwrap()).unwrap();
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Status.to_frame()).unwrap();
+        let mut bad_magic = wire.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(read_frame(bad_magic.as_slice()), Err(ProtoError::BadMagic(_))));
+        let mut bad_version = wire.clone();
+        bad_version[4] = 99;
+        assert!(matches!(read_frame(bad_version.as_slice()), Err(ProtoError::BadVersion(99))));
+        let mut bad_kind = wire;
+        bad_kind[5] = 0x7f;
+        assert!(matches!(read_frame(bad_kind.as_slice()), Err(ProtoError::UnknownKind(0x7f))));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_length_before_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(VERSION);
+        wire.push(FrameKind::Status as u8);
+        wire.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(read_frame(wire.as_slice()), Err(ProtoError::Oversized(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_header_and_payload() {
+        // Truncated mid-header.
+        assert!(matches!(read_frame(&b"ACTS"[..]), Err(ProtoError::Truncated { .. })));
+        // Header promises 100 bytes; stream has 3.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(VERSION);
+        wire.push(FrameKind::Error as u8);
+        wire.extend_from_slice(&100u32.to_le_bytes());
+        wire.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_frame(wire.as_slice()),
+            Err(ProtoError::Truncated { expected: 100 })
+        ));
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        // Trailing garbage after a well-formed spec.
+        let mut frame = Request::Train(spec()).to_frame();
+        frame.payload.push(0);
+        assert!(matches!(Request::from_frame(&frame), Err(ProtoError::Malformed(_))));
+        // Truncated spec.
+        let mut frame = Request::Train(spec()).to_frame();
+        frame.payload.truncate(4);
+        assert!(matches!(Request::from_frame(&frame), Err(ProtoError::Malformed(_))));
+        // Reply kind decoded as request and vice versa.
+        assert!(Request::from_frame(&Reply::Busy.to_frame()).is_err());
+        assert!(Reply::from_frame(&Request::Status.to_frame()).is_err());
+    }
+}

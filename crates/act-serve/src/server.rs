@@ -1,0 +1,500 @@
+//! The daemon: listeners, acceptor threads, the bounded job queue, and the
+//! counters block behind `STATUS`.
+//!
+//! Life of a request: an acceptor thread accepts the connection, reads one
+//! frame, and either answers inline (`STATUS`, `SHUTDOWN` — always
+//! serviceable, even with a full queue) or wraps the connection + request
+//! into a [`Job`](crate::pool::Job) and `try_push`es it onto the bounded
+//! queue. A full queue yields an immediate `BUSY` reply — the request was
+//! *refused*, never accepted-then-dropped. Workers drain the queue (see
+//! [`crate::pool`]); `SHUTDOWN` (or [`Server::shutdown`], which the CLI
+//! wires to SIGINT) stops the acceptors, closes the queue, and lets the
+//! workers finish every accepted job before [`Server::join`] returns.
+
+use crate::cache::{CacheOutcome, ModelCache};
+use crate::pool::{spawn_workers, Job};
+use crate::proto::{read_frame, write_frame, Reply, Request};
+use act_fleet::BoundedQueue;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long acceptors sleep between polls of an idle listener (they poll so
+/// the shutdown flag is noticed without a wakeup connection).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A client connection, TCP or Unix-domain.
+pub(crate) enum Conn {
+    /// TCP (remote or loopback) client.
+    Tcp(TcpStream),
+    /// Unix-domain-socket client (local, no network stack).
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    fn set_timeouts(&self, t: Duration) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(Some(t))?;
+                s.set_write_timeout(Some(t))
+            }
+            Conn::Unix(s) => {
+                s.set_read_timeout(Some(t))?;
+                s.set_write_timeout(Some(t))
+            }
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address (`"127.0.0.1:0"` picks an ephemeral port). At
+    /// least one of `tcp_addr`/`unix_path` must be set.
+    pub tcp_addr: Option<String>,
+    /// Unix-domain-socket path (a stale socket file is replaced).
+    pub unix_path: Option<PathBuf>,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue answers `BUSY`.
+    pub queue_depth: usize,
+    /// Directory for persisted models (`None` = in-memory cache only).
+    pub model_dir: Option<PathBuf>,
+    /// Models kept resident in the LRU cache.
+    pub cache_capacity: usize,
+    /// Per-request deadline, measured from acceptance; a job popped after
+    /// its deadline is answered with an error instead of being processed.
+    pub deadline: Duration,
+    /// Socket read/write timeout for each connection.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tcp_addr: Some("127.0.0.1:0".to_string()),
+            unix_path: None,
+            workers: act_fleet::default_workers(),
+            queue_depth: 64,
+            model_dir: None,
+            cache_capacity: 32,
+            deadline: Duration::from_secs(120),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters behind `STATUS` — the daemon's first observability surface.
+/// Everything is monotonic except the service-time reservoir (a capped
+/// ring of recent samples for the percentiles).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    errored: AtomicU64,
+    rejected_busy: AtomicU64,
+    crashed: AtomicU64,
+    deadline_expired: AtomicU64,
+    proto_errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    service_us: Mutex<Vec<u64>>,
+}
+
+/// Most recent service-time samples kept for the percentiles.
+const SERVICE_SAMPLES: usize = 4096;
+
+impl ServerStats {
+    pub(crate) fn bump_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_errored(&self) {
+        self.errored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_rejected(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_crashed(&self) {
+        self.crashed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_proto_errors(&self) {
+        self.proto_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_cache(&self, outcome: CacheOutcome) {
+        match outcome {
+            CacheOutcome::Memory | CacheOutcome::Disk => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed)
+            }
+            CacheOutcome::Trained => self.cache_misses.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    pub(crate) fn record_service(&self, elapsed: Duration) {
+        let mut samples = self.service_us.lock().expect("stats lock");
+        if samples.len() >= SERVICE_SAMPLES {
+            // Overwrite round-robin; recency matters more than exactness.
+            let at = self.served.load(Ordering::Relaxed) as usize % SERVICE_SAMPLES;
+            samples[at] = elapsed.as_micros() as u64;
+        } else {
+            samples.push(elapsed.as_micros() as u64);
+        }
+    }
+
+    /// Requests answered `BUSY`.
+    pub fn rejected_busy(&self) -> u64 {
+        self.rejected_busy.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose handler panicked (isolated; daemon kept serving).
+    pub fn crashed(&self) -> u64 {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Model-cache hits (memory or disk — no retraining either way).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Render the plain-text `STATUS` block: `key value` per line.
+    pub fn render(&self, uptime: Duration, queue_len: usize, models_resident: usize) -> String {
+        use std::fmt::Write as _;
+        let (p50, p99) = {
+            let samples = self.service_us.lock().expect("stats lock");
+            percentiles(&samples)
+        };
+        let mut out = String::from("act-serve status\n");
+        let mut line = |k: &str, v: u64| writeln!(out, "{k} {v}").expect("string write");
+        line("uptime_ms", uptime.as_millis() as u64);
+        line("requests_accepted", self.accepted.load(Ordering::Relaxed));
+        line("requests_served", self.served.load(Ordering::Relaxed));
+        line("requests_errored", self.errored.load(Ordering::Relaxed));
+        line("requests_rejected_busy", self.rejected_busy.load(Ordering::Relaxed));
+        line("requests_crashed", self.crashed.load(Ordering::Relaxed));
+        line("requests_deadline_expired", self.deadline_expired.load(Ordering::Relaxed));
+        line("protocol_errors", self.proto_errors.load(Ordering::Relaxed));
+        line("cache_hits", self.cache_hits.load(Ordering::Relaxed));
+        line("cache_misses", self.cache_misses.load(Ordering::Relaxed));
+        line("models_resident", models_resident as u64);
+        line("queue_depth", queue_len as u64);
+        writeln!(out, "service_ms_p50 {:.3}", p50 as f64 / 1e3).expect("string write");
+        writeln!(out, "service_ms_p99 {:.3}", p99 as f64 / 1e3).expect("string write");
+        out
+    }
+}
+
+/// (p50, p99) of `samples` in microseconds; zeros when empty.
+fn percentiles(samples: &[u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    (at(0.50), at(0.99))
+}
+
+/// A running daemon. Dropping the handle does *not* stop it; call
+/// [`Server::shutdown`] (or send a `SHUTDOWN` frame) and then
+/// [`Server::join`].
+pub struct Server {
+    stats: Arc<ServerStats>,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<ModelCache>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    started: Instant,
+}
+
+impl Server {
+    /// Bind the listeners and spawn acceptors + workers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no listener is configured, a bind fails, or `workers` /
+    /// `queue_depth` / `cache_capacity` is zero.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidInput, what.to_string());
+        if cfg.workers == 0 {
+            return Err(invalid("workers must be >= 1"));
+        }
+        if cfg.queue_depth == 0 {
+            return Err(invalid("queue depth must be >= 1"));
+        }
+        if cfg.cache_capacity == 0 {
+            return Err(invalid("cache capacity must be >= 1"));
+        }
+        if cfg.tcp_addr.is_none() && cfg.unix_path.is_none() {
+            return Err(invalid("at least one of tcp_addr/unix_path is required"));
+        }
+
+        let stats = Arc::new(ServerStats::default());
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_depth));
+        let cache = Arc::new(ModelCache::new(cfg.cache_capacity, cfg.model_dir.clone()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        let mut tcp_addr = None;
+        if let Some(addr) = &cfg.tcp_addr {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            threads.push(spawn_acceptor(
+                "act-serve-accept-tcp",
+                move || listener.accept().map(|(s, _)| Conn::Tcp(s)),
+                queue.clone(),
+                cache.clone(),
+                stats.clone(),
+                shutdown.clone(),
+                cfg.io_timeout,
+                Instant::now(),
+            )?);
+        }
+        if let Some(path) = &cfg.unix_path {
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            threads.push(spawn_acceptor(
+                "act-serve-accept-unix",
+                move || listener.accept().map(|(s, _)| Conn::Unix(s)),
+                queue.clone(),
+                cache.clone(),
+                stats.clone(),
+                shutdown.clone(),
+                cfg.io_timeout,
+                Instant::now(),
+            )?);
+        }
+        threads.extend(spawn_workers(
+            cfg.workers,
+            queue.clone(),
+            cache.clone(),
+            stats.clone(),
+            cfg.deadline,
+        ));
+
+        Ok(Server {
+            stats,
+            queue,
+            cache,
+            shutdown,
+            threads,
+            tcp_addr,
+            unix_path: cfg.unix_path,
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound TCP address (with the real port when `:0` was requested).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Live counters (shared with the acceptors and workers).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        self.stats.clone()
+    }
+
+    /// The current `STATUS` block.
+    pub fn status_text(&self) -> String {
+        self.stats.render(self.started.elapsed(), self.queue.len(), self.cache.resident())
+    }
+
+    /// Begin graceful drain: stop accepting, let workers finish accepted
+    /// jobs. Idempotent; also triggered by a `SHUTDOWN` frame.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Whether a drain has started.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wait for the drain to finish (acceptors stopped, every accepted job
+    /// answered). Removes the Unix socket file on the way out.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Spawn one acceptor thread over a nonblocking `accept` closure.
+#[allow(clippy::too_many_arguments)]
+fn spawn_acceptor(
+    name: &str,
+    mut accept: impl FnMut() -> io::Result<Conn> + Send + 'static,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<ModelCache>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    io_timeout: Duration,
+    started: Instant,
+) -> io::Result<JoinHandle<()>> {
+    std::thread::Builder::new().name(name.to_string()).spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match accept() {
+                Ok(conn) => {
+                    handle_connection(conn, &queue, &cache, &stats, &shutdown, io_timeout, started)
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                // Transient accept errors (e.g. aborted handshakes) must
+                // not kill the acceptor.
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+    })
+}
+
+/// Read one request frame and either answer inline, enqueue, or reject.
+fn handle_connection(
+    mut conn: Conn,
+    queue: &BoundedQueue<Job>,
+    cache: &ModelCache,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    io_timeout: Duration,
+    started: Instant,
+) {
+    let _ = conn.set_timeouts(io_timeout);
+    let request = match read_frame(&mut conn).and_then(|f| Request::from_frame(&f)) {
+        Ok(req) => req,
+        Err(e) => {
+            stats.bump_proto_errors();
+            let _ = write_frame(&mut conn, &Reply::Error(format!("bad request: {e}")).to_frame());
+            return;
+        }
+    };
+    match request {
+        // Always answerable, even with a saturated queue — that is the
+        // point of handling them on the acceptor.
+        Request::Status => {
+            let text = stats.render(started.elapsed(), queue.len(), cache.resident());
+            let _ = write_frame(&mut conn, &Reply::StatusText(text).to_frame());
+        }
+        Request::Shutdown => {
+            let _ = write_frame(&mut conn, &Reply::Bye.to_frame());
+            shutdown.store(true, Ordering::SeqCst);
+            queue.close();
+        }
+        req @ (Request::Train(_) | Request::Diagnose(..)) => {
+            let job = Job { conn, request: req, accepted: Instant::now() };
+            match queue.try_push(job) {
+                Ok(()) => stats.bump_accepted(),
+                Err(mut job) => {
+                    stats.bump_rejected();
+                    let _ = write_frame(&mut job.conn, &Reply::Busy.to_frame());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_render_has_the_required_counters() {
+        let stats = ServerStats::default();
+        stats.bump_accepted();
+        stats.bump_served();
+        stats.bump_rejected();
+        stats.bump_crashed();
+        stats.note_cache(CacheOutcome::Memory);
+        stats.note_cache(CacheOutcome::Trained);
+        stats.record_service(Duration::from_millis(4));
+        let text = stats.render(Duration::from_secs(1), 3, 2);
+        for needle in [
+            "requests_served 1",
+            "requests_rejected_busy 1",
+            "requests_crashed 1",
+            "cache_hits 1",
+            "cache_misses 1",
+            "queue_depth 3",
+            "models_resident 2",
+            "service_ms_p50",
+            "service_ms_p99",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let (p50, p99) = percentiles(&samples);
+        assert_eq!(p50, 51);
+        assert_eq!(p99, 99);
+        assert_eq!(percentiles(&[]), (0, 0));
+    }
+
+    #[test]
+    fn start_rejects_degenerate_configs() {
+        let bad = |f: fn(&mut ServeConfig)| {
+            let mut cfg = ServeConfig::default();
+            f(&mut cfg);
+            Server::start(cfg).err().expect("config must be rejected")
+        };
+        assert!(bad(|c| c.workers = 0).to_string().contains("workers"));
+        assert!(bad(|c| c.queue_depth = 0).to_string().contains("queue depth"));
+        assert!(bad(|c| c.cache_capacity = 0).to_string().contains("cache"));
+        assert!(bad(|c| {
+            c.tcp_addr = None;
+            c.unix_path = None;
+        })
+        .to_string()
+        .contains("at least one"));
+    }
+}

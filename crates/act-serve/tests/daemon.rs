@@ -1,0 +1,199 @@
+//! End-to-end daemon tests: boot an in-process server on an ephemeral
+//! loopback port and drive it with real client connections.
+//!
+//! Covers the acceptance criteria for the service:
+//! - a crashing request (`__panic`) gets an `ERROR` reply while the daemon
+//!   keeps serving others;
+//! - a repeated request is answered from the model cache (the `STATUS`
+//!   cache-hit counter increases);
+//! - a full queue yields `BUSY` immediately, never accepted-then-dropped.
+
+use act_serve::client::{request, Endpoint};
+use act_serve::proto::{ModelSpec, Reply, Request};
+use act_serve::server::{ServeConfig, Server};
+use act_trace::collector::TraceCollector;
+use act_trace::io::trace_to_bytes;
+use act_workloads::registry;
+use std::time::Duration;
+
+/// Boot a daemon on 127.0.0.1:0 and return it with its client endpoint.
+fn boot(workers: usize, queue_depth: usize) -> (Server, Endpoint) {
+    let cfg = ServeConfig {
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        workers,
+        queue_depth,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("daemon boots");
+    let endpoint = Endpoint::Tcp(server.tcp_addr().expect("tcp bound").to_string());
+    (server, endpoint)
+}
+
+/// A small spec that trains in well under a second.
+fn tiny_spec(workload: &str) -> ModelSpec {
+    let mut spec = ModelSpec::new(workload);
+    spec.traces = 2;
+    spec.seq_len = 2;
+    spec.hidden = 4;
+    spec.max_epochs = 30;
+    spec
+}
+
+/// Serialize a failing `seq` trace the way a production client would ship
+/// one (run the triggered configuration until it actually fails).
+fn failing_trace_bytes() -> Vec<u8> {
+    let w = registry::by_name("seq").expect("seq workload");
+    let norm = w.norm_code_len().unwrap_or_else(|| w.build(&w.default_params()).program.code_len());
+    for seed in 0..64 {
+        let built = w.build(&w.default_params().triggered().with_seed(seed));
+        let mut collector = TraceCollector::new(norm);
+        let run_cfg =
+            act_sim::config::MachineConfig { seed, jitter_ppm: 10_000, ..Default::default() };
+        let mut machine = act_sim::machine::Machine::new(&built.program, run_cfg);
+        let outcome = machine.run_observed(&mut collector);
+        if built.is_failure(&outcome) {
+            return trace_to_bytes(&collector.into_trace());
+        }
+    }
+    panic!("no failing seq run in 64 seeds");
+}
+
+/// Pull one `key value` counter out of a `STATUS` reply.
+fn counter(status: &str, key: &str) -> u64 {
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(key).map(|rest| rest.trim().parse().expect("counter value")))
+        .unwrap_or_else(|| panic!("no `{key}` in status:\n{status}"))
+}
+
+fn status_of(endpoint: &Endpoint) -> String {
+    match request(endpoint, &Request::Status).expect("status reply") {
+        Reply::StatusText(text) => text,
+        other => panic!("unexpected status reply: {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_crash_isolation_and_cache_hits() {
+    let (server, endpoint) = boot(2, 16);
+    let spec = tiny_spec("seq");
+    let trace = failing_trace_bytes();
+
+    // Warm the model once so the concurrent phase exercises cache hits.
+    match request(&endpoint, &Request::Train(spec.clone())).expect("train reply") {
+        Reply::Trained(summary) => {
+            assert!(summary.contains("trained seq"), "summary: {summary}")
+        }
+        other => panic!("unexpected train reply: {other:?}"),
+    }
+
+    // Four concurrent clients: three real diagnoses plus one crasher.
+    let mut clients = Vec::new();
+    for _ in 0..3 {
+        let endpoint = endpoint.clone();
+        let req = Request::Diagnose(spec.clone(), trace.clone());
+        clients.push(std::thread::spawn(move || request(&endpoint, &req).expect("reply")));
+    }
+    let crasher = {
+        let endpoint = endpoint.clone();
+        let req = Request::Diagnose(ModelSpec::new("__panic"), trace.clone());
+        std::thread::spawn(move || request(&endpoint, &req).expect("reply"))
+    };
+
+    for client in clients {
+        match client.join().expect("client thread") {
+            Reply::Diagnosis(text) => {
+                assert!(text.starts_with("diagnosis workload=seq"), "text: {text}");
+                assert!(text.contains("model=cache-hit"), "expected a cache hit: {text}");
+            }
+            other => panic!("unexpected diagnose reply: {other:?}"),
+        }
+    }
+    match crasher.join().expect("crasher thread") {
+        Reply::Error(msg) => {
+            assert!(msg.contains("request crashed"), "msg: {msg}");
+            assert!(msg.contains("__panic"), "msg: {msg}");
+        }
+        other => panic!("crashing request must yield ERROR, got: {other:?}"),
+    }
+
+    // The daemon survived the crash and still serves.
+    match request(&endpoint, &Request::Diagnose(spec.clone(), trace)).expect("post-crash reply") {
+        Reply::Diagnosis(text) => assert!(text.contains("model=cache-hit"), "text: {text}"),
+        other => panic!("unexpected post-crash reply: {other:?}"),
+    }
+
+    let status = status_of(&endpoint);
+    assert!(counter(&status, "cache_hits") >= 4, "status:\n{status}");
+    assert_eq!(counter(&status, "cache_misses"), 1, "status:\n{status}");
+    assert_eq!(counter(&status, "requests_crashed"), 1, "status:\n{status}");
+    assert!(counter(&status, "requests_served") >= 5, "status:\n{status}");
+
+    match request(&endpoint, &Request::Shutdown).expect("shutdown reply") {
+        Reply::Bye => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn full_queue_answers_busy_instead_of_accepting() {
+    // One worker, queue depth one: a 600ms sleeper on the worker plus one
+    // queued job saturate the daemon.
+    let (server, endpoint) = boot(1, 1);
+    let sleeper = |ms: u64| {
+        let mut spec = ModelSpec::new("__sleep");
+        spec.seed = ms;
+        Request::Train(spec)
+    };
+
+    let occupant = {
+        let endpoint = endpoint.clone();
+        let req = sleeper(600);
+        std::thread::spawn(move || request(&endpoint, &req).expect("reply"))
+    };
+    std::thread::sleep(Duration::from_millis(150)); // worker now busy
+    let queued = {
+        let endpoint = endpoint.clone();
+        let req = sleeper(10);
+        std::thread::spawn(move || request(&endpoint, &req).expect("reply"))
+    };
+    std::thread::sleep(Duration::from_millis(150)); // queue now full
+
+    // STATUS still answers while saturated (acceptor fast path) ...
+    let status = status_of(&endpoint);
+    assert_eq!(counter(&status, "queue_depth"), 1, "status:\n{status}");
+
+    // ... but new work is refused outright.
+    match request(&endpoint, &sleeper(1)).expect("busy reply") {
+        Reply::Busy => {}
+        other => panic!("expected BUSY from a full queue, got: {other:?}"),
+    }
+
+    assert!(matches!(occupant.join().expect("occupant"), Reply::Trained(_)));
+    assert!(matches!(queued.join().expect("queued"), Reply::Trained(_)));
+
+    let status = status_of(&endpoint);
+    assert_eq!(counter(&status, "requests_rejected_busy"), 1, "status:\n{status}");
+    assert_eq!(counter(&status, "requests_served"), 2, "status:\n{status}");
+
+    assert!(matches!(request(&endpoint, &Request::Shutdown).expect("bye"), Reply::Bye));
+    server.join();
+}
+
+#[test]
+fn diagnose_on_a_cold_daemon_trains_then_ranks() {
+    // A single DIAGNOSE against a cold daemon must train the model inline
+    // and still come back with the ranked header.
+    let (server, endpoint) = boot(1, 4);
+    let req = Request::Diagnose(tiny_spec("seq"), failing_trace_bytes());
+    match request(&endpoint, &req).expect("reply") {
+        Reply::Diagnosis(text) => {
+            assert!(text.starts_with("diagnosis workload=seq model=trained"), "text: {text}");
+            assert!(text.contains("logged="), "text: {text}");
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    assert!(matches!(request(&endpoint, &Request::Shutdown).expect("bye"), Reply::Bye));
+    server.join();
+}

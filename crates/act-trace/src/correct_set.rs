@@ -66,6 +66,13 @@ impl CorrectSet {
         self.full.contains(deps)
     }
 
+    /// The full sequences, in arbitrary order — for serialization (e.g.
+    /// `act-serve` persists the set next to the cached weights so a daemon
+    /// restart skips rebuilding it from fresh runs).
+    pub fn sequences(&self) -> impl Iterator<Item = &Vec<RawDep>> {
+        self.full.iter()
+    }
+
     /// Length of the longest prefix of `deps` that matches a prefix of some
     /// correct sequence — the paper's "number of matched RAW dependences"
     /// used for ranking.
@@ -139,6 +146,16 @@ mod tests {
         assert_eq!(set.len(), 1);
         assert_eq!(set.seq_len(), 2);
         assert!(set.contains(&[dep(1, 2), dep(3, 4)]));
+    }
+
+    #[test]
+    fn sequences_iterates_full_members_only() {
+        let set = set_of(&[&[dep(1, 2), dep(3, 4)], &[dep(5, 6), dep(7, 8)]]);
+        let mut seqs: Vec<Vec<RawDep>> = set.sequences().cloned().collect();
+        seqs.sort();
+        assert_eq!(seqs, vec![vec![dep(1, 2), dep(3, 4)], vec![dep(5, 6), dep(7, 8)]]);
+        // Prefixes are indexed but not iterated.
+        assert_eq!(set.sequences().count(), 2);
     }
 
     #[test]

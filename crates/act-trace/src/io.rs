@@ -168,6 +168,32 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
     Ok(Trace { records, code_len })
 }
 
+/// Serialize `trace` to an in-memory byte buffer — the binary-safe framing
+/// of the v1 text format used when a trace travels inside a length-prefixed
+/// protocol frame (`act-serve`) rather than a file.
+pub fn trace_to_bytes(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).expect("in-memory write cannot fail");
+    buf
+}
+
+/// Parse a trace from bytes previously produced by [`trace_to_bytes`] (or
+/// any v1 trace file read into memory).
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed input, including input that is
+/// not UTF-8 (the v1 format is text).
+pub fn trace_from_bytes(bytes: &[u8]) -> Result<Trace, ParseTraceError> {
+    if std::str::from_utf8(bytes).is_err() {
+        return Err(ParseTraceError::Malformed {
+            line: 1,
+            reason: "trace payload is not valid UTF-8".into(),
+        });
+    }
+    read_trace(bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +265,24 @@ mod tests {
     fn rejects_truncated_record() {
         let err = read_trace(&b"acttrace v1 10\nS 1 2\n"[..]).unwrap_err();
         assert!(matches!(err, ParseTraceError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn bytes_round_trip_matches_file_form() {
+        let trace = sample();
+        let bytes = trace_to_bytes(&trace);
+        let mut file_form = Vec::new();
+        write_trace(&trace, &mut file_form).unwrap();
+        assert_eq!(bytes, file_form, "framed bytes are exactly the v1 file format");
+        let back = trace_from_bytes(&bytes).unwrap();
+        assert_eq!(back.records, trace.records);
+        assert_eq!(back.code_len, trace.code_len);
+    }
+
+    #[test]
+    fn bytes_reject_non_utf8() {
+        let err = trace_from_bytes(&[0xff, 0xfe, 0x00, 0x01]).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! `perf` — the tracked hot-path benchmark.
+//!
+//! Measures classify/train throughput and offline-training / `table4`
+//! wall-clock, and writes `BENCH_hotpath.json` (schema documented in
+//! `act_bench::perf`). Typical uses:
+//!
+//! ```text
+//! cargo run --release -p act-bench --bin perf                 # full run
+//! cargo run --release -p act-bench --bin perf -- --quick      # CI-sized
+//! cargo run --release -p act-bench --bin perf -- \
+//!     --baseline BENCH_baseline.json                          # fill `before`
+//! cargo run --release -p act-bench --bin perf -- \
+//!     --validate BENCH_hotpath.json                           # schema check
+//! ```
+
+use act_bench::perf;
+
+struct Args {
+    quick: bool,
+    out: String,
+    baseline: Option<String>,
+    validate: Option<String>,
+    jobs: usize,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_hotpath.json".to_string(),
+        baseline: None,
+        validate: None,
+        jobs: act_fleet::default_workers(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i).ok_or("--out needs a value")?.clone();
+            }
+            "--baseline" => {
+                i += 1;
+                args.baseline = Some(argv.get(i).ok_or("--baseline needs a value")?.clone());
+            }
+            "--validate" => {
+                i += 1;
+                args.validate = Some(argv.get(i).ok_or("--validate needs a value")?.clone());
+            }
+            "--jobs" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--jobs needs a value")?;
+                args.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be >= 1".to_string());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn load_entries(path: &str) -> Result<Vec<perf::BenchEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    perf::parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            eprintln!(
+                "usage: perf [--quick] [--out FILE] [--baseline FILE] [--validate FILE] [--jobs N]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    // Validation mode: schema-check an existing file and exit.
+    if let Some(path) = &args.validate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match perf::validate(&text) {
+            Ok(n) => {
+                println!("{path}: ok ({n} entries)");
+                return;
+            }
+            Err(e) => {
+                eprintln!("perf: {path}: malformed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = args.baseline.as_deref().map(|p| match load_entries(p) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf: bad baseline: {e}");
+            std::process::exit(2);
+        }
+    });
+
+    eprintln!(
+        "perf: running {} suite (jobs {})...",
+        if args.quick { "quick" } else { "full" },
+        args.jobs
+    );
+    let mut entries = perf::run_all(args.quick, args.jobs);
+    if let Some(baseline) = &baseline {
+        perf::merge_baseline(&mut entries, baseline);
+    }
+
+    for e in &entries {
+        let vs = e.speedup().map_or(String::new(), |s| {
+            format!("  ({:.3} before, {s:.2}x)", e.before.expect("speedup implies before"))
+        });
+        println!("{:<30} jobs {:<2} {:>14.3} {}{vs}", e.bench, e.jobs, e.value, e.unit);
+    }
+
+    let json = perf::render_json(&entries);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("perf: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.out);
+}

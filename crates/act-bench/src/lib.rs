@@ -20,6 +20,7 @@
 //!    failing run).
 
 pub mod campaign;
+pub mod perf;
 
 use act_baselines::aviso::Aviso;
 use act_baselines::pbi;

@@ -1,0 +1,476 @@
+//! The tracked perf-bench harness behind the `perf` binary.
+//!
+//! ACT's premise is that per-dependence neural validation is cheap enough to
+//! run on every retired RAW dependence (§III); the software model has to keep
+//! the same discipline. This module measures the four rates that gate it —
+//! steady-state classify throughput, online-training throughput, offline
+//! training wall-clock, and the end-to-end `table4` campaign — and emits
+//! `BENCH_hotpath.json` so the trajectory is recorded per PR instead of
+//! asserted in prose.
+//!
+//! Schema (one JSON array, one object per measurement):
+//!
+//! ```json
+//! [
+//!   {"bench": "classify_predictions_per_sec", "before": 1.0e6,
+//!    "value": 2.5e6, "unit": "ops/s", "jobs": 1}
+//! ]
+//! ```
+//!
+//! `before` is optional: the `perf` binary fills it by re-reading a baseline
+//! file recorded before an optimization (`--baseline`). Throughput benches
+//! (`ops/s`) are higher-is-better; wall-clock benches (`s`) are
+//! lower-is-better.
+
+use crate::campaign::{executor_for, table4_spec};
+use crate::{act_cfg_for, collect_clean_traces, norm_of};
+use act_core::encoding::{Encoder, FEATURES_PER_DEP};
+use act_core::offline::offline_train;
+use act_fleet::{run_campaign, CampaignSpec};
+use act_nn::network::{Network, Topology};
+use act_sim::events::RawDep;
+use act_workloads::registry;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// One measurement row of `BENCH_hotpath.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Measurement name (stable across PRs; the trajectory key).
+    pub bench: String,
+    /// The same measurement from the recorded baseline, if one was given.
+    pub before: Option<f64>,
+    /// Measured value.
+    pub value: f64,
+    /// `"ops/s"` (higher is better) or `"s"` (lower is better).
+    pub unit: String,
+    /// Worker threads the measurement used.
+    pub jobs: usize,
+}
+
+impl BenchEntry {
+    fn new(bench: &str, value: f64, unit: &str, jobs: usize) -> Self {
+        BenchEntry { bench: bench.to_string(), before: None, value, unit: unit.to_string(), jobs }
+    }
+
+    /// Speedup over the baseline (`ops/s`: value/before; `s`: before/value).
+    pub fn speedup(&self) -> Option<f64> {
+        let before = self.before?;
+        if before <= 0.0 || self.value <= 0.0 {
+            return None;
+        }
+        Some(if self.unit == "s" { before / self.value } else { self.value / before })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+/// Batch size between clock reads: large enough that `Instant::now` is
+/// amortized away, small enough that the target duration is respected.
+const BATCH: u64 = 5_000;
+
+/// Calibrated throughput: run `op` in batches until `target` elapses and
+/// return operations per second. The returned f32s are folded into a sink so
+/// the optimizer cannot delete the loop.
+fn throughput(target: Duration, mut op: impl FnMut() -> f32) -> f64 {
+    let mut sink = 0.0f32;
+    for _ in 0..BATCH {
+        sink += op(); // warm-up: touch caches, fault in lazy state
+    }
+    let start = Instant::now();
+    let mut ops = 0u64;
+    loop {
+        for _ in 0..BATCH {
+            sink += op();
+        }
+        ops += BATCH;
+        if start.elapsed() >= target {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    ops as f64 / secs
+}
+
+/// Steady-state classify throughput: per retired dependence, slide the
+/// input-generator window, encode the sequence, and run the forward pass —
+/// exactly the per-dependence work of `ActModule::process` and of the
+/// server-side `classify_trace` loop. The harness topology (N = 2, h = 10).
+pub fn classify_predictions_per_sec(target: Duration) -> f64 {
+    const SEQ_LEN: usize = 2;
+    const IGB_CAP: usize = 8;
+    let enc = Encoder::new(4096);
+    let mut net = Network::random(Topology::new(FEATURES_PER_DEP * SEQ_LEN, 10), 0.2, 42);
+    // A dependence ring with distinct PCs so the encoder's hash work is
+    // realistic (constant inputs would let it fold).
+    let ring: Vec<RawDep> = (0..64u32)
+        .map(|i| RawDep { store_pc: 17 * i + 3, load_pc: 29 * i + 7, inter_thread: i % 3 == 0 })
+        .collect();
+    let mut igb: VecDeque<RawDep> = VecDeque::with_capacity(IGB_CAP + 1);
+    let mut i = 0usize;
+    throughput(target, move || {
+        igb.push_back(ring[i % ring.len()]);
+        i += 1;
+        while igb.len() > IGB_CAP {
+            igb.pop_front();
+        }
+        if igb.len() < SEQ_LEN {
+            return 0.0;
+        }
+        let start = igb.len() - SEQ_LEN;
+        let seq: Vec<RawDep> = igb.iter().skip(start).copied().collect();
+        let x = enc.encode_seq(&seq);
+        net.predict(&x)
+    })
+}
+
+/// Online back-propagation throughput on the harness topology: the work of
+/// one `Network::train` step in training mode.
+pub fn online_train_steps_per_sec(target: Duration) -> f64 {
+    let mut net = Network::random(Topology::new(10, 10), 0.2, 7);
+    let xs: Vec<Vec<f32>> =
+        (0..8usize).map(|k| (0..10).map(|j| ((k * j + 3) % 11) as f32 / 11.0).collect()).collect();
+    let mut i = 0usize;
+    throughput(target, move || {
+        let o = net.train(&xs[i % xs.len()], 1.0);
+        i += 1;
+        o
+    })
+}
+
+/// Offline training wall-clock on the `fft` kernel over a real topology
+/// grid (the default `M²` search is what the parallel fan-out accelerates).
+pub fn offline_train_wall_s(quick: bool, jobs: usize) -> f64 {
+    let w = registry::by_name("fft").expect("fft kernel registered");
+    let want = if quick { 4 } else { 8 };
+    let traces: Vec<_> =
+        collect_clean_traces(w.as_ref(), 0..want as u64 * 2).into_iter().take(want).collect();
+    assert!(!traces.is_empty(), "fft produced no clean traces");
+    let mut cfg = act_cfg_for(w.as_ref());
+    cfg.search.seq_lens = if quick { vec![2] } else { vec![1, 2] };
+    cfg.search.hidden_sizes = if quick { vec![4, 10] } else { vec![2, 4, 6, 8, 10] };
+    cfg.train.max_epochs = if quick { 60 } else { 120 };
+    let _ = jobs; // serial today; wired to `cfg.search_workers` by the parallel search
+    let start = Instant::now();
+    let trained = offline_train(norm_of(w.as_ref()), &traces, &cfg);
+    std::hint::black_box(trained.report.candidates);
+    start.elapsed().as_secs_f64()
+}
+
+/// End-to-end `table4` campaign wall-clock (offline training of every clean
+/// kernel; quick mode trains a three-kernel subset).
+pub fn table4_wall_s(quick: bool, jobs: usize) -> f64 {
+    let spec = if quick {
+        let mut s = CampaignSpec::new("table4-quick", "train", &["lu", "fft", "swaptions"]);
+        s.params.insert("traces".into(), "4".into());
+        s
+    } else {
+        table4_spec()
+    };
+    let exec = executor_for(&spec).expect("train executor resolves");
+    let start = Instant::now();
+    let report = run_campaign(&spec, jobs, exec);
+    assert_eq!(report.aggregate.crashed, 0, "table4 bench job crashed");
+    start.elapsed().as_secs_f64()
+}
+
+/// Run the full suite. `jobs` is the worker count for the parallel variants
+/// of the wall-clock benches (entries are only emitted when `jobs > 1`, so
+/// a single-core host produces one row per bench).
+pub fn run_all(quick: bool, jobs: usize) -> Vec<BenchEntry> {
+    let target = if quick { Duration::from_millis(150) } else { Duration::from_millis(600) };
+    let mut entries = vec![
+        BenchEntry::new(
+            "classify_predictions_per_sec",
+            classify_predictions_per_sec(target),
+            "ops/s",
+            1,
+        ),
+        BenchEntry::new(
+            "online_train_steps_per_sec",
+            online_train_steps_per_sec(target),
+            "ops/s",
+            1,
+        ),
+        BenchEntry::new("offline_train_wall_s", offline_train_wall_s(quick, 1), "s", 1),
+    ];
+    if jobs > 1 {
+        entries.push(BenchEntry::new(
+            "offline_train_wall_s",
+            offline_train_wall_s(quick, jobs),
+            "s",
+            jobs,
+        ));
+    }
+    entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, 1), "s", 1));
+    if jobs > 1 {
+        entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, jobs), "s", jobs));
+    }
+    entries
+}
+
+/// Fill each entry's `before` from a baseline run: exact `(bench, jobs)`
+/// match first, then the baseline's serial (`jobs = 1`) row — so a parallel
+/// row still compares against the pre-optimization serial baseline when the
+/// baseline predates the parallel path.
+pub fn merge_baseline(entries: &mut [BenchEntry], baseline: &[BenchEntry]) {
+    for e in entries {
+        let exact = baseline.iter().find(|b| b.bench == e.bench && b.jobs == e.jobs);
+        let serial = baseline.iter().find(|b| b.bench == e.bench && b.jobs == 1);
+        e.before = exact.or(serial).map(|b| b.value);
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON (hand-rolled, like act-fleet's report: the workspace is offline)
+// ---------------------------------------------------------------------
+
+/// Render entries as the `BENCH_hotpath.json` array.
+pub fn render_json(entries: &[BenchEntry]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("  {");
+        write!(out, "\"bench\":\"{}\"", e.bench).expect("string write");
+        if let Some(b) = e.before {
+            write!(out, ",\"before\":{b}").expect("string write");
+        }
+        write!(out, ",\"value\":{},\"unit\":\"{}\",\"jobs\":{}", e.value, e.unit, e.jobs)
+            .expect("string write");
+        out.push('}');
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Strict parser for the schema above (and only it): an array of flat
+/// objects whose values are strings or numbers. Anything else — unknown
+/// keys, missing fields, trailing garbage — is an error, which is exactly
+/// what `ci.sh` wants from "malformed".
+pub fn parse_json(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let mut p = Parser { b: text.as_bytes(), i: 0 };
+    p.ws();
+    p.expect(b'[')?;
+    let mut entries = Vec::new();
+    p.ws();
+    if !p.eat(b']') {
+        loop {
+            entries.push(p.object()?);
+            p.ws();
+            if p.eat(b',') {
+                p.ws();
+                continue;
+            }
+            p.expect(b']')?;
+            break;
+        }
+    }
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(entries)
+}
+
+/// Validate a `BENCH_hotpath.json` body; returns the entry count.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let entries = parse_json(text)?;
+    if entries.is_empty() {
+        return Err("no bench entries".to_string());
+    }
+    for e in &entries {
+        if e.bench.is_empty() {
+            return Err("empty bench name".to_string());
+        }
+        if !(e.value.is_finite() && e.value > 0.0) {
+            return Err(format!("{}: non-positive value {}", e.bench, e.value));
+        }
+        if e.unit != "ops/s" && e.unit != "s" {
+            return Err(format!("{}: unknown unit `{}`", e.bench, e.unit));
+        }
+        if e.jobs == 0 {
+            return Err(format!("{}: jobs must be >= 1", e.bench));
+        }
+        if let Some(b) = e.before {
+            if !(b.is_finite() && b > 0.0) {
+                return Err(format!("{}: non-positive before {b}", e.bench));
+            }
+        }
+    }
+    Ok(entries.len())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'"' {
+            if self.b[self.i] == b'\\' {
+                return Err(format!("escapes unsupported at byte {}", self.i));
+            }
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| "non-utf8 string".to_string())?
+            .to_string();
+        self.expect(b'"')?;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn object(&mut self) -> Result<BenchEntry, String> {
+        self.expect(b'{')?;
+        let (mut bench, mut before, mut value, mut unit, mut jobs) = (None, None, None, None, None);
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            match key.as_str() {
+                "bench" => bench = Some(self.string()?),
+                "unit" => unit = Some(self.string()?),
+                "before" => before = Some(self.number()?),
+                "value" => value = Some(self.number()?),
+                "jobs" => jobs = Some(self.number()? as usize),
+                other => return Err(format!("unknown key `{other}`")),
+            }
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            break;
+        }
+        Ok(BenchEntry {
+            bench: bench.ok_or("missing `bench`")?,
+            before,
+            value: value.ok_or("missing `value`")?,
+            unit: unit.ok_or("missing `unit`")?,
+            jobs: jobs.ok_or("missing `jobs`")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BenchEntry> {
+        vec![
+            BenchEntry {
+                bench: "classify_predictions_per_sec".into(),
+                before: Some(1.0e6),
+                value: 2.5e6,
+                unit: "ops/s".into(),
+                jobs: 1,
+            },
+            BenchEntry {
+                bench: "table4_wall_s".into(),
+                before: None,
+                value: 2.75,
+                unit: "s".into(),
+                jobs: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let entries = sample();
+        let text = render_json(&entries);
+        let back = parse_json(&text).unwrap();
+        assert_eq!(back, entries);
+        assert_eq!(validate(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        assert!(validate("").is_err());
+        assert!(validate("[]").is_err(), "empty array is not a benchmark record");
+        assert!(validate("[{\"bench\":\"x\"}]").is_err(), "missing fields");
+        assert!(validate("[{\"bench\":\"x\",\"value\":0,\"unit\":\"s\",\"jobs\":1}]").is_err());
+        assert!(
+            validate("[{\"bench\":\"x\",\"value\":1,\"unit\":\"furlongs\",\"jobs\":1}]").is_err()
+        );
+        assert!(validate("[{\"bench\":\"x\",\"value\":1,\"unit\":\"s\",\"jobs\":0}]").is_err());
+        assert!(
+            validate("[{\"bench\":\"x\",\"value\":1,\"unit\":\"s\",\"jobs\":1,\"extra\":1}]")
+                .is_err(),
+            "unknown keys rejected"
+        );
+        assert!(validate("[{\"bench\":\"x\",\"value\":1,\"unit\":\"s\",\"jobs\":1}] tail").is_err());
+    }
+
+    #[test]
+    fn speedup_respects_unit_direction() {
+        let mut up = sample()[0].clone();
+        assert!((up.speedup().unwrap() - 2.5).abs() < 1e-12);
+        up.unit = "s".into(); // lower-is-better: 1e6 -> 2.5e6 s is a slowdown
+        assert!(up.speedup().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn baseline_merge_prefers_exact_then_serial() {
+        let baseline = vec![
+            BenchEntry { bench: "a".into(), before: None, value: 10.0, unit: "s".into(), jobs: 1 },
+            BenchEntry { bench: "a".into(), before: None, value: 4.0, unit: "s".into(), jobs: 4 },
+        ];
+        let mut now = vec![
+            BenchEntry { bench: "a".into(), before: None, value: 5.0, unit: "s".into(), jobs: 4 },
+            BenchEntry { bench: "a".into(), before: None, value: 9.0, unit: "s".into(), jobs: 8 },
+            BenchEntry { bench: "b".into(), before: None, value: 1.0, unit: "s".into(), jobs: 1 },
+        ];
+        merge_baseline(&mut now, &baseline);
+        assert_eq!(now[0].before, Some(4.0), "exact (bench, jobs) match");
+        assert_eq!(now[1].before, Some(10.0), "serial fallback");
+        assert_eq!(now[2].before, None, "no baseline row");
+    }
+}

@@ -7,6 +7,15 @@ cargo fmt --all --check
 cargo build --release
 cargo test -q --release
 
+# Hot-path benchmark: quick suite must run, and the artifact must exist
+# and parse against the schema (DESIGN.md §7). Numbers are not gated here
+# (CI hosts are too noisy); the trajectory lives in BENCH_hotpath.json.
+cargo run --release -p act-bench --bin perf -- --quick \
+    --baseline BENCH_baseline.json --out BENCH_hotpath.quick.json
+test -s BENCH_hotpath.quick.json
+cargo run --release -p act-bench --bin perf -- --validate BENCH_hotpath.quick.json
+cargo run --release -p act-bench --bin perf -- --validate BENCH_hotpath.json
+
 # Daemon smoke test: boot act-serve on loopback, train + diagnose over the
 # wire, assert the ranked suspect list is non-empty, shut down cleanly.
 ACT=target/release/act

@@ -30,7 +30,6 @@ use act_fleet::{run_campaign, CampaignSpec};
 use act_nn::network::{Network, Topology};
 use act_sim::events::RawDep;
 use act_workloads::registry;
-use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// One measurement row of `BENCH_hotpath.json`.
@@ -105,24 +104,27 @@ pub fn classify_predictions_per_sec(target: Duration) -> f64 {
     let enc = Encoder::new(4096);
     let mut net = Network::random(Topology::new(FEATURES_PER_DEP * SEQ_LEN, 10), 0.2, 42);
     // A dependence ring with distinct PCs so the encoder's hash work is
-    // realistic (constant inputs would let it fold).
-    let ring: Vec<RawDep> = (0..64u32)
-        .map(|i| RawDep { store_pc: 17 * i + 3, load_pc: 29 * i + 7, inter_thread: i % 3 == 0 })
-        .collect();
-    let mut igb: VecDeque<RawDep> = VecDeque::with_capacity(IGB_CAP + 1);
-    let mut i = 0usize;
+    // realistic (constant inputs would let it fold). Power-of-two size and
+    // a mask index: a `%` by a runtime length would put an integer divide
+    // inside the measured op.
+    let ring: [RawDep; 64] = std::array::from_fn(|i| {
+        let i = i as u32;
+        RawDep { store_pc: 17 * i + 3, load_pc: 29 * i + 7, inter_thread: i % 3 == 0 }
+    });
+    let mut igb = [ring[0]; IGB_CAP];
+    let mut x: Vec<f32> = Vec::new();
+    let mut pushed = 0usize;
     throughput(target, move || {
-        igb.push_back(ring[i % ring.len()]);
-        i += 1;
-        while igb.len() > IGB_CAP {
-            igb.pop_front();
-        }
-        if igb.len() < SEQ_LEN {
+        // Mirror of `ActModule::process`: masked-ring push, then the last
+        // SEQ_LEN entries (oldest first) encoded straight from the ring.
+        igb[pushed & (IGB_CAP - 1)] = ring[pushed & 63];
+        pushed += 1;
+        if pushed < SEQ_LEN {
             return 0.0;
         }
-        let start = igb.len() - SEQ_LEN;
-        let seq: Vec<RawDep> = igb.iter().skip(start).copied().collect();
-        let x = enc.encode_seq(&seq);
+        let start = pushed - SEQ_LEN;
+        let window = (0..SEQ_LEN).map(|k| igb[(start + k) & (IGB_CAP - 1)]);
+        enc.encode_iter_into(window, &mut x);
         net.predict(&x)
     })
 }
@@ -135,7 +137,7 @@ pub fn online_train_steps_per_sec(target: Duration) -> f64 {
         (0..8usize).map(|k| (0..10).map(|j| ((k * j + 3) % 11) as f32 / 11.0).collect()).collect();
     let mut i = 0usize;
     throughput(target, move || {
-        let o = net.train(&xs[i % xs.len()], 1.0);
+        let o = net.train(&xs[i & 7], 1.0);
         i += 1;
         o
     })
@@ -153,7 +155,7 @@ pub fn offline_train_wall_s(quick: bool, jobs: usize) -> f64 {
     cfg.search.seq_lens = if quick { vec![2] } else { vec![1, 2] };
     cfg.search.hidden_sizes = if quick { vec![4, 10] } else { vec![2, 4, 6, 8, 10] };
     cfg.train.max_epochs = if quick { 60 } else { 120 };
-    let _ = jobs; // serial today; wired to `cfg.search_workers` by the parallel search
+    cfg.search_workers = jobs;
     let start = Instant::now();
     let trained = offline_train(norm_of(w.as_ref()), &traces, &cfg);
     std::hint::black_box(trained.report.candidates);

@@ -30,6 +30,11 @@ pub struct ActConfig {
     /// example set is still used for per-thread fine-tuning). Keeps the
     /// `M²` search tractable on dependence-heavy workloads.
     pub max_search_examples: usize,
+    /// Worker threads for the offline topology search: the `(seq_len,
+    /// hidden)` candidate grid fans across this many threads. `1` runs
+    /// serially; any value produces a byte-identical outcome (see
+    /// `act_nn::trainer::topology_search_with_workers`).
+    pub search_workers: usize,
     /// Code length to normalize instruction addresses by; `0` means "use
     /// the program's actual length". Workloads that grow (new code
     /// appended) fix this to a constant so old code's features stay put.
@@ -58,6 +63,7 @@ impl Default for ActConfig {
             train: TrainConfig::default(),
             test_fraction: 0.5,
             max_search_examples: 4000,
+            search_workers: 1,
             norm_code_len: 0,
             cross_negs: 4,
             noise_fraction: 1.0 / 3.0,
@@ -86,6 +92,7 @@ impl ActConfig {
             self.max_inputs
         );
         assert!(self.test_fraction > 0.0 && self.test_fraction < 1.0);
+        assert!(self.search_workers > 0, "search_workers must be at least 1");
     }
 }
 

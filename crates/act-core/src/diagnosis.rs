@@ -142,9 +142,13 @@ pub fn classify_trace(
     let cycle_of: HashMap<u64, u64> = trace.records.iter().map(|r| (r.seq, r.cycle)).collect();
     let mut nets: HashMap<act_sim::events::ThreadId, act_nn::network::Network> = HashMap::new();
     let mut entries = Vec::new();
+    // One encode buffer for every window: the per-window loop allocates
+    // only for flagged sequences (same discipline as the online module).
+    let mut x = Vec::new();
     for s in positive_sequences(&deps, store.seq_len()) {
         let net = nets.entry(s.tid).or_insert_with(|| store.network_for(s.tid, 0.0));
-        let output = net.predict(&enc.encode_seq(&s.deps));
+        enc.encode_seq_into(&s.deps, &mut x);
+        let output = net.predict(&x);
         if output < threshold {
             entries.push(DebugEntry {
                 deps: s.deps,

@@ -25,10 +25,24 @@ use act_sim::events::RawDep;
 pub const FEATURES_PER_DEP: usize = 5;
 
 /// Encoder bound to a program's code length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 pub struct Encoder {
     code_len: usize,
+    /// `1 / code_len`, precomputed: the hot path multiplies instead of
+    /// dividing (a divide is the longest-latency op in the feature math).
+    inv_code_len: f32,
+    /// `1 / (2 · code_len)`, for the store feature's half-step resolution.
+    inv_denom: f32,
 }
+
+impl PartialEq for Encoder {
+    fn eq(&self, other: &Self) -> bool {
+        // The reciprocals are derived from `code_len`.
+        self.code_len == other.code_len
+    }
+}
+
+impl Eq for Encoder {}
 
 impl Encoder {
     /// Encoder for a program with `code_len` instructions.
@@ -38,7 +52,11 @@ impl Encoder {
     /// Panics if `code_len == 0`.
     pub fn new(code_len: usize) -> Self {
         assert!(code_len > 0, "code length must be positive");
-        Encoder { code_len }
+        Encoder {
+            code_len,
+            inv_code_len: 1.0 / code_len as f32,
+            inv_denom: 1.0 / (2 * code_len) as f32,
+        }
     }
 
     /// The code length this encoder normalizes by.
@@ -71,25 +89,65 @@ impl Encoder {
         (mix(31, 7, 1), mix(13, 3, 5), mix(23, 11, 9))
     }
 
-    /// Append the five features of `dep` to `out`.
-    pub fn encode_into(&self, dep: &RawDep, out: &mut Vec<f32>) {
-        let denom = (2 * self.code_len) as f32;
-        let store = (2 * dep.store_pc as usize + dep.inter_thread as usize) as f32 / denom;
-        let load = dep.load_pc as f32 / self.code_len as f32;
+    /// The five features of `dep`, written into a fixed-size chunk. Plain
+    /// indexed stores into an array: no per-feature capacity checks, and
+    /// the whole chunk's math schedules as one straight line.
+    #[inline]
+    fn encode_dep(&self, dep: &RawDep, out: &mut [f32; FEATURES_PER_DEP]) {
+        let store = (2 * dep.store_pc as usize + dep.inter_thread as usize) as f32 * self.inv_denom;
+        let load = dep.load_pc as f32 * self.inv_code_len;
         let (b1, b2, b3) = Self::signature_bits(dep);
-        out.push(store.min(1.0));
-        out.push(load.min(1.0));
-        out.push(b1);
-        out.push(b2);
-        out.push(b3);
+        out[0] = store.min(1.0);
+        out[1] = load.min(1.0);
+        out[2] = b1;
+        out[3] = b2;
+        out[4] = b3;
     }
 
-    /// Encode a full sequence (oldest dependence first).
-    pub fn encode_seq(&self, deps: &[RawDep]) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.input_width(deps.len()));
-        for d in deps {
-            self.encode_into(d, &mut out);
+    /// Append the five features of `dep` to `out`.
+    #[inline]
+    pub fn encode_into(&self, dep: &RawDep, out: &mut Vec<f32>) {
+        let mut f = [0.0; FEATURES_PER_DEP];
+        self.encode_dep(dep, &mut f);
+        out.extend_from_slice(&f);
+    }
+
+    /// Encode a sequence supplied by iterator (oldest dependence first)
+    /// into a reusable buffer: `out` is reshaped to the sequence's width
+    /// and every slot overwritten, so a caller that keeps one scratch
+    /// vector allocates nothing per prediction in the steady state — and a
+    /// caller holding a ring buffer can feed the window straight from it,
+    /// with no intermediate contiguous copy.
+    #[inline]
+    pub fn encode_iter_into<I>(&self, deps: I, out: &mut Vec<f32>)
+    where
+        I: IntoIterator<Item = RawDep>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let it = deps.into_iter();
+        let width = self.input_width(it.len());
+        // Steady state the length already matches: no clear, no zero-fill,
+        // every feature slot is overwritten below.
+        if out.len() != width {
+            out.clear();
+            out.resize(width, 0.0);
         }
+        for (d, chunk) in it.zip(out.chunks_exact_mut(FEATURES_PER_DEP)) {
+            self.encode_dep(&d, chunk.try_into().expect("chunk is FEATURES_PER_DEP wide"));
+        }
+    }
+
+    /// Encode a contiguous sequence (oldest dependence first) into a
+    /// reusable buffer. See [`Encoder::encode_iter_into`].
+    #[inline]
+    pub fn encode_seq_into(&self, deps: &[RawDep], out: &mut Vec<f32>) {
+        self.encode_iter_into(deps.iter().copied(), out);
+    }
+
+    /// Encode a full sequence (oldest dependence first) into a fresh vector.
+    pub fn encode_seq(&self, deps: &[RawDep]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.encode_seq_into(deps, &mut out);
         out
     }
 }

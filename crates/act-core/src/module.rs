@@ -79,6 +79,51 @@ impl DebugBuffer {
     }
 }
 
+/// The input generator buffer as a power-of-two ring: a push is one masked
+/// store, and the last-`N` window is `N` masked reads. The per-load hot
+/// path pays no deque length management — a slot is simply overwritten
+/// once the ring wraps, which *is* the IGB's eviction policy.
+#[derive(Debug, Clone)]
+struct DepRing {
+    buf: Box<[RawDep]>,
+    mask: usize,
+    /// Total pushes since the last clear.
+    pushed: u64,
+}
+
+impl DepRing {
+    fn new(min_capacity: usize) -> Self {
+        let zero = RawDep { store_pc: 0, load_pc: 0, inter_thread: false };
+        let cap = min_capacity.max(1).next_power_of_two();
+        DepRing { buf: vec![zero; cap].into_boxed_slice(), mask: cap - 1, pushed: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, dep: RawDep) {
+        self.buf[self.pushed as usize & self.mask] = dep;
+        self.pushed += 1;
+    }
+
+    /// The most recent `n` entries, oldest first, as masked reads.
+    #[inline]
+    fn last_n(&self, n: usize) -> impl ExactSizeIterator<Item = RawDep> + '_ {
+        debug_assert!(n <= self.buf.len() && self.pushed >= n as u64);
+        let start = self.pushed as usize - n;
+        (0..n).map(move |k| self.buf[(start + k) & self.mask])
+    }
+
+    /// Copy the most recent `n` entries, oldest first, into `out`.
+    #[inline]
+    fn last_n_into(&self, n: usize, out: &mut Vec<RawDep>) {
+        out.clear();
+        out.extend(self.last_n(n));
+    }
+
+    fn clear(&mut self) {
+        self.pushed = 0;
+    }
+}
+
 /// Counters exposed by the module.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ModuleStats {
@@ -109,7 +154,11 @@ pub struct ActModule {
     cur_tid: Option<ThreadId>,
     pipeline: NnPipeline,
     /// Input generator buffer: recent dependences of the running thread.
-    igb: VecDeque<RawDep>,
+    igb: DepRing,
+    /// Scratch: the current length-`N` window (reused every prediction).
+    seq_scratch: Vec<RawDep>,
+    /// Scratch: the encoded input vector (reused every prediction).
+    x_scratch: Vec<f32>,
     debug: DebugBuffer,
     mode: Mode,
     invalid_count: u64,
@@ -126,6 +175,7 @@ impl ActModule {
         let seq_len = store.borrow().seq_len();
         let pipeline = NnPipeline::new(cfg.pipeline);
         let debug = DebugBuffer::new(cfg.debug_capacity);
+        let igb = DepRing::new(cfg.igb_capacity);
         ActModule {
             cfg,
             encoder: Encoder::new(code_len),
@@ -134,7 +184,9 @@ impl ActModule {
             net: None,
             cur_tid: None,
             pipeline,
-            igb: VecDeque::new(),
+            igb,
+            seq_scratch: Vec::new(),
+            x_scratch: Vec::new(),
             debug,
             mode: Mode::Testing,
             invalid_count: 0,
@@ -195,30 +247,37 @@ impl ActModule {
     /// Process an accepted dependence: form the sequence, predict, and act
     /// per mode.
     fn process(&mut self, dep: RawDep, ev: &LoadEvent) {
-        self.igb.push_back(dep);
-        while self.igb.len() > self.cfg.igb_capacity {
-            self.igb.pop_front();
-        }
-        if self.igb.len() < self.seq_len {
+        self.igb.push(dep);
+        // Warm-up: a window forms once `seq_len` dependences have arrived
+        // (and never, if the configured IGB is too small to hold one).
+        if self.igb.pushed < self.seq_len as u64 || self.cfg.igb_capacity < self.seq_len {
             return;
         }
-        let start = self.igb.len() - self.seq_len;
-        let seq: Vec<RawDep> = self.igb.iter().skip(start).copied().collect();
-        let x = self.encoder.encode_seq(&seq);
+        // Steady-state hot path: the window encodes straight out of the
+        // ring into a scratch vector, so a prediction allocates and copies
+        // nothing. Only a predicted-invalid sequence (rare once trained)
+        // materializes the window, for the debug buffer.
+        self.encoder.encode_iter_into(self.igb.last_n(self.seq_len), &mut self.x_scratch);
         let net = self.net.as_mut().expect("network loaded while thread runs");
 
         self.stats.predictions += 1;
         self.interval_predictions += 1;
-        let output = net.predict(&x);
+        let output = net.predict(&self.x_scratch);
         let valid = Network::classify(output);
         if !valid {
             self.stats.invalids += 1;
             self.invalid_count += 1;
-            self.debug.push(DebugEntry { deps: seq, output, cycle: ev.cycle, tid: ev.tid });
+            self.igb.last_n_into(self.seq_len, &mut self.seq_scratch);
+            self.debug.push(DebugEntry {
+                deps: self.seq_scratch.clone(),
+                output,
+                cycle: ev.cycle,
+                tid: ev.tid,
+            });
             if self.mode == Mode::Training {
                 // During online training every dependence is assumed valid;
                 // a predicted-invalid one is a misprediction to learn from.
-                net.train(&x, 1.0);
+                net.train(&self.x_scratch, 1.0);
                 self.stats.train_updates += 1;
             }
         }

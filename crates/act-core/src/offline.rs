@@ -225,16 +225,17 @@ pub fn offline_train(code_len: usize, traces: &[Trace], cfg: &ActConfig) -> Trai
     // exactly the property ACT needs to flag communications never seen in
     // any correct run (PSet-style membership).
     let cap = cfg.max_search_examples.max(1);
-    let outcome: SearchOutcome = trainer::topology_search(&cfg.search, cfg.train, |n| {
-        let gp = global_positive_set(&per_trace_deps, n);
-        let (tp, tn, _) = encode_examples(&enc, &train_deps, n, cfg.cross_negs, &gp);
-        let (vp, vn, _) = encode_examples(&enc, &test_deps, n, cfg.cross_negs, &gp);
-        let mut train = balance(tp, tn, cap);
-        let width = crate::encoding::FEATURES_PER_DEP * n;
-        let noise_count = (train.len() as f64 * cfg.noise_fraction) as usize;
-        train.extend(noise_negatives(noise_count, width, cfg.train.seed));
-        (train, balance(vp, vn, cap))
-    });
+    let outcome: SearchOutcome =
+        trainer::topology_search_with_workers(&cfg.search, cfg.train, cfg.search_workers, |n| {
+            let gp = global_positive_set(&per_trace_deps, n);
+            let (tp, tn, _) = encode_examples(&enc, &train_deps, n, cfg.cross_negs, &gp);
+            let (vp, vn, _) = encode_examples(&enc, &test_deps, n, cfg.cross_negs, &gp);
+            let mut train = balance(tp, tn, cap);
+            let width = crate::encoding::FEATURES_PER_DEP * n;
+            let noise_count = (train.len() as f64 * cfg.noise_fraction) as usize;
+            train.extend(noise_negatives(noise_count, width, cfg.train.seed));
+            (train, balance(vp, vn, cap))
+        });
     let n = outcome.seq_len;
     let topology = outcome.topology;
 
@@ -371,6 +372,34 @@ mod tests {
         assert!(trained.store.has_weights(0), "main thread weights stored");
         // The stable loop should be learned nearly perfectly.
         assert!(r.test_fp_rate < 0.2, "fp rate {}", r.test_fp_rate);
+    }
+
+    #[test]
+    fn offline_train_is_byte_identical_at_any_search_worker_count() {
+        let p = looping_program();
+        let base = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let traces = collect_traces(&p, &base, 1..=4, |o| o.completed());
+        let serial = offline_train(p.code_len(), &traces, &small_cfg());
+        for workers in [2, 4, 8] {
+            let mut cfg = small_cfg();
+            cfg.search_workers = workers;
+            let par = offline_train(p.code_len(), &traces, &cfg);
+            assert_eq!(par.report.seq_len, serial.report.seq_len, "workers={workers}");
+            assert_eq!(par.report.topology, serial.report.topology, "workers={workers}");
+            assert_eq!(par.report.candidates, serial.report.candidates, "workers={workers}");
+            for tid in 0..2u32 {
+                if !serial.store.has_weights(tid) {
+                    continue;
+                }
+                let (sw, pw) = (serial.store.weights_for(tid), par.store.weights_for(tid));
+                let bits = |w: &[f32]| w.iter().copied().map(f32::to_bits).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&sw),
+                    bits(&pw),
+                    "thread {tid} weights must match bitwise at workers={workers}"
+                );
+            }
+        }
     }
 
     #[test]

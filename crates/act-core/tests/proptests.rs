@@ -32,6 +32,30 @@ proptest! {
         prop_assert_eq!(x.clone(), enc.encode_seq(&[dep]));
     }
 
+    /// The scratch-buffer encode paths are bit-identical to the allocating
+    /// one, whatever state the reused buffer is in: `encode_seq_into` (and
+    /// the iterator-fed `encode_iter_into` behind it) must reshape and
+    /// fully overwrite the buffer, never blend in stale contents.
+    #[test]
+    fn scratch_encode_matches_encode_seq(
+        deps in prop::collection::vec(arb_dep(), 1..8),
+        code_len in 1usize..2048,
+        stale in prop::collection::vec(-2.0f32..2.0, 0..48),
+    ) {
+        let enc = Encoder::new(code_len);
+        let fresh = enc.encode_seq(&deps);
+        let mut buf = stale.clone();
+        enc.encode_seq_into(&deps, &mut buf);
+        prop_assert_eq!(&buf, &fresh);
+        // Iterator path, fed non-contiguously (as the IGB ring does).
+        let mut buf2 = stale;
+        enc.encode_iter_into((0..deps.len()).map(|i| deps[i]), &mut buf2);
+        prop_assert_eq!(&buf2, &fresh);
+        // Steady state: re-encoding into the same buffer is stable.
+        enc.encode_seq_into(&deps, &mut buf2);
+        prop_assert_eq!(&buf2, &fresh);
+    }
+
     /// Postprocess invariants: every pruned sequence was in the correct
     /// set; ranking is sorted by matched desc then output asc; rank_where
     /// finds only surviving sequences.

@@ -39,7 +39,7 @@ pub use aggregate::{Aggregate, MetricSummary};
 pub use queue::BoundedQueue;
 pub use report::{CampaignReport, Timing};
 pub use spec::{CampaignSpec, JobDesc};
-pub use worker::{panic_message, JobOutcome, JobOutput, JobResult, Metric};
+pub use worker::{panic_message, parallel_map, JobOutcome, JobOutput, JobResult, Metric};
 
 use std::time::Instant;
 

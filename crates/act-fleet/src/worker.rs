@@ -10,6 +10,7 @@
 
 use crate::spec::JobDesc;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -165,6 +166,62 @@ where
     })
 }
 
+/// Map `f` over `items` across `workers` threads; results come back
+/// **ordered by item index** regardless of scheduling.
+///
+/// This is the generic sibling of [`run_jobs`] for callers whose work units
+/// are not campaign [`JobDesc`]s (e.g. the offline topology search fanning
+/// training candidates). The same determinism contract applies: `f` must
+/// depend only on its item (and index), so the result vector is identical
+/// at any worker count. Unlike `run_jobs` there is no failure isolation —
+/// a panic in `f` propagates to the caller with its original payload.
+///
+/// `workers <= 1` (or a single item) runs inline on the caller's thread
+/// with no thread or channel overhead.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                if tx.send((i, r)).is_err() {
+                    break; // collector is gone; stop pulling
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            match r {
+                Ok(v) => slots[i] = Some(v),
+                // Re-raise on the caller's thread with the worker's payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("item {i} produced no result")))
+            .collect()
+    })
+}
+
 /// Render a `catch_unwind` payload to text (`&str`/`String` payloads; other
 /// types become a placeholder). Shared with `act-serve`'s request-level
 /// crash isolation, which wants the same message shape in its error frames.
@@ -207,5 +264,41 @@ mod tests {
         let results = run_jobs(&jobs, 0, &|_| JobOutput::default());
         assert_eq!(results.len(), 1);
         assert!(results[0].outcome.is_completed());
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * v).collect();
+        for workers in [0, 1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, workers, |i, &v| {
+                // Stagger finish times against claim order.
+                std::thread::sleep(Duration::from_millis((v % 3) * 2));
+                assert_eq!(items[i], v);
+                v * v
+            });
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(&[] as &[u8], 4, |_, &v| v), Vec::<u8>::new());
+        assert_eq!(parallel_map(&[7u8], 4, |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..16).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |_, &v| {
+                if v == 9 {
+                    panic!("boom at {v}");
+                }
+                v
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        assert_eq!(panic_message(&*payload), "boom at 9");
     }
 }

@@ -7,7 +7,7 @@
 //! the learning rate, and the error is propagated to the hidden layer in
 //! proportion to the link weights.
 
-use crate::sigmoid::{sigmoid_deriv_from_output, SigmoidMode};
+use crate::sigmoid::{sigmoid, sigmoid_deriv_from_output, sigmoid_map, SigmoidMode, SigmoidTable};
 use act_rng::rngs::StdRng;
 use act_rng::{Rng, SeedableRng};
 
@@ -47,55 +47,91 @@ impl std::fmt::Display for Topology {
 /// Classification threshold: outputs at or above this are "valid".
 pub const VALID_THRESHOLD: f32 = 0.5;
 
+/// Round up to a multiple of the 4-lane accumulation width.
+fn pad4(n: usize) -> usize {
+    (n + 3) & !3
+}
+
 /// A one-hidden-layer MLP with a single output neuron.
+///
+/// # Weight layouts
+///
+/// The **serialization** layout — what [`Network::from_flat`] consumes and
+/// [`Network::weights_flat`] produces, and what `ldwt`/`stwt` stream to the
+/// program binary — is `hidden` rows of `inputs + 1` (last element of each
+/// row is the bias), then the output row of `hidden + 1`.
+///
+/// The **compute** layout is different: hidden rows are grouped into tiles
+/// of four and stored column-major within each tile
+/// (`w[tile][col][row_in_tile]`, with the bias as column `inputs`), followed
+/// by the output row padded to a multiple of four. The tile layout is what
+/// makes the forward pass fast on a 4-lane SIMD machine: one broadcast of
+/// `x[col]` accumulates four rows' dot products in four register lanes, and
+/// the hidden layer finishes with **no horizontal reductions at all**
+/// (DESIGN.md § Performance). Rows past `hidden` in the last tile are
+/// all-zero and stay zero through training (their error terms are pinned to
+/// zero), so they never affect the output.
 #[derive(Debug, Clone)]
 pub struct Network {
     topo: Topology,
-    /// Hidden weights, `hidden` rows of `inputs + 1` (last is bias).
-    w_hidden: Vec<f32>,
-    /// Output weights, `hidden + 1` (last is bias).
-    w_out: Vec<f32>,
+    /// All link weights in the *compute* layout (see the struct docs).
+    weights: Vec<f32>,
     /// Learning rate (the paper uses 0.2).
     lr: f32,
     sigmoid: SigmoidMode,
-    /// Scratch buffer for hidden activations.
+    /// Scratch: hidden activations, padded to a whole number of 4-lanes.
+    /// `hidden_act[hidden]` holds the folded 1.0 bias input of the output
+    /// row; other pad lanes are zero and stay zero.
     hidden_act: Vec<f32>,
+    /// Scratch: hidden-layer errors (training), padded like the tiles.
+    /// Pad entries are permanently zero so pad rows never learn.
+    err_h: Vec<f32>,
 }
 
 impl Network {
     /// A network with small random weights in `[-0.5, 0.5]`.
     pub fn random(topo: Topology, lr: f32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let w_hidden =
-            (0..topo.hidden * (topo.inputs + 1)).map(|_| rng.gen_range(-0.5..0.5)).collect();
-        let w_out = (0..topo.hidden + 1).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        // Hidden rows first, then the output row — one stream, the same
+        // draw order the serialization layout uses.
+        let flat: Vec<f32> = (0..topo.weight_count()).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        Self::with_flat_weights(topo, &flat, lr)
+    }
+
+    /// Build the compute-layout storage from serialization-layout weights.
+    fn with_flat_weights(topo: Topology, flat: &[f32], lr: f32) -> Self {
+        let ni = topo.inputs;
+        let nh = topo.hidden;
+        let cols = ni + 1;
+        let nh_pad = pad4(nh);
+        let out_stride = pad4(nh + 1);
+        let mut weights = vec![0.0; nh_pad * cols + out_stride];
+        for h in 0..nh {
+            let tile = &mut weights[(h / 4) * 4 * cols..];
+            for c in 0..cols {
+                tile[4 * c + h % 4] = flat[h * cols + c];
+            }
+        }
+        weights[nh_pad * cols..nh_pad * cols + nh + 1].copy_from_slice(&flat[nh * cols..]);
         Network {
             topo,
-            w_hidden,
-            w_out,
+            weights,
             lr,
             sigmoid: SigmoidMode::Exact,
-            hidden_act: vec![0.0; topo.hidden],
+            hidden_act: vec![0.0; nh_pad.max(out_stride)],
+            err_h: vec![0.0; nh_pad],
         }
     }
 
-    /// Rebuild a network from a flat weight vector (see
-    /// [`Network::weights_flat`]).
+    /// Rebuild a network from a flat weight vector in the serialization
+    /// layout (see the struct docs).
     ///
     /// # Panics
     ///
     /// Panics if `weights.len() != topo.weight_count()`.
     pub fn from_flat(topo: Topology, weights: &[f32], lr: f32) -> Self {
         assert_eq!(weights.len(), topo.weight_count(), "weight vector size mismatch");
-        let split = topo.hidden * (topo.inputs + 1);
-        Network {
-            topo,
-            w_hidden: weights[..split].to_vec(),
-            w_out: weights[split..].to_vec(),
-            lr,
-            sigmoid: SigmoidMode::Exact,
-            hidden_act: vec![0.0; topo.hidden],
-        }
+        Self::with_flat_weights(topo, weights, lr)
     }
 
     /// Switch the activation implementation (exact vs hardware table).
@@ -113,35 +149,106 @@ impl Network {
         self.lr
     }
 
-    /// Flatten all weights into the order `ldwt`/`stwt` would stream them:
-    /// hidden rows first, then the output row.
+    /// All weights in the order `ldwt`/`stwt` would stream them: hidden
+    /// rows (bias last in each row), then the output row. Gathers out of
+    /// the tiled compute layout — one pass, done on the cold store path
+    /// (thread end, checkpoint), never per prediction.
     pub fn weights_flat(&self) -> Vec<f32> {
-        let mut v = self.w_hidden.clone();
-        v.extend_from_slice(&self.w_out);
-        v
+        let ni = self.topo.inputs;
+        let nh = self.topo.hidden;
+        let cols = ni + 1;
+        let mut flat = vec![0.0; self.topo.weight_count()];
+        for h in 0..nh {
+            let tile = &self.weights[(h / 4) * 4 * cols..];
+            for c in 0..cols {
+                flat[h * cols + c] = tile[4 * c + h % 4];
+            }
+        }
+        flat[nh * cols..].copy_from_slice(&self.weights[pad4(nh) * cols..][..nh + 1]);
+        flat
+    }
+
+    /// Dot product of two equal-length slices whose length is a multiple of
+    /// four, accumulated in **four fixed lanes**: element `i` goes to lane
+    /// `i % 4`, lanes combine as `(l0 + l1) + (l2 + l3)`. This is the
+    /// output-row summation contract (DESIGN.md § Performance):
+    /// deterministic for a given length and auto-vectorizable with no
+    /// scalar tail.
+    #[inline]
+    fn dot_lanes(row: &[f32], v: &[f32]) -> f32 {
+        debug_assert_eq!(row.len(), v.len());
+        debug_assert_eq!(row.len() % 4, 0);
+        let mut l = [0.0f32; 4];
+        for (r, x) in row.chunks_exact(4).zip(v.chunks_exact(4)) {
+            l[0] += r[0] * x[0];
+            l[1] += r[1] * x[1];
+            l[2] += r[2] * x[2];
+            l[3] += r[3] * x[3];
+        }
+        (l[0] + l[1]) + (l[2] + l[3])
     }
 
     /// Forward pass. Returns the output activation in `(0, 1)`.
     ///
+    /// Hidden pre-activations accumulate tile-by-tile: lane `r` of a tile's
+    /// accumulator starts at the row's bias and adds `w[4t+r][c] · x[c]`
+    /// left-to-right over the columns — plain sequential summation per row,
+    /// so the result is independent of the tiling. `x[c]` is read with
+    /// *scalar* loads on purpose: the caller typically just wrote `x`
+    /// feature-by-feature (the encoder), and reading it back with vector
+    /// loads would stall on failed store-to-load forwarding. The activation
+    /// is then applied over the whole padded slice at once
+    /// ([`sigmoid_map`]), and the output row uses the [`Self::dot_lanes`]
+    /// contract with the bias folded in as the `hidden_act[hidden] = 1.0`
+    /// element.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != topology().inputs`.
+    #[inline]
     pub fn predict(&mut self, x: &[f32]) -> f32 {
         assert_eq!(x.len(), self.topo.inputs, "input size mismatch");
         let ni = self.topo.inputs;
-        for h in 0..self.topo.hidden {
-            let row = &self.w_hidden[h * (ni + 1)..(h + 1) * (ni + 1)];
-            let mut sum = row[ni]; // bias
-            for (w, xi) in row[..ni].iter().zip(x) {
-                sum += w * xi;
+        let nh = self.topo.hidden;
+        let cols = ni + 1;
+        let (tiles, out_w) = self.weights.split_at(pad4(nh) * cols);
+        for (ti, tile) in tiles.chunks_exact(4 * cols).enumerate() {
+            let (xw, bias) = tile.split_at(4 * ni);
+            let mut acc = [bias[0], bias[1], bias[2], bias[3]];
+            for (col, &xc) in xw.chunks_exact(4).zip(x.iter()) {
+                acc[0] += col[0] * xc;
+                acc[1] += col[1] * xc;
+                acc[2] += col[2] * xc;
+                acc[3] += col[3] * xc;
             }
-            self.hidden_act[h] = self.sigmoid.eval(sum);
+            self.hidden_act[4 * ti..4 * ti + 4].copy_from_slice(&acc);
         }
-        let mut sum = self.w_out[self.topo.hidden]; // bias
-        for (w, a) in self.w_out[..self.topo.hidden].iter().zip(&self.hidden_act) {
-            sum += w * a;
+        // Dispatch on the sigmoid mode *once* per prediction, not once per
+        // neuron; the exact path applies the activation as one outlined
+        // vectorized map over the slice.
+        // The map covers the pad lanes too: `pad4(nh)` elements is a whole
+        // number of 4-wide chunks (a `..nh` map would end in scalar-tail
+        // sigmoids, each costing as much as a whole 4-wide chunk). Pad
+        // lanes end up holding `sigmoid(0) = 0.5`, which is inert — their
+        // output-row weights are zero — and the bias slot is overwritten
+        // with its 1.0 right after.
+        let nh_pad = pad4(nh);
+        let out_stride = pad4(nh + 1);
+        match self.sigmoid {
+            SigmoidMode::Exact => {
+                sigmoid_map(&mut self.hidden_act[..nh_pad]);
+                self.hidden_act[nh] = 1.0;
+                sigmoid(Self::dot_lanes(out_w, &self.hidden_act[..out_stride]))
+            }
+            SigmoidMode::Table => {
+                let t = SigmoidTable::hardware_default();
+                for a in &mut self.hidden_act[..nh_pad] {
+                    *a = t.eval(*a);
+                }
+                self.hidden_act[nh] = 1.0;
+                t.eval(Self::dot_lanes(out_w, &self.hidden_act[..out_stride]))
+            }
         }
-        self.sigmoid.eval(sum)
     }
 
     /// Whether an output classifies the sequence as valid.
@@ -167,27 +274,49 @@ impl Network {
         let o = self.predict(x);
         let err_o = t - o;
 
-        // Hidden-layer errors use the *pre-update* output weights.
-        let nh = self.topo.hidden;
         let ni = self.topo.inputs;
-        let mut err_h = vec![0.0f32; nh];
+        let nh = self.topo.hidden;
+        let cols = ni + 1;
+        let tile_len = pad4(nh) * cols;
+
+        // Hidden-layer errors use the *pre-update* output weights. `err_h`
+        // is a persistent scratch field (pads pinned to zero so pad rows
+        // never learn): the steady-state training loop allocates nothing.
         for h in 0..nh {
-            err_h[h] = sigmoid_deriv_from_output(self.hidden_act[h]) * self.w_out[h] * err_o;
+            self.err_h[h] =
+                sigmoid_deriv_from_output(self.hidden_act[h]) * self.weights[tile_len + h] * err_o;
         }
 
-        // Update output weights.
-        for h in 0..nh {
-            self.w_out[h] += self.lr * err_o * self.hidden_act[h];
-        }
-        self.w_out[nh] += self.lr * err_o;
+        let (tiles, out_w) = self.weights.split_at_mut(tile_len);
 
-        // Update hidden weights.
-        for h in 0..nh {
-            let row = &mut self.w_hidden[h * (ni + 1)..(h + 1) * (ni + 1)];
-            for (w, xi) in row[..ni].iter_mut().zip(x) {
-                *w += self.lr * err_h[h] * xi;
+        // Update output weights. `hidden_act[nh]` still holds the folded
+        // 1.0 bias input from the forward pass, so one loop updates the
+        // bias along with the links.
+        let scale = self.lr * err_o;
+        for (w, &a) in out_w[..nh + 1].iter_mut().zip(&self.hidden_act) {
+            *w += scale * a;
+        }
+
+        // Update hidden weights tile-by-tile: the same broadcast shape as
+        // the forward pass, with the bias column stepped by `s · 1.0`.
+        for (ti, tile) in tiles.chunks_exact_mut(4 * cols).enumerate() {
+            let s = [
+                self.lr * self.err_h[4 * ti],
+                self.lr * self.err_h[4 * ti + 1],
+                self.lr * self.err_h[4 * ti + 2],
+                self.lr * self.err_h[4 * ti + 3],
+            ];
+            let (xw, bias) = tile.split_at_mut(4 * ni);
+            for (col, &xc) in xw.chunks_exact_mut(4).zip(x.iter()) {
+                col[0] += s[0] * xc;
+                col[1] += s[1] * xc;
+                col[2] += s[2] * xc;
+                col[3] += s[3] * xc;
             }
-            row[ni] += self.lr * err_h[h];
+            bias[0] += s[0];
+            bias[1] += s[1];
+            bias[2] += s[2];
+            bias[3] += s[3];
         }
         o
     }
@@ -207,6 +336,38 @@ mod tests {
         let mut clone = Network::from_flat(topo, &flat, 0.2);
         let x = [0.1, 0.2, 0.3, 0.4];
         assert_eq!(net.predict(&x), clone.predict(&x));
+    }
+
+    #[test]
+    fn flat_round_trip_is_exact_for_many_shapes() {
+        // The tiled compute layout must gather back to exactly the flat
+        // vector it was scattered from, whatever the padding situation.
+        for (ni, nh) in [(1, 1), (3, 4), (4, 4), (10, 10), (7, 9), (12, 8), (5, 13)] {
+            let topo = Topology::new(ni, nh);
+            let net = Network::random(topo, 0.2, (ni * 31 + nh) as u64);
+            let flat = net.weights_flat();
+            let again = Network::from_flat(topo, &flat, 0.2).weights_flat();
+            assert_eq!(flat, again, "round trip for {topo}");
+        }
+    }
+
+    #[test]
+    fn training_keeps_pad_rows_zero() {
+        // Pad rows in the last tile must stay all-zero through training,
+        // or they would leak into flat serialization of a *wider* reload.
+        let topo = Topology::new(3, 5); // nh = 5 -> 3 pad rows
+        let mut net = Network::random(topo, 0.5, 11);
+        let x = [0.2, 0.7, 0.4];
+        for i in 0..50 {
+            net.train(&x, (i % 2) as f32);
+        }
+        let cols = topo.inputs + 1;
+        for row in 5..8 {
+            let tile = &net.weights[(row / 4) * 4 * cols..];
+            for c in 0..cols {
+                assert_eq!(tile[4 * c + row % 4], 0.0, "pad row {row} col {c} drifted");
+            }
+        }
     }
 
     #[test]

@@ -184,16 +184,43 @@ pub struct SearchOutcome {
 /// # Panics
 ///
 /// Panics if every candidate sequence length has an empty training set.
-pub fn topology_search<F>(
+pub fn topology_search<F>(space: &SearchSpace, cfg: TrainConfig, examples_for: F) -> SearchOutcome
+where
+    F: FnMut(usize) -> (Vec<Example>, Vec<Example>),
+{
+    topology_search_with_workers(space, cfg, 1, examples_for)
+}
+
+/// One `(seq_len, hidden)` cell of the search grid, borrowing its sequence
+/// length's materialized example sets.
+struct Candidate<'a> {
+    seq_len: usize,
+    topo: Topology,
+    train: &'a [Example],
+    test: &'a [Example],
+}
+
+/// [`topology_search`] with the candidate grid fanned across `workers`
+/// threads (via [`act_fleet::parallel_map`]).
+///
+/// Each `(seq_len, hidden)` candidate trains independently from its own
+/// seeded RNG streams, so training can run in any order; the winner is then
+/// folded in the serial grid order with the exact comparison the serial
+/// search uses. The outcome — topology, weights, error — is therefore
+/// **byte-identical** at any worker count. `examples_for` is still called
+/// serially (once per sequence length, in order), since it may carry
+/// mutable state.
+pub fn topology_search_with_workers<F>(
     space: &SearchSpace,
     cfg: TrainConfig,
+    workers: usize,
     mut examples_for: F,
 ) -> SearchOutcome
 where
     F: FnMut(usize) -> (Vec<Example>, Vec<Example>),
 {
-    let mut best: Option<SearchOutcome> = None;
-    let mut candidates = 0;
+    // Materialize example sets per sequence length up front (serially).
+    let mut sets: Vec<(usize, Vec<Example>, Vec<Example>)> = Vec::new();
     for &n in &space.seq_lens {
         let (train, test) = examples_for(n);
         if train.is_empty() {
@@ -201,33 +228,50 @@ where
         }
         let inputs = train[0].x.len();
         debug_assert!(train.iter().chain(&test).all(|e| e.x.len() == inputs));
-        for &h in &space.hidden_sizes {
-            candidates += 1;
-            let topo = Topology::new(inputs, h);
-            let result = train_network(topo, &train, cfg);
-            let mut net = result.network;
-            let err =
-                if test.is_empty() { result.train_error } else { evaluate(&mut net, &test).rate() };
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    err < b.test_error
-                        || (err == b.test_error && topo.weight_count() < b.topology.weight_count())
-                }
-            };
-            if better {
-                best = Some(SearchOutcome {
-                    seq_len: n,
-                    topology: topo,
-                    network: net,
-                    test_error: err,
-                    candidates: 0,
-                });
+        sets.push((n, train, test));
+    }
+    // Expand the grid in serial iteration order: seq_lens outer, hidden inner.
+    let grid: Vec<Candidate> = sets
+        .iter()
+        .flat_map(|(n, train, test)| {
+            space.hidden_sizes.iter().map(move |&h| Candidate {
+                seq_len: *n,
+                topo: Topology::new(train[0].x.len(), h),
+                train,
+                test,
+            })
+        })
+        .collect();
+    let trained: Vec<(Network, f64)> = act_fleet::parallel_map(&grid, workers, |_, c| {
+        let result = train_network(c.topo, c.train, cfg);
+        let mut net = result.network;
+        let err =
+            if c.test.is_empty() { result.train_error } else { evaluate(&mut net, c.test).rate() };
+        (net, err)
+    });
+    // Fold winners in grid order so the choice (including the equal-error
+    // tie-break to the smaller network) matches the serial loop exactly.
+    let mut best: Option<SearchOutcome> = None;
+    for (c, (net, err)) in grid.iter().zip(trained) {
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                err < b.test_error
+                    || (err == b.test_error && c.topo.weight_count() < b.topology.weight_count())
             }
+        };
+        if better {
+            best = Some(SearchOutcome {
+                seq_len: c.seq_len,
+                topology: c.topo,
+                network: net,
+                test_error: err,
+                candidates: 0,
+            });
         }
     }
     let mut out = best.expect("no training data for any sequence length");
-    out.candidates = candidates;
+    out.candidates = grid.len();
     out
 }
 
@@ -303,6 +347,34 @@ mod tests {
         assert_eq!(outcome.candidates, 6);
         assert!(outcome.test_error < 0.2);
         assert!(outcome.seq_len == 1 || outcome.seq_len == 2);
+    }
+
+    #[test]
+    fn parallel_search_is_byte_identical_to_serial() {
+        let space = SearchSpace { seq_lens: vec![1, 2, 3], hidden_sizes: vec![1, 2, 4] };
+        let cfg = TrainConfig { max_epochs: 25, ..Default::default() };
+        let examples_for = |n: usize| {
+            let widen = |ex: Example| {
+                let mut x = ex.x;
+                x.resize(n + 1, 0.5);
+                Example { x, t: ex.t }
+            };
+            (
+                toy_examples(150, n as u64).into_iter().map(widen).collect::<Vec<_>>(),
+                toy_examples(60, 100 + n as u64).into_iter().map(widen).collect::<Vec<_>>(),
+            )
+        };
+        let serial = topology_search(&space, cfg, examples_for);
+        for workers in [1, 2, 4, 8] {
+            let par = topology_search_with_workers(&space, cfg, workers, examples_for);
+            assert_eq!(par.seq_len, serial.seq_len, "workers={workers}");
+            assert_eq!(par.topology, serial.topology, "workers={workers}");
+            assert_eq!(par.candidates, serial.candidates, "workers={workers}");
+            assert_eq!(par.test_error.to_bits(), serial.test_error.to_bits(), "workers={workers}");
+            let (pw, sw) = (par.network.weights_flat(), serial.network.weights_flat());
+            let bits = |w: Vec<f32>| w.into_iter().map(f32::to_bits).collect::<Vec<_>>();
+            assert_eq!(bits(pw), bits(sw), "weights must match bitwise at workers={workers}");
+        }
     }
 
     #[test]

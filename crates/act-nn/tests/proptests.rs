@@ -47,6 +47,44 @@ proptest! {
         prop_assert!((after - target).abs() <= (before - target).abs() + 1e-3);
     }
 
+    /// The tiled forward pass is bit-identical to a direct transcription of
+    /// the documented summation contract (DESIGN.md § Performance): each
+    /// hidden row accumulates bias-first then left-to-right over the
+    /// inputs; the output row accumulates in four lanes (element `i` into
+    /// lane `i % 4`, the bias folded in as a `1.0` activation) reduced as
+    /// `(l0 + l1) + (l2 + l3)`.
+    #[test]
+    fn predict_matches_reference_contract(
+        seed in any::<u64>(),
+        inputs in 1usize..24,
+        hidden in 1usize..16,
+        x in prop::collection::vec(0.0f32..1.0, 24),
+    ) {
+        let topo = Topology::new(inputs, hidden);
+        let mut net = Network::random(topo, 0.2, seed);
+        let x = &x[..inputs];
+        let flat = net.weights_flat();
+        let cols = inputs + 1;
+        let mut act = vec![0.0f32; hidden + 1];
+        for h in 0..hidden {
+            let row = &flat[h * cols..(h + 1) * cols];
+            let mut a = row[inputs]; // bias first
+            for (w, &xc) in row[..inputs].iter().zip(x) {
+                a += w * xc;
+            }
+            act[h] = sigmoid(a);
+        }
+        act[hidden] = 1.0;
+        let out_row = &flat[hidden * cols..];
+        let mut lanes = [0.0f32; 4];
+        for (i, (&w, &a)) in out_row.iter().zip(&act).enumerate() {
+            lanes[i % 4] += w * a;
+        }
+        let reference = sigmoid((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
+        let o = net.predict(x);
+        prop_assert_eq!(o.to_bits(), reference.to_bits());
+    }
+
     /// The sigmoid table approximates the exact function everywhere.
     #[test]
     fn sigmoid_table_is_accurate(x in -20.0f32..20.0) {

@@ -16,11 +16,19 @@ test -s BENCH_hotpath.quick.json
 cargo run --release -p act-bench --bin perf -- --validate BENCH_hotpath.quick.json
 cargo run --release -p act-bench --bin perf -- --validate BENCH_hotpath.json
 
+# Observability overhead: the obs-instrumented classify bench must run on
+# its own (exercises --only and the act-obs hot path). The <3% budget is
+# gated on the reference host, not here (CI hosts are too noisy).
+cargo run --release -p act-bench --bin perf -- --quick --only obs_classify \
+    --out BENCH_obs.quick.json
+test -s BENCH_obs.quick.json
+
 # Daemon smoke test: boot act-serve on loopback, train + diagnose over the
 # wire, assert the ranked suspect list is non-empty, shut down cleanly.
 ACT=target/release/act
 ADDR=127.0.0.1:7461
-"$ACT" serve --addr "$ADDR" --workers 2 --queue-depth 8 &
+"$ACT" serve --addr "$ADDR" --workers 2 --queue-depth 8 \
+    --event-log act-serve-events.jsonl &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 sleep 1
@@ -28,7 +36,18 @@ sleep 1
 "$ACT" request diagnose seq --addr "$ADDR" | tee /tmp/act-smoke-diagnosis.txt
 grep "^diagnosis workload=seq" /tmp/act-smoke-diagnosis.txt
 grep "^#1 " /tmp/act-smoke-diagnosis.txt
-"$ACT" request status --addr "$ADDR" | grep "cache_hits 1"
+"$ACT" request status --addr "$ADDR" | tee /tmp/act-smoke-status.txt
+grep "cache_hits 1" /tmp/act-smoke-status.txt
+# STATUS v2: the metrics table rides along with the legacy counter block.
+grep -- "-- metrics --" /tmp/act-smoke-status.txt
+grep "cache_hit_rate" /tmp/act-smoke-status.txt
+grep "req_diagnose" /tmp/act-smoke-status.txt
+grep "service_us" /tmp/act-smoke-status.txt
 "$ACT" request shutdown --addr "$ADDR"
 wait "$SERVE_PID"
 trap - EXIT
+
+# The event log is valid JSONL and recorded the daemon lifecycle.
+test -s act-serve-events.jsonl
+grep '"target":"serve.start"' act-serve-events.jsonl
+grep '"target":"serve.shutdown"' act-serve-events.jsonl

@@ -14,21 +14,24 @@
 //! ```
 
 use act_bench::perf;
+use act_core::ActError;
 
 struct Args {
     quick: bool,
     out: String,
     baseline: Option<String>,
     validate: Option<String>,
+    only: Option<String>,
     jobs: usize,
 }
 
-fn parse_args(argv: &[String]) -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, ActError> {
     let mut args = Args {
         quick: false,
         out: "BENCH_hotpath.json".to_string(),
         baseline: None,
         validate: None,
+        only: None,
         jobs: act_fleet::default_workers(),
     };
     let mut i = 0;
@@ -47,24 +50,30 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 i += 1;
                 args.validate = Some(argv.get(i).ok_or("--validate needs a value")?.clone());
             }
+            "--only" => {
+                i += 1;
+                args.only = Some(argv.get(i).ok_or("--only needs a value")?.clone());
+            }
             "--jobs" => {
                 i += 1;
                 let v = argv.get(i).ok_or("--jobs needs a value")?;
-                args.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                args.jobs =
+                    v.parse().map_err(|_| ActError::Parse(format!("bad --jobs value `{v}`")))?;
                 if args.jobs == 0 {
-                    return Err("--jobs must be >= 1".to_string());
+                    return Err("--jobs must be >= 1".into());
                 }
             }
-            other => return Err(format!("unknown flag `{other}`")),
+            other => return Err(ActError::Parse(format!("unknown flag `{other}`"))),
         }
         i += 1;
     }
     Ok(args)
 }
 
-fn load_entries(path: &str) -> Result<Vec<perf::BenchEntry>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    perf::parse_json(&text).map_err(|e| format!("{path}: {e}"))
+fn load_entries(path: &str) -> Result<Vec<perf::BenchEntry>, ActError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ActError::io(format!("cannot read {path}"), e))?;
+    perf::parse_json(&text).map_err(|e| ActError::Parse(format!("{path}: {e}")))
 }
 
 fn main() {
@@ -74,7 +83,7 @@ fn main() {
         Err(e) => {
             eprintln!("perf: {e}");
             eprintln!(
-                "usage: perf [--quick] [--out FILE] [--baseline FILE] [--validate FILE] [--jobs N]"
+                "usage: perf [--quick] [--out FILE] [--baseline FILE] [--validate FILE] [--only NAME] [--jobs N]"
             );
             std::process::exit(2);
         }
@@ -114,7 +123,7 @@ fn main() {
         if args.quick { "quick" } else { "full" },
         args.jobs
     );
-    let mut entries = perf::run_all(args.quick, args.jobs);
+    let mut entries = perf::run_all(args.quick, args.jobs, args.only.as_deref());
     if let Some(baseline) = &baseline {
         perf::merge_baseline(&mut entries, baseline);
     }

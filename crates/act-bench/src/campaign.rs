@@ -28,7 +28,7 @@ use crate::{
 };
 use act_core::diagnosis::{diagnose, run_with_act};
 use act_core::weights::shared;
-use act_core::ActConfig;
+use act_core::{ActConfig, ActError};
 use act_fleet::{run_campaign, CampaignReport, CampaignSpec, JobDesc, JobOutput};
 use act_sim::machine::Machine;
 use act_trace::correct_set::CorrectSet;
@@ -130,7 +130,7 @@ pub fn ablation_spec() -> CampaignSpec {
 /// come from the spec's parameters (plain values), so it is `Send + Sync`.
 pub fn executor_for(
     spec: &CampaignSpec,
-) -> Result<Box<dyn Fn(&JobDesc) -> JobOutput + Send + Sync>, String> {
+) -> Result<Box<dyn Fn(&JobDesc) -> JobOutput + Send + Sync>, ActError> {
     let traces: usize = spec.param_or("traces", 10);
     let max_tries: u64 = spec.param_or("max_tries", 20);
     match spec.kind.as_str() {
@@ -139,9 +139,9 @@ pub fn executor_for(
         "diagnose" => Ok(Box::new(move |job: &JobDesc| diagnose_exec(job, traces, max_tries))),
         "overhead" => Ok(Box::new(move |job: &JobDesc| overhead_exec(job, traces))),
         "ablation" => Ok(Box::new(move |job: &JobDesc| ablation_exec(job, traces, max_tries))),
-        other => Err(format!(
+        other => Err(ActError::Parse(format!(
             "unknown campaign kind `{other}` (expected run, train, diagnose, overhead, or ablation)"
-        )),
+        ))),
     }
 }
 
@@ -342,7 +342,7 @@ pub struct CampaignArgs {
 impl CampaignArgs {
     /// Parse from raw argv (everything after the binary name). Unknown
     /// flags error so typos do not silently change an experiment.
-    pub fn parse(args: &[String]) -> Result<Self, String> {
+    pub fn parse(args: &[String]) -> Result<Self, ActError> {
         let mut parsed =
             CampaignArgs { jobs: act_fleet::default_workers(), out: None, no_timing: false };
         let mut i = 0;
@@ -351,14 +351,16 @@ impl CampaignArgs {
                 "--jobs" => {
                     i += 1;
                     let v = args.get(i).ok_or("--jobs needs a value")?;
-                    parsed.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                    parsed.jobs = v
+                        .parse()
+                        .map_err(|_| ActError::Parse(format!("bad --jobs value `{v}`")))?;
                 }
                 "--out" => {
                     i += 1;
                     parsed.out = Some(args.get(i).ok_or("--out needs a value")?.clone());
                 }
                 "--no-timing" => parsed.no_timing = true,
-                other => return Err(format!("unknown flag `{other}`")),
+                other => return Err(ActError::Parse(format!("unknown flag `{other}`"))),
             }
             i += 1;
         }
@@ -369,13 +371,13 @@ impl CampaignArgs {
 /// Run `spec` with the binaries' shared CLI conventions: resolve the
 /// executor, fan out, optionally write the JSON report, and print a timing
 /// footer. The caller prints the table itself (header + `report.lines()`).
-pub fn run_cli_campaign(spec: &CampaignSpec, args: &[String]) -> Result<CampaignReport, String> {
+pub fn run_cli_campaign(spec: &CampaignSpec, args: &[String]) -> Result<CampaignReport, ActError> {
     let args = CampaignArgs::parse(args)?;
     let exec = executor_for(spec)?;
     let report = run_campaign(spec, args.jobs, exec);
     if let Some(path) = &args.out {
         let json = if args.no_timing { report.deterministic_json() } else { report.json() };
-        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, json).map_err(|e| ActError::io(format!("cannot write {path}"), e))?;
     }
     Ok(report)
 }

@@ -26,8 +26,10 @@ use crate::campaign::{executor_for, table4_spec};
 use crate::{act_cfg_for, collect_clean_traces, norm_of};
 use act_core::encoding::{Encoder, FEATURES_PER_DEP};
 use act_core::offline::offline_train;
+use act_core::ActError;
 use act_fleet::{run_campaign, CampaignSpec};
 use act_nn::network::{Network, Topology};
+use act_obs::{LocalCounter, Registry};
 use act_sim::events::RawDep;
 use act_workloads::registry;
 use std::time::{Duration, Instant};
@@ -129,6 +131,46 @@ pub fn classify_predictions_per_sec(target: Duration) -> f64 {
     })
 }
 
+/// The classify loop of [`classify_predictions_per_sec`] with live
+/// observability on top: a [`LocalCounter`] bump per prediction, flushed
+/// into a registered `act-obs` counter every 256 ops — the exact
+/// per-module instrumentation pattern `ActModule` and the daemon use. The
+/// gap between this and the plain classify bench *is* the enabled-but-idle
+/// overhead of the obs layer; the acceptance budget is < 3%.
+pub fn obs_classify_predictions_per_sec(target: Duration) -> f64 {
+    const SEQ_LEN: usize = 2;
+    const IGB_CAP: usize = 8;
+    let enc = Encoder::new(4096);
+    let mut net = Network::random(Topology::new(FEATURES_PER_DEP * SEQ_LEN, 10), 0.2, 42);
+    let ring: [RawDep; 64] = std::array::from_fn(|i| {
+        let i = i as u32;
+        RawDep { store_pc: 17 * i + 3, load_pc: 29 * i + 7, inter_thread: i % 3 == 0 }
+    });
+    let registry = Registry::new();
+    let predictions = registry.counter("predictions");
+    let mut local = LocalCounter::default();
+    let mut igb = [ring[0]; IGB_CAP];
+    let mut x: Vec<f32> = Vec::new();
+    let mut pushed = 0usize;
+    let rate = throughput(target, move || {
+        igb[pushed & (IGB_CAP - 1)] = ring[pushed & 63];
+        pushed += 1;
+        if pushed < SEQ_LEN {
+            return 0.0;
+        }
+        let start = pushed - SEQ_LEN;
+        let window = (0..SEQ_LEN).map(|k| igb[(start + k) & (IGB_CAP - 1)]);
+        enc.encode_iter_into(window, &mut x);
+        local.inc();
+        if pushed & 255 == 0 {
+            local.flush(&predictions);
+        }
+        net.predict(&x)
+    });
+    std::hint::black_box(registry.snapshot());
+    rate
+}
+
 /// Online back-propagation throughput on the harness topology: the work of
 /// one `Network::train` step in training mode.
 pub fn online_train_steps_per_sec(target: Duration) -> f64 {
@@ -181,48 +223,88 @@ pub fn table4_wall_s(quick: bool, jobs: usize) -> f64 {
 
 /// Run the full suite. `jobs` is the worker count for the parallel variants
 /// of the wall-clock benches (entries are only emitted when `jobs > 1`, so
-/// a single-core host produces one row per bench).
-pub fn run_all(quick: bool, jobs: usize) -> Vec<BenchEntry> {
+/// a single-core host produces one row per bench). `only` restricts the
+/// suite to benches whose name contains the filter (substring match) —
+/// `perf --only obs` runs just the observability-overhead measurement.
+pub fn run_all(quick: bool, jobs: usize, only: Option<&str>) -> Vec<BenchEntry> {
     let target = if quick { Duration::from_millis(150) } else { Duration::from_millis(600) };
-    let mut entries = vec![
-        BenchEntry::new(
+    let want = |name: &str| only.map_or(true, |f| name.contains(f));
+    let mut entries = Vec::new();
+    if want("classify_predictions_per_sec") {
+        entries.push(BenchEntry::new(
             "classify_predictions_per_sec",
             classify_predictions_per_sec(target),
             "ops/s",
             1,
-        ),
-        BenchEntry::new(
+        ));
+    }
+    if want("obs_classify_predictions_per_sec") {
+        entries.push(BenchEntry::new(
+            "obs_classify_predictions_per_sec",
+            obs_classify_predictions_per_sec(target),
+            "ops/s",
+            1,
+        ));
+    }
+    if want("online_train_steps_per_sec") {
+        entries.push(BenchEntry::new(
             "online_train_steps_per_sec",
             online_train_steps_per_sec(target),
             "ops/s",
             1,
-        ),
-        BenchEntry::new("offline_train_wall_s", offline_train_wall_s(quick, 1), "s", 1),
-    ];
-    if jobs > 1 {
-        entries.push(BenchEntry::new(
-            "offline_train_wall_s",
-            offline_train_wall_s(quick, jobs),
-            "s",
-            jobs,
         ));
     }
-    entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, 1), "s", 1));
-    if jobs > 1 {
-        entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, jobs), "s", jobs));
+    if want("offline_train_wall_s") {
+        entries.push(BenchEntry::new(
+            "offline_train_wall_s",
+            offline_train_wall_s(quick, 1),
+            "s",
+            1,
+        ));
+        if jobs > 1 {
+            entries.push(BenchEntry::new(
+                "offline_train_wall_s",
+                offline_train_wall_s(quick, jobs),
+                "s",
+                jobs,
+            ));
+        }
+    }
+    if want("table4_wall_s") {
+        entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, 1), "s", 1));
+        if jobs > 1 {
+            entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, jobs), "s", jobs));
+        }
     }
     entries
+}
+
+/// The baseline row a bench compares against when the baseline file has no
+/// row of its own name. `obs_classify_predictions_per_sec` falls back to
+/// the *plain* classify bench: baselines recorded before the obs layer
+/// existed still price its overhead (the speedup column then reads
+/// directly as obs-on vs obs-off).
+fn baseline_name(bench: &str) -> &str {
+    match bench {
+        "obs_classify_predictions_per_sec" => "classify_predictions_per_sec",
+        other => other,
+    }
 }
 
 /// Fill each entry's `before` from a baseline run: exact `(bench, jobs)`
 /// match first, then the baseline's serial (`jobs = 1`) row — so a parallel
 /// row still compares against the pre-optimization serial baseline when the
-/// baseline predates the parallel path.
+/// baseline predates the parallel path. A bench absent from the baseline
+/// entirely falls back through [`baseline_name`].
 pub fn merge_baseline(entries: &mut [BenchEntry], baseline: &[BenchEntry]) {
     for e in entries {
-        let exact = baseline.iter().find(|b| b.bench == e.bench && b.jobs == e.jobs);
-        let serial = baseline.iter().find(|b| b.bench == e.bench && b.jobs == 1);
-        e.before = exact.or(serial).map(|b| b.value);
+        let row = |name: &str, jobs: Option<usize>| {
+            baseline.iter().find(|b| b.bench == name && jobs.map_or(true, |j| b.jobs == j))
+        };
+        e.before = row(&e.bench, Some(e.jobs))
+            .or_else(|| row(&e.bench, Some(1)))
+            .or_else(|| row(baseline_name(&e.bench), Some(1)))
+            .map(|b| b.value);
     }
 }
 
@@ -256,7 +338,7 @@ pub fn render_json(entries: &[BenchEntry]) -> String {
 /// objects whose values are strings or numbers. Anything else — unknown
 /// keys, missing fields, trailing garbage — is an error, which is exactly
 /// what `ci.sh` wants from "malformed".
-pub fn parse_json(text: &str) -> Result<Vec<BenchEntry>, String> {
+pub fn parse_json(text: &str) -> Result<Vec<BenchEntry>, ActError> {
     let mut p = Parser { b: text.as_bytes(), i: 0 };
     p.ws();
     p.expect(b'[')?;
@@ -276,33 +358,33 @@ pub fn parse_json(text: &str) -> Result<Vec<BenchEntry>, String> {
     }
     p.ws();
     if p.i != p.b.len() {
-        return Err(format!("trailing garbage at byte {}", p.i));
+        return Err(ActError::Parse(format!("trailing garbage at byte {}", p.i)));
     }
     Ok(entries)
 }
 
 /// Validate a `BENCH_hotpath.json` body; returns the entry count.
-pub fn validate(text: &str) -> Result<usize, String> {
+pub fn validate(text: &str) -> Result<usize, ActError> {
     let entries = parse_json(text)?;
     if entries.is_empty() {
-        return Err("no bench entries".to_string());
+        return Err(ActError::Parse("no bench entries".to_string()));
     }
     for e in &entries {
         if e.bench.is_empty() {
-            return Err("empty bench name".to_string());
+            return Err(ActError::Parse("empty bench name".to_string()));
         }
         if !(e.value.is_finite() && e.value > 0.0) {
-            return Err(format!("{}: non-positive value {}", e.bench, e.value));
+            return Err(ActError::Parse(format!("{}: non-positive value {}", e.bench, e.value)));
         }
         if e.unit != "ops/s" && e.unit != "s" {
-            return Err(format!("{}: unknown unit `{}`", e.bench, e.unit));
+            return Err(ActError::Parse(format!("{}: unknown unit `{}`", e.bench, e.unit)));
         }
         if e.jobs == 0 {
-            return Err(format!("{}: jobs must be >= 1", e.bench));
+            return Err(ActError::Parse(format!("{}: jobs must be >= 1", e.bench)));
         }
         if let Some(b) = e.before {
             if !(b.is_finite() && b > 0.0) {
-                return Err(format!("{}: non-positive before {b}", e.bench));
+                return Err(ActError::Parse(format!("{}: non-positive before {b}", e.bench)));
             }
         }
     }
@@ -330,31 +412,31 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    fn expect(&mut self, c: u8) -> Result<(), ActError> {
         if self.eat(c) {
             Ok(())
         } else {
-            Err(format!("expected `{}` at byte {}", c as char, self.i))
+            Err(ActError::Parse(format!("expected `{}` at byte {}", c as char, self.i)))
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, ActError> {
         self.expect(b'"')?;
         let start = self.i;
         while self.i < self.b.len() && self.b[self.i] != b'"' {
             if self.b[self.i] == b'\\' {
-                return Err(format!("escapes unsupported at byte {}", self.i));
+                return Err(ActError::Parse(format!("escapes unsupported at byte {}", self.i)));
             }
             self.i += 1;
         }
         let s = std::str::from_utf8(&self.b[start..self.i])
-            .map_err(|_| "non-utf8 string".to_string())?
+            .map_err(|_| ActError::Parse("non-utf8 string".to_string()))?
             .to_string();
         self.expect(b'"')?;
         Ok(s)
     }
 
-    fn number(&mut self) -> Result<f64, String> {
+    fn number(&mut self) -> Result<f64, ActError> {
         let start = self.i;
         while self.i < self.b.len()
             && matches!(self.b[self.i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
@@ -364,10 +446,10 @@ impl Parser<'_> {
         std::str::from_utf8(&self.b[start..self.i])
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
-            .ok_or_else(|| format!("bad number at byte {start}"))
+            .ok_or_else(|| ActError::Parse(format!("bad number at byte {start}")))
     }
 
-    fn object(&mut self) -> Result<BenchEntry, String> {
+    fn object(&mut self) -> Result<BenchEntry, ActError> {
         self.expect(b'{')?;
         let (mut bench, mut before, mut value, mut unit, mut jobs) = (None, None, None, None, None);
         loop {
@@ -382,7 +464,7 @@ impl Parser<'_> {
                 "before" => before = Some(self.number()?),
                 "value" => value = Some(self.number()?),
                 "jobs" => jobs = Some(self.number()? as usize),
-                other => return Err(format!("unknown key `{other}`")),
+                other => return Err(ActError::Parse(format!("unknown key `{other}`"))),
             }
             self.ws();
             if self.eat(b',') {

@@ -42,7 +42,7 @@ fn usage() -> ExitCode {
          \x20 campaign <spec> [--jobs N] [--out FILE] [--no-timing]\n\
          \x20                                        run a campaign spec in parallel\n\
          \x20 serve [--addr A] [--unix PATH] [--workers N] [--queue-depth D]\n\
-         \x20       [--model-dir DIR] [--cache N] [--deadline-ms MS]\n\
+         \x20       [--model-dir DIR] [--cache N] [--deadline-ms MS] [--event-log FILE]\n\
          \x20                                        run the diagnosis daemon\n\
          \x20 request <train|diagnose|status|shutdown> [workload]\n\
          \x20       [--addr A] [--unix PATH] [--seed N] [--traces N]\n\
@@ -79,6 +79,7 @@ fn parse_args(raw: &[String]) -> Args {
                 "model-dir",
                 "cache",
                 "deadline-ms",
+                "event-log",
                 "traces",
                 "seq-len",
                 "hidden",
@@ -497,6 +498,18 @@ fn cmd_serve(args: &Args) -> ExitCode {
         Ok(n) => n,
         Err(e) => return e,
     };
+    if let Some(path) = args.flags.get("event-log") {
+        match act_obs::JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => {
+                act_obs::events().add_sink(Box::new(sink));
+                println!("event log: {path}");
+            }
+            Err(e) => {
+                eprintln!("cannot open event log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let unix_path = args.flags.get("unix").map(std::path::PathBuf::from);
     let cfg = act_serve::ServeConfig {
         tcp_addr: if unix_path.is_some() && !args.flags.contains_key("addr") {
@@ -629,6 +642,18 @@ fn cmd_request(args: &Args) -> ExitCode {
         }
         Ok(act_serve::Reply::StatusText(text)) => {
             print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(act_serve::Reply::StatusMetrics(text, snap)) => {
+            print!("{text}");
+            let hits = snap.counter("cache_memory_hits").unwrap_or(0)
+                + snap.counter("cache_disk_loads").unwrap_or(0);
+            let total = hits + snap.counter("cache_trained").unwrap_or(0);
+            if total > 0 {
+                println!("cache_hit_rate {:.1}%", 100.0 * hits as f64 / total as f64);
+            }
+            println!("\n-- metrics --");
+            print!("{}", snap.render_table());
             ExitCode::SUCCESS
         }
         Ok(act_serve::Reply::Bye) => {

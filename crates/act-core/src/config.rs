@@ -1,5 +1,6 @@
 //! ACT configuration (paper Table III, "Parameters of ACT Module").
 
+use act_nn::error::ConfigError;
 use act_nn::pipeline::PipelineConfig;
 use act_nn::trainer::{SearchSpace, TrainConfig};
 
@@ -72,27 +73,40 @@ impl Default for ActConfig {
 }
 
 impl ActConfig {
-    /// Validate internal consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if buffer sizes are zero, the threshold is outside `(0, 1)`,
-    /// or the search space requests sequences longer than the hardware's
-    /// input capacity.
-    pub fn validate(&self) {
-        assert!(self.max_inputs > 0);
-        assert!(self.igb_capacity > 0 && self.debug_capacity > 0);
-        assert!(self.mispred_threshold > 0.0 && self.mispred_threshold < 1.0);
-        assert!(self.check_interval > 0);
-        self.pipeline.validate();
+    /// Validate internal consistency, naming the offending field on
+    /// failure: non-zero buffer sizes, a threshold inside `(0, 1)`, and a
+    /// search space whose sequences fit the hardware's input capacity.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_inputs == 0 {
+            return Err(ConfigError::new("max_inputs", "must be at least 1"));
+        }
+        if self.igb_capacity == 0 {
+            return Err(ConfigError::new("igb_capacity", "must be at least 1"));
+        }
+        if self.debug_capacity == 0 {
+            return Err(ConfigError::new("debug_capacity", "must be at least 1"));
+        }
+        if !(self.mispred_threshold > 0.0 && self.mispred_threshold < 1.0) {
+            return Err(ConfigError::new("mispred_threshold", "must be inside (0, 1)"));
+        }
+        if self.check_interval == 0 {
+            return Err(ConfigError::new("check_interval", "must be at least 1"));
+        }
+        self.pipeline.validate()?;
         let max_n = self.max_inputs / crate::encoding::FEATURES_PER_DEP;
-        assert!(
-            self.search.seq_lens.iter().all(|&n| n >= 1 && n <= max_n),
-            "sequence lengths must fit the neuron's {} inputs",
-            self.max_inputs
-        );
-        assert!(self.test_fraction > 0.0 && self.test_fraction < 1.0);
-        assert!(self.search_workers > 0, "search_workers must be at least 1");
+        if !self.search.seq_lens.iter().all(|&n| n >= 1 && n <= max_n) {
+            return Err(ConfigError::new(
+                "search.seq_lens",
+                format!("sequence lengths must fit the neuron's {} inputs", self.max_inputs),
+            ));
+        }
+        if !(self.test_fraction > 0.0 && self.test_fraction < 1.0) {
+            return Err(ConfigError::new("test_fraction", "must be inside (0, 1)"));
+        }
+        if self.search_workers == 0 {
+            return Err(ConfigError::new("search_workers", "must be at least 1"));
+        }
+        Ok(())
     }
 }
 
@@ -103,7 +117,7 @@ mod tests {
     #[test]
     fn default_is_valid_and_matches_paper() {
         let c = ActConfig::default();
-        c.validate();
+        c.validate().expect("default config is valid");
         assert_eq!(c.max_inputs, 10);
         assert_eq!(c.igb_capacity, 50);
         assert_eq!(c.debug_capacity, 60);
@@ -114,10 +128,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sequence lengths")]
     fn oversized_sequences_rejected() {
         let mut c = ActConfig::default();
-        c.search.seq_lens = vec![3]; // 12 inputs > M=10
-        c.validate();
+        c.search.seq_lens = vec![3]; // 15 inputs > M=10
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "search.seq_lens");
+        assert!(err.to_string().contains("sequence lengths"), "{err}");
+    }
+
+    #[test]
+    fn validation_names_fields_instead_of_panicking() {
+        let cases: [(&str, fn(&mut ActConfig)); 4] = [
+            ("igb_capacity", |c| c.igb_capacity = 0),
+            ("mispred_threshold", |c| c.mispred_threshold = 1.5),
+            ("search_workers", |c| c.search_workers = 0),
+            ("fifo_capacity", |c| c.pipeline.fifo_capacity = 0),
+        ];
+        for (field, break_it) in cases {
+            let mut c = ActConfig::default();
+            break_it(&mut c);
+            assert_eq!(c.validate().unwrap_err().field, field);
+        }
     }
 }

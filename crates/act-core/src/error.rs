@@ -1,0 +1,149 @@
+//! The workspace error type.
+//!
+//! [`ActError`] is the one enum every public fallible API above the leaf
+//! crates returns (`act-serve` cache/training, `act-bench` campaign
+//! plumbing and bench-artifact parsing, CLI glue). Leaf crates that
+//! `act-core` itself depends on keep their own small typed errors —
+//! [`ConfigError`] (act-nn), [`SpecError`](act_fleet::SpecError)
+//! (act-fleet), [`ParseTraceError`](act_trace::io::ParseTraceError)
+//! (act-trace) — and `From` conversions lift them into `ActError` at the
+//! boundary.
+//!
+//! Display output is the contract: several messages (e.g.
+//! ``unknown workload `name` ``) are asserted on by tests and grepped by
+//! `ci.sh`, so variants render byte-identically to the `String` errors
+//! they replaced.
+
+use act_fleet::SpecError;
+use act_nn::ConfigError;
+use act_trace::io::ParseTraceError;
+use std::fmt;
+use std::io;
+
+/// Any error the ACT stack reports across a public API boundary.
+#[derive(Debug)]
+pub enum ActError {
+    /// A configuration failed validation (the payload names the field).
+    Config(ConfigError),
+    /// A request named a workload the registry does not know.
+    UnknownWorkload(String),
+    /// Training could not produce a model for a workload.
+    Train {
+        /// The workload being trained.
+        workload: String,
+        /// Why training failed.
+        reason: String,
+    },
+    /// A campaign spec failed to parse.
+    Spec(SpecError),
+    /// A serialized trace failed to parse.
+    Trace(ParseTraceError),
+    /// Structured text (bench JSON, reports, model files) failed to parse.
+    Parse(String),
+    /// An I/O operation failed; `context` says which (usually a path).
+    Io {
+        /// What was being done (usually the path involved).
+        context: String,
+        /// The underlying failure.
+        source: io::Error,
+    },
+    /// Anything else, pre-rendered.
+    Other(String),
+}
+
+impl ActError {
+    /// An [`ActError::Io`] with context.
+    pub fn io(context: impl Into<String>, source: io::Error) -> ActError {
+        ActError::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for ActError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActError::Config(e) => e.fmt(f),
+            ActError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            ActError::Train { workload, reason } => write!(f, "{workload}: {reason}"),
+            ActError::Spec(e) => e.fmt(f),
+            ActError::Trace(e) => e.fmt(f),
+            ActError::Parse(message) | ActError::Other(message) => f.write_str(message),
+            ActError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ActError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ActError::Config(e) => Some(e),
+            ActError::Spec(e) => Some(e),
+            ActError::Trace(e) => Some(e),
+            ActError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ActError {
+    fn from(e: ConfigError) -> ActError {
+        ActError::Config(e)
+    }
+}
+
+impl From<SpecError> for ActError {
+    fn from(e: SpecError) -> ActError {
+        ActError::Spec(e)
+    }
+}
+
+impl From<ParseTraceError> for ActError {
+    fn from(e: ParseTraceError) -> ActError {
+        ActError::Trace(e)
+    }
+}
+
+impl From<String> for ActError {
+    fn from(message: String) -> ActError {
+        ActError::Other(message)
+    }
+}
+
+impl From<&str> for ActError {
+    fn from(message: &str) -> ActError {
+        ActError::Other(message.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_keeps_asserted_message_shapes() {
+        assert_eq!(
+            ActError::UnknownWorkload("no-such".into()).to_string(),
+            "unknown workload `no-such`"
+        );
+        assert_eq!(
+            ActError::Train { workload: "seq".into(), reason: "no correct training runs".into() }
+                .to_string(),
+            "seq: no correct training runs"
+        );
+        assert_eq!(
+            ActError::io("/tmp/x", io::Error::new(io::ErrorKind::NotFound, "gone")).to_string(),
+            "/tmp/x: gone"
+        );
+    }
+
+    #[test]
+    fn from_conversions_and_source_chain() {
+        let err: ActError = ConfigError::new("check_interval", "must be at least 1").into();
+        assert!(err.to_string().contains("`check_interval`"), "{err}");
+        assert!(err.source().is_some());
+        let err: ActError = SpecError::MissingKind.into();
+        assert_eq!(err.to_string(), "spec is missing `kind`");
+        let err: ActError = "free text".into();
+        assert!(err.source().is_none());
+    }
+}

@@ -32,13 +32,16 @@
 pub mod config;
 pub mod diagnosis;
 pub mod encoding;
+pub mod error;
 pub mod module;
 pub mod offline;
 pub mod postprocess;
 pub mod weights;
 
+pub use act_nn::ConfigError;
 pub use config::ActConfig;
 pub use diagnosis::{build_correct_set, diagnose, run_with_act, ActRun};
+pub use error::ActError;
 pub use module::{ActModule, DebugEntry, Mode};
 pub use offline::{collect_traces, offline_train, TrainedAct};
 pub use postprocess::{Diagnosis, RankedSequence};

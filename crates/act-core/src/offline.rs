@@ -202,7 +202,7 @@ fn global_positive_set(
 /// Panics if `traces` is empty or produces no dependences.
 pub fn offline_train(code_len: usize, traces: &[Trace], cfg: &ActConfig) -> TrainedAct {
     assert!(!traces.is_empty(), "offline training needs at least one trace");
-    cfg.validate();
+    cfg.validate().expect("valid ActConfig");
     let enc = Encoder::new(code_len);
 
     let per_trace_deps: Vec<Vec<DepEvent>> = traces.iter().map(observed_deps).collect();

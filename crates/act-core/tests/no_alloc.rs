@@ -8,8 +8,13 @@
 //! This file holds exactly one `#[test]` so no sibling test thread
 //! allocates concurrently and trips the counter.
 
+//! The loop also runs with observability enabled — a per-prediction
+//! `LocalCounter` flushed amortized into a registered `act-obs` counter —
+//! pinning that the obs layer keeps the same zero-allocation contract.
+
 use act_core::encoding::{Encoder, FEATURES_PER_DEP};
 use act_nn::network::{Network, Topology};
+use act_obs::{LocalCounter, Registry};
 use act_sim::events::RawDep;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,6 +61,13 @@ fn classify_and_online_train_do_not_allocate_in_steady_state() {
         })
         .collect();
 
+    // Observability enabled: registration (cold) may allocate, recording
+    // (hot) must not. The shape mirrors ActModule: a local counter per
+    // prediction, flushed to the shared cell on the check interval.
+    let registry = Registry::new();
+    let predictions = registry.counter("predictions");
+    let mut local = LocalCounter::default();
+
     // The module's IGB shape: a masked ring fed one dependence at a time,
     // the window encoded straight out of it.
     let mut igb = [deps[0]; IGB_CAP];
@@ -70,6 +82,10 @@ fn classify_and_online_train_do_not_allocate_in_steady_state() {
         let start = pushed - SEQ_LEN;
         let window = (0..SEQ_LEN).map(|k| igb[(start + k) % IGB_CAP]);
         enc.encode_iter_into(window, x);
+        local.inc();
+        if pushed % 200 == 0 {
+            local.flush(&predictions);
+        }
         let o = net.predict(x);
         if pushed % 4 == 0 {
             net.train(x, 1.0)

@@ -97,7 +97,12 @@ mod tests {
     }
 
     fn done(id: usize, out: JobOutput) -> JobResult {
-        JobResult { job: job(id), outcome: JobOutcome::Completed(out), wall: Duration::ZERO }
+        JobResult {
+            job: job(id),
+            outcome: JobOutcome::Completed(out),
+            wall: Duration::ZERO,
+            queued: Duration::ZERO,
+        }
     }
 
     #[test]
@@ -109,6 +114,7 @@ mod tests {
                 job: job(2),
                 outcome: JobOutcome::Crashed { message: "boom".into() },
                 wall: Duration::ZERO,
+                queued: Duration::ZERO,
             },
         ];
         let agg = aggregate(&results);

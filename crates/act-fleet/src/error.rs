@@ -1,0 +1,50 @@
+//! Typed campaign-spec errors.
+//!
+//! `act-fleet` sits below `act-core` in the crate graph, so it cannot use
+//! the workspace `ActError` directly; instead it defines [`SpecError`]
+//! and `act-core` wraps it with a `From` conversion. Display output is
+//! kept byte-identical to the pre-typed `String` errors so CLI messages
+//! and tests are unchanged.
+
+use std::fmt;
+
+/// Why a campaign spec failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A line failed to parse (bad `key = value` shape, bad seed syntax).
+    Syntax {
+        /// 1-based line number in the spec text.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The spec never set `kind`.
+    MissingKind,
+    /// The spec listed no workloads.
+    NoWorkloads,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            SpecError::MissingKind => write!(f, "spec is missing `kind`"),
+            SpecError::NoWorkloads => write!(f, "spec lists no workloads"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_strings() {
+        let err = SpecError::Syntax { line: 3, message: "bad seed `x`".into() };
+        assert_eq!(err.to_string(), "line 3: bad seed `x`");
+        assert_eq!(SpecError::MissingKind.to_string(), "spec is missing `kind`");
+        assert_eq!(SpecError::NoWorkloads.to_string(), "spec lists no workloads");
+    }
+}

@@ -30,17 +30,20 @@
 //! `act-cli` for the command-line entry).
 
 pub mod aggregate;
+pub mod error;
 pub mod queue;
 pub mod report;
 pub mod spec;
 pub mod worker;
 
 pub use aggregate::{Aggregate, MetricSummary};
+pub use error::SpecError;
 pub use queue::BoundedQueue;
 pub use report::{CampaignReport, Timing};
-pub use spec::{CampaignSpec, JobDesc};
+pub use spec::{CampaignSpec, JobDesc, ModelKey};
 pub use worker::{panic_message, parallel_map, JobOutcome, JobOutput, JobResult, Metric};
 
+use act_obs::{events, Level};
 use std::time::Instant;
 
 /// Worker count to use when the caller does not specify one: the host's
@@ -60,22 +63,74 @@ where
     F: Fn(&JobDesc) -> JobOutput + Sync,
 {
     let jobs = spec.expand();
+    let effective_workers = workers.max(1).min(jobs.len().max(1));
+    events().emit(
+        Level::Info,
+        "fleet.campaign",
+        format!(
+            "campaign `{}` kind={} started: {} jobs across {} workers",
+            spec.name,
+            spec.kind,
+            jobs.len(),
+            effective_workers
+        ),
+    );
     let start = Instant::now();
     let results = worker::run_jobs(&jobs, workers, &exec);
     let total_ms = start.elapsed().as_secs_f64() * 1e3;
     let per_job_ms: Vec<f64> = results.iter().map(|r| r.wall.as_secs_f64() * 1e3).collect();
     let sum_job_ms: f64 = per_job_ms.iter().sum();
     let aggregate = aggregate::aggregate(&results);
+    record_campaign_obs(spec, &results, total_ms);
     CampaignReport {
         spec: spec.clone(),
         results,
         aggregate,
         timing: Timing {
-            workers: workers.max(1).min(jobs.len().max(1)),
+            workers: effective_workers,
             total_ms,
             sum_job_ms,
             speedup: if total_ms > 0.0 { sum_job_ms / total_ms } else { 1.0 },
             per_job_ms,
         },
     }
+}
+
+/// Publish a finished campaign's timing into the process-wide metrics
+/// registry (per-job queue-wait and run-time histograms, outcome
+/// counters) and emit progress events. Campaigns have no owning service
+/// object, so the global registry is the natural home; the serve daemon,
+/// by contrast, owns its own registry per server instance.
+fn record_campaign_obs(spec: &CampaignSpec, results: &[JobResult], total_ms: f64) {
+    let registry = act_obs::metrics::global();
+    let queue_wait = registry.histogram("fleet_job_queue_wait_us", &act_obs::latency_bounds_us());
+    let run_time = registry.histogram("fleet_job_run_us", &act_obs::latency_bounds_us());
+    let completed = registry.counter("fleet_jobs_completed");
+    let crashed = registry.counter("fleet_jobs_crashed");
+    for result in results {
+        queue_wait.observe(result.queued.as_micros() as u64);
+        run_time.observe(result.wall.as_micros() as u64);
+        match &result.outcome {
+            JobOutcome::Completed(_) => completed.inc(),
+            JobOutcome::Crashed { message } => {
+                crashed.inc();
+                events().emit(
+                    Level::Warn,
+                    "fleet.job",
+                    format!("job {} ({}) crashed: {message}", result.job.id, result.job.workload),
+                );
+            }
+        }
+    }
+    let crashes = results.iter().filter(|r| !r.outcome.is_completed()).count();
+    events().emit(
+        Level::Info,
+        "fleet.campaign",
+        format!(
+            "campaign `{}` finished: {}/{} jobs ok in {total_ms:.0} ms",
+            spec.name,
+            results.len() - crashes,
+            results.len()
+        ),
+    );
 }

@@ -23,7 +23,53 @@
 //! seed — fixes every job's id, which is what the determinism guarantee of
 //! the aggregate report is keyed on.
 
+use crate::error::SpecError;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// The canonical identity of a trained model: workload × topology × seed.
+///
+/// This is the one key type shared by everything that names models — the
+/// `act-serve` model cache (memory map, on-disk file stems) and campaign
+/// jobs that pin a topology. Its [canonical string form](ModelKey::canonical)
+/// is stable because model files persisted under it must keep resolving
+/// across versions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Workload name.
+    pub workload: String,
+    /// Input window length (dependences per sequence).
+    pub seq_len: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl ModelKey {
+    /// Build a key, clamping topology axes to at least 1 (a zero axis is
+    /// "use the default", which callers resolve before keying).
+    pub fn new(workload: &str, seq_len: usize, hidden: usize, seed: u64) -> ModelKey {
+        ModelKey {
+            workload: workload.to_string(),
+            seq_len: seq_len.max(1),
+            hidden: hidden.max(1),
+            seed,
+        }
+    }
+
+    /// The single canonical string form, `{workload}-n{seq_len}-h{hidden}-s{seed}`
+    /// — used for cache file stems and human-readable labels alike.
+    pub fn canonical(&self) -> String {
+        format!("{}-n{}-h{}-s{}", self.workload, self.seq_len, self.hidden, self.seed)
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-n{}-h{}-s{}", self.workload, self.seq_len, self.hidden, self.seed)
+    }
+}
 
 /// One cell of the campaign grid: what a single worker invocation runs.
 ///
@@ -42,6 +88,14 @@ pub struct JobDesc {
     pub config: String,
     /// Base seed for everything random in the job.
     pub seed: u64,
+}
+
+impl JobDesc {
+    /// The identity of the model this job would train or load at a given
+    /// topology — the same key the `act-serve` cache uses.
+    pub fn model_key(&self, seq_len: usize, hidden: usize) -> ModelKey {
+        ModelKey::new(&self.workload, seq_len, hidden, self.seed)
+    }
 }
 
 /// A parsed campaign: the grid plus executor-specific parameters.
@@ -75,7 +129,7 @@ impl CampaignSpec {
     }
 
     /// Parse the text spec format described at module level.
-    pub fn parse(text: &str) -> Result<Self, String> {
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut name = None;
         let mut kind = None;
         let mut workloads = Vec::new();
@@ -87,8 +141,9 @@ impl CampaignSpec {
             if line.is_empty() {
                 continue;
             }
-            let (key, value) = line.split_once('=').ok_or_else(|| {
-                format!("line {}: expected `key = value`, got `{line}`", lineno + 1)
+            let (key, value) = line.split_once('=').ok_or_else(|| SpecError::Syntax {
+                line: lineno + 1,
+                message: format!("expected `key = value`, got `{line}`"),
             })?;
             let (key, value) = (key.trim(), value.trim());
             match key {
@@ -97,7 +152,8 @@ impl CampaignSpec {
                 "workloads" => workloads = split_list(value),
                 "configs" => configs = split_list(value),
                 "seeds" => {
-                    seeds = parse_seeds(value).map_err(|e| format!("line {}: {e}", lineno + 1))?
+                    seeds = parse_seeds(value)
+                        .map_err(|message| SpecError::Syntax { line: lineno + 1, message })?
                 }
                 _ => {
                     params.insert(key.to_string(), value.to_string());
@@ -105,7 +161,7 @@ impl CampaignSpec {
             }
         }
         if workloads.is_empty() {
-            return Err("spec lists no workloads".to_string());
+            return Err(SpecError::NoWorkloads);
         }
         if configs.is_empty() {
             configs.push("default".to_string());
@@ -115,7 +171,7 @@ impl CampaignSpec {
         }
         Ok(CampaignSpec {
             name: name.unwrap_or_else(|| "campaign".to_string()),
-            kind: kind.ok_or("spec is missing `kind`")?,
+            kind: kind.ok_or(SpecError::MissingKind)?,
             workloads,
             configs,
             seeds,
@@ -204,6 +260,17 @@ mod tests {
         assert!(CampaignSpec::parse("workloads = fft\n").is_err(), "no kind");
         assert!(CampaignSpec::parse("kind = run\nworkloads = fft\nseeds = 5..2\n").is_err());
         assert!(CampaignSpec::parse("kind = run\nworkloads = fft\nnot a kv line\n").is_err());
+    }
+
+    #[test]
+    fn model_key_canonical_form_is_stable() {
+        let key = ModelKey::new("apache", 5, 12, 7);
+        assert_eq!(key.canonical(), "apache-n5-h12-s7");
+        assert_eq!(key.to_string(), key.canonical());
+        // Zero topology axes clamp to 1 (the "resolve defaults first" rule).
+        assert_eq!(ModelKey::new("seq", 0, 0, 0).canonical(), "seq-n1-h1-s0");
+        let job = JobDesc { id: 0, workload: "apache".into(), config: "default".into(), seed: 7 };
+        assert_eq!(job.model_key(5, 12), key);
     }
 
     #[test]

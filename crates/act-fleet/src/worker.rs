@@ -117,6 +117,9 @@ pub struct JobResult {
     /// Wall-clock time of the executor call (timing only — never part of
     /// the deterministic report section).
     pub wall: Duration,
+    /// How long the job sat in the queue before a worker claimed it,
+    /// measured from campaign start (timing only, like `wall`).
+    pub queued: Duration,
 }
 
 /// Run every job across `workers` threads; results come back **ordered by
@@ -131,19 +134,22 @@ where
 {
     let workers = workers.max(1).min(jobs.len().max(1));
     let queue = crate::queue::JobQueue::new(jobs);
+    let epoch = Instant::now();
     let (tx, rx) = mpsc::channel::<JobResult>();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
-            let queue = &queue;
+            let (queue, epoch) = (&queue, &epoch);
             s.spawn(move || {
                 while let Some(job) = queue.claim() {
+                    let queued = epoch.elapsed();
                     let start = Instant::now();
                     let outcome = match catch_unwind(AssertUnwindSafe(|| exec(job))) {
                         Ok(out) => JobOutcome::Completed(out),
                         Err(payload) => JobOutcome::Crashed { message: panic_message(&*payload) },
                     };
-                    let result = JobResult { job: job.clone(), outcome, wall: start.elapsed() };
+                    let result =
+                        JobResult { job: job.clone(), outcome, wall: start.elapsed(), queued };
                     if tx.send(result).is_err() {
                         break; // collector is gone; stop pulling
                     }

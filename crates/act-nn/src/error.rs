@@ -1,0 +1,43 @@
+//! Typed configuration errors.
+//!
+//! [`ConfigError`] names the offending field so a CLI or daemon can tell
+//! the operator exactly which knob to fix, instead of surfacing a panic
+//! backtrace. It is defined here (the lowest crate that validates a
+//! config) and re-exported by `act-core` next to `ActError`.
+
+use std::fmt;
+
+/// A configuration field failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The configuration field that failed.
+    pub field: &'static str,
+    /// The constraint it violated.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Build an error for `field`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> ConfigError {
+        ConfigError { field, message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config: `{}` {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let err = ConfigError::new("fifo_capacity", "must be at least 1");
+        assert_eq!(err.to_string(), "invalid config: `fifo_capacity` must be at least 1");
+    }
+}

@@ -30,12 +30,14 @@
 //! assert!(Network::classify(o));
 //! ```
 
+pub mod error;
 pub mod network;
 pub mod npu;
 pub mod pipeline;
 pub mod sigmoid;
 pub mod trainer;
 
+pub use error::ConfigError;
 pub use network::{Network, Topology};
 pub use pipeline::{NnPipeline, PipelineConfig};
 pub use trainer::{Example, TrainConfig};

@@ -16,6 +16,8 @@
 //! The pipeline models *timing only*; the functional result comes from
 //! [`crate::network::Network`]. The ACT module combines the two.
 
+use crate::error::ConfigError;
+
 /// Parameters of the neuron/pipeline hardware (paper Table III, "Parameters
 /// of a neuron").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,16 +71,27 @@ impl PipelineConfig {
         }
     }
 
-    /// Validate the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero-sized parameters.
-    pub fn validate(&self) {
-        assert!(self.max_inputs > 0);
-        assert!(self.mul_add_units > 0 && self.mul_add_units <= self.max_inputs);
-        assert!(self.t_mul_add > 0);
-        assert!(self.fifo_capacity > 0);
+    /// Validate the configuration, naming the offending field on failure.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_inputs == 0 {
+            return Err(ConfigError::new("max_inputs", "must be at least 1"));
+        }
+        if self.mul_add_units == 0 {
+            return Err(ConfigError::new("mul_add_units", "must be at least 1"));
+        }
+        if self.mul_add_units > self.max_inputs {
+            return Err(ConfigError::new(
+                "mul_add_units",
+                format!("must not exceed max_inputs ({})", self.max_inputs),
+            ));
+        }
+        if self.t_mul_add == 0 {
+            return Err(ConfigError::new("t_mul_add", "must be at least 1 cycle"));
+        }
+        if self.fifo_capacity == 0 {
+            return Err(ConfigError::new("fifo_capacity", "must be at least 1"));
+        }
+        Ok(())
     }
 }
 
@@ -112,7 +125,7 @@ impl NnPipeline {
     ///
     /// Panics if `cfg` fails [`PipelineConfig::validate`].
     pub fn new(cfg: PipelineConfig) -> Self {
-        cfg.validate();
+        cfg.validate().expect("valid PipelineConfig");
         NnPipeline {
             cfg,
             occupancy: 0,
@@ -278,5 +291,16 @@ mod tests {
     #[should_panic]
     fn zero_fifo_is_invalid() {
         let _ = NnPipeline::new(PipelineConfig { fifo_capacity: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let err = PipelineConfig { fifo_capacity: 0, ..Default::default() }.validate().unwrap_err();
+        assert_eq!(err.field, "fifo_capacity");
+        let err =
+            PipelineConfig { mul_add_units: 99, ..Default::default() }.validate().unwrap_err();
+        assert_eq!(err.field, "mul_add_units");
+        assert!(err.to_string().contains("must not exceed max_inputs (10)"), "{err}");
+        assert!(PipelineConfig::default().validate().is_ok());
     }
 }

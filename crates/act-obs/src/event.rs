@@ -1,0 +1,265 @@
+//! Bounded structured event ring with pluggable sinks.
+//!
+//! Events are for *rare* occurrences — server start/stop, worker crash,
+//! campaign progress — not per-request or per-dependence traffic (that is
+//! what counters are for). Each event carries a level, a static target
+//! (dotted subsystem path like `serve.worker`), a wall-clock timestamp,
+//! and a small text payload. The newest `capacity` events are retained in
+//! a ring for STATUS-style introspection; sinks see every event as it is
+//! emitted.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, in increasing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume diagnostics (BUSY rejections, cache churn).
+    Debug,
+    /// Lifecycle milestones (server started, campaign finished).
+    Info,
+    /// Something degraded but survivable (worker crash, deadline expiry).
+    Warn,
+    /// Something failed outright.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name (`"warn"`), as rendered in sinks.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Static subsystem path, e.g. `"serve.worker"` or `"fleet.campaign"`.
+    pub target: &'static str,
+    /// Wall-clock microseconds since the Unix epoch.
+    pub unix_us: u64,
+    /// Small human-readable payload.
+    pub message: String,
+}
+
+impl Event {
+    /// Render as one JSON line (hand-rolled; the workspace has no serde).
+    pub fn to_jsonl(&self) -> String {
+        let mut msg = String::with_capacity(self.message.len());
+        for c in self.message.chars() {
+            match c {
+                '"' => msg.push_str("\\\""),
+                '\\' => msg.push_str("\\\\"),
+                '\n' => msg.push_str("\\n"),
+                '\t' => msg.push_str("\\t"),
+                '\r' => msg.push_str("\\r"),
+                c if (c as u32) < 0x20 => msg.push_str(&format!("\\u{:04x}", c as u32)),
+                c => msg.push(c),
+            }
+        }
+        format!(
+            "{{\"ts_us\":{},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"}}",
+            self.unix_us, self.level, self.target, msg
+        )
+    }
+}
+
+/// Where emitted events go, beyond the in-memory ring.
+pub trait EventSink: Send + Sync {
+    /// Handle one event. Called with the bus lock *not* held.
+    fn emit(&self, event: &Event);
+}
+
+/// Text sink to stderr: `[level target] message`.
+pub struct StderrSink {
+    /// Minimum level forwarded.
+    pub min_level: Level,
+}
+
+impl EventSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        if event.level >= self.min_level {
+            eprintln!("[{} {}] {}", event.level, event.target, event.message);
+        }
+    }
+}
+
+/// JSONL sink: one JSON object per line, flushed per event so a crash or
+/// SIGKILL loses at most the event in flight.
+pub struct JsonlSink {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (or truncate) the log file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        Ok(JsonlSink { file: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut file = self.file.lock().unwrap();
+        let _ = writeln!(file, "{}", event.to_jsonl());
+        let _ = file.flush();
+    }
+}
+
+/// A bounded event ring plus its sinks.
+pub struct Events {
+    ring: Mutex<VecDeque<Event>>,
+    sinks: Mutex<Vec<Box<dyn EventSink>>>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An event bus retaining the newest `capacity` events.
+    pub fn new(capacity: usize) -> Events {
+        Events {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            sinks: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Emit one event: stamp it, append to the ring (evicting the oldest
+    /// past capacity), and forward to every sink.
+    pub fn emit(&self, level: Level, target: &'static str, message: impl Into<String>) {
+        #[cfg(feature = "no-obs")]
+        {
+            let _ = (level, target, message.into());
+        }
+        #[cfg(not(feature = "no-obs"))]
+        {
+            let event = Event { level, target, unix_us: unix_us(), message: message.into() };
+            {
+                let mut ring = self.ring.lock().unwrap();
+                if ring.len() == self.capacity {
+                    ring.pop_front();
+                }
+                ring.push_back(event.clone());
+            }
+            let sinks = self.sinks.lock().unwrap();
+            for sink in sinks.iter() {
+                sink.emit(&event);
+            }
+        }
+    }
+
+    /// Attach a sink; it sees every event emitted from now on.
+    pub fn add_sink(&self, sink: Box<dyn EventSink>) {
+        self.sinks.lock().unwrap().push(sink);
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+fn unix_us() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0)
+}
+
+/// The process-wide event bus (ring of 256). Sinks are installed by the
+/// binary (e.g. `act serve --event-log FILE` attaches a [`JsonlSink`]);
+/// libraries just [`emit`](Events::emit).
+pub fn events() -> &'static Events {
+    static GLOBAL: OnceLock<Events> = OnceLock::new();
+    GLOBAL.get_or_init(|| Events::new(256))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let bus = Events::new(3);
+        for i in 0..5 {
+            bus.emit(Level::Info, "test", format!("event {i}"));
+        }
+        let recent = bus.recent();
+        if crate::ENABLED {
+            assert_eq!(recent.len(), 3);
+            let messages: Vec<&str> = recent.iter().map(|e| e.message.as_str()).collect();
+            assert_eq!(messages, ["event 2", "event 3", "event 4"]);
+        } else {
+            assert!(recent.is_empty());
+        }
+    }
+
+    #[test]
+    fn sinks_see_every_event() {
+        struct CountingSink(AtomicUsize);
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        impl EventSink for CountingSink {
+            fn emit(&self, _: &Event) {
+                HITS.fetch_add(1, Ordering::SeqCst);
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let bus = Events::new(8);
+        bus.emit(Level::Debug, "test", "before sink"); // not seen
+        bus.add_sink(Box::new(CountingSink(AtomicUsize::new(0))));
+        bus.emit(Level::Warn, "test", "after sink");
+        if crate::ENABLED {
+            assert_eq!(HITS.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn jsonl_escapes_payload() {
+        let event = Event {
+            level: Level::Warn,
+            target: "serve.worker",
+            unix_us: 42,
+            message: "crash: \"boom\"\nline2\u{1}".to_string(),
+        };
+        assert_eq!(
+            event.to_jsonl(),
+            "{\"ts_us\":42,\"level\":\"warn\",\"target\":\"serve.worker\",\
+             \"msg\":\"crash: \\\"boom\\\"\\nline2\\u0001\"}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join(format!("act-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let bus = Events::new(8);
+        bus.add_sink(Box::new(JsonlSink::create(&path).unwrap()));
+        bus.emit(Level::Info, "test", "hello");
+        bus.emit(Level::Warn, "test", "world");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        if crate::ENABLED {
+            assert_eq!(text.lines().count(), 2);
+            assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')), "{text}");
+            assert!(text.contains("\"msg\":\"hello\""), "{text}");
+        } else {
+            assert!(text.is_empty());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Steady-state allocation audit for the metrics recording path. The
+//! contract (DESIGN.md §8) is that registration may allocate but
+//! recording — counter adds, gauge stores, histogram observes, and
+//! amortized `LocalCounter` flushes — never touches the heap.
+//!
+//! This file holds exactly one `#[test]` so no sibling test thread
+//! allocates concurrently and trips the counter.
+
+use act_obs::{latency_bounds_us, LocalCounter, Registry};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn metric_recording_does_not_allocate_in_steady_state() {
+    // Registration phase: allocation is expected and allowed here.
+    let registry = Registry::new();
+    let predictions = registry.counter("predictions");
+    let occupancy = registry.gauge("igb_occupancy");
+    let latency = registry.histogram("service_us", &latency_bounds_us());
+    let mut local = LocalCounter::default();
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..2000u64 {
+        predictions.inc();
+        occupancy.set((i % 50) as i64);
+        latency.observe(i * 37 % 5_000_000);
+        local.inc();
+        if i % 256 == 0 {
+            local.flush(&predictions);
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "{} heap allocations across 2000 steady-state metric recordings",
+        after - before
+    );
+}

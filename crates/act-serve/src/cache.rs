@@ -13,7 +13,7 @@
 use crate::proto::ModelSpec;
 use act_core::offline::offline_train;
 use act_core::weights::WeightStore;
-use act_core::ActConfig;
+use act_core::{ActConfig, ActError};
 use act_sim::config::MachineConfig;
 use act_sim::events::RawDep;
 use act_sim::machine::Machine;
@@ -32,36 +32,18 @@ use std::sync::{Arc, Mutex};
 /// (matches the experiment harness's `act_cfg`).
 pub const DEFAULT_MAX_EPOCHS: usize = 300;
 
-/// Cache key: the issue's `(workload, topology, seed)` — `seq_len` and
-/// `hidden` pin the topology (`inputs = FEATURES_PER_DEP * seq_len`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct ModelKey {
-    /// Workload name.
-    pub workload: String,
-    /// Dependence-sequence length `N`.
-    pub seq_len: usize,
-    /// Hidden-layer size.
-    pub hidden: usize,
-    /// Training seed.
-    pub seed: u64,
-}
+/// Cache key: the shared workload × topology × seed identity from
+/// `act-fleet` — `seq_len` and `hidden` pin the topology
+/// (`inputs = FEATURES_PER_DEP * seq_len`). Its
+/// [`canonical`](ModelKey::canonical) string form is the stable on-disk
+/// file stem (workload names are `[a-z0-9_]`, so no escaping is needed;
+/// `__`-reserved names never reach the cache).
+pub use act_fleet::ModelKey;
 
-impl ModelKey {
-    /// The key a request spec names.
-    pub fn of(spec: &ModelSpec) -> Self {
-        ModelKey {
-            workload: spec.workload.clone(),
-            seq_len: spec.seq_len.max(1) as usize,
-            hidden: spec.hidden.max(1) as usize,
-            seed: spec.seed,
-        }
-    }
-
-    /// Stable on-disk stem for this key (workload names are `[a-z0-9_]`,
-    /// so no escaping is needed; `__`-reserved names never reach the
-    /// cache).
-    fn file_stem(&self) -> String {
-        format!("{}-n{}-h{}-s{}", self.workload, self.seq_len, self.hidden, self.seed)
+impl From<&ModelSpec> for ModelKey {
+    /// The key a request spec names (zero topology axes resolve to 1).
+    fn from(spec: &ModelSpec) -> ModelKey {
+        ModelKey::new(&spec.workload, spec.seq_len as usize, spec.hidden as usize, spec.seed)
     }
 }
 
@@ -130,9 +112,10 @@ impl ModelCache {
     ///
     /// # Errors
     ///
-    /// Returns a message when the workload is unknown or training fails.
-    pub fn get_or_train(&self, spec: &ModelSpec) -> Result<(Arc<Model>, CacheOutcome), String> {
-        let key = ModelKey::of(spec);
+    /// Returns [`ActError::UnknownWorkload`] for an unregistered workload
+    /// and [`ActError::Train`] when training fails.
+    pub fn get_or_train(&self, spec: &ModelSpec) -> Result<(Arc<Model>, CacheOutcome), ActError> {
+        let key = ModelKey::from(spec);
         if let Some(model) = self.lookup(&key) {
             return Ok((model, CacheOutcome::Memory));
         }
@@ -173,11 +156,11 @@ impl ModelCache {
     }
 
     fn weights_path(&self, key: &ModelKey) -> Option<PathBuf> {
-        self.dir.as_ref().map(|d| d.join(format!("{}.weights", key.file_stem())))
+        self.dir.as_ref().map(|d| d.join(format!("{}.weights", key.canonical())))
     }
 
     fn cset_path(&self, key: &ModelKey) -> Option<PathBuf> {
-        self.dir.as_ref().map(|d| d.join(format!("{}.cset", key.file_stem())))
+        self.dir.as_ref().map(|d| d.join(format!("{}.cset", key.canonical())))
     }
 
     fn load_from_dir(&self, key: &ModelKey) -> Option<Model> {
@@ -191,7 +174,7 @@ impl ModelCache {
         let norm_code_len = norm_of(registry::by_name(&key.workload)?.as_ref());
         let summary = format!(
             "model {} loaded from disk ({} threads, {} correct sequences)",
-            key.file_stem(),
+            key.canonical(),
             store.known_threads().len(),
             correct.len()
         );
@@ -253,16 +236,19 @@ fn clean_traces(w: &dyn Workload, base_seed: u64, want: usize, norm: usize) -> V
 ///
 /// # Errors
 ///
-/// Returns a message when the workload is unknown or produces no correct
-/// training runs.
-pub fn train_model(spec: &ModelSpec) -> Result<Model, String> {
+/// Returns [`ActError::UnknownWorkload`] for an unregistered workload and
+/// [`ActError::Train`] when no correct training runs can be collected.
+pub fn train_model(spec: &ModelSpec) -> Result<Model, ActError> {
     let w = registry::by_name(&spec.workload)
-        .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
+        .ok_or_else(|| ActError::UnknownWorkload(spec.workload.clone()))?;
     let norm = norm_of(w.as_ref());
     let want = (spec.traces.max(2)) as usize;
     let traces = clean_traces(w.as_ref(), spec.seed, want, norm);
     if traces.is_empty() {
-        return Err(format!("{}: no correct training runs", spec.workload));
+        return Err(ActError::Train {
+            workload: spec.workload.clone(),
+            reason: "no correct training runs".into(),
+        });
     }
 
     let mut cfg = ActConfig::default();
@@ -427,6 +413,7 @@ mod tests {
     fn unknown_workload_is_an_error_not_a_panic() {
         let cache = ModelCache::new(2, None);
         let err = cache.get_or_train(&ModelSpec::new("no-such-workload")).unwrap_err();
-        assert!(err.contains("unknown workload"));
+        assert!(matches!(err, ActError::UnknownWorkload(_)));
+        assert!(err.to_string().contains("unknown workload"));
     }
 }

@@ -5,11 +5,12 @@
 //! a dead daemon.
 
 use crate::cache::{CacheOutcome, ModelCache};
-use crate::proto::{write_frame, ModelSpec, Reply, Request};
-use crate::server::{Conn, ServerStats};
+use crate::proto::{ModelSpec, Reply, Request};
+use crate::server::{send_reply, Conn, ServerStats};
 use act_core::diagnosis::diagnose_trace;
 use act_core::postprocess::Diagnosis;
 use act_fleet::{panic_message, BoundedQueue};
+use act_obs::{events, Level};
 use act_trace::io::trace_from_bytes;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -21,6 +22,9 @@ use std::time::{Duration, Instant};
 pub(crate) struct Job {
     /// Where the reply is written.
     pub conn: Conn,
+    /// Protocol version the request arrived with; the reply is stamped
+    /// with it so old clients can decode what they get back.
+    pub version: u8,
     /// The parsed request (only `Train`/`Diagnose` are queued; `STATUS` and
     /// `SHUTDOWN` are answered by the acceptor).
     pub request: Request,
@@ -59,6 +63,15 @@ fn process(mut job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Dura
     let waited = job.accepted.elapsed();
     let reply = if waited > deadline {
         stats.bump_deadline_expired();
+        events().emit(
+            Level::Warn,
+            "serve.deadline",
+            format!(
+                "request expired after {}ms queued (limit {}ms)",
+                waited.as_millis(),
+                deadline.as_millis()
+            ),
+        );
         Reply::Error(format!(
             "deadline exceeded: request waited {}ms in queue (limit {}ms)",
             waited.as_millis(),
@@ -72,7 +85,13 @@ fn process(mut job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Dura
             Ok(reply) => reply,
             Err(payload) => {
                 stats.bump_crashed();
-                Reply::Error(format!("request crashed: {}", panic_message(&*payload)))
+                let message = panic_message(&*payload);
+                events().emit(
+                    Level::Warn,
+                    "serve.worker",
+                    format!("request crashed (isolated): {message}"),
+                );
+                Reply::Error(format!("request crashed: {message}"))
             }
         }
     };
@@ -81,8 +100,7 @@ fn process(mut job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Dura
         Reply::Error(_) => stats.bump_errored(),
         _ => {}
     }
-    // A vanished client is its own problem; the daemon moves on.
-    let _ = write_frame(&mut job.conn, &reply.to_frame());
+    send_reply(&mut job.conn, job.version, &reply, stats);
 }
 
 /// Map a request to its reply. Runs *inside* `catch_unwind`: panics out of
@@ -97,9 +115,12 @@ fn handle_request(request: &Request, cache: &ModelCache, stats: &ServerStats) ->
             match cache.get_or_train(spec) {
                 Ok((model, outcome)) => {
                     stats.note_cache(outcome);
+                    if outcome != CacheOutcome::Memory {
+                        events().emit(Level::Info, "serve.model", model.summary.clone());
+                    }
                     Reply::Trained(format!("{} [{}]", model.summary, outcome_tag(outcome)))
                 }
-                Err(e) => Reply::Error(e),
+                Err(e) => Reply::Error(e.to_string()),
             }
         }
         Request::Diagnose(spec, trace_bytes) => {
@@ -112,7 +133,7 @@ fn handle_request(request: &Request, cache: &ModelCache, stats: &ServerStats) ->
             };
             let (model, outcome) = match cache.get_or_train(spec) {
                 Ok(pair) => pair,
-                Err(e) => return Reply::Error(e),
+                Err(e) => return Reply::Error(e.to_string()),
             };
             stats.note_cache(outcome);
             let diag = diagnose_trace(&model.store, &model.correct, &trace, model.norm_code_len);

@@ -5,11 +5,18 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "ACTS"
-//! 4       1     protocol version (1)
+//! 4       1     protocol version (1 or 2)
 //! 5       1     frame kind (see [`FrameKind`])
 //! 6       4     payload length, little-endian u32 (<= MAX_PAYLOAD)
 //! 10      n     payload
 //! ```
+//!
+//! Version 2 adds exactly one reply kind, [`FrameKind::StatusMetrics`]:
+//! the `STATUS` text block plus a serialized
+//! [`MetricsSnapshot`](act_obs::MetricsSnapshot). The server answers in
+//! the version the request arrived with — a v1 `STATUS` still gets the
+//! plain [`FrameKind::StatusText`] reply — so old clients and old servers
+//! interoperate with new ones in both directions.
 //!
 //! The connection model is one-shot: a client connects, writes one request
 //! frame, reads one reply frame, and the connection closes. That keeps the
@@ -22,12 +29,16 @@
 //! and std-only — no serde): length-prefixed strings and byte blobs plus
 //! fixed-width integers, via [`Cursor`].
 
+use act_obs::MetricsSnapshot;
 use std::io::{self, Read, Write};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"ACTS";
-/// Protocol version this implementation speaks.
-pub const VERSION: u8 = 1;
+/// Newest protocol version this implementation speaks (v2 = metrics in
+/// `STATUS` replies).
+pub const VERSION: u8 = 2;
+/// Oldest protocol version still accepted.
+pub const MIN_VERSION: u8 = 1;
 /// Upper bound on payload length; longer declared lengths are rejected
 /// *before* any allocation, so a corrupt or hostile length prefix cannot
 /// balloon memory.
@@ -55,6 +66,9 @@ pub enum FrameKind {
     StatusText = 0x83,
     /// Reply to [`FrameKind::Shutdown`]: acknowledged, draining.
     Bye = 0x84,
+    /// Reply to [`FrameKind::Status`] (v2): the counters block *plus* a
+    /// serialized metrics snapshot.
+    StatusMetrics = 0x85,
     /// Reply: the job queue is full — retry later (backpressure; the
     /// request was *not* accepted).
     Busy = 0xe0,
@@ -74,6 +88,7 @@ impl FrameKind {
             0x82 => Diagnosis,
             0x83 => StatusText,
             0x84 => Bye,
+            0x85 => StatusMetrics,
             0xe0 => Busy,
             0xe1 => Error,
             _ => return None,
@@ -81,13 +96,30 @@ impl FrameKind {
     }
 }
 
-/// One protocol frame: a kind plus its raw payload.
+/// One protocol frame: a version, a kind, and the raw payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
+    /// Protocol version the frame was (or will be) stamped with. The
+    /// server echoes the request's version on its reply so v1 clients
+    /// never see a frame their `read_frame` rejects.
+    pub version: u8,
     /// What the payload means.
     pub kind: FrameKind,
     /// Schema depends on `kind`; see the module docs and `PROTOCOL.md`.
     pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame stamped with the newest [`VERSION`].
+    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        Frame { version: VERSION, kind, payload }
+    }
+
+    /// The same frame restamped for a peer speaking `version`.
+    pub fn with_version(mut self, version: u8) -> Frame {
+        self.version = version;
+        self
+    }
 }
 
 /// Everything that can go wrong reading or interpreting a frame.
@@ -152,7 +184,7 @@ pub fn write_frame<W: Write>(mut w: W, frame: &Frame) -> io::Result<()> {
     assert!(frame.payload.len() <= MAX_PAYLOAD as usize, "frame payload too large");
     let mut buf = Vec::with_capacity(HEADER_LEN + frame.payload.len());
     buf.extend_from_slice(&MAGIC);
-    buf.push(VERSION);
+    buf.push(frame.version);
     buf.push(frame.kind as u8);
     buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&frame.payload);
@@ -179,9 +211,10 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Frame, ProtoError> {
     if header[0..4] != MAGIC {
         return Err(ProtoError::BadMagic([header[0], header[1], header[2], header[3]]));
     }
-    if header[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header[4]) {
         return Err(ProtoError::BadVersion(header[4]));
     }
+    let version = header[4];
     let kind = FrameKind::from_u8(header[5]).ok_or(ProtoError::UnknownKind(header[5]))?;
     let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
     if len > MAX_PAYLOAD {
@@ -195,7 +228,7 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Frame, ProtoError> {
             ProtoError::Io(e)
         }
     })?;
-    Ok(Frame { kind, payload })
+    Ok(Frame { version, kind, payload })
 }
 
 // ---------------------------------------------------------------------
@@ -281,16 +314,16 @@ impl Request {
             Request::Train(spec) => {
                 let mut payload = Vec::new();
                 spec.encode_into(&mut payload);
-                Frame { kind: FrameKind::Train, payload }
+                Frame::new(FrameKind::Train, payload)
             }
             Request::Diagnose(spec, trace) => {
                 let mut payload = Vec::new();
                 spec.encode_into(&mut payload);
                 put_bytes(&mut payload, trace);
-                Frame { kind: FrameKind::Diagnose, payload }
+                Frame::new(FrameKind::Diagnose, payload)
             }
-            Request::Status => Frame { kind: FrameKind::Status, payload: Vec::new() },
-            Request::Shutdown => Frame { kind: FrameKind::Shutdown, payload: Vec::new() },
+            Request::Status => Frame::new(FrameKind::Status, Vec::new()),
+            Request::Shutdown => Frame::new(FrameKind::Shutdown, Vec::new()),
         }
     }
 
@@ -327,6 +360,9 @@ pub enum Reply {
     Diagnosis(String),
     /// The counters block.
     StatusText(String),
+    /// The counters block plus the daemon's full metrics snapshot
+    /// (protocol v2; v1 requesters get [`Reply::StatusText`] instead).
+    StatusMetrics(String, MetricsSnapshot),
     /// Shutdown acknowledged; the daemon is draining.
     Bye,
     /// Queue full — the request was rejected, not accepted-then-dropped.
@@ -342,11 +378,17 @@ impl Reply {
             Reply::Trained(s) => (FrameKind::Trained, s.clone().into_bytes()),
             Reply::Diagnosis(s) => (FrameKind::Diagnosis, s.clone().into_bytes()),
             Reply::StatusText(s) => (FrameKind::StatusText, s.clone().into_bytes()),
+            Reply::StatusMetrics(s, snap) => {
+                let mut payload = Vec::new();
+                put_str(&mut payload, s);
+                payload.extend_from_slice(&snap.to_bytes());
+                (FrameKind::StatusMetrics, payload)
+            }
             Reply::Bye => (FrameKind::Bye, Vec::new()),
             Reply::Busy => (FrameKind::Busy, Vec::new()),
             Reply::Error(s) => (FrameKind::Error, s.clone().into_bytes()),
         };
-        Frame { kind, payload }
+        Frame::new(kind, payload)
     }
 
     /// Decode a reply frame.
@@ -364,6 +406,13 @@ impl Reply {
             FrameKind::Trained => Reply::Trained(text(&frame.payload)?),
             FrameKind::Diagnosis => Reply::Diagnosis(text(&frame.payload)?),
             FrameKind::StatusText => Reply::StatusText(text(&frame.payload)?),
+            FrameKind::StatusMetrics => {
+                let mut c = Cursor::new(&frame.payload);
+                let status = c.take_str()?;
+                let snap = MetricsSnapshot::from_bytes(c.rest)
+                    .map_err(|e| ProtoError::Malformed(e.to_string()))?;
+                Reply::StatusMetrics(status, snap)
+            }
             FrameKind::Bye => Reply::Bye,
             FrameKind::Busy => Reply::Busy,
             FrameKind::Error => Reply::Error(text(&frame.payload)?),
@@ -459,13 +508,59 @@ mod tests {
 
     #[test]
     fn frame_round_trips_over_a_byte_stream() {
-        let frame = Frame { kind: FrameKind::Diagnosis, payload: b"ranked=3".to_vec() };
+        let frame = Frame::new(FrameKind::Diagnosis, b"ranked=3".to_vec());
         let mut wire = Vec::new();
         write_frame(&mut wire, &frame).unwrap();
         assert_eq!(&wire[0..4], b"ACTS");
         assert_eq!(wire[4], VERSION);
         let back = read_frame(wire.as_slice()).unwrap();
         assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn v1_frames_still_read_and_replies_restamp_for_old_clients() {
+        // A v1 client's request (old wire bytes) must decode on a new
+        // server, surfacing the version it arrived with.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Status.to_frame().with_version(1)).unwrap();
+        assert_eq!(wire[4], 1);
+        let frame = read_frame(wire.as_slice()).unwrap();
+        assert_eq!(frame.version, 1);
+        assert_eq!(Request::from_frame(&frame).unwrap(), Request::Status);
+
+        // A new server's reply to that client is stamped v1, so the old
+        // `read_frame` (which accepted only version 1) parses it.
+        let reply = Reply::StatusText("act-serve status\nrequests_served 0\n".into());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &reply.to_frame().with_version(frame.version)).unwrap();
+        assert_eq!(wire[4], 1);
+        let back = Reply::from_frame(&read_frame(wire.as_slice()).unwrap()).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn status_metrics_reply_round_trips() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("requests_served", 5);
+        snap.push_gauge("queue_depth", 2);
+        snap.push_histogram(
+            "service_us",
+            act_obs::HistogramSnapshot { bounds: vec![100, 1000], counts: vec![3, 1, 1], sum: 42 },
+        );
+        let reply = Reply::StatusMetrics("act-serve status\n".into(), snap);
+        let frame = reply.to_frame();
+        assert_eq!(frame.version, VERSION);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let back = Reply::from_frame(&read_frame(wire.as_slice()).unwrap()).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn status_metrics_rejects_corrupt_snapshot_bytes() {
+        let mut frame = Reply::StatusMetrics("s".into(), MetricsSnapshot::new()).to_frame();
+        frame.payload.push(0xff);
+        assert!(matches!(Reply::from_frame(&frame), Err(ProtoError::Malformed(_))));
     }
 
     #[test]
@@ -491,6 +586,7 @@ mod tests {
             Reply::Trained("topology 10x10x1".into()),
             Reply::Diagnosis("ranked=2\n#1 ...".into()),
             Reply::StatusText("requests_served 5".into()),
+            Reply::StatusMetrics("requests_served 5".into(), MetricsSnapshot::new()),
             Reply::Bye,
             Reply::Busy,
             Reply::Error("unknown workload".into()),

@@ -13,14 +13,15 @@
 
 use crate::cache::{CacheOutcome, ModelCache};
 use crate::pool::{spawn_workers, Job};
-use crate::proto::{read_frame, write_frame, Reply, Request};
+use crate::proto::{read_frame, write_frame, Reply, Request, VERSION};
 use act_fleet::BoundedQueue;
+use act_obs::{events, latency_bounds_us, Counter, Gauge, Histogram, Level, Registry};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -114,126 +115,198 @@ impl Default for ServeConfig {
     }
 }
 
-/// Counters behind `STATUS` — the daemon's first observability surface.
-/// Everything is monotonic except the service-time reservoir (a capped
-/// ring of recent samples for the percentiles).
-#[derive(Debug, Default)]
+/// Counters behind `STATUS` — the daemon's observability surface, backed
+/// by a per-server [`act_obs::Registry`] so the whole set serializes as
+/// one [`MetricsSnapshot`](act_obs::MetricsSnapshot) in v2 `STATUS`
+/// replies. Per-server (not the process-global registry) because the
+/// tests boot several daemons in one process and their counters must not
+/// mix. Request/reply counters are per [`FrameKind`](crate::FrameKind);
+/// service time is a fixed-bucket latency histogram.
 pub struct ServerStats {
-    accepted: AtomicU64,
-    served: AtomicU64,
-    errored: AtomicU64,
-    rejected_busy: AtomicU64,
-    crashed: AtomicU64,
-    deadline_expired: AtomicU64,
-    proto_errors: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    service_us: Mutex<Vec<u64>>,
+    registry: Registry,
+    accepted: Counter,
+    served: Counter,
+    errored: Counter,
+    rejected_busy: Counter,
+    crashed: Counter,
+    deadline_expired: Counter,
+    proto_errors: Counter,
+    cache_memory_hits: Counter,
+    cache_disk_loads: Counter,
+    cache_trained: Counter,
+    req_train: Counter,
+    req_diagnose: Counter,
+    req_status: Counter,
+    req_shutdown: Counter,
+    reply_trained: Counter,
+    reply_diagnosis: Counter,
+    reply_status: Counter,
+    reply_bye: Counter,
+    reply_busy: Counter,
+    reply_error: Counter,
+    uptime_ms: Gauge,
+    queue_depth: Gauge,
+    models_resident: Gauge,
+    service_us: Histogram,
 }
 
-/// Most recent service-time samples kept for the percentiles.
-const SERVICE_SAMPLES: usize = 4096;
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl ServerStats {
+    /// Fresh stats over a fresh registry (all zeros).
+    pub fn new() -> ServerStats {
+        let registry = Registry::new();
+        ServerStats {
+            accepted: registry.counter("requests_accepted"),
+            served: registry.counter("requests_served"),
+            errored: registry.counter("requests_errored"),
+            rejected_busy: registry.counter("requests_rejected_busy"),
+            crashed: registry.counter("requests_crashed"),
+            deadline_expired: registry.counter("requests_deadline_expired"),
+            proto_errors: registry.counter("protocol_errors"),
+            cache_memory_hits: registry.counter("cache_memory_hits"),
+            cache_disk_loads: registry.counter("cache_disk_loads"),
+            cache_trained: registry.counter("cache_trained"),
+            req_train: registry.counter("req_train"),
+            req_diagnose: registry.counter("req_diagnose"),
+            req_status: registry.counter("req_status"),
+            req_shutdown: registry.counter("req_shutdown"),
+            reply_trained: registry.counter("reply_trained"),
+            reply_diagnosis: registry.counter("reply_diagnosis"),
+            reply_status: registry.counter("reply_status"),
+            reply_bye: registry.counter("reply_bye"),
+            reply_busy: registry.counter("reply_busy"),
+            reply_error: registry.counter("reply_error"),
+            uptime_ms: registry.gauge("uptime_ms"),
+            queue_depth: registry.gauge("queue_depth"),
+            models_resident: registry.gauge("models_resident"),
+            service_us: registry.histogram("service_us", &latency_bounds_us()),
+            registry,
+        }
+    }
+
     pub(crate) fn bump_accepted(&self) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.accepted.inc();
     }
 
     pub(crate) fn bump_served(&self) {
-        self.served.fetch_add(1, Ordering::Relaxed);
+        self.served.inc();
     }
 
     pub(crate) fn bump_errored(&self) {
-        self.errored.fetch_add(1, Ordering::Relaxed);
+        self.errored.inc();
     }
 
     pub(crate) fn bump_rejected(&self) {
-        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        self.rejected_busy.inc();
     }
 
     pub(crate) fn bump_crashed(&self) {
-        self.crashed.fetch_add(1, Ordering::Relaxed);
+        self.crashed.inc();
     }
 
     pub(crate) fn bump_deadline_expired(&self) {
-        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        self.deadline_expired.inc();
     }
 
     pub(crate) fn bump_proto_errors(&self) {
-        self.proto_errors.fetch_add(1, Ordering::Relaxed);
+        self.proto_errors.inc();
+    }
+
+    /// Count one decoded request by frame kind.
+    pub(crate) fn note_request(&self, request: &Request) {
+        match request {
+            Request::Train(_) => self.req_train.inc(),
+            Request::Diagnose(..) => self.req_diagnose.inc(),
+            Request::Status => self.req_status.inc(),
+            Request::Shutdown => self.req_shutdown.inc(),
+        }
+    }
+
+    /// Count one written reply by frame kind.
+    pub(crate) fn note_reply(&self, reply: &Reply) {
+        match reply {
+            Reply::Trained(_) => self.reply_trained.inc(),
+            Reply::Diagnosis(_) => self.reply_diagnosis.inc(),
+            Reply::StatusText(_) | Reply::StatusMetrics(..) => self.reply_status.inc(),
+            Reply::Bye => self.reply_bye.inc(),
+            Reply::Busy => self.reply_busy.inc(),
+            Reply::Error(_) => self.reply_error.inc(),
+        }
     }
 
     pub(crate) fn note_cache(&self, outcome: CacheOutcome) {
         match outcome {
-            CacheOutcome::Memory | CacheOutcome::Disk => {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed)
-            }
-            CacheOutcome::Trained => self.cache_misses.fetch_add(1, Ordering::Relaxed),
-        };
+            CacheOutcome::Memory => self.cache_memory_hits.inc(),
+            CacheOutcome::Disk => self.cache_disk_loads.inc(),
+            CacheOutcome::Trained => self.cache_trained.inc(),
+        }
     }
 
     pub(crate) fn record_service(&self, elapsed: Duration) {
-        let mut samples = self.service_us.lock().expect("stats lock");
-        if samples.len() >= SERVICE_SAMPLES {
-            // Overwrite round-robin; recency matters more than exactness.
-            let at = self.served.load(Ordering::Relaxed) as usize % SERVICE_SAMPLES;
-            samples[at] = elapsed.as_micros() as u64;
-        } else {
-            samples.push(elapsed.as_micros() as u64);
-        }
+        self.service_us.observe(elapsed.as_micros() as u64);
     }
 
     /// Requests answered `BUSY`.
     pub fn rejected_busy(&self) -> u64 {
-        self.rejected_busy.load(Ordering::Relaxed)
+        self.rejected_busy.get()
     }
 
     /// Requests whose handler panicked (isolated; daemon kept serving).
     pub fn crashed(&self) -> u64 {
-        self.crashed.load(Ordering::Relaxed)
+        self.crashed.get()
     }
 
     /// Model-cache hits (memory or disk — no retraining either way).
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.cache_memory_hits.get() + self.cache_disk_loads.get()
     }
 
-    /// Render the plain-text `STATUS` block: `key value` per line.
+    /// Every metric as one snapshot — what a v2 `STATUS` reply carries.
+    /// The point-in-time gauges (uptime, queue depth, resident models)
+    /// are stamped first so the snapshot is self-contained.
+    pub fn metrics_snapshot(
+        &self,
+        uptime: Duration,
+        queue_len: usize,
+        models_resident: usize,
+    ) -> act_obs::MetricsSnapshot {
+        self.uptime_ms.set(uptime.as_millis() as i64);
+        self.queue_depth.set(queue_len as i64);
+        self.models_resident.set(models_resident as i64);
+        self.registry.snapshot()
+    }
+
+    /// Render the plain-text `STATUS` block: `key value` per line. The
+    /// keys are the v1 wire surface — scripts grep them — so the legacy
+    /// aggregates (`cache_hits` = memory + disk, `cache_misses` =
+    /// trained-from-scratch) are preserved verbatim.
     pub fn render(&self, uptime: Duration, queue_len: usize, models_resident: usize) -> String {
         use std::fmt::Write as _;
-        let (p50, p99) = {
-            let samples = self.service_us.lock().expect("stats lock");
-            percentiles(&samples)
-        };
+        let service = self.service_us.snapshot();
+        let (p50, p99) = (service.quantile(0.50), service.quantile(0.99));
         let mut out = String::from("act-serve status\n");
         let mut line = |k: &str, v: u64| writeln!(out, "{k} {v}").expect("string write");
         line("uptime_ms", uptime.as_millis() as u64);
-        line("requests_accepted", self.accepted.load(Ordering::Relaxed));
-        line("requests_served", self.served.load(Ordering::Relaxed));
-        line("requests_errored", self.errored.load(Ordering::Relaxed));
-        line("requests_rejected_busy", self.rejected_busy.load(Ordering::Relaxed));
-        line("requests_crashed", self.crashed.load(Ordering::Relaxed));
-        line("requests_deadline_expired", self.deadline_expired.load(Ordering::Relaxed));
-        line("protocol_errors", self.proto_errors.load(Ordering::Relaxed));
-        line("cache_hits", self.cache_hits.load(Ordering::Relaxed));
-        line("cache_misses", self.cache_misses.load(Ordering::Relaxed));
+        line("requests_accepted", self.accepted.get());
+        line("requests_served", self.served.get());
+        line("requests_errored", self.errored.get());
+        line("requests_rejected_busy", self.rejected_busy.get());
+        line("requests_crashed", self.crashed.get());
+        line("requests_deadline_expired", self.deadline_expired.get());
+        line("protocol_errors", self.proto_errors.get());
+        line("cache_hits", self.cache_hits());
+        line("cache_misses", self.cache_trained.get());
         line("models_resident", models_resident as u64);
         line("queue_depth", queue_len as u64);
         writeln!(out, "service_ms_p50 {:.3}", p50 as f64 / 1e3).expect("string write");
         writeln!(out, "service_ms_p99 {:.3}", p99 as f64 / 1e3).expect("string write");
         out
     }
-}
-
-/// (p50, p99) of `samples` in microseconds; zeros when empty.
-fn percentiles(samples: &[u64]) -> (u64, u64) {
-    if samples.is_empty() {
-        return (0, 0);
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-    (at(0.50), at(0.99))
 }
 
 /// A running daemon. Dropping the handle does *not* stop it; call
@@ -319,6 +392,21 @@ impl Server {
             cfg.deadline,
         ));
 
+        events().emit(
+            Level::Info,
+            "serve.start",
+            format!(
+                "daemon up: {} workers, queue depth {}, listening on {}",
+                cfg.workers,
+                cfg.queue_depth,
+                match (&tcp_addr, &cfg.unix_path) {
+                    (Some(a), Some(p)) => format!("{a} and {}", p.display()),
+                    (Some(a), None) => a.to_string(),
+                    (None, Some(p)) => p.display().to_string(),
+                    (None, None) => unreachable!("validated above"),
+                }
+            ),
+        );
         Ok(Server {
             stats,
             queue,
@@ -408,37 +496,68 @@ fn handle_connection(
     started: Instant,
 ) {
     let _ = conn.set_timeouts(io_timeout);
-    let request = match read_frame(&mut conn).and_then(|f| Request::from_frame(&f)) {
-        Ok(req) => req,
+    let (version, request) = match read_frame(&mut conn) {
+        Ok(frame) => match Request::from_frame(&frame) {
+            Ok(req) => (frame.version, req),
+            Err(e) => {
+                stats.bump_proto_errors();
+                send_reply(
+                    &mut conn,
+                    frame.version,
+                    &Reply::Error(format!("bad request: {e}")),
+                    stats,
+                );
+                return;
+            }
+        },
         Err(e) => {
             stats.bump_proto_errors();
-            let _ = write_frame(&mut conn, &Reply::Error(format!("bad request: {e}")).to_frame());
+            send_reply(&mut conn, VERSION, &Reply::Error(format!("bad request: {e}")), stats);
             return;
         }
     };
+    stats.note_request(&request);
     match request {
         // Always answerable, even with a saturated queue — that is the
         // point of handling them on the acceptor.
         Request::Status => {
             let text = stats.render(started.elapsed(), queue.len(), cache.resident());
-            let _ = write_frame(&mut conn, &Reply::StatusText(text).to_frame());
+            // v2 requesters get the metrics snapshot; v1 requesters get
+            // the plain text block their decoder knows.
+            let reply = if version >= 2 {
+                let snap = stats.metrics_snapshot(started.elapsed(), queue.len(), cache.resident());
+                Reply::StatusMetrics(text, snap)
+            } else {
+                Reply::StatusText(text)
+            };
+            send_reply(&mut conn, version, &reply, stats);
         }
         Request::Shutdown => {
-            let _ = write_frame(&mut conn, &Reply::Bye.to_frame());
+            send_reply(&mut conn, version, &Reply::Bye, stats);
+            events().emit(Level::Info, "serve.shutdown", "shutdown requested; draining");
             shutdown.store(true, Ordering::SeqCst);
             queue.close();
         }
         req @ (Request::Train(_) | Request::Diagnose(..)) => {
-            let job = Job { conn, request: req, accepted: Instant::now() };
+            let job = Job { conn, version, request: req, accepted: Instant::now() };
             match queue.try_push(job) {
                 Ok(()) => stats.bump_accepted(),
                 Err(mut job) => {
                     stats.bump_rejected();
-                    let _ = write_frame(&mut job.conn, &Reply::Busy.to_frame());
+                    events().emit(Level::Debug, "serve.busy", "queue full: request rejected");
+                    send_reply(&mut job.conn, version, &Reply::Busy, stats);
                 }
             }
         }
     }
+}
+
+/// Count and write one reply, stamped with the requester's protocol
+/// version so v1 clients never see a frame they cannot decode.
+pub(crate) fn send_reply(conn: &mut Conn, version: u8, reply: &Reply, stats: &ServerStats) {
+    stats.note_reply(reply);
+    // A vanished client is its own problem; the daemon moves on.
+    let _ = write_frame(conn, &reply.to_frame().with_version(version));
 }
 
 #[cfg(test)]
@@ -472,12 +591,28 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_of_known_distribution() {
-        let samples: Vec<u64> = (1..=100).collect();
-        let (p50, p99) = percentiles(&samples);
-        assert_eq!(p50, 51);
-        assert_eq!(p99, 99);
-        assert_eq!(percentiles(&[]), (0, 0));
+    fn metrics_snapshot_carries_counters_gauges_and_latency() {
+        let stats = ServerStats::default();
+        stats.note_request(&Request::Status);
+        stats.note_request(&Request::Train(crate::proto::ModelSpec::new("fft")));
+        stats.note_reply(&Reply::Busy);
+        stats.bump_served();
+        stats.note_cache(CacheOutcome::Disk);
+        stats.record_service(Duration::from_micros(180));
+        let snap = stats.metrics_snapshot(Duration::from_secs(2), 5, 1);
+        assert_eq!(snap.counter("req_status"), Some(1));
+        assert_eq!(snap.counter("req_train"), Some(1));
+        assert_eq!(snap.counter("reply_busy"), Some(1));
+        assert_eq!(snap.counter("requests_served"), Some(1));
+        assert_eq!(snap.counter("cache_disk_loads"), Some(1));
+        assert_eq!(snap.gauge("uptime_ms"), Some(2000));
+        assert_eq!(snap.gauge("queue_depth"), Some(5));
+        assert_eq!(snap.gauge("models_resident"), Some(1));
+        let service = snap.histogram("service_us").expect("latency histogram");
+        assert_eq!(service.count(), 1);
+        // Identical after a wire round-trip — what a v2 STATUS carries.
+        let bytes = snap.to_bytes();
+        assert_eq!(act_obs::MetricsSnapshot::from_bytes(&bytes).unwrap(), snap);
     }
 
     #[test]

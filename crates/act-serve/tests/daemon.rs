@@ -68,6 +68,9 @@ fn counter(status: &str, key: &str) -> u64 {
 
 fn status_of(endpoint: &Endpoint) -> String {
     match request(endpoint, &Request::Status).expect("status reply") {
+        // A v2 client gets the text block plus the metrics snapshot; the
+        // text is the part these tests grep.
+        Reply::StatusMetrics(text, _) => text,
         Reply::StatusText(text) => text,
         other => panic!("unexpected status reply: {other:?}"),
     }
@@ -176,6 +179,45 @@ fn full_queue_answers_busy_instead_of_accepting() {
     let status = status_of(&endpoint);
     assert_eq!(counter(&status, "requests_rejected_busy"), 1, "status:\n{status}");
     assert_eq!(counter(&status, "requests_served"), 2, "status:\n{status}");
+
+    assert!(matches!(request(&endpoint, &Request::Shutdown).expect("bye"), Reply::Bye));
+    server.join();
+}
+
+#[test]
+fn status_speaks_both_protocol_versions() {
+    use act_serve::proto::{read_frame, write_frame, FrameKind};
+    use std::io::Write as _;
+    let (server, endpoint) = boot(1, 4);
+    let addr = match &endpoint {
+        Endpoint::Tcp(addr) => addr.clone(),
+        other => panic!("tcp endpoint expected, got {other}"),
+    };
+
+    // An old (v1) client: frame stamped version 1 must get a v1-stamped
+    // plain STATUS_TEXT reply — nothing a v1 decoder would reject.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    write_frame(&mut stream, &Request::Status.to_frame().with_version(1)).expect("send v1");
+    stream.flush().expect("flush");
+    let frame = read_frame(&mut stream).expect("v1 reply frame");
+    assert_eq!(frame.version, 1, "reply restamped for the v1 requester");
+    assert_eq!(frame.kind, FrameKind::StatusText);
+    match Reply::from_frame(&frame).expect("decode") {
+        Reply::StatusText(text) => assert!(text.contains("requests_served"), "text: {text}"),
+        other => panic!("v1 STATUS must get StatusText, got {other:?}"),
+    }
+
+    // A new (v2) client gets the metrics snapshot alongside the text, and
+    // the two surfaces agree on the counters.
+    match request(&endpoint, &Request::Status).expect("status reply") {
+        Reply::StatusMetrics(text, snap) => {
+            assert!(snap.counter("req_status").expect("req_status counter") >= 1);
+            assert!(snap.histogram("service_us").is_some(), "latency histogram present");
+            let served = counter(&text, "requests_served");
+            assert_eq!(snap.counter("requests_served"), Some(served));
+        }
+        other => panic!("v2 STATUS must get StatusMetrics, got {other:?}"),
+    }
 
     assert!(matches!(request(&endpoint, &Request::Shutdown).expect("bye"), Reply::Bye));
     server.join();

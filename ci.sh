@@ -23,16 +23,43 @@ cargo run --release -p act-bench --bin perf -- --quick --only obs_classify \
     --out BENCH_obs.quick.json
 test -s BENCH_obs.quick.json
 
+# Corpus store: the codec benches must run, and a CLI round trip through a
+# real corpus must be lossless (DESIGN.md §9).
+cargo run --release -p act-bench --bin perf -- --quick --only store_ \
+    --out BENCH_store.quick.json
+test -s BENCH_store.quick.json
+STORE_DIR=$(mktemp -d)
+target/release/act store init "$STORE_DIR/corpus"
+target/release/act store put "$STORE_DIR/corpus" seq --runs 2 | grep "2 correct-run traces"
+target/release/act store ls "$STORE_DIR/corpus" | grep "seq-0"
+target/release/act store stat "$STORE_DIR/corpus" | grep "live entries"
+target/release/act store get "$STORE_DIR/corpus" seq-0 --out "$STORE_DIR/seq-0.trace"
+target/release/act store put "$STORE_DIR/corpus" seq \
+    --trace "$STORE_DIR/seq-0.trace" --key seq-copy
+target/release/act store get "$STORE_DIR/corpus" seq-copy --out "$STORE_DIR/back.trace"
+cmp "$STORE_DIR/seq-0.trace" "$STORE_DIR/back.trace"
+target/release/act store compact "$STORE_DIR/corpus" | grep "compacted"
+rm -rf "$STORE_DIR"
+
 # Daemon smoke test: boot act-serve on loopback, train + diagnose over the
 # wire, assert the ranked suspect list is non-empty, shut down cleanly.
 ACT=target/release/act
 ADDR=127.0.0.1:7461
+SERVE_CORPUS=$(mktemp -d)
 "$ACT" serve --addr "$ADDR" --workers 2 --queue-depth 8 \
+    --corpus "$SERVE_CORPUS/corpus" \
     --event-log act-serve-events.jsonl &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 sleep 1
 "$ACT" request train seq --addr "$ADDR" | grep "trained seq"
+# Corpus over the wire (protocol v3): ingest, read back losslessly.
+"$ACT" trace seq --out "$SERVE_CORPUS/traces" --runs 1
+"$ACT" request trace-put seq --addr "$ADDR" \
+    --trace "$SERVE_CORPUS/traces/seq-0.trace" | grep "stored seq-0"
+"$ACT" request trace-get --key seq-0 --addr "$ADDR" \
+    --out "$SERVE_CORPUS/back.trace"
+cmp "$SERVE_CORPUS/traces/seq-0.trace" "$SERVE_CORPUS/back.trace"
 "$ACT" request diagnose seq --addr "$ADDR" | tee /tmp/act-smoke-diagnosis.txt
 grep "^diagnosis workload=seq" /tmp/act-smoke-diagnosis.txt
 grep "^#1 " /tmp/act-smoke-diagnosis.txt
@@ -46,6 +73,7 @@ grep "service_us" /tmp/act-smoke-status.txt
 "$ACT" request shutdown --addr "$ADDR"
 wait "$SERVE_PID"
 trap - EXIT
+rm -rf "$SERVE_CORPUS"
 
 # The event log is valid JSONL and recorded the daemon lifecycle.
 test -s act-serve-events.jsonl

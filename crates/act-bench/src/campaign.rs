@@ -76,6 +76,19 @@ pub const FIG8_SWEEPS: [(&str, usize, usize); 6] = [
     ("fifo=16", 1, 16),
 ];
 
+/// Up to `want` stored traces of `workload` from the corpus at `dir`.
+/// Rotten entries are skipped; a missing corpus panics (the job is then
+/// recorded as crashed, the right report for a bad spec).
+fn corpus_traces(dir: &str, workload: &str, want: usize) -> Vec<act_trace::event::Trace> {
+    let c = act_store::Corpus::open(dir).unwrap_or_else(|e| panic!("corpus {dir}: {e}"));
+    c.entries(Some(workload))
+        .into_iter()
+        .filter(|info| info.meta.kind == act_store::EntryKind::Trace)
+        .filter_map(|info| c.get_trace(&info.meta.key).ok())
+        .take(want)
+        .collect()
+}
+
 fn lookup(name: &str) -> Box<dyn Workload> {
     registry::by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`"))
 }
@@ -133,9 +146,13 @@ pub fn executor_for(
 ) -> Result<Box<dyn Fn(&JobDesc) -> JobOutput + Send + Sync>, ActError> {
     let traces: usize = spec.param_or("traces", 10);
     let max_tries: u64 = spec.param_or("max_tries", 20);
+    // `corpus = DIR` points the train executor at an act-store corpus as
+    // its trace source (ingested production traces instead of fresh
+    // simulator runs).
+    let corpus: Option<String> = spec.params.get("corpus").cloned();
     match spec.kind.as_str() {
         "run" => Ok(Box::new(run_exec)),
-        "train" => Ok(Box::new(move |job: &JobDesc| train_exec(job, traces))),
+        "train" => Ok(Box::new(move |job: &JobDesc| train_exec(job, traces, corpus.as_deref()))),
         "diagnose" => Ok(Box::new(move |job: &JobDesc| diagnose_exec(job, traces, max_tries))),
         "overhead" => Ok(Box::new(move |job: &JobDesc| overhead_exec(job, traces))),
         "ablation" => Ok(Box::new(move |job: &JobDesc| ablation_exec(job, traces, max_tries))),
@@ -166,11 +183,23 @@ fn run_exec(job: &JobDesc) -> JobOutput {
         ))
 }
 
-/// `train`: one Table IV row.
-fn train_exec(job: &JobDesc, traces: usize) -> JobOutput {
+/// `train`: one Table IV row. With a `corpus` param, the training traces
+/// come from the store instead of fresh simulator runs.
+fn train_exec(job: &JobDesc, traces: usize, corpus: Option<&str>) -> JobOutput {
     let w = lookup(&job.workload);
     let cfg = act_cfg_for(w.as_ref());
-    let trained = train_workload(w.as_ref(), traces, &cfg);
+    let trained = match corpus {
+        Some(dir) => {
+            let stored = corpus_traces(dir, &job.workload, traces);
+            assert!(
+                !stored.is_empty(),
+                "{}: corpus {dir} holds no traces for this workload",
+                job.workload
+            );
+            act_core::offline::offline_train(crate::norm_of(w.as_ref()), &stored, &cfg)
+        }
+        None => train_workload(w.as_ref(), traces, &cfg),
+    };
     let r = &trained.report;
     JobOutput::default()
         .int("traces", (r.train_traces + r.test_traces) as i64)
@@ -444,6 +473,31 @@ mod tests {
         let r8 = run_campaign(&spec, 8, exec8);
         assert_eq!(r1.deterministic_json(), r8.deterministic_json());
         assert_eq!(r1.aggregate.crashed, 0);
+    }
+
+    /// A train campaign pointed at a corpus trains from the stored traces
+    /// (and crashes the job, not the campaign, when the corpus lacks them).
+    #[test]
+    fn train_campaign_reads_traces_from_a_corpus() {
+        let dir = std::env::temp_dir().join(format!("act-bench-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut corpus = act_store::Corpus::init(&dir).unwrap();
+        let w = lookup("seq");
+        for (i, t) in collect_clean_traces(w.as_ref(), 0..8).iter().take(3).enumerate() {
+            corpus.put_trace(&format!("seq-{i}"), "seq", t).unwrap();
+        }
+        drop(corpus);
+
+        let mut spec = CampaignSpec::new("corpus-train", "train", &["seq", "fft"]);
+        spec.params.insert("traces".into(), "3".into());
+        spec.params.insert("corpus".into(), dir.display().to_string());
+        let exec = executor_for(&spec).unwrap();
+        let report = run_campaign(&spec, 2, exec);
+        // `seq` trains from the store; `fft` has no stored traces, so its
+        // job crashes in isolation.
+        assert_eq!(report.aggregate.completed, 1, "seq trains from the corpus");
+        assert_eq!(report.aggregate.crashed, 1, "fft has no corpus traces");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// An unknown workload crashes its own job only.

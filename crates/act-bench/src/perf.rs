@@ -19,8 +19,8 @@
 //!
 //! `before` is optional: the `perf` binary fills it by re-reading a baseline
 //! file recorded before an optimization (`--baseline`). Throughput benches
-//! (`ops/s`) are higher-is-better; wall-clock benches (`s`) are
-//! lower-is-better.
+//! (`ops/s`, `MB/s`) and the store's compression `ratio` are
+//! higher-is-better; wall-clock benches (`s`) are lower-is-better.
 
 use crate::campaign::{executor_for, table4_spec};
 use crate::{act_cfg_for, collect_clean_traces, norm_of};
@@ -31,6 +31,9 @@ use act_fleet::{run_campaign, CampaignSpec};
 use act_nn::network::{Network, Topology};
 use act_obs::{LocalCounter, Registry};
 use act_sim::events::RawDep;
+use act_store::column::{decode_chunk, encode_chunk, CHUNK_RECORDS};
+use act_store::corpus::text_size_of;
+use act_trace::event::TraceRecord;
 use act_workloads::registry;
 use std::time::{Duration, Instant};
 
@@ -43,7 +46,8 @@ pub struct BenchEntry {
     pub before: Option<f64>,
     /// Measured value.
     pub value: f64,
-    /// `"ops/s"` (higher is better) or `"s"` (lower is better).
+    /// `"ops/s"`, `"MB/s"`, or `"ratio"` (higher is better) — or `"s"`
+    /// (lower is better).
     pub unit: String,
     /// Worker threads the measurement used.
     pub jobs: usize,
@@ -171,6 +175,95 @@ pub fn obs_classify_predictions_per_sec(target: Duration) -> f64 {
     rate
 }
 
+/// Volume-throughput variant of [`throughput`]: run `pass` (one sweep over
+/// a fixed payload) until `target` elapses and scale passes/second by the
+/// payload's size in MiB. The per-pass work-product count is folded into a
+/// sink so the optimizer cannot delete the sweep.
+fn mb_rate(target: Duration, mb_per_pass: f64, mut pass: impl FnMut() -> usize) -> f64 {
+    let mut sink = pass(); // warm-up: touch caches, size scratch buffers
+    let start = Instant::now();
+    let mut passes = 0u64;
+    loop {
+        sink ^= pass();
+        passes += 1;
+        if start.elapsed() >= target {
+            break;
+        }
+    }
+    std::hint::black_box(sink);
+    passes as f64 * mb_per_pass / start.elapsed().as_secs_f64()
+}
+
+/// The corpus-store bench payload: clean `lu` traces (the representative
+/// workload of the store's compression bar), flattened to one record run,
+/// priced in text-codec MiB — the volume a daemon ingests per `TRACE_PUT`.
+fn store_bench_payload() -> (Vec<TraceRecord>, f64) {
+    let w = registry::by_name("lu").expect("lu kernel registered");
+    let traces = collect_clean_traces(w.as_ref(), 0..4);
+    assert!(!traces.is_empty(), "lu produced no clean traces");
+    let mut records = Vec::new();
+    let mut raw = 0u64;
+    for t in &traces {
+        raw += text_size_of(t);
+        records.extend(t.records.iter().cloned());
+    }
+    (records, raw as f64 / (1 << 20) as f64)
+}
+
+/// Columnar encode throughput of the trace store, in text-codec MiB
+/// ingested per second — the `act-store` half of a `TRACE_PUT`.
+pub fn store_encode_mb_per_sec(target: Duration) -> f64 {
+    let (records, mb) = store_bench_payload();
+    let mut out = Vec::new();
+    mb_rate(target, mb, move || {
+        out.clear();
+        let mut n = 0usize;
+        for chunk in records.chunks(CHUNK_RECORDS) {
+            n += encode_chunk(chunk, &mut out);
+        }
+        n
+    })
+}
+
+/// Columnar decode throughput of the trace store, in text-codec MiB of
+/// reconstructed trace per second — the `act-store` half of a `TRACE_GET`
+/// or a train-from-corpus read.
+pub fn store_decode_mb_per_sec(target: Duration) -> f64 {
+    let (records, mb) = store_bench_payload();
+    let mut bodies = Vec::new();
+    for chunk in records.chunks(CHUNK_RECORDS) {
+        let mut body = Vec::new();
+        encode_chunk(chunk, &mut body);
+        bodies.push(body);
+    }
+    let mut recs = Vec::new();
+    mb_rate(target, mb, move || {
+        let mut n = 0usize;
+        for body in &bodies {
+            recs.clear();
+            decode_chunk(body, &mut recs).expect("bench chunk decodes");
+            n += recs.len();
+        }
+        n
+    })
+}
+
+/// The store's compression ratio on the representative payload: text-codec
+/// bytes over columnar-encoded bytes (the issue's acceptance bar is >= 3).
+pub fn store_compression_ratio() -> f64 {
+    let (records, _) = store_bench_payload();
+    let raw: u64 = {
+        let mut t = act_trace::event::Trace { records: records.clone(), code_len: 0 };
+        t.code_len = 4096;
+        text_size_of(&t)
+    };
+    let mut out = Vec::new();
+    for chunk in records.chunks(CHUNK_RECORDS) {
+        encode_chunk(chunk, &mut out);
+    }
+    raw as f64 / out.len().max(1) as f64
+}
+
 /// Online back-propagation throughput on the harness topology: the work of
 /// one `Network::train` step in training mode.
 pub fn online_train_steps_per_sec(target: Duration) -> f64 {
@@ -269,6 +362,30 @@ pub fn run_all(quick: bool, jobs: usize, only: Option<&str>) -> Vec<BenchEntry> 
                 jobs,
             ));
         }
+    }
+    if want("store_encode_mb_per_sec") {
+        entries.push(BenchEntry::new(
+            "store_encode_mb_per_sec",
+            store_encode_mb_per_sec(target),
+            "MB/s",
+            1,
+        ));
+    }
+    if want("store_decode_mb_per_sec") {
+        entries.push(BenchEntry::new(
+            "store_decode_mb_per_sec",
+            store_decode_mb_per_sec(target),
+            "MB/s",
+            1,
+        ));
+    }
+    if want("store_compression_ratio") {
+        entries.push(BenchEntry::new(
+            "store_compression_ratio",
+            store_compression_ratio(),
+            "ratio",
+            1,
+        ));
     }
     if want("table4_wall_s") {
         entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, 1), "s", 1));
@@ -376,7 +493,7 @@ pub fn validate(text: &str) -> Result<usize, ActError> {
         if !(e.value.is_finite() && e.value > 0.0) {
             return Err(ActError::Parse(format!("{}: non-positive value {}", e.bench, e.value)));
         }
-        if e.unit != "ops/s" && e.unit != "s" {
+        if !matches!(e.unit.as_str(), "ops/s" | "MB/s" | "ratio" | "s") {
             return Err(ActError::Parse(format!("{}: unknown unit `{}`", e.bench, e.unit)));
         }
         if e.jobs == 0 {

@@ -9,7 +9,9 @@
 //! act diagnose <workload> [--weights FILE]  full single-failure diagnosis
 //! act campaign <spec> [--jobs N] [--out FILE] [--no-timing]
 //! act serve [--addr A] [--workers N] [--queue-depth D] [--model-dir DIR]
-//! act request <train|diagnose|status|shutdown> [workload] [--addr A] ...
+//!           [--corpus DIR]
+//! act request <train|diagnose|status|shutdown|trace-put|trace-get> ...
+//! act store <init|put|get|ls|stat|compact> DIR [args]
 //! ```
 
 use act_bench::{
@@ -42,12 +44,19 @@ fn usage() -> ExitCode {
          \x20 campaign <spec> [--jobs N] [--out FILE] [--no-timing]\n\
          \x20                                        run a campaign spec in parallel\n\
          \x20 serve [--addr A] [--unix PATH] [--workers N] [--queue-depth D]\n\
-         \x20       [--model-dir DIR] [--cache N] [--deadline-ms MS] [--event-log FILE]\n\
-         \x20                                        run the diagnosis daemon\n\
-         \x20 request <train|diagnose|status|shutdown> [workload]\n\
+         \x20       [--model-dir DIR] [--corpus DIR] [--cache N] [--deadline-ms MS]\n\
+         \x20       [--event-log FILE]               run the diagnosis daemon\n\
+         \x20 request <train|diagnose|status|shutdown|trace-put|trace-get> [workload]\n\
          \x20       [--addr A] [--unix PATH] [--seed N] [--traces N]\n\
-         \x20       [--seq-len N] [--hidden N] [--epochs N] [--trace FILE]\n\
-         \x20                                        talk to a running daemon"
+         \x20       [--seq-len N] [--hidden N] [--epochs N] [--trace FILE] [--key K]\n\
+         \x20                                        talk to a running daemon\n\
+         \x20 store init DIR                         create an empty corpus store\n\
+         \x20 store put DIR <workload> [--runs N] [--trace FILE --key K]\n\
+         \x20                                        ingest correct-run traces\n\
+         \x20 store get DIR <key> [--out FILE]       read a trace back as text\n\
+         \x20 store ls DIR [workload]                list entries\n\
+         \x20 store stat DIR                         corpus accounting\n\
+         \x20 store compact DIR                      drop shadowed entries"
     );
     ExitCode::from(2)
 }
@@ -85,6 +94,8 @@ fn parse_args(raw: &[String]) -> Args {
                 "hidden",
                 "epochs",
                 "trace",
+                "corpus",
+                "key",
             ];
             if takes_value.contains(&name) && i + 1 < raw.len() {
                 a.flags.insert(name.to_string(), raw[i + 1].clone());
@@ -146,6 +157,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(&args),
         "serve" => cmd_serve(&args),
         "request" => cmd_request(&args),
+        "store" => cmd_store(&args),
         _ => usage(),
     }
 }
@@ -521,6 +533,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
         workers,
         queue_depth,
         model_dir: args.flags.get("model-dir").map(std::path::PathBuf::from),
+        corpus_dir: args.flags.get("corpus").map(std::path::PathBuf::from),
         cache_capacity,
         deadline: std::time::Duration::from_millis(deadline_ms as u64),
         ..act_serve::ServeConfig::default()
@@ -537,6 +550,9 @@ fn cmd_serve(args: &Args) -> ExitCode {
     }
     if let Some(path) = &cfg.unix_path {
         println!("act-serve listening on unix://{}", path.display());
+    }
+    if let Some(dir) = args.flags.get("corpus") {
+        println!("corpus store: {dir}");
     }
     println!("workers {workers} | queue depth {queue_depth} | cache {cache_capacity} models");
     install_stop_handler();
@@ -617,6 +633,38 @@ fn cmd_request(args: &Args) -> ExitCode {
     let request = match verb {
         "status" => act_serve::Request::Status,
         "shutdown" => act_serve::Request::Shutdown,
+        "trace-put" => {
+            let Some(name) = args.positional.get(1) else {
+                eprintln!("request trace-put requires a workload name");
+                return ExitCode::from(2);
+            };
+            let Some(path) = args.flags.get("trace") else {
+                eprintln!("request trace-put requires --trace FILE (a correct-run text trace)");
+                return ExitCode::from(2);
+            };
+            let trace = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let key = args.flags.get("key").cloned().unwrap_or_else(|| {
+                std::path::Path::new(path)
+                    .file_stem()
+                    .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned())
+            });
+            act_serve::Request::TracePut { key, workload: name.clone(), trace }
+        }
+        "trace-get" => {
+            let Some(key) =
+                args.flags.get("key").cloned().or_else(|| args.positional.get(1).cloned())
+            else {
+                eprintln!("request trace-get requires a key (--key K or positional)");
+                return ExitCode::from(2);
+            };
+            act_serve::Request::TraceGet { key }
+        }
         "train" | "diagnose" => {
             let Some(name) = args.positional.get(1) else {
                 eprintln!("request {verb} requires a workload name");
@@ -644,10 +692,30 @@ fn cmd_request(args: &Args) -> ExitCode {
             print!("{text}");
             ExitCode::SUCCESS
         }
+        Ok(act_serve::Reply::Stored(text)) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(act_serve::Reply::TraceData(bytes)) => {
+            match args.flags.get("out") {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &bytes) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("trace written to {path} ({} bytes)", bytes.len());
+                }
+                None => print!("{}", String::from_utf8_lossy(&bytes)),
+            }
+            ExitCode::SUCCESS
+        }
         Ok(act_serve::Reply::StatusMetrics(text, snap)) => {
             print!("{text}");
+            // Hit rate counts every no-retraining outcome: memory, the
+            // model dir, and the corpus store.
             let hits = snap.counter("cache_memory_hits").unwrap_or(0)
-                + snap.counter("cache_disk_loads").unwrap_or(0);
+                + snap.counter("cache_disk_loads").unwrap_or(0)
+                + snap.counter("cache_store_loads").unwrap_or(0);
             let total = hits + snap.counter("cache_trained").unwrap_or(0);
             if total > 0 {
                 println!("cache_hit_rate {:.1}%", 100.0 * hits as f64 / total as f64);
@@ -689,4 +757,225 @@ fn retrain_from_dir(dir: &str, norm: usize) -> Result<WeightStore, Box<dyn std::
     }
     let cfg = act_core::ActConfig::default();
     Ok(offline_train(norm, &traces, &cfg).store)
+}
+
+/// `act store <init|put|get|ls|stat|compact> DIR [args]` — manage an
+/// on-disk trace/model corpus (`act-store`) without a running daemon.
+fn cmd_store(args: &Args) -> ExitCode {
+    let Some(verb) = args.positional.first().map(String::as_str) else { return usage() };
+    let Some(dir) = args.positional.get(1) else {
+        eprintln!("store {verb} requires a corpus directory");
+        return ExitCode::from(2);
+    };
+    match verb {
+        "init" => match act_store::Corpus::init(dir) {
+            Ok(_) => {
+                println!("initialised empty corpus at {dir}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot initialise {dir}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "put" => cmd_store_put(args, dir),
+        "get" => {
+            let Some(key) = args.positional.get(2) else {
+                eprintln!("store get requires a key");
+                return ExitCode::from(2);
+            };
+            let corpus = match act_store::Corpus::open(dir) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot open {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let trace = match corpus.get_trace(key) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("store get {key}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let bytes = act_trace::io::trace_to_bytes(&trace);
+            match args.flags.get("out") {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &bytes) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "wrote {path} ({} records, {} bytes)",
+                        trace.records.len(),
+                        bytes.len()
+                    );
+                }
+                None => print!("{}", String::from_utf8_lossy(&bytes)),
+            }
+            ExitCode::SUCCESS
+        }
+        "ls" => {
+            let corpus = match act_store::Corpus::open(dir) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot open {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let filter = args.positional.get(2).map(String::as_str);
+            let entries = corpus.entries(filter);
+            println!(
+                "{:<12} {:<24} {:<12} {:>8} {:>10} {:>10} {:>6}",
+                "KIND", "KEY", "WORKLOAD", "RECORDS", "RAW", "ENCODED", "RATIO"
+            );
+            for e in &entries {
+                let ratio = e.raw_bytes as f64 / e.encoded_bytes.max(1) as f64;
+                println!(
+                    "{:<12} {:<24} {:<12} {:>8} {:>10} {:>10} {:>5.2}x",
+                    e.meta.kind.name(),
+                    e.meta.key,
+                    e.meta.workload,
+                    e.records,
+                    e.raw_bytes,
+                    e.encoded_bytes,
+                    ratio
+                );
+            }
+            println!("{} live entries", entries.len());
+            ExitCode::SUCCESS
+        }
+        "stat" => {
+            let corpus = match act_store::Corpus::open(dir) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot open {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let stat = match corpus.stat() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot stat {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = corpus.open_report();
+            println!("corpus {dir}");
+            println!("  sealed segments  {}", stat.sealed_segments);
+            println!("  live entries     {} (of {} total)", stat.live_entries, stat.total_entries);
+            println!("  raw bytes        {}", stat.raw_bytes);
+            println!("  encoded bytes    {}", stat.encoded_bytes);
+            println!("  compression      {:.2}x", stat.ratio_milli as f64 / 1000.0);
+            println!("  disk bytes       {}", stat.disk_bytes);
+            if report.dropped_tail {
+                println!("  recovered: dropped {} uncommitted tail bytes", report.dropped_bytes);
+            }
+            ExitCode::SUCCESS
+        }
+        "compact" => {
+            let mut corpus = match act_store::Corpus::open(dir) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot open {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match corpus.compact() {
+                Ok(s) => {
+                    println!(
+                        "compacted {dir}: kept {} entries, dropped {}, {} -> {} disk bytes",
+                        s.entries_kept, s.entries_dropped, s.disk_bytes_before, s.disk_bytes_after
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("compact failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown store subcommand: {other}");
+            usage()
+        }
+    }
+}
+
+/// `act store put DIR <workload> [--runs N]` collects correct-run traces
+/// straight into the corpus; `--trace FILE --key K` ingests an existing
+/// text trace instead.
+fn cmd_store_put(args: &Args, dir: &str) -> ExitCode {
+    let mut corpus = match act_store::Corpus::open_or_init(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(name) = args.positional.get(2) else {
+        eprintln!("store put requires a workload name");
+        return ExitCode::from(2);
+    };
+    if let Some(path) = args.flags.get("trace") {
+        let key = args.flags.get("key").cloned().unwrap_or_else(|| {
+            std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned())
+        });
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match corpus.put_trace_bytes(&key, name, &bytes) {
+            Ok(info) => {
+                println!(
+                    "stored {key} ({} records, {} -> {} bytes)",
+                    info.records, info.raw_bytes, info.encoded_bytes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("store put {key}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let runs: u64 = args.flags.get("runs").and_then(|s| s.parse().ok()).unwrap_or(10);
+    let w = match lookup(name) {
+        Ok(w) => w,
+        Err(e) => return e,
+    };
+    let mut stored = 0;
+    for seed in 0..runs * 2 {
+        if stored == runs {
+            break;
+        }
+        let built = w.build(&w.default_params().with_seed(seed));
+        let mut coll = TraceCollector::new(norm_of(w.as_ref()));
+        let mut m = Machine::new(&built.program, machine_cfg(seed));
+        let out = m.run_observed(&mut coll);
+        if !built.is_correct(&out) {
+            continue;
+        }
+        let key = format!("{name}-{seed}");
+        match corpus.put_trace(&key, name, &coll.into_trace()) {
+            Ok(info) => {
+                println!(
+                    "stored {key} ({} records, {} -> {} bytes)",
+                    info.records, info.raw_bytes, info.encoded_bytes
+                );
+                stored += 1;
+            }
+            Err(e) => {
+                eprintln!("store put {key}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{stored} correct-run traces stored in {dir}");
+    ExitCode::SUCCESS
 }

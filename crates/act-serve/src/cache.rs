@@ -5,10 +5,16 @@
 //! A *model* is everything `DIAGNOSE` needs: the per-thread
 //! [`WeightStore`] (the paper's binary-patched weights), the Correct Set
 //! the ranked suspects are pruned against, and the code-length the encoder
-//! normalizes by. Lookup order is memory → disk → train; only the last is
-//! a cache miss. Disk writes go through [`WeightStore::save_to_path`]'s
-//! atomic temp-file + `rename`, so a crash mid-save never leaves a torn
-//! model for the next boot to trip over.
+//! normalizes by. Lookup order is memory → disk → corpus store → train;
+//! only the last is a cache miss. Disk writes go through
+//! [`WeightStore::save_to_path`]'s atomic temp-file + `rename`, so a crash
+//! mid-save never leaves a torn model for the next boot to trip over.
+//!
+//! When the daemon runs with `--corpus`, the cache is additionally backed
+//! by the [`act_store::Corpus`]: trained models (weights + Correct Set)
+//! are persisted as store blobs keyed by `ModelKey::canonical()`, and
+//! `TRAIN` prefers the corpus's ingested correct-run traces over fresh
+//! simulator runs when the workload has at least two of them.
 
 use crate::proto::ModelSpec;
 use act_core::offline::offline_train;
@@ -17,6 +23,7 @@ use act_core::{ActConfig, ActError};
 use act_sim::config::MachineConfig;
 use act_sim::events::RawDep;
 use act_sim::machine::Machine;
+use act_store::{Corpus, EntryKind};
 use act_trace::collector::TraceCollector;
 use act_trace::correct_set::CorrectSet;
 use act_trace::event::Trace;
@@ -67,6 +74,8 @@ pub enum CacheOutcome {
     Memory,
     /// Loaded from the model directory (no retraining).
     Disk,
+    /// Loaded from the corpus store (no retraining).
+    Store,
     /// Trained from scratch (the only outcome counted as a miss).
     Trained,
 }
@@ -86,6 +95,7 @@ pub struct ModelCache {
     inner: Mutex<Inner>,
     capacity: usize,
     dir: Option<PathBuf>,
+    corpus: Option<Arc<Mutex<Corpus>>>,
 }
 
 impl ModelCache {
@@ -97,7 +107,24 @@ impl ModelCache {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        ModelCache { inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }), capacity, dir }
+        ModelCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            capacity,
+            dir,
+            corpus: None,
+        }
+    }
+
+    /// Back the cache with a corpus store: models persist as store blobs
+    /// and training prefers the corpus's ingested traces.
+    pub fn with_corpus(mut self, corpus: Arc<Mutex<Corpus>>) -> Self {
+        self.corpus = Some(corpus);
+        self
+    }
+
+    /// The corpus store backing this cache, when the daemon has one.
+    pub fn corpus(&self) -> Option<&Arc<Mutex<Corpus>>> {
+        self.corpus.as_ref()
     }
 
     /// Models currently resident in memory.
@@ -124,10 +151,31 @@ impl ModelCache {
             self.insert(key, model.clone());
             return Ok((model, CacheOutcome::Disk));
         }
-        let model = Arc::new(train_model(spec)?);
+        if let Some(model) = self.load_from_store(&key) {
+            let model = Arc::new(model);
+            self.insert(key, model.clone());
+            return Ok((model, CacheOutcome::Store));
+        }
+        let model = Arc::new(self.train(spec)?);
         self.save_to_dir(&key, &model);
+        self.save_to_store(&key, &model);
         self.insert(key, model.clone());
         Ok((model, CacheOutcome::Trained))
+    }
+
+    /// Train from the corpus's ingested correct-run traces when the
+    /// workload has at least two; otherwise collect fresh simulator runs.
+    fn train(&self, spec: &ModelSpec) -> Result<Model, ActError> {
+        if let Some(corpus) = &self.corpus {
+            let traces = {
+                let c = corpus.lock().expect("corpus lock");
+                corpus_traces(&c, &spec.workload)
+            };
+            if traces.len() >= 2 {
+                return train_model_from_traces(spec, traces);
+            }
+        }
+        train_model(spec)
     }
 
     fn lookup(&self, key: &ModelKey) -> Option<Arc<Model>> {
@@ -193,6 +241,57 @@ impl ModelCache {
         let _ = model.store.save_to_path(&wpath);
         let _ = write_correct_set(&cpath, &model.correct);
     }
+
+    fn load_from_store(&self, key: &ModelKey) -> Option<Model> {
+        let corpus = self.corpus.as_ref()?;
+        let (weights, cset) = {
+            let c = corpus.lock().expect("corpus lock");
+            (
+                c.get_blob(EntryKind::Model, &key.canonical()).ok()?,
+                c.get_blob(EntryKind::CorrectSet, &key.canonical()).ok()?,
+            )
+        };
+        let store = WeightStore::load(&weights[..]).ok()?;
+        // Same poisoned-model guard as the disk path.
+        if store.seq_len() != key.seq_len || store.topology().hidden != key.hidden {
+            return None;
+        }
+        let (norm_code_len, correct) = parse_cset_blob(&cset)?;
+        let summary = format!(
+            "model {} loaded from corpus store ({} threads, {} correct sequences)",
+            key.canonical(),
+            store.known_threads().len(),
+            correct.len()
+        );
+        Some(Model { store, correct, norm_code_len, summary })
+    }
+
+    fn save_to_store(&self, key: &ModelKey, model: &Model) {
+        let Some(corpus) = &self.corpus else {
+            return;
+        };
+        let mut weights = Vec::new();
+        if model.store.save(&mut weights).is_err() {
+            return;
+        }
+        let cset = cset_blob(model);
+        // Best-effort, like the model-dir path: a full disk degrades the
+        // daemon to in-memory caching, it does not fail requests.
+        let mut c = corpus.lock().expect("corpus lock");
+        let _ = c.put_blob(EntryKind::Model, &key.canonical(), &key.workload, &weights);
+        let _ = c.put_blob(EntryKind::CorrectSet, &key.canonical(), &key.workload, &cset);
+    }
+}
+
+/// Every stored correct-run trace of `workload`, oldest first. Entries that
+/// fail to decode are skipped — one rotten trace must not block training.
+fn corpus_traces(corpus: &Corpus, workload: &str) -> Vec<Trace> {
+    corpus
+        .entries(Some(workload))
+        .into_iter()
+        .filter(|info| info.meta.kind == EntryKind::Trace)
+        .filter_map(|info| corpus.get_trace(&info.meta.key).ok())
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -250,7 +349,39 @@ pub fn train_model(spec: &ModelSpec) -> Result<Model, ActError> {
             reason: "no correct training runs".into(),
         });
     }
+    // Correct Set from fresh correct runs at disjoint seeds.
+    let correct_traces = clean_traces(w.as_ref(), spec.seed + 100, 20, norm);
+    finish_training(spec, norm, &traces, &correct_traces, "")
+}
 
+/// Train from a corpus's ingested correct-run traces — no simulator runs,
+/// no registry lookup, so the daemon can serve workloads it only knows
+/// through `TRACE_PUT`. The Correct Set is built from the same traces.
+///
+/// # Errors
+///
+/// Returns [`ActError::Train`] when fewer than two traces are supplied.
+pub fn train_model_from_traces(spec: &ModelSpec, traces: Vec<Trace>) -> Result<Model, ActError> {
+    if traces.len() < 2 {
+        return Err(ActError::Train {
+            workload: spec.workload.clone(),
+            reason: format!("corpus holds {} trace(s); need at least 2", traces.len()),
+        });
+    }
+    // Ingested traces carry the code length they were collected under.
+    let norm = traces.iter().map(|t| t.code_len).max().unwrap_or(1).max(1);
+    finish_training(spec, norm, &traces, &traces, " from corpus")
+}
+
+/// The shared back half of training: offline training with the spec's
+/// pinned topology, then the Correct Set from `correct_traces`.
+fn finish_training(
+    spec: &ModelSpec,
+    norm: usize,
+    traces: &[Trace],
+    correct_traces: &[Trace],
+    source: &str,
+) -> Result<Model, ActError> {
     let mut cfg = ActConfig::default();
     cfg.search.seq_lens = vec![spec.seq_len.max(1) as usize];
     cfg.search.hidden_sizes = vec![spec.hidden.max(1) as usize];
@@ -259,21 +390,21 @@ pub fn train_model(spec: &ModelSpec) -> Result<Model, ActError> {
     cfg.train.learning_rate = 0.5;
     cfg.train.seed = spec.seed.wrapping_add(1);
     cfg.norm_code_len = norm;
-    let trained = offline_train(norm, &traces, &cfg);
+    let trained = offline_train(norm, traces, &cfg);
 
-    // Correct Set from fresh correct runs at disjoint seeds.
     let seq_len = trained.store.seq_len();
     let mut correct = CorrectSet::default();
-    for t in clean_traces(w.as_ref(), spec.seed + 100, 20, norm) {
-        for s in positive_sequences(&observed_deps(&t), seq_len) {
+    for t in correct_traces {
+        for s in positive_sequences(&observed_deps(t), seq_len) {
             correct.insert(&s.deps);
         }
     }
 
     let r = &trained.report;
     let summary = format!(
-        "trained {}: topology {} (N = {}), {} traces, held-out FP {:.2}%, {} correct sequences",
+        "trained {}{}: topology {} (N = {}), {} traces, held-out FP {:.2}%, {} correct sequences",
         spec.workload,
+        source,
         r.topology,
         r.seq_len,
         r.train_traces + r.test_traces,
@@ -287,7 +418,7 @@ pub fn train_model(spec: &ModelSpec) -> Result<Model, ActError> {
 // Correct Set persistence (one sequence per line).
 // ---------------------------------------------------------------------
 
-fn write_correct_set(path: &Path, set: &CorrectSet) -> std::io::Result<()> {
+fn correct_set_text(set: &CorrectSet) -> String {
     use std::fmt::Write as _;
     let mut buf = String::new();
     writeln!(buf, "actcset v1 {}", set.seq_len()).expect("string write");
@@ -302,6 +433,11 @@ fn write_correct_set(path: &Path, set: &CorrectSet) -> std::io::Result<()> {
         }
         buf.push('\n');
     }
+    buf
+}
+
+fn write_correct_set(path: &Path, set: &CorrectSet) -> std::io::Result<()> {
+    let buf = correct_set_text(set);
     // Same atomic discipline as the weight files.
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}", std::process::id()));
@@ -313,8 +449,27 @@ fn write_correct_set(path: &Path, set: &CorrectSet) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// The corpus-store Correct Set blob: a `norm <code-len>` line (the one
+/// model field the `actcset` format does not carry) followed by the same
+/// text the `.cset` files hold.
+fn cset_blob(model: &Model) -> Vec<u8> {
+    format!("norm {}\n{}", model.norm_code_len, correct_set_text(&model.correct)).into_bytes()
+}
+
+fn parse_cset_blob(bytes: &[u8]) -> Option<(usize, CorrectSet)> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let (head, rest) = text.split_once('\n')?;
+    let norm: usize = head.strip_prefix("norm ")?.trim().parse().ok()?;
+    let set = correct_set_from_text(rest).ok()?;
+    Some((norm, set))
+}
+
 fn read_correct_set(path: &Path) -> Result<CorrectSet, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    correct_set_from_text(&text)
+}
+
+fn correct_set_from_text(text: &str) -> Result<CorrectSet, String> {
     let mut lines = text.lines();
     let header = lines.next().ok_or("empty correct-set file")?;
     let mut h = header.split_whitespace();

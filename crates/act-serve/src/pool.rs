@@ -11,7 +11,7 @@ use act_core::diagnosis::diagnose_trace;
 use act_core::postprocess::Diagnosis;
 use act_fleet::{panic_message, BoundedQueue};
 use act_obs::{events, Level};
-use act_trace::io::trace_from_bytes;
+use act_trace::io::{trace_from_bytes, trace_to_bytes};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -96,7 +96,9 @@ fn process(mut job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Dura
         }
     };
     match &reply {
-        Reply::Trained(_) | Reply::Diagnosis(_) => stats.bump_served(),
+        Reply::Trained(_) | Reply::Diagnosis(_) | Reply::Stored(_) | Reply::TraceData(_) => {
+            stats.bump_served()
+        }
         Reply::Error(_) => stats.bump_errored(),
         _ => {}
     }
@@ -139,6 +141,37 @@ fn handle_request(request: &Request, cache: &ModelCache, stats: &ServerStats) ->
             let diag = diagnose_trace(&model.store, &model.correct, &trace, model.norm_code_len);
             Reply::Diagnosis(render_diagnosis(&spec.workload, outcome, &diag))
         }
+        Request::TracePut { key, workload, trace } => {
+            let Some(corpus) = cache.corpus() else {
+                return Reply::Error(
+                    "no corpus store configured; start the daemon with --corpus".into(),
+                );
+            };
+            let mut c = corpus.lock().expect("corpus lock");
+            match c.put_trace_bytes(key, workload, trace) {
+                Ok(info) => Reply::Stored(format!(
+                    "stored {} ({} records, {} -> {} bytes, {:.2}x)",
+                    key,
+                    info.records,
+                    info.raw_bytes,
+                    info.encoded_bytes,
+                    info.raw_bytes as f64 / info.encoded_bytes.max(1) as f64
+                )),
+                Err(e) => Reply::Error(format!("trace put failed: {e}")),
+            }
+        }
+        Request::TraceGet { key } => {
+            let Some(corpus) = cache.corpus() else {
+                return Reply::Error(
+                    "no corpus store configured; start the daemon with --corpus".into(),
+                );
+            };
+            let c = corpus.lock().expect("corpus lock");
+            match c.get_trace(key) {
+                Ok(trace) => Reply::TraceData(trace_to_bytes(&trace)),
+                Err(e) => Reply::Error(format!("trace get failed: {e}")),
+            }
+        }
         // STATUS and SHUTDOWN never reach the queue (acceptor fast path).
         Request::Status | Request::Shutdown => {
             Reply::Error("status/shutdown are acceptor-handled".into())
@@ -165,6 +198,7 @@ fn outcome_tag(outcome: CacheOutcome) -> &'static str {
     match outcome {
         CacheOutcome::Memory => "cache-hit",
         CacheOutcome::Disk => "cache-hit:disk",
+        CacheOutcome::Store => "cache-hit:store",
         CacheOutcome::Trained => "trained",
     }
 }

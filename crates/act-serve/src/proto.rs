@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "ACTS"
-//! 4       1     protocol version (1 or 2)
+//! 4       1     protocol version (1, 2, or 3)
 //! 5       1     frame kind (see [`FrameKind`])
 //! 6       4     payload length, little-endian u32 (<= MAX_PAYLOAD)
 //! 10      n     payload
@@ -17,6 +17,13 @@
 //! the version the request arrived with — a v1 `STATUS` still gets the
 //! plain [`FrameKind::StatusText`] reply — so old clients and old servers
 //! interoperate with new ones in both directions.
+//!
+//! Version 3 adds the corpus-store frames: [`FrameKind::TracePut`] ships a
+//! correct-run trace into the daemon's `--corpus` store (answered by
+//! [`FrameKind::Stored`]) and [`FrameKind::TraceGet`] reads one back
+//! (answered by [`FrameKind::TraceData`]). v1/v2 clients never send these
+//! kinds, and the daemon never volunteers them, so compatibility is again
+//! two-way; a daemon running without `--corpus` answers them with `ERROR`.
 //!
 //! The connection model is one-shot: a client connects, writes one request
 //! frame, reads one reply frame, and the connection closes. That keeps the
@@ -34,9 +41,9 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"ACTS";
-/// Newest protocol version this implementation speaks (v2 = metrics in
-/// `STATUS` replies).
-pub const VERSION: u8 = 2;
+/// Newest protocol version this implementation speaks (v3 = corpus-store
+/// trace frames).
+pub const VERSION: u8 = 3;
 /// Oldest protocol version still accepted.
 pub const MIN_VERSION: u8 = 1;
 /// Upper bound on payload length; longer declared lengths are rejected
@@ -58,6 +65,10 @@ pub enum FrameKind {
     Status = 0x03,
     /// Request: graceful drain and exit.
     Shutdown = 0x04,
+    /// Request (v3): store a correct-run trace in the daemon's corpus.
+    TracePut = 0x05,
+    /// Request (v3): read a stored trace back from the corpus.
+    TraceGet = 0x06,
     /// Reply to [`FrameKind::Train`]: training summary text.
     Trained = 0x81,
     /// Reply to [`FrameKind::Diagnose`]: the ranked suspect list, text.
@@ -69,6 +80,11 @@ pub enum FrameKind {
     /// Reply to [`FrameKind::Status`] (v2): the counters block *plus* a
     /// serialized metrics snapshot.
     StatusMetrics = 0x85,
+    /// Reply to [`FrameKind::TracePut`] (v3): stored; text summary.
+    Stored = 0x86,
+    /// Reply to [`FrameKind::TraceGet`] (v3): the trace, `act-trace::io`
+    /// v1 text bytes.
+    TraceData = 0x87,
     /// Reply: the job queue is full — retry later (backpressure; the
     /// request was *not* accepted).
     Busy = 0xe0,
@@ -84,11 +100,15 @@ impl FrameKind {
             0x02 => Diagnose,
             0x03 => Status,
             0x04 => Shutdown,
+            0x05 => TracePut,
+            0x06 => TraceGet,
             0x81 => Trained,
             0x82 => Diagnosis,
             0x83 => StatusText,
             0x84 => Bye,
             0x85 => StatusMetrics,
+            0x86 => Stored,
+            0x87 => TraceData,
             0xe0 => Busy,
             0xe1 => Error,
             _ => return None,
@@ -305,6 +325,21 @@ pub enum Request {
     Status,
     /// Drain and exit.
     Shutdown,
+    /// Store a correct-run trace (`act-trace::io` v1 bytes) in the corpus
+    /// under `(workload, key)` (v3, daemons started with `--corpus`).
+    TracePut {
+        /// Corpus entry key.
+        key: String,
+        /// Workload the trace belongs to.
+        workload: String,
+        /// `act-trace::io` v1 text bytes.
+        trace: Vec<u8>,
+    },
+    /// Read a stored trace back from the corpus (v3).
+    TraceGet {
+        /// Corpus entry key.
+        key: String,
+    },
 }
 
 impl Request {
@@ -324,6 +359,18 @@ impl Request {
             }
             Request::Status => Frame::new(FrameKind::Status, Vec::new()),
             Request::Shutdown => Frame::new(FrameKind::Shutdown, Vec::new()),
+            Request::TracePut { key, workload, trace } => {
+                let mut payload = Vec::new();
+                put_str(&mut payload, key);
+                put_str(&mut payload, workload);
+                put_bytes(&mut payload, trace);
+                Frame::new(FrameKind::TracePut, payload)
+            }
+            Request::TraceGet { key } => {
+                let mut payload = Vec::new();
+                put_str(&mut payload, key);
+                Frame::new(FrameKind::TraceGet, payload)
+            }
         }
     }
 
@@ -344,6 +391,13 @@ impl Request {
             }
             FrameKind::Status => Request::Status,
             FrameKind::Shutdown => Request::Shutdown,
+            FrameKind::TracePut => {
+                let key = c.take_str()?;
+                let workload = c.take_str()?;
+                let trace = c.take_bytes()?;
+                Request::TracePut { key, workload, trace }
+            }
+            FrameKind::TraceGet => Request::TraceGet { key: c.take_str()? },
             other => return Err(ProtoError::Malformed(format!("{other:?} is not a request"))),
         };
         c.finish()?;
@@ -363,6 +417,10 @@ pub enum Reply {
     /// The counters block plus the daemon's full metrics snapshot
     /// (protocol v2; v1 requesters get [`Reply::StatusText`] instead).
     StatusMetrics(String, MetricsSnapshot),
+    /// The trace was stored in the corpus; text summary (v3).
+    Stored(String),
+    /// A stored trace, `act-trace::io` v1 text bytes (v3).
+    TraceData(Vec<u8>),
     /// Shutdown acknowledged; the daemon is draining.
     Bye,
     /// Queue full — the request was rejected, not accepted-then-dropped.
@@ -384,6 +442,8 @@ impl Reply {
                 payload.extend_from_slice(&snap.to_bytes());
                 (FrameKind::StatusMetrics, payload)
             }
+            Reply::Stored(s) => (FrameKind::Stored, s.clone().into_bytes()),
+            Reply::TraceData(bytes) => (FrameKind::TraceData, bytes.clone()),
             Reply::Bye => (FrameKind::Bye, Vec::new()),
             Reply::Busy => (FrameKind::Busy, Vec::new()),
             Reply::Error(s) => (FrameKind::Error, s.clone().into_bytes()),
@@ -413,6 +473,8 @@ impl Reply {
                     .map_err(|e| ProtoError::Malformed(e.to_string()))?;
                 Reply::StatusMetrics(status, snap)
             }
+            FrameKind::Stored => Reply::Stored(text(&frame.payload)?),
+            FrameKind::TraceData => Reply::TraceData(frame.payload.clone()),
             FrameKind::Bye => Reply::Bye,
             FrameKind::Busy => Reply::Busy,
             FrameKind::Error => Reply::Error(text(&frame.payload)?),
@@ -570,6 +632,12 @@ mod tests {
             Request::Diagnose(spec(), b"acttrace v1 10\n".to_vec()),
             Request::Status,
             Request::Shutdown,
+            Request::TracePut {
+                key: "seq-clean-7".into(),
+                workload: "seq".into(),
+                trace: b"acttrace v1 10\n".to_vec(),
+            },
+            Request::TraceGet { key: "seq-clean-7".into() },
         ];
         for req in reqs {
             let frame = req.to_frame();
@@ -587,6 +655,8 @@ mod tests {
             Reply::Diagnosis("ranked=2\n#1 ...".into()),
             Reply::StatusText("requests_served 5".into()),
             Reply::StatusMetrics("requests_served 5".into(), MetricsSnapshot::new()),
+            Reply::Stored("stored seq-clean-7 (3.2x)".into()),
+            Reply::TraceData(b"acttrace v1 10\n".to_vec()),
             Reply::Bye,
             Reply::Busy,
             Reply::Error("unknown workload".into()),

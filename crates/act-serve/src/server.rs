@@ -21,7 +21,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -91,6 +91,9 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Directory for persisted models (`None` = in-memory cache only).
     pub model_dir: Option<PathBuf>,
+    /// Corpus store directory (`None` = no `TRACE_PUT`/`TRACE_GET`; the
+    /// directory is created and initialized on first use).
+    pub corpus_dir: Option<PathBuf>,
     /// Models kept resident in the LRU cache.
     pub cache_capacity: usize,
     /// Per-request deadline, measured from acceptance; a job popped after
@@ -108,6 +111,7 @@ impl Default for ServeConfig {
             workers: act_fleet::default_workers(),
             queue_depth: 64,
             model_dir: None,
+            corpus_dir: None,
             cache_capacity: 32,
             deadline: Duration::from_secs(120),
             io_timeout: Duration::from_secs(30),
@@ -133,17 +137,22 @@ pub struct ServerStats {
     proto_errors: Counter,
     cache_memory_hits: Counter,
     cache_disk_loads: Counter,
+    cache_store_loads: Counter,
     cache_trained: Counter,
     req_train: Counter,
     req_diagnose: Counter,
     req_status: Counter,
     req_shutdown: Counter,
+    req_trace_put: Counter,
+    req_trace_get: Counter,
     reply_trained: Counter,
     reply_diagnosis: Counter,
     reply_status: Counter,
     reply_bye: Counter,
     reply_busy: Counter,
     reply_error: Counter,
+    reply_stored: Counter,
+    reply_trace_data: Counter,
     uptime_ms: Gauge,
     queue_depth: Gauge,
     models_resident: Gauge,
@@ -170,23 +179,34 @@ impl ServerStats {
             proto_errors: registry.counter("protocol_errors"),
             cache_memory_hits: registry.counter("cache_memory_hits"),
             cache_disk_loads: registry.counter("cache_disk_loads"),
+            cache_store_loads: registry.counter("cache_store_loads"),
             cache_trained: registry.counter("cache_trained"),
             req_train: registry.counter("req_train"),
             req_diagnose: registry.counter("req_diagnose"),
             req_status: registry.counter("req_status"),
             req_shutdown: registry.counter("req_shutdown"),
+            req_trace_put: registry.counter("req_trace_put"),
+            req_trace_get: registry.counter("req_trace_get"),
             reply_trained: registry.counter("reply_trained"),
             reply_diagnosis: registry.counter("reply_diagnosis"),
             reply_status: registry.counter("reply_status"),
             reply_bye: registry.counter("reply_bye"),
             reply_busy: registry.counter("reply_busy"),
             reply_error: registry.counter("reply_error"),
+            reply_stored: registry.counter("reply_stored"),
+            reply_trace_data: registry.counter("reply_trace_data"),
             uptime_ms: registry.gauge("uptime_ms"),
             queue_depth: registry.gauge("queue_depth"),
             models_resident: registry.gauge("models_resident"),
             service_us: registry.histogram("service_us", &latency_bounds_us()),
             registry,
         }
+    }
+
+    /// The registry every counter lives in, so sibling subsystems (the
+    /// corpus store's metrics) can join the same `STATUS` snapshot.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     pub(crate) fn bump_accepted(&self) {
@@ -224,6 +244,8 @@ impl ServerStats {
             Request::Diagnose(..) => self.req_diagnose.inc(),
             Request::Status => self.req_status.inc(),
             Request::Shutdown => self.req_shutdown.inc(),
+            Request::TracePut { .. } => self.req_trace_put.inc(),
+            Request::TraceGet { .. } => self.req_trace_get.inc(),
         }
     }
 
@@ -236,6 +258,8 @@ impl ServerStats {
             Reply::Bye => self.reply_bye.inc(),
             Reply::Busy => self.reply_busy.inc(),
             Reply::Error(_) => self.reply_error.inc(),
+            Reply::Stored(_) => self.reply_stored.inc(),
+            Reply::TraceData(_) => self.reply_trace_data.inc(),
         }
     }
 
@@ -243,6 +267,7 @@ impl ServerStats {
         match outcome {
             CacheOutcome::Memory => self.cache_memory_hits.inc(),
             CacheOutcome::Disk => self.cache_disk_loads.inc(),
+            CacheOutcome::Store => self.cache_store_loads.inc(),
             CacheOutcome::Trained => self.cache_trained.inc(),
         }
     }
@@ -261,9 +286,10 @@ impl ServerStats {
         self.crashed.get()
     }
 
-    /// Model-cache hits (memory or disk — no retraining either way).
+    /// Model-cache hits (memory, model-dir disk, or corpus store — no
+    /// retraining in any of them).
     pub fn cache_hits(&self) -> u64 {
-        self.cache_memory_hits.get() + self.cache_disk_loads.get()
+        self.cache_memory_hits.get() + self.cache_disk_loads.get() + self.cache_store_loads.get()
     }
 
     /// Every metric as one snapshot — what a v2 `STATUS` reply carries.
@@ -347,7 +373,19 @@ impl Server {
 
         let stats = Arc::new(ServerStats::default());
         let queue = Arc::new(BoundedQueue::new(cfg.queue_depth));
-        let cache = Arc::new(ModelCache::new(cfg.cache_capacity, cfg.model_dir.clone()));
+        let mut cache = ModelCache::new(cfg.cache_capacity, cfg.model_dir.clone());
+        if let Some(dir) = &cfg.corpus_dir {
+            let corpus = act_store::Corpus::open_or_init(dir)
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corpus at {}: {e}", dir.display()),
+                    )
+                })?
+                .with_registry(stats.registry());
+            cache = cache.with_corpus(Arc::new(Mutex::new(corpus)));
+        }
+        let cache = Arc::new(cache);
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
 
@@ -538,7 +576,10 @@ fn handle_connection(
             shutdown.store(true, Ordering::SeqCst);
             queue.close();
         }
-        req @ (Request::Train(_) | Request::Diagnose(..)) => {
+        req @ (Request::Train(_)
+        | Request::Diagnose(..)
+        | Request::TracePut { .. }
+        | Request::TraceGet { .. }) => {
             let job = Job { conn, version, request: req, accepted: Instant::now() };
             match queue.try_push(job) {
                 Ok(()) => stats.bump_accepted(),

@@ -207,7 +207,17 @@ fn status_speaks_both_protocol_versions() {
         other => panic!("v1 STATUS must get StatusText, got {other:?}"),
     }
 
-    // A new (v2) client gets the metrics snapshot alongside the text, and
+    // A v2 client against this v3 daemon: the reply is restamped v2 and is
+    // the StatusMetrics frame a v2 decoder already knows — the v3 frame
+    // kinds never appear unsolicited.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    write_frame(&mut stream, &Request::Status.to_frame().with_version(2)).expect("send v2");
+    stream.flush().expect("flush");
+    let frame = read_frame(&mut stream).expect("v2 reply frame");
+    assert_eq!(frame.version, 2, "reply restamped for the v2 requester");
+    assert_eq!(frame.kind, FrameKind::StatusMetrics);
+
+    // A new (v3) client gets the metrics snapshot alongside the text, and
     // the two surfaces agree on the counters.
     match request(&endpoint, &Request::Status).expect("status reply") {
         Reply::StatusMetrics(text, snap) => {
@@ -219,6 +229,137 @@ fn status_speaks_both_protocol_versions() {
         other => panic!("v2 STATUS must get StatusMetrics, got {other:?}"),
     }
 
+    assert!(matches!(request(&endpoint, &Request::Shutdown).expect("bye"), Reply::Bye));
+    server.join();
+}
+
+/// Serialize one *correct* `seq` run (the kind a production client ships
+/// into the corpus with `TRACE_PUT`).
+fn correct_trace_bytes(base_seed: u64) -> Vec<u8> {
+    let w = registry::by_name("seq").expect("seq workload");
+    let norm = w.norm_code_len().unwrap_or_else(|| w.build(&w.default_params()).program.code_len());
+    for seed in base_seed..base_seed + 64 {
+        let built = w.build(&w.default_params().with_seed(seed));
+        let mut collector = TraceCollector::new(norm);
+        let run_cfg =
+            act_sim::config::MachineConfig { seed, jitter_ppm: 10_000, ..Default::default() };
+        let mut machine = act_sim::machine::Machine::new(&built.program, run_cfg);
+        let outcome = machine.run_observed(&mut collector);
+        if built.is_correct(&outcome) {
+            return trace_to_bytes(&collector.into_trace());
+        }
+    }
+    panic!("no correct seq run in 64 seeds");
+}
+
+#[test]
+fn corpus_round_trips_traces_trains_from_store_and_persists_models() {
+    let dir = std::env::temp_dir().join(format!("act-serve-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let boot_with_corpus = || {
+        let cfg = ServeConfig {
+            tcp_addr: Some("127.0.0.1:0".to_string()),
+            workers: 1,
+            queue_depth: 8,
+            corpus_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg).expect("daemon boots with corpus");
+        let endpoint = Endpoint::Tcp(server.tcp_addr().expect("tcp bound").to_string());
+        (server, endpoint)
+    };
+    let (server, endpoint) = boot_with_corpus();
+
+    // Ship two correct-run traces into the store.
+    let t0 = correct_trace_bytes(0);
+    let t1 = correct_trace_bytes(100);
+    for (key, bytes) in [("seq-clean-0", &t0), ("seq-clean-1", &t1)] {
+        let req = Request::TracePut {
+            key: key.to_string(),
+            workload: "seq".to_string(),
+            trace: bytes.clone(),
+        };
+        match request(&endpoint, &req).expect("put reply") {
+            Reply::Stored(summary) => assert!(summary.contains(key), "summary: {summary}"),
+            other => panic!("unexpected put reply: {other:?}"),
+        }
+    }
+
+    // Round trip: TRACE_GET hands back byte-identical text.
+    match request(&endpoint, &Request::TraceGet { key: "seq-clean-0".into() }).expect("get") {
+        Reply::TraceData(bytes) => assert_eq!(bytes, t0, "trace round trip must be lossless"),
+        other => panic!("unexpected get reply: {other:?}"),
+    }
+    match request(&endpoint, &Request::TraceGet { key: "no-such-key".into() }).expect("miss") {
+        Reply::Error(msg) => assert!(msg.contains("trace get failed"), "msg: {msg}"),
+        other => panic!("missing key must yield ERROR, got: {other:?}"),
+    }
+
+    // A hostile payload is rejected with ERROR, not stored.
+    let bad = Request::TracePut {
+        key: "bad".into(),
+        workload: "seq".into(),
+        trace: b"not a trace".to_vec(),
+    };
+    match request(&endpoint, &bad).expect("bad put reply") {
+        Reply::Error(msg) => assert!(msg.contains("trace put failed"), "msg: {msg}"),
+        other => panic!("hostile payload must yield ERROR, got: {other:?}"),
+    }
+
+    // TRAIN now prefers the two ingested traces over simulator runs.
+    let spec = tiny_spec("seq");
+    match request(&endpoint, &Request::Train(spec.clone())).expect("train reply") {
+        Reply::Trained(summary) => {
+            assert!(summary.contains("from corpus"), "summary: {summary}")
+        }
+        other => panic!("unexpected train reply: {other:?}"),
+    }
+
+    let status = status_of(&endpoint);
+    assert_eq!(counter(&status, "requests_served"), 4, "status:\n{status}");
+    assert_eq!(counter(&status, "requests_errored"), 2, "status:\n{status}");
+    assert!(matches!(request(&endpoint, &Request::Shutdown).expect("bye"), Reply::Bye));
+    server.join();
+
+    // Restart on the same corpus: the model comes back from the store
+    // (no retraining) and the traces survived.
+    let (server, endpoint) = boot_with_corpus();
+    match request(&endpoint, &Request::Train(spec)).expect("train reply") {
+        Reply::Trained(summary) => {
+            assert!(summary.contains("loaded from corpus store"), "summary: {summary}");
+            assert!(summary.contains("cache-hit:store"), "summary: {summary}");
+        }
+        other => panic!("unexpected train reply: {other:?}"),
+    }
+    match request(&endpoint, &Request::TraceGet { key: "seq-clean-1".into() }).expect("get") {
+        Reply::TraceData(bytes) => assert_eq!(bytes, t1, "trace survives a restart"),
+        other => panic!("unexpected get reply: {other:?}"),
+    }
+    let status = status_of(&endpoint);
+    assert!(counter(&status, "cache_hits") >= 1, "store hit counts as a hit:\n{status}");
+    assert_eq!(counter(&status, "cache_misses"), 0, "status:\n{status}");
+    assert!(matches!(request(&endpoint, &Request::Shutdown).expect("bye"), Reply::Bye));
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_frames_without_a_corpus_answer_error() {
+    let (server, endpoint) = boot(1, 4);
+    let req = Request::TracePut {
+        key: "k".into(),
+        workload: "seq".into(),
+        trace: correct_trace_bytes(0),
+    };
+    match request(&endpoint, &req).expect("reply") {
+        Reply::Error(msg) => assert!(msg.contains("--corpus"), "msg: {msg}"),
+        other => panic!("expected ERROR without a corpus, got: {other:?}"),
+    }
+    match request(&endpoint, &Request::TraceGet { key: "k".into() }).expect("reply") {
+        Reply::Error(msg) => assert!(msg.contains("--corpus"), "msg: {msg}"),
+        other => panic!("expected ERROR without a corpus, got: {other:?}"),
+    }
     assert!(matches!(request(&endpoint, &Request::Shutdown).expect("bye"), Reply::Bye));
     server.join();
 }

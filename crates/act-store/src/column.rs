@@ -1,0 +1,375 @@
+//! Columnar chunk codec: a bounded run of [`TraceRecord`]s encoded as
+//! independent per-field columns, each delta+varint compressed.
+//!
+//! Why columnar: within one field the values are strongly correlated (PCs
+//! walk the program, addresses stride through arrays, sequence numbers
+//! count up), while *across* fields there is no correlation at all — so each
+//! column deltas against its own previous value and a record costs a few
+//! bytes instead of a ~40-byte text line. Each column is length-prefixed so
+//! a decoder sets up parallel cursors from a single pass over the header.
+//!
+//! Chunk layout (one chunk per segment `DATA` block, self-contained — delta
+//! state does not cross chunks, so any chunk decodes in isolation):
+//!
+//! ```text
+//! count:varint
+//! 8 columns, each  len:varint  payload:len bytes
+//!   tags       1 byte/record (kind + flags, see TAG_*)
+//!   seq        zigzag(delta) varints, all records
+//!   cycle      zigzag(delta) varints, all records
+//!   tid        raw varints, all records
+//!   pc         zigzag(delta) varints, all records
+//!   addr       zigzag(delta) varints, loads + stores only
+//!   dep_store  zigzag(delta) varints, loads with a dependence only
+//!   dep_load   zigzag(delta) varints, loads with a dependence only
+//! ```
+
+use crate::error::StoreError;
+use crate::varint::{get_varint, put_varint, unzigzag, zigzag};
+use act_sim::events::RawDep;
+use act_trace::{TraceKind, TraceRecord};
+
+/// Records per chunk: bounds decode memory regardless of trace length.
+pub const CHUNK_RECORDS: usize = 4096;
+
+const TAG_THREAD_START: u8 = 0;
+const TAG_THREAD_END: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_BRANCH_NOT_TAKEN: u8 = 3;
+const TAG_BRANCH_TAKEN: u8 = 4;
+const TAG_LOAD: u8 = 5;
+const TAG_LOAD_DEP_INTRA: u8 = 6;
+const TAG_LOAD_DEP_INTER: u8 = 7;
+const TAG_MAX: u8 = TAG_LOAD_DEP_INTER;
+
+fn tag_of(kind: &TraceKind) -> u8 {
+    match kind {
+        TraceKind::ThreadStart => TAG_THREAD_START,
+        TraceKind::ThreadEnd => TAG_THREAD_END,
+        TraceKind::Store { .. } => TAG_STORE,
+        TraceKind::Branch { taken: false } => TAG_BRANCH_NOT_TAKEN,
+        TraceKind::Branch { taken: true } => TAG_BRANCH_TAKEN,
+        TraceKind::Load { dep: None, .. } => TAG_LOAD,
+        TraceKind::Load { dep: Some(d), .. } => {
+            if d.inter_thread {
+                TAG_LOAD_DEP_INTER
+            } else {
+                TAG_LOAD_DEP_INTRA
+            }
+        }
+    }
+}
+
+fn has_addr(tag: u8) -> bool {
+    matches!(tag, TAG_STORE | TAG_LOAD | TAG_LOAD_DEP_INTRA | TAG_LOAD_DEP_INTER)
+}
+
+fn has_dep(tag: u8) -> bool {
+    matches!(tag, TAG_LOAD_DEP_INTRA | TAG_LOAD_DEP_INTER)
+}
+
+/// A delta+varint column being built.
+#[derive(Default)]
+struct DeltaCol {
+    buf: Vec<u8>,
+    prev: u64,
+}
+
+impl DeltaCol {
+    fn push(&mut self, v: u64) {
+        put_varint(&mut self.buf, zigzag(v.wrapping_sub(self.prev) as i64));
+        self.prev = v;
+    }
+}
+
+/// Encode `records` (at most [`CHUNK_RECORDS`]) as one chunk, appending to
+/// `out`. Returns the encoded byte length.
+pub fn encode_chunk(records: &[TraceRecord], out: &mut Vec<u8>) -> usize {
+    debug_assert!(records.len() <= CHUNK_RECORDS);
+    let start = out.len();
+    let mut tags = Vec::with_capacity(records.len());
+    let mut seq = DeltaCol::default();
+    let mut cycle = DeltaCol::default();
+    let mut tid = Vec::new();
+    let mut pc = DeltaCol::default();
+    let mut addr = DeltaCol::default();
+    let mut dep_store = DeltaCol::default();
+    let mut dep_load = DeltaCol::default();
+    for r in records {
+        let tag = tag_of(&r.kind);
+        tags.push(tag);
+        seq.push(r.seq);
+        cycle.push(r.cycle);
+        put_varint(&mut tid, r.tid as u64);
+        pc.push(r.pc as u64);
+        match r.kind {
+            TraceKind::Load { addr: a, dep } => {
+                addr.push(a);
+                if let Some(d) = dep {
+                    dep_store.push(d.store_pc as u64);
+                    dep_load.push(d.load_pc as u64);
+                }
+            }
+            TraceKind::Store { addr: a } => addr.push(a),
+            _ => {}
+        }
+    }
+    put_varint(out, records.len() as u64);
+    for col in
+        [&tags, &seq.buf, &cycle.buf, &tid, &pc.buf, &addr.buf, &dep_store.buf, &dep_load.buf]
+    {
+        put_varint(out, col.len() as u64);
+        out.extend_from_slice(col);
+    }
+    out.len() - start
+}
+
+/// A delta+varint column being read.
+struct DeltaCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    prev: u64,
+}
+
+impl<'a> DeltaCursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        DeltaCursor { buf, pos: 0, prev: 0 }
+    }
+
+    fn next(&mut self) -> Result<u64, StoreError> {
+        let d = get_varint(self.buf, &mut self.pos)?;
+        self.prev = self.prev.wrapping_add(unzigzag(d) as u64);
+        Ok(self.prev)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn take_col<'a>(body: &'a [u8], pos: &mut usize) -> Result<&'a [u8], StoreError> {
+    let len = get_varint(body, pos)? as usize;
+    let Some(col) = body.get(*pos..*pos + len) else {
+        return Err(StoreError::corrupt(*pos as u64, "column overruns chunk"));
+    };
+    *pos += len;
+    Ok(col)
+}
+
+fn narrow_u32(v: u64, what: &str) -> Result<u32, StoreError> {
+    u32::try_from(v).map_err(|_| StoreError::corrupt(0, format!("{what} exceeds u32")))
+}
+
+/// Decode one chunk, appending its records to `out`.
+///
+/// The whole `body` must be consumed; trailing bytes, short columns, and
+/// unknown tags are all [`StoreError::Corrupt`]. Memory is bounded: `count`
+/// is validated against [`CHUNK_RECORDS`] before anything is allocated.
+pub fn decode_chunk(body: &[u8], out: &mut Vec<TraceRecord>) -> Result<(), StoreError> {
+    let mut pos = 0;
+    let count = get_varint(body, &mut pos)? as usize;
+    if count > CHUNK_RECORDS {
+        return Err(StoreError::corrupt(0, format!("chunk claims {count} records")));
+    }
+    let tags = take_col(body, &mut pos)?;
+    let seq_col = take_col(body, &mut pos)?;
+    let cycle_col = take_col(body, &mut pos)?;
+    let tid_col = take_col(body, &mut pos)?;
+    let pc_col = take_col(body, &mut pos)?;
+    let addr_col = take_col(body, &mut pos)?;
+    let dep_store_col = take_col(body, &mut pos)?;
+    let dep_load_col = take_col(body, &mut pos)?;
+    if pos != body.len() {
+        return Err(StoreError::corrupt(pos as u64, "trailing bytes in chunk"));
+    }
+    if tags.len() != count {
+        return Err(StoreError::corrupt(0, "tag column length mismatch"));
+    }
+    let mut seq = DeltaCursor::new(seq_col);
+    let mut cycle = DeltaCursor::new(cycle_col);
+    let mut tid_pos = 0usize;
+    let mut pc = DeltaCursor::new(pc_col);
+    let mut addr = DeltaCursor::new(addr_col);
+    let mut dep_store = DeltaCursor::new(dep_store_col);
+    let mut dep_load = DeltaCursor::new(dep_load_col);
+    out.reserve(count);
+    for &tag in tags {
+        if tag > TAG_MAX {
+            return Err(StoreError::corrupt(0, format!("unknown record tag {tag}")));
+        }
+        let seq_v = seq.next()?;
+        let cycle_v = cycle.next()?;
+        let tid_v = narrow_u32(get_varint(tid_col, &mut tid_pos)?, "tid")?;
+        let pc_v = narrow_u32(pc.next()?, "pc")?;
+        let kind = match tag {
+            TAG_THREAD_START => TraceKind::ThreadStart,
+            TAG_THREAD_END => TraceKind::ThreadEnd,
+            TAG_BRANCH_NOT_TAKEN => TraceKind::Branch { taken: false },
+            TAG_BRANCH_TAKEN => TraceKind::Branch { taken: true },
+            TAG_STORE => TraceKind::Store { addr: addr.next()? },
+            _ => {
+                let a = addr.next()?;
+                let dep = if has_dep(tag) {
+                    Some(RawDep {
+                        store_pc: narrow_u32(dep_store.next()?, "dep store pc")?,
+                        load_pc: narrow_u32(dep_load.next()?, "dep load pc")?,
+                        inter_thread: tag == TAG_LOAD_DEP_INTER,
+                    })
+                } else {
+                    None
+                };
+                TraceKind::Load { addr: a, dep }
+            }
+        };
+        debug_assert!(
+            has_addr(tag) || !matches!(kind, TraceKind::Load { .. } | TraceKind::Store { .. })
+        );
+        out.push(TraceRecord { seq: seq_v, cycle: cycle_v, tid: tid_v, pc: pc_v, kind });
+    }
+    for (cur, name) in [
+        (seq.exhausted(), "seq"),
+        (cycle.exhausted(), "cycle"),
+        (tid_pos == tid_col.len(), "tid"),
+        (pc.exhausted(), "pc"),
+        (addr.exhausted(), "addr"),
+        (dep_store.exhausted(), "dep store pc"),
+        (dep_load.exhausted(), "dep load pc"),
+    ] {
+        if !cur {
+            return Err(StoreError::corrupt(0, format!("{name} column has trailing bytes")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let dep = RawDep { store_pc: 3, load_pc: 9, inter_thread: true };
+        vec![
+            TraceRecord { seq: 0, cycle: 5, tid: 0, pc: 0, kind: TraceKind::ThreadStart },
+            TraceRecord { seq: 1, cycle: 6, tid: 0, pc: 3, kind: TraceKind::Store { addr: 64 } },
+            TraceRecord {
+                seq: 2,
+                cycle: 8,
+                tid: 1,
+                pc: 9,
+                kind: TraceKind::Load { addr: 64, dep: Some(dep) },
+            },
+            TraceRecord {
+                seq: 3,
+                cycle: 9,
+                tid: 1,
+                pc: 10,
+                kind: TraceKind::Load { addr: 72, dep: None },
+            },
+            TraceRecord {
+                seq: 4,
+                cycle: 11,
+                tid: 1,
+                pc: 11,
+                kind: TraceKind::Branch { taken: true },
+            },
+            TraceRecord {
+                seq: 5,
+                cycle: 12,
+                tid: 1,
+                pc: 12,
+                kind: TraceKind::Branch { taken: false },
+            },
+            TraceRecord { seq: 6, cycle: 13, tid: 1, pc: 0, kind: TraceKind::ThreadEnd },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        encode_chunk(&records, &mut buf);
+        let mut back = Vec::new();
+        decode_chunk(&buf, &mut back).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_chunk_roundtrips() {
+        let mut buf = Vec::new();
+        encode_chunk(&[], &mut buf);
+        let mut back = Vec::new();
+        decode_chunk(&buf, &mut back).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncation_at_any_byte_is_an_error_not_a_panic() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        encode_chunk(&records, &mut buf);
+        for cut in 0..buf.len() {
+            let mut out = Vec::new();
+            assert!(decode_chunk(&buf[..cut], &mut out).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_count_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut out = Vec::new();
+        let err = decode_chunk(&buf, &mut out).unwrap_err();
+        assert!(err.is_corrupt());
+    }
+
+    fn arb_record(seed: (u64, u64, u32, u32, u64, u8)) -> TraceRecord {
+        let (seq, cycle, tid, pc, addr, sel) = seed;
+        let kind = match sel % 8 {
+            0 => TraceKind::ThreadStart,
+            1 => TraceKind::ThreadEnd,
+            2 => TraceKind::Store { addr },
+            3 => TraceKind::Branch { taken: false },
+            4 => TraceKind::Branch { taken: true },
+            5 => TraceKind::Load { addr, dep: None },
+            s => TraceKind::Load {
+                addr,
+                dep: Some(RawDep { store_pc: pc ^ 0x5555, load_pc: pc, inter_thread: s == 7 }),
+            },
+        };
+        TraceRecord { seq, cycle, tid, pc, kind }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_records(
+            seeds in prop::collection::vec(
+                (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>())
+                    .prop_map(|(a, b, c, d)| (a, b, c, d, a ^ b, c as u8)),
+                0..200,
+            )
+        ) {
+            let records: Vec<TraceRecord> = seeds.into_iter().map(arb_record).collect();
+            let mut buf = Vec::new();
+            encode_chunk(&records, &mut buf);
+            let mut back = Vec::new();
+            decode_chunk(&buf, &mut back).unwrap();
+            prop_assert_eq!(back, records);
+        }
+
+        #[test]
+        fn mutated_chunk_never_panics(
+            flip_at in any::<u64>(),
+            flip_bits in 1u8..255,
+        ) {
+            let records = sample_records();
+            let mut buf = Vec::new();
+            encode_chunk(&records, &mut buf);
+            let idx = (flip_at % buf.len() as u64) as usize;
+            buf[idx] ^= flip_bits;
+            // Either decodes to something or errors — never panics/OOMs.
+            let mut out = Vec::new();
+            let _ = decode_chunk(&buf, &mut out);
+        }
+    }
+}

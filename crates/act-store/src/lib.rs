@@ -1,0 +1,36 @@
+//! # act-store — compressed, indexed trace & model corpus store
+//!
+//! ACT's whole pipeline is fed by memory-access traces of correct runs;
+//! at production scale the trace volume dominates (the scaling problem
+//! application-level post-silicon debugging hit first), so this crate is the
+//! storage layer the daemon, campaigns, and CLI share:
+//!
+//! * [`varint`] / [`crc32`] — leaf codecs (LEB128 + zigzag, CRC-32), built
+//!   in-tree because the workspace compiles offline.
+//! * [`column`] — the columnar chunk codec: per-field delta+varint columns,
+//!   self-contained per chunk so decode memory is bounded.
+//! * [`segment`] — append-only segment files: CRC-checksummed blocks, entry
+//!   commit protocol (`ENTRY_BEGIN DATA* ENTRY_END`), footer index, and the
+//!   streaming [`segment::SegmentWriter`] / [`segment::TraceEntrySource`]
+//!   pair. The trace entry types implement `act-trace`'s shared
+//!   `TraceSink`/`TraceSource` codec interface, so there is exactly one
+//!   event codec boundary in the workspace.
+//! * [`corpus`] — the [`Corpus`] manager: create/open/append/get/iter/
+//!   compact with atomic rename commits and truncated-tail recovery.
+//! * [`metrics`] — store instruments on an `act-obs` registry (bytes in/out,
+//!   compression ratio, decode throughput, corrupt blocks).
+
+pub mod column;
+pub mod corpus;
+pub mod crc32;
+pub mod error;
+pub mod metrics;
+pub mod segment;
+pub mod varint;
+
+pub use corpus::{CompactStat, Corpus, CorpusStat, OpenReport, DEFAULT_SEAL_BYTES};
+pub use error::StoreError;
+pub use metrics::StoreMetrics;
+pub use segment::{
+    EntryInfo, EntryKind, EntryMeta, SegmentWriter, TraceEntrySink, TraceEntrySource,
+};

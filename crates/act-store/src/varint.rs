@@ -1,0 +1,133 @@
+//! LEB128 varints and the zigzag transform — the leaf codec under the
+//! columnar trace encoding. RAW traces are highly delta-compressible: a
+//! sequential workload's PC column deltas are mostly in `[-4, 4]`, so one
+//! varint byte replaces a ~10-digit decimal field of the text codec.
+
+use crate::error::StoreError;
+
+/// Longest legal encoding of a `u64` (10 × 7 bits ≥ 64 bits).
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Append `v` to `out` as an LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Decode one varint from `buf` at `*pos`, advancing `*pos` past it.
+///
+/// Rejects truncated input, encodings longer than 10 bytes, and 10-byte
+/// encodings whose top bits overflow a `u64` — all as [`StoreError::Corrupt`].
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_BYTES {
+        let Some(&b) = buf.get(*pos + i) else {
+            return Err(StoreError::corrupt((*pos + i) as u64, "truncated varint"));
+        };
+        let low = (b & 0x7f) as u64;
+        if shift == 63 && low > 1 {
+            return Err(StoreError::corrupt(*pos as u64, "varint overflows u64"));
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            *pos += i + 1;
+            return Ok(v);
+        }
+        shift += 7;
+    }
+    Err(StoreError::corrupt(*pos as u64, "varint longer than 10 bytes"))
+}
+
+/// Zigzag-map a signed delta to an unsigned varint payload (small magnitudes
+/// of either sign become small codes).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_BYTES);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip_edges() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(get_varint(&buf[..cut], &mut pos).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        // Eleven continuation bytes can never be a legal u64.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+        // A 10-byte encoding whose final byte carries more than one bit
+        // overflows 64 bits.
+        let mut over = vec![0x80u8; 9];
+        over.push(0x02);
+        let mut pos = 0;
+        assert!(get_varint(&over, &mut pos).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn varint_roundtrip_any(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn zigzag_roundtrip_any(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+
+        #[test]
+        fn zigzag_orders_by_magnitude(v in -1_000_000i64..1_000_000) {
+            // Smaller magnitude never encodes wider than double magnitude.
+            let mut small = Vec::new();
+            let mut big = Vec::new();
+            put_varint(&mut small, zigzag(v));
+            put_varint(&mut big, zigzag(v.saturating_mul(128)));
+            prop_assert!(small.len() <= big.len());
+        }
+    }
+}

@@ -30,6 +30,25 @@ impl CorrectSet {
         set
     }
 
+    /// Build from whole correct-run traces, e.g. streamed out of an
+    /// `act-store` corpus. Each trace contributes the positive dependence
+    /// windows of length `n` that the Input Generator would emit, using the
+    /// *observed* dependence stream (what the hardware saw), so the set
+    /// matches what online classification is scored against.
+    pub fn from_corpus<I>(traces: I, n: usize) -> Self
+    where
+        I: IntoIterator<Item = crate::event::Trace>,
+    {
+        let mut set = CorrectSet::default();
+        for trace in traces {
+            let deps = crate::raw::observed_deps(&trace);
+            for s in crate::input_gen::positive_sequences(&deps, n) {
+                set.insert(&s.deps);
+            }
+        }
+        set
+    }
+
     /// Insert one sequence.
     ///
     /// # Panics
@@ -146,6 +165,30 @@ mod tests {
         assert_eq!(set.len(), 1);
         assert_eq!(set.seq_len(), 2);
         assert!(set.contains(&[dep(1, 2), dep(3, 4)]));
+    }
+
+    #[test]
+    fn from_corpus_builds_windows_from_observed_deps() {
+        use crate::event::{Trace, TraceKind, TraceRecord};
+        let load = |seq: u64, pc: Pc, d: RawDep| TraceRecord {
+            seq,
+            cycle: seq,
+            tid: 0,
+            pc,
+            kind: TraceKind::Load { addr: 8, dep: Some(d) },
+        };
+        let d1 = dep(1, 10);
+        let d2 = dep(2, 20);
+        let d3 = dep(3, 30);
+        let trace = Trace {
+            records: vec![load(0, 10, d1), load(1, 20, d2), load(2, 30, d3)],
+            code_len: 40,
+        };
+        let set = CorrectSet::from_corpus([trace], 2);
+        assert_eq!(set.seq_len(), 2);
+        assert!(set.contains(&[d1, d2]));
+        assert!(set.contains(&[d2, d3]));
+        assert!(!set.contains(&[d1, d3]));
     }
 
     #[test]

@@ -60,6 +60,22 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Iterate records in global functional order (the streaming-encode
+    /// entry point: sinks consume this without cloning the trace).
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records of any kind.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
     /// Number of memory-access records.
     pub fn access_count(&self) -> usize {
         self.records

@@ -79,3 +79,48 @@ rm -rf "$SERVE_CORPUS"
 test -s act-serve-events.jsonl
 grep '"target":"serve.start"' act-serve-events.jsonl
 grep '"target":"serve.shutdown"' act-serve-events.jsonl
+
+# Gateway smoke test: two backends behind act-gate, one killed mid-fleet.
+# Requests keep succeeding through failover and STATUS aggregates what is
+# left standing (DESIGN.md §10).
+B1=127.0.0.1:7462
+B2=127.0.0.1:7463
+GATE=127.0.0.1:7464
+"$ACT" serve --addr "$B1" --workers 2 --queue-depth 8 &
+B1_PID=$!
+"$ACT" serve --addr "$B2" --workers 2 --queue-depth 8 &
+B2_PID=$!
+"$ACT" gate --backends "$B1,$B2" --listen "$GATE" --workers 2 \
+    --event-log act-gate-events.jsonl &
+GATE_PID=$!
+trap 'kill "$GATE_PID" "$B1_PID" "$B2_PID" 2>/dev/null || true' EXIT
+sleep 1
+# Models shard across the fleet; clients talk only to the gateway.
+"$ACT" request train seq --addr "$GATE" | grep "trained seq"
+"$ACT" request train seq --seed 1 --addr "$GATE" | grep "trained seq"
+"$ACT" request status --addr "$GATE" | tee /tmp/act-gate-status.txt
+grep "act-gate status" /tmp/act-gate-status.txt
+grep "backends_up 2" /tmp/act-gate-status.txt
+grep "replies_relayed 2" /tmp/act-gate-status.txt
+grep "fleet_requests_served" /tmp/act-gate-status.txt
+grep -- "-- backend 1 " /tmp/act-gate-status.txt
+# Kill one backend; diagnosis must still succeed via the ring neighbor.
+kill "$B2_PID"
+wait "$B2_PID" || true
+"$ACT" request diagnose seq --addr "$GATE" | tee /tmp/act-gate-diagnosis.txt
+grep "^diagnosis workload=seq" /tmp/act-gate-diagnosis.txt
+grep "^#1 " /tmp/act-gate-diagnosis.txt
+"$ACT" request status --addr "$GATE" | grep "backends_up 1"
+"$ACT" request shutdown --addr "$GATE"
+wait "$GATE_PID"
+# The surviving backend outlives its gateway and drains on its own.
+"$ACT" request status --addr "$B1" | grep "requests_served"
+"$ACT" request shutdown --addr "$B1"
+wait "$B1_PID"
+trap - EXIT
+
+# The gateway event log recorded the lifecycle and the mark-down.
+test -s act-gate-events.jsonl
+grep '"target":"gate.start"' act-gate-events.jsonl
+grep '"target":"gate.down"' act-gate-events.jsonl
+grep '"target":"gate.shutdown"' act-gate-events.jsonl

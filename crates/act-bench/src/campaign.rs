@@ -150,6 +150,21 @@ pub fn executor_for(
     // its trace source (ingested production traces instead of fresh
     // simulator runs).
     let corpus: Option<String> = spec.params.get("corpus").cloned();
+    // `gateway = ADDR` ships train/diagnose jobs over the wire — to an
+    // act-gate gateway (or a single act-serve daemon; the protocol is the
+    // same) — instead of running the pipeline in-process.
+    if let Some(addr) = spec.params.get("gateway").cloned() {
+        let model = remote_model_spec(spec);
+        return match spec.kind.as_str() {
+            "train" => Ok(Box::new(move |job: &JobDesc| remote_train_exec(job, &addr, &model))),
+            "diagnose" => {
+                Ok(Box::new(move |job: &JobDesc| remote_diagnose_exec(job, &addr, &model)))
+            }
+            other => Err(ActError::Parse(format!(
+                "campaign kind `{other}` cannot run through a gateway (train and diagnose can)"
+            ))),
+        };
+    }
     match spec.kind.as_str() {
         "run" => Ok(Box::new(run_exec)),
         "train" => Ok(Box::new(move |job: &JobDesc| train_exec(job, traces, corpus.as_deref()))),
@@ -160,6 +175,110 @@ pub fn executor_for(
             "unknown campaign kind `{other}` (expected run, train, diagnose, overhead, or ablation)"
         ))),
     }
+}
+
+/// The wire [`ModelSpec`] template a remote campaign sends: spec params
+/// override the protocol defaults; the per-job workload and seed are
+/// stamped in by the executor.
+fn remote_model_spec(spec: &CampaignSpec) -> act_serve::ModelSpec {
+    let mut model = act_serve::ModelSpec::new("");
+    model.traces = spec.param_or("traces", 10usize) as u32;
+    model.seq_len = spec.param_or("seq_len", 2usize) as u16;
+    model.hidden = spec.param_or("hidden", 10usize) as u16;
+    model.max_epochs = spec.param_or("max_epochs", 0usize) as u32;
+    model
+}
+
+/// The client config remote jobs use: bounded timeouts plus one jittered
+/// retry keyed on the job seed, so a gateway BUSY or a mid-failover blip
+/// does not crash the job (and retry sleeps stay deterministic per job).
+fn remote_client_cfg(job: &JobDesc) -> act_serve::ClientConfig {
+    act_serve::ClientConfig::default().with_retry(std::time::Duration::from_millis(100), job.seed)
+}
+
+fn remote_request(job: &JobDesc, addr: &str, request: &act_serve::Request) -> act_serve::Reply {
+    let endpoint = act_serve::Endpoint::Tcp(addr.to_string());
+    match act_serve::request_with(&endpoint, request, &remote_client_cfg(job)) {
+        Ok(reply) => reply,
+        Err(e) => panic!("{}: gateway {addr}: {e}", job.workload),
+    }
+}
+
+/// Strip the cache-outcome tag (` [cache-hit]`, ` [trained]`, ...) off a
+/// `Trained` summary. The tag depends on which backend answered and what
+/// it had cached — scrubbing it keeps campaign reports byte-identical
+/// across fleet sizes and failovers.
+fn strip_cache_tag(summary: &str) -> &str {
+    summary.split(" [").next().unwrap_or(summary).trim_end()
+}
+
+/// Strip the `model=<tag>` token from a diagnosis header for the same
+/// reason: the tag names the serving backend's cache outcome, not the
+/// diagnosis.
+fn strip_model_token(line: &str) -> String {
+    line.split_whitespace().filter(|tok| !tok.starts_with("model=")).collect::<Vec<_>>().join(" ")
+}
+
+/// Pull a `key=value` integer out of a diagnosis header.
+fn header_int(line: &str, key: &str) -> Option<i64> {
+    line.split_whitespace().find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+}
+
+/// `train` through a gateway: one TRAIN frame per job.
+fn remote_train_exec(job: &JobDesc, addr: &str, model: &act_serve::ModelSpec) -> JobOutput {
+    let mut spec = model.clone();
+    spec.workload = job.workload.clone();
+    spec.seed = job.seed;
+    match remote_request(job, addr, &act_serve::Request::Train(spec)) {
+        act_serve::Reply::Trained(summary) => {
+            let summary = strip_cache_tag(&summary);
+            JobOutput::default()
+                .text("summary", summary)
+                .line(format!("{:<14} seed {:<4} {summary}", job.workload, job.seed))
+        }
+        other => panic!("{}: unexpected TRAIN reply {other:?}", job.workload),
+    }
+}
+
+/// `diagnose` through a gateway: manifest a failing run locally (the
+/// production machine's side of the paper's workflow), ship its trace,
+/// and record the ranked diagnosis the service returns.
+fn remote_diagnose_exec(job: &JobDesc, addr: &str, model: &act_serve::ModelSpec) -> JobOutput {
+    let mut spec = model.clone();
+    spec.workload = job.workload.clone();
+    spec.seed = job.seed;
+    let trace = failing_trace_bytes(&job.workload, job.seed);
+    match remote_request(job, addr, &act_serve::Request::Diagnose(spec, trace)) {
+        act_serve::Reply::Diagnosis(text) => {
+            let header = strip_model_token(text.lines().next().unwrap_or(""));
+            let ranked = header_int(&header, "ranked").unwrap_or(0);
+            let top = text.lines().find(|l| l.trim_start().starts_with("#1")).map(str::trim);
+            let mut out = JobOutput::default().int("ranked", ranked).text("header", &header);
+            if let Some(top) = top {
+                out = out.text("top_suspect", top);
+            }
+            out.line(format!("{:<14} seed {:<4} {header}", job.workload, job.seed))
+        }
+        other => panic!("{}: unexpected DIAGNOSE reply {other:?}", job.workload),
+    }
+}
+
+/// Serialize a failing trace of `workload` the way a production client
+/// would ship one: run triggered configurations from `base_seed` up until
+/// one actually fails. Deterministic per (workload, base_seed).
+pub fn failing_trace_bytes(workload: &str, base_seed: u64) -> Vec<u8> {
+    let w = lookup(workload);
+    let norm = crate::norm_of(w.as_ref());
+    for seed in base_seed..base_seed + 64 {
+        let built = w.build(&w.default_params().triggered().with_seed(seed));
+        let mut collector = act_trace::collector::TraceCollector::new(norm);
+        let mut machine = Machine::new(&built.program, machine_cfg(seed));
+        let outcome = machine.run_observed(&mut collector);
+        if built.is_failure(&outcome) {
+            return act_trace::io::trace_to_bytes(&collector.into_trace());
+        }
+    }
+    panic!("{workload}: no failing run in seeds {base_seed}..{}", base_seed + 64)
 }
 
 /// `run`: a single (optionally triggered) machine run.
@@ -448,6 +567,48 @@ mod tests {
         let mut bad = table5_spec();
         bad.kind = "nonsense".into();
         assert!(executor_for(&bad).is_err());
+    }
+
+    #[test]
+    fn gateway_param_resolves_remote_kinds_only() {
+        for kind in ["train", "diagnose"] {
+            let mut spec = CampaignSpec::new("remote", kind, &["seq"]);
+            spec.params.insert("gateway".into(), "127.0.0.1:7412".into());
+            assert!(executor_for(&spec).is_ok(), "kind {kind} must go remote");
+        }
+        let mut spec = CampaignSpec::new("remote", "overhead", &["seq"]);
+        spec.params.insert("gateway".into(), "127.0.0.1:7412".into());
+        let err = match executor_for(&spec) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("overhead must not resolve through a gateway"),
+        };
+        assert!(err.contains("gateway"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn remote_report_scrubbers_drop_cache_state() {
+        assert_eq!(
+            strip_cache_tag("seq: seq_len=2 hidden=10 deps=37 [cache-hit:disk]"),
+            "seq: seq_len=2 hidden=10 deps=37"
+        );
+        assert_eq!(strip_cache_tag("no tag at all"), "no tag at all");
+        let header = "diagnosis workload=seq model=cache-hit ranked=1 logged=58 filter_pct=97.4";
+        let clean = strip_model_token(header);
+        assert_eq!(clean, "diagnosis workload=seq ranked=1 logged=58 filter_pct=97.4");
+        assert_eq!(header_int(&clean, "ranked"), Some(1));
+        assert_eq!(header_int(&clean, "logged"), Some(58));
+        assert_eq!(header_int(&clean, "missing"), None);
+    }
+
+    #[test]
+    fn remote_model_spec_honors_params() {
+        let mut spec = CampaignSpec::new("remote", "train", &["seq"]);
+        spec.params.insert("traces".into(), "4".into());
+        spec.params.insert("seq_len".into(), "3".into());
+        spec.params.insert("hidden".into(), "6".into());
+        spec.params.insert("max_epochs".into(), "50".into());
+        let model = remote_model_spec(&spec);
+        assert_eq!((model.traces, model.seq_len, model.hidden, model.max_epochs), (4, 3, 6, 50));
     }
 
     #[test]

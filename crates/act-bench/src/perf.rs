@@ -314,6 +314,63 @@ pub fn table4_wall_s(quick: bool, jobs: usize) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// End-to-end gateway DIAGNOSE round-trips per second: two in-process
+/// act-serve backends behind an act-gate gateway, one pre-trained tiny
+/// `seq` model, then timed DIAGNOSE exchanges through the gateway — each
+/// op is a full connect + frame + shard + forward + cache-hit diagnose +
+/// relay. Timed one op at a time, not with [`throughput`]'s batching: one
+/// op is a millisecond-scale network round trip, so a 5000-op batch would
+/// overshoot the target a thousandfold.
+pub fn gate_diagnose_rps(target: Duration) -> f64 {
+    use act_serve::{Reply, Request, ServeConfig, Server};
+    let backends: Vec<Server> = (0..2)
+        .map(|_| {
+            Server::start(ServeConfig {
+                tcp_addr: Some("127.0.0.1:0".to_string()),
+                workers: 2,
+                queue_depth: 32,
+                ..ServeConfig::default()
+            })
+            .expect("bench backend boots")
+        })
+        .collect();
+    let gate = act_gate::Gateway::start(act_gate::GateConfig {
+        backends: backends.iter().map(|b| b.tcp_addr().expect("tcp").to_string()).collect(),
+        ..act_gate::GateConfig::default()
+    })
+    .expect("bench gateway boots");
+    let endpoint = act_serve::Endpoint::Tcp(gate.tcp_addr().to_string());
+
+    let mut spec = act_serve::ModelSpec::new("seq");
+    spec.traces = 2;
+    spec.hidden = 4;
+    spec.max_epochs = 30;
+    let trace = crate::campaign::failing_trace_bytes("seq", 0);
+    // Warm-up trains the model once; every timed op then measures the
+    // serving path, not offline training.
+    match act_serve::request(&endpoint, &Request::Train(spec.clone())) {
+        Ok(Reply::Trained(_)) => {}
+        other => panic!("gate bench warm-up train: {other:?}"),
+    }
+
+    let start = Instant::now();
+    let mut ops = 0u64;
+    while start.elapsed() < target {
+        match act_serve::request(&endpoint, &Request::Diagnose(spec.clone(), trace.clone())) {
+            Ok(Reply::Diagnosis(_)) => ops += 1,
+            other => panic!("gate bench diagnose: {other:?}"),
+        }
+    }
+    let rate = ops as f64 / start.elapsed().as_secs_f64();
+    gate.shutdown();
+    gate.join();
+    for b in backends {
+        b.shutdown();
+        b.join();
+    }
+    rate
+}
+
 /// Run the full suite. `jobs` is the worker count for the parallel variants
 /// of the wall-clock benches (entries are only emitted when `jobs > 1`, so
 /// a single-core host produces one row per bench). `only` restricts the
@@ -386,6 +443,9 @@ pub fn run_all(quick: bool, jobs: usize, only: Option<&str>) -> Vec<BenchEntry> 
             "ratio",
             1,
         ));
+    }
+    if want("gate_diagnose_rps") {
+        entries.push(BenchEntry::new("gate_diagnose_rps", gate_diagnose_rps(target), "ops/s", 1));
     }
     if want("table4_wall_s") {
         entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, 1), "s", 1));

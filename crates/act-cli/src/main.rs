@@ -46,6 +46,8 @@ fn usage() -> ExitCode {
          \x20 serve [--addr A] [--unix PATH] [--workers N] [--queue-depth D]\n\
          \x20       [--model-dir DIR] [--corpus DIR] [--cache N] [--deadline-ms MS]\n\
          \x20       [--event-log FILE]               run the diagnosis daemon\n\
+         \x20 gate --backends A,B,... [--listen ADDR] [--workers N] [--queue-depth D]\n\
+         \x20      [--vnodes N] [--event-log FILE]    run the sharding gateway\n\
          \x20 request <train|diagnose|status|shutdown|trace-put|trace-get> [workload]\n\
          \x20       [--addr A] [--unix PATH] [--seed N] [--traces N]\n\
          \x20       [--seq-len N] [--hidden N] [--epochs N] [--trace FILE] [--key K]\n\
@@ -96,6 +98,9 @@ fn parse_args(raw: &[String]) -> Args {
                 "trace",
                 "corpus",
                 "key",
+                "backends",
+                "listen",
+                "vnodes",
             ];
             if takes_value.contains(&name) && i + 1 < raw.len() {
                 a.flags.insert(name.to_string(), raw[i + 1].clone());
@@ -156,6 +161,7 @@ fn main() -> ExitCode {
         "diagnose" => cmd_diagnose(&args),
         "campaign" => cmd_campaign(&args),
         "serve" => cmd_serve(&args),
+        "gate" => cmd_gate(&args),
         "request" => cmd_request(&args),
         "store" => cmd_store(&args),
         _ => usage(),
@@ -563,6 +569,86 @@ fn cmd_serve(args: &Args) -> ExitCode {
     server.shutdown();
     let final_status = server.status_text();
     server.join();
+    print!("{final_status}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_gate(args: &Args) -> ExitCode {
+    let Some(raw_backends) = args.flags.get("backends") else {
+        eprintln!("act gate needs --backends ADDR[,ADDR...] (act-serve TCP addresses)");
+        return ExitCode::from(2);
+    };
+    let backends: Vec<String> = raw_backends
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if backends.is_empty() {
+        eprintln!("--backends lists no addresses: `{raw_backends}`");
+        return ExitCode::from(2);
+    }
+    let workers = match resolve_workers(args, "workers") {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    let parse_or = |flag: &str, default: usize| -> Result<usize, ExitCode> {
+        match args.flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                eprintln!("--{flag} expects a positive integer, got `{raw}`");
+                ExitCode::from(2)
+            }),
+        }
+    };
+    let queue_depth = match parse_or("queue-depth", 64) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    let vnodes = match parse_or("vnodes", 64) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    if let Some(path) = args.flags.get("event-log") {
+        match act_obs::JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => {
+                act_obs::events().add_sink(Box::new(sink));
+                println!("event log: {path}");
+            }
+            Err(e) => {
+                eprintln!("cannot open event log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cfg = act_gate::GateConfig {
+        listen: args.flags.get("listen").cloned().unwrap_or_else(|| "127.0.0.1:7412".to_string()),
+        backends,
+        vnodes,
+        workers,
+        queue_depth,
+        ..act_gate::GateConfig::default()
+    };
+    let gate = match act_gate::Gateway::start(cfg.clone()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot start gateway: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("act-gate listening on tcp://{}", gate.tcp_addr());
+    println!(
+        "backends {} | vnodes {vnodes} | workers {workers} | queue depth {queue_depth}",
+        cfg.backends.len()
+    );
+    install_stop_handler();
+    while !STOP.load(std::sync::atomic::Ordering::SeqCst) && !gate.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("draining...");
+    gate.shutdown();
+    let final_status = gate.status_text();
+    gate.join();
     print!("{final_status}");
     ExitCode::SUCCESS
 }

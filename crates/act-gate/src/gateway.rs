@@ -1,0 +1,691 @@
+//! The gateway daemon: accept client frames, shard them across the
+//! backend fleet, fail over, and answer aggregated `STATUS`.
+//!
+//! Life of a request: an acceptor thread reads one frame, answers
+//! `STATUS`/`SHUTDOWN` inline (STATUS is the aggregated fleet view), and
+//! queues everything routable — the frame itself plus its shard key — on a
+//! bounded queue, answering `BUSY` when full (the same refused-not-dropped
+//! backpressure contract as act-serve). Forwarding workers drain the
+//! queue: the consistent-hash ring orders the backends for the key, dead
+//! backends are skipped, and the request gets the owner plus at most one
+//! failover attempt on the next ring owner when the owner is down or
+//! answers `BUSY`. The backend's reply bytes are relayed verbatim,
+//! restamped with the client's protocol version.
+//!
+//! Version negotiation: the frame forwarded to a backend carries
+//! `min(client version, gateway version)` and the relayed reply carries
+//! `min(client version, backend reply version)` — a v1 client talking
+//! through the gateway to a v3 fleet sees exactly the frames a v1
+//! act-serve would have sent it.
+
+use crate::health::Health;
+use crate::pool::ConnPool;
+use crate::ring::HashRing;
+use act_fleet::{BoundedQueue, ModelKey};
+use act_obs::{
+    events, latency_bounds_us, Counter, Gauge, Histogram, Level, MetricsSnapshot, Registry,
+};
+use act_serve::proto::{read_frame, write_frame, Frame, FrameKind, VERSION};
+use act_serve::{request_with, ClientConfig, ClientError, Endpoint, Reply, Request};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the acceptor and prober sleep between polls of an idle
+/// listener / probe schedule.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// TCP listen address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub listen: String,
+    /// Backend act-serve TCP addresses. Must be non-empty.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Forwarding worker threads.
+    pub workers: usize,
+    /// Bounded queue depth; a full queue answers `BUSY`.
+    pub queue_depth: usize,
+    /// Idle pre-opened connections kept warm per backend. **Default 0**:
+    /// the act-serve acceptor reads each accepted connection's frame
+    /// inline, so a pre-opened socket that has not sent its request yet
+    /// stalls the backend's accept loop for a full read timeout. Raise
+    /// this only for backends that accept asynchronously.
+    pub pool_capacity: usize,
+    /// Backend TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Client-facing socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Backend read/write timeout for forwarded requests (generous: a
+    /// cold TRAIN runs the whole offline pipeline).
+    pub backend_timeout: Duration,
+    /// How often up backends get a STATUS probe.
+    pub probe_interval: Duration,
+    /// Connect + I/O timeout for health probes and STATUS aggregation.
+    pub probe_timeout: Duration,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            listen: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            vnodes: 64,
+            workers: 4,
+            queue_depth: 64,
+            pool_capacity: 0,
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(30),
+            backend_timeout: Duration::from_secs(300),
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The gateway's own observability surface, backed by a per-gateway
+/// [`Registry`] (tests boot several gateways in one process).
+pub struct GateStats {
+    registry: Registry,
+    routed: Counter,
+    relayed: Counter,
+    failovers: Counter,
+    busy_failovers: Counter,
+    failed: Counter,
+    rejected_busy: Counter,
+    proto_errors: Counter,
+    probes_ok: Counter,
+    probes_failed: Counter,
+    forwarded_by: Vec<Counter>,
+    failures_by: Vec<Counter>,
+    backends_up: Gauge,
+    queue_depth: Gauge,
+    uptime_ms: Gauge,
+    service_us: Histogram,
+}
+
+impl GateStats {
+    fn new(backends: usize) -> GateStats {
+        let registry = Registry::new();
+        GateStats {
+            routed: registry.counter("requests_routed"),
+            relayed: registry.counter("replies_relayed"),
+            failovers: registry.counter("failovers"),
+            busy_failovers: registry.counter("busy_failovers"),
+            failed: registry.counter("requests_failed"),
+            rejected_busy: registry.counter("requests_rejected_busy"),
+            proto_errors: registry.counter("protocol_errors"),
+            probes_ok: registry.counter("probes_ok"),
+            probes_failed: registry.counter("probes_failed"),
+            forwarded_by: (0..backends)
+                .map(|i| registry.counter(&format!("backend{i}_forwarded")))
+                .collect(),
+            failures_by: (0..backends)
+                .map(|i| registry.counter(&format!("backend{i}_failures")))
+                .collect(),
+            backends_up: registry.gauge("backends_up"),
+            queue_depth: registry.gauge("queue_depth"),
+            uptime_ms: registry.gauge("uptime_ms"),
+            service_us: registry.histogram("gate_service_us", &latency_bounds_us()),
+            registry,
+        }
+    }
+
+    /// Requests relayed to a client after a successful backend exchange.
+    pub fn relayed(&self) -> u64 {
+        self.relayed.get()
+    }
+
+    /// Requests that needed the next ring owner because their owner's
+    /// exchange failed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.get()
+    }
+
+    /// Requests forwarded onward because a backend answered `BUSY`.
+    pub fn busy_failovers(&self) -> u64 {
+        self.busy_failovers.get()
+    }
+
+    /// Requests answered `ERROR` after every candidate failed.
+    pub fn failed(&self) -> u64 {
+        self.failed.get()
+    }
+
+    /// Requests refused because the gateway's own queue was full.
+    pub fn rejected_busy(&self) -> u64 {
+        self.rejected_busy.get()
+    }
+
+    /// The gateway's own counters as one snapshot, gauges stamped.
+    fn snapshot(&self, uptime: Duration, queue_len: usize, up: usize) -> MetricsSnapshot {
+        self.uptime_ms.set(uptime.as_millis() as i64);
+        self.queue_depth.set(queue_len as i64);
+        self.backends_up.set(up as i64);
+        self.registry.snapshot()
+    }
+
+    /// The grep-stable plain-text block heading every gateway `STATUS`.
+    fn render(&self, uptime: Duration, queue_len: usize, up: usize, backends: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("act-gate status\n");
+        let mut line = |k: &str, v: u64| writeln!(out, "{k} {v}").expect("string write");
+        line("uptime_ms", uptime.as_millis() as u64);
+        line("backends", backends as u64);
+        line("backends_up", up as u64);
+        line("requests_routed", self.routed.get());
+        line("replies_relayed", self.relayed.get());
+        line("failovers", self.failovers.get());
+        line("busy_failovers", self.busy_failovers.get());
+        line("requests_failed", self.failed.get());
+        line("requests_rejected_busy", self.rejected_busy.get());
+        line("protocol_errors", self.proto_errors.get());
+        line("queue_depth", queue_len as u64);
+        out
+    }
+}
+
+/// One accepted, routable request waiting for a forwarding worker.
+struct GateJob {
+    conn: TcpStream,
+    /// Protocol version the client's frame arrived with.
+    version: u8,
+    /// The client's frame, forwarded verbatim (modulo version restamp).
+    frame: Frame,
+    /// Shard key (ModelKey canonical form, or `trace:<key>`).
+    key: String,
+    accepted: Instant,
+}
+
+/// Everything the acceptor, workers, and prober share.
+struct GateState {
+    ring: HashRing,
+    health: Health,
+    pool: ConnPool,
+    stats: GateStats,
+    started: Instant,
+    queue: BoundedQueue<GateJob>,
+    probe_timeout: Duration,
+}
+
+impl GateState {
+    fn probe_client_cfg(&self) -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(self.probe_timeout),
+            io_timeout: Some(self.probe_timeout),
+            retry: None,
+        }
+    }
+
+    /// One STATUS probe of backend `i`, updating health marks and the
+    /// connection pool. Returns the reply on success.
+    fn probe(&self, i: usize) -> Option<Reply> {
+        let endpoint = Endpoint::Tcp(self.pool.addrs()[i].clone());
+        match request_with(&endpoint, &Request::Status, &self.probe_client_cfg()) {
+            Ok(reply) => {
+                self.stats.probes_ok.inc();
+                self.note_backend_up(i);
+                self.pool.refill(i);
+                Some(reply)
+            }
+            Err(e) => {
+                self.stats.probes_failed.inc();
+                self.note_backend_down(i, &e.to_string());
+                None
+            }
+        }
+    }
+
+    fn note_backend_up(&self, i: usize) {
+        if self.health.note_success(i) {
+            events().emit(
+                Level::Info,
+                "gate.up",
+                format!("backend {i} ({}) marked up", self.pool.addrs()[i]),
+            );
+        }
+    }
+
+    fn note_backend_down(&self, i: usize, why: &str) {
+        self.stats.failures_by[i].inc();
+        self.pool.clear(i);
+        if self.health.note_failure(i) {
+            events().emit(
+                Level::Warn,
+                "gate.down",
+                format!("backend {i} ({}) marked down: {why}", self.pool.addrs()[i]),
+            );
+        }
+    }
+
+    /// One request/reply exchange with backend `i`, pooled connection
+    /// first (a stale pooled socket gets one fresh-connect retry before
+    /// the failure counts against the backend).
+    fn attempt(&self, i: usize, frame: &Frame) -> Result<Frame, ClientError> {
+        let fwd = frame.clone().with_version(frame.version.min(VERSION));
+        if let Some(mut conn) = self.pool.take_idle(i) {
+            if let Ok(reply) = exchange(&mut conn, &fwd) {
+                return Ok(reply);
+            }
+        }
+        let mut conn = self.pool.connect(i)?;
+        exchange(&mut conn, &fwd)
+    }
+
+    /// Route, forward with single-retry failover, and relay the reply.
+    fn forward(&self, mut job: GateJob) {
+        let order = self.ring.route(&job.key);
+        let mut candidates: Vec<usize> =
+            order.iter().copied().filter(|&b| self.health.is_up(b)).collect();
+        if candidates.is_empty() {
+            // Every backend is marked down: try the ring order anyway —
+            // a mark can be stale, and failing loudly beats guessing.
+            candidates = order;
+        }
+        // The owner plus one failover hop; more would turn a fleet-wide
+        // outage into a retry storm.
+        candidates.truncate(2);
+
+        let mut last_busy = false;
+        let mut last_err = String::new();
+        for (hop, &b) in candidates.iter().enumerate() {
+            if hop > 0 {
+                if last_busy {
+                    self.stats.busy_failovers.inc();
+                } else {
+                    self.stats.failovers.inc();
+                }
+                events().emit(
+                    Level::Info,
+                    "gate.failover",
+                    format!("key {} failing over to backend {b}", job.key),
+                );
+            }
+            match self.attempt(b, &job.frame) {
+                Ok(reply) if reply.kind == FrameKind::Busy => {
+                    self.note_backend_up(b); // it answered; busy is healthy
+                    last_busy = true;
+                    continue;
+                }
+                Ok(reply) => {
+                    self.note_backend_up(b);
+                    self.stats.forwarded_by[b].inc();
+                    self.stats.relayed.inc();
+                    self.stats.service_us.observe(job.accepted.elapsed().as_micros() as u64);
+                    let version = job.version.min(reply.version);
+                    let _ = write_frame(&mut job.conn, &reply.with_version(version));
+                    return;
+                }
+                Err(e) => {
+                    self.note_backend_down(b, &e.to_string());
+                    last_busy = false;
+                    last_err = e.to_string();
+                }
+            }
+        }
+        // Both candidates exhausted.
+        let reply = if last_busy {
+            Reply::Busy
+        } else {
+            self.stats.failed.inc();
+            Reply::Error(format!("no backend could serve key {}: {last_err}", job.key))
+        };
+        let _ = write_frame(&mut job.conn, &reply.to_frame().with_version(job.version));
+    }
+
+    /// The aggregated `STATUS`: the gateway's own block, a fleet rollup
+    /// summed across live backends (via `MetricsSnapshot::merge_sum`),
+    /// and each backend's own status section. The returned snapshot
+    /// namespaces the rollup under `fleet.` and each backend's metrics
+    /// under `backendN.`.
+    fn aggregated_status(&self) -> (String, MetricsSnapshot) {
+        let uptime = self.started.elapsed();
+        let queue_len = self.queue.len();
+        let mut fleet = MetricsSnapshot::new();
+        let mut sections = String::new();
+        let mut per_backend = Vec::new();
+        for i in 0..self.pool.addrs().len() {
+            let addr = self.pool.addrs()[i].clone();
+            match self.probe(i) {
+                Some(Reply::StatusMetrics(btext, bsnap)) => {
+                    fleet.merge_sum(&bsnap);
+                    sections.push_str(&format!("-- backend {i} {addr}: up --\n{btext}"));
+                    per_backend.push((i, bsnap));
+                }
+                Some(_) => sections.push_str(&format!("-- backend {i} {addr}: up --\n")),
+                None => sections.push_str(&format!("-- backend {i} {addr}: down --\n")),
+            }
+        }
+        let up = self.health.up_count();
+        let mut text = self.stats.render(uptime, queue_len, up, self.pool.addrs().len());
+        let served = fleet.counter("requests_served").unwrap_or(0);
+        let hits = fleet.counter("cache_memory_hits").unwrap_or(0)
+            + fleet.counter("cache_disk_loads").unwrap_or(0)
+            + fleet.counter("cache_store_loads").unwrap_or(0);
+        let misses = fleet.counter("cache_trained").unwrap_or(0);
+        text.push_str(&format!(
+            "fleet_requests_served {served}\nfleet_cache_hits {hits}\nfleet_cache_misses {misses}\n"
+        ));
+        if hits + misses > 0 {
+            text.push_str(&format!(
+                "fleet_cache_hit_rate {:.1}%\n",
+                100.0 * hits as f64 / (hits + misses) as f64
+            ));
+        }
+        text.push_str(&sections);
+
+        let mut snap = self.stats.snapshot(uptime, queue_len, up);
+        snap.merge_prefixed("fleet", fleet);
+        for (i, bsnap) in per_backend {
+            snap.merge_prefixed(&format!("backend{i}"), bsnap);
+        }
+        (text, snap)
+    }
+}
+
+fn exchange(conn: &mut TcpStream, frame: &Frame) -> Result<Frame, ClientError> {
+    write_frame(&mut *conn, frame).map_err(ClientError::Io)?;
+    Ok(read_frame(&mut *conn)?)
+}
+
+/// The shard key of a routable request. `STATUS`/`SHUTDOWN` have none
+/// (the acceptor answers them itself).
+fn route_key(request: &Request) -> Option<String> {
+    match request {
+        Request::Train(spec) | Request::Diagnose(spec, _) => Some(
+            ModelKey::new(&spec.workload, spec.seq_len as usize, spec.hidden as usize, spec.seed)
+                .canonical(),
+        ),
+        // Trace frames shard by corpus key so a TRACE_GET finds the
+        // backend its TRACE_PUT landed on.
+        Request::TracePut { key, .. } | Request::TraceGet { key } => Some(format!("trace:{key}")),
+        Request::Status | Request::Shutdown => None,
+    }
+}
+
+/// A running gateway. Like [`act_serve::Server`], dropping the handle does
+/// not stop it; call [`Gateway::shutdown`] then [`Gateway::join`].
+pub struct Gateway {
+    state: Arc<GateState>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    tcp_addr: SocketAddr,
+}
+
+impl Gateway {
+    /// Bind the listener and spawn the acceptor, forwarding workers, and
+    /// the health prober.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `backends` is empty, a count is zero, or the bind fails.
+    pub fn start(cfg: GateConfig) -> io::Result<Gateway> {
+        let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidInput, what.to_string());
+        if cfg.backends.is_empty() {
+            return Err(invalid("at least one backend is required"));
+        }
+        if cfg.workers == 0 {
+            return Err(invalid("workers must be >= 1"));
+        }
+        if cfg.queue_depth == 0 {
+            return Err(invalid("queue depth must be >= 1"));
+        }
+        if cfg.vnodes == 0 {
+            return Err(invalid("vnodes must be >= 1"));
+        }
+
+        let n = cfg.backends.len();
+        let state = Arc::new(GateState {
+            ring: HashRing::new(n, cfg.vnodes),
+            health: Health::new(n, 0x6761_7465), // "gate"
+            pool: ConnPool::new(
+                cfg.backends.clone(),
+                cfg.pool_capacity,
+                cfg.connect_timeout,
+                cfg.backend_timeout,
+            ),
+            stats: GateStats::new(n),
+            started: Instant::now(),
+            queue: BoundedQueue::new(cfg.queue_depth),
+            probe_timeout: cfg.probe_timeout,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let tcp_addr = listener.local_addr()?;
+
+        {
+            let state = state.clone();
+            let shutdown = shutdown.clone();
+            let io_timeout = cfg.io_timeout;
+            threads.push(std::thread::Builder::new().name("act-gate-accept".into()).spawn(
+                move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((conn, _)) => handle_connection(conn, &state, &shutdown, io_timeout),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL)
+                            }
+                            Err(_) => std::thread::sleep(POLL),
+                        }
+                    }
+                },
+            )?);
+        }
+        for i in 0..cfg.workers {
+            let state = state.clone();
+            threads.push(std::thread::Builder::new().name(format!("act-gate-worker-{i}")).spawn(
+                move || {
+                    while let Some(job) = state.queue.pop() {
+                        state.forward(job);
+                    }
+                },
+            )?);
+        }
+        {
+            let state = state.clone();
+            let shutdown = shutdown.clone();
+            let interval = cfg.probe_interval;
+            threads.push(std::thread::Builder::new().name("act-gate-probe".into()).spawn(
+                move || {
+                    let n = state.pool.addrs().len();
+                    let mut last = vec![Instant::now(); n];
+                    for i in 0..n {
+                        state.probe(i); // initial sweep warms pools + marks
+                    }
+                    while !shutdown.load(Ordering::SeqCst) {
+                        for i in 0..n {
+                            let due = if state.health.is_up(i) {
+                                last[i].elapsed() >= interval
+                            } else {
+                                state.health.probe_due(i)
+                            };
+                            if due {
+                                last[i] = Instant::now();
+                                state.probe(i);
+                            }
+                        }
+                        std::thread::sleep(POLL);
+                    }
+                },
+            )?);
+        }
+
+        events().emit(
+            Level::Info,
+            "gate.start",
+            format!(
+                "gateway up on {tcp_addr}: {} backends, {} vnodes, {} workers, queue depth {}",
+                n, cfg.vnodes, cfg.workers, cfg.queue_depth
+            ),
+        );
+        Ok(Gateway { state, shutdown, threads, tcp_addr })
+    }
+
+    /// The bound listen address (with the real port when `:0` was asked).
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.tcp_addr
+    }
+
+    /// Live gateway counters.
+    pub fn stats(&self) -> &GateStats {
+        &self.state.stats
+    }
+
+    /// The consistent-hash ring (tests predict ownership through this).
+    pub fn ring(&self) -> &HashRing {
+        &self.state.ring
+    }
+
+    /// Backends currently marked up.
+    pub fn backends_up(&self) -> usize {
+        self.state.health.up_count()
+    }
+
+    /// The current aggregated `STATUS` text.
+    pub fn status_text(&self) -> String {
+        self.state.aggregated_status().0
+    }
+
+    /// Begin graceful drain: stop accepting, let workers finish queued
+    /// forwards. Idempotent; also triggered by a `SHUTDOWN` frame. The
+    /// backends are *not* shut down — they outlive their gateway.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+    }
+
+    /// Whether a drain has started.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wait for the drain to finish (every queued request answered).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Read one client frame and answer inline, enqueue, or reject.
+fn handle_connection(
+    mut conn: TcpStream,
+    state: &GateState,
+    shutdown: &AtomicBool,
+    io_timeout: Duration,
+) {
+    let _ = conn.set_read_timeout(Some(io_timeout));
+    let _ = conn.set_write_timeout(Some(io_timeout));
+    let frame = match read_frame(&mut conn) {
+        Ok(f) => f,
+        Err(e) => {
+            state.stats.proto_errors.inc();
+            let reply = Reply::Error(format!("bad request: {e}"));
+            let _ = write_frame(&mut conn, &reply.to_frame().with_version(VERSION));
+            return;
+        }
+    };
+    let request = match Request::from_frame(&frame) {
+        Ok(r) => r,
+        Err(e) => {
+            state.stats.proto_errors.inc();
+            let reply = Reply::Error(format!("bad request: {e}"));
+            let _ = write_frame(&mut conn, &reply.to_frame().with_version(frame.version));
+            return;
+        }
+    };
+    match route_key(&request) {
+        None => match request {
+            Request::Status => {
+                let (text, snap) = state.aggregated_status();
+                let reply = if frame.version >= 2 {
+                    Reply::StatusMetrics(text, snap)
+                } else {
+                    Reply::StatusText(text)
+                };
+                let _ = write_frame(&mut conn, &reply.to_frame().with_version(frame.version));
+            }
+            Request::Shutdown => {
+                let _ = write_frame(&mut conn, &Reply::Bye.to_frame().with_version(frame.version));
+                events().emit(Level::Info, "gate.shutdown", "shutdown requested; draining");
+                shutdown.store(true, Ordering::SeqCst);
+                state.queue.close();
+            }
+            _ => unreachable!("only STATUS/SHUTDOWN have no shard key"),
+        },
+        Some(key) => {
+            let job =
+                GateJob { conn, version: frame.version, frame, key, accepted: Instant::now() };
+            match state.queue.try_push(job) {
+                Ok(()) => state.stats.routed.inc(),
+                Err(mut job) => {
+                    state.stats.rejected_busy.inc();
+                    let _ = write_frame(
+                        &mut job.conn,
+                        &Reply::Busy.to_frame().with_version(job.version),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_rejects_degenerate_configs() {
+        let bad = |f: fn(&mut GateConfig)| {
+            let mut cfg =
+                GateConfig { backends: vec!["127.0.0.1:1".into()], ..GateConfig::default() };
+            f(&mut cfg);
+            Gateway::start(cfg).err().expect("config must be rejected")
+        };
+        assert!(bad(|c| c.backends.clear()).to_string().contains("backend"));
+        assert!(bad(|c| c.workers = 0).to_string().contains("workers"));
+        assert!(bad(|c| c.queue_depth = 0).to_string().contains("queue depth"));
+        assert!(bad(|c| c.vnodes = 0).to_string().contains("vnodes"));
+    }
+
+    #[test]
+    fn route_keys_shard_models_and_traces() {
+        let spec = act_serve::ModelSpec::new("apache");
+        assert_eq!(route_key(&Request::Train(spec.clone())).unwrap(), "apache-n2-h10-s0");
+        assert_eq!(
+            route_key(&Request::Diagnose(spec, Vec::new())).unwrap(),
+            "apache-n2-h10-s0",
+            "TRAIN and DIAGNOSE of one key share a backend"
+        );
+        assert_eq!(route_key(&Request::TraceGet { key: "seq-0".into() }).unwrap(), "trace:seq-0");
+        assert!(route_key(&Request::Status).is_none());
+        assert!(route_key(&Request::Shutdown).is_none());
+    }
+
+    #[test]
+    fn stats_render_is_grep_stable() {
+        let stats = GateStats::new(2);
+        stats.routed.inc();
+        stats.relayed.inc();
+        let text = stats.render(Duration::from_secs(1), 0, 2, 2);
+        for needle in [
+            "act-gate status",
+            "backends 2",
+            "backends_up 2",
+            "requests_routed 1",
+            "replies_relayed 1",
+            "failovers 0",
+            "requests_rejected_busy 0",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-backend health state: up/down marks with exponential-backoff
+//! probing.
+//!
+//! Every forwarding failure marks a backend down and schedules its next
+//! probe with exponential backoff (base doubling per consecutive failure,
+//! capped, jittered through `act-rng` so a fleet of gateways does not
+//! probe in lockstep). A successful probe — or any successful forward —
+//! marks it up again and resets the backoff. The router consults
+//! [`Health::is_up`] to skip dead backends without burning its failover
+//! retry on them.
+
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// First retry delay after a failure.
+const BACKOFF_BASE: Duration = Duration::from_millis(200);
+/// Backoff ceiling.
+const BACKOFF_CAP: Duration = Duration::from_secs(8);
+
+struct BackendState {
+    up: bool,
+    /// Consecutive failures since the last success.
+    failures: u32,
+    /// When a down backend may be probed again.
+    retry_at: Instant,
+    rng: StdRng,
+}
+
+/// Health marks for a fixed set of backends.
+pub struct Health {
+    states: Vec<Mutex<BackendState>>,
+}
+
+impl Health {
+    /// All `n` backends start up (the first failed forward corrects an
+    /// optimistic mark within one request). `seed` keys the probe jitter.
+    pub fn new(n: usize, seed: u64) -> Health {
+        Health {
+            states: (0..n)
+                .map(|i| {
+                    Mutex::new(BackendState {
+                        up: true,
+                        failures: 0,
+                        retry_at: Instant::now(),
+                        rng: StdRng::seed_from_u64(seed.wrapping_add(i as u64)),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether backend `i` is currently marked up.
+    pub fn is_up(&self, i: usize) -> bool {
+        self.states[i].lock().expect("health lock").up
+    }
+
+    /// Backends currently marked up.
+    pub fn up_count(&self) -> usize {
+        self.states.iter().filter(|s| s.lock().expect("health lock").up).count()
+    }
+
+    /// Record a successful exchange with backend `i`; returns `true` when
+    /// this marked a down backend up again.
+    pub fn note_success(&self, i: usize) -> bool {
+        let mut s = self.states[i].lock().expect("health lock");
+        let newly_up = !s.up;
+        s.up = true;
+        s.failures = 0;
+        newly_up
+    }
+
+    /// Record a failed exchange with backend `i`: mark it down and push
+    /// its next probe out by a jittered exponential backoff. Returns
+    /// `true` when this marked an up backend down.
+    pub fn note_failure(&self, i: usize) -> bool {
+        let mut s = self.states[i].lock().expect("health lock");
+        let newly_down = s.up;
+        s.up = false;
+        s.failures = s.failures.saturating_add(1);
+        let base = BACKOFF_BASE
+            .saturating_mul(1u32 << (s.failures - 1).min(10))
+            .min(BACKOFF_CAP)
+            .as_millis() as u64;
+        let jittered = base / 2 + s.rng.gen_range(0..base.max(1));
+        s.retry_at = Instant::now() + Duration::from_millis(jittered);
+        newly_down
+    }
+
+    /// Whether a down backend's backoff has elapsed (a probe is due). Up
+    /// backends return `false`; their probing is the caller's periodic
+    /// schedule, not backoff-driven.
+    pub fn probe_due(&self, i: usize) -> bool {
+        let s = self.states[i].lock().expect("health lock");
+        !s.up && Instant::now() >= s.retry_at
+    }
+
+    /// The backoff currently scheduled for backend `i` (zero when up).
+    /// Test hook: exposes the exponential growth without sleeping.
+    pub fn backoff_remaining(&self, i: usize) -> Duration {
+        let s = self.states[i].lock().expect("health lock");
+        if s.up {
+            Duration::ZERO
+        } else {
+            s.retry_at.saturating_duration_since(Instant::now())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_up_and_marks_transition_once() {
+        let h = Health::new(2, 0);
+        assert!(h.is_up(0) && h.is_up(1));
+        assert_eq!(h.up_count(), 2);
+        assert!(h.note_failure(0), "first failure is the down transition");
+        assert!(!h.note_failure(0), "already down");
+        assert_eq!(h.up_count(), 1);
+        assert!(h.note_success(0), "success is the up transition");
+        assert!(!h.note_success(0), "already up");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let h = Health::new(1, 42);
+        let mut last = Duration::ZERO;
+        for round in 0..4 {
+            h.note_failure(0);
+            let now = h.backoff_remaining(0);
+            assert!(now > last / 2, "round {round}: backoff {now:?} did not grow past {last:?}");
+            last = now;
+        }
+        for _ in 0..20 {
+            h.note_failure(0);
+        }
+        assert!(
+            h.backoff_remaining(0) <= BACKOFF_CAP.mul_f64(1.5),
+            "backoff escaped the jittered cap: {:?}",
+            h.backoff_remaining(0)
+        );
+    }
+
+    #[test]
+    fn probe_due_waits_for_backoff_and_success_resets_it() {
+        let h = Health::new(1, 7);
+        assert!(!h.probe_due(0), "up backends are not backoff-probed");
+        h.note_failure(0);
+        assert!(!h.probe_due(0), "probe not due inside the backoff window");
+        h.note_success(0);
+        h.note_failure(0);
+        let first_again = h.backoff_remaining(0);
+        // Reset to the base window: a success cleared the failure streak.
+        assert!(first_again < BACKOFF_BASE.mul_f64(1.6), "streak not reset: {first_again:?}");
+    }
+}

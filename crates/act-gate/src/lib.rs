@@ -1,0 +1,29 @@
+//! act-gate: a sharded diagnosis gateway in front of an act-serve fleet.
+//!
+//! One gateway process speaks the act-serve wire protocol on its client
+//! side and fans requests out to N backends:
+//!
+//! - [`ring`] — consistent-hash sharding over [`act_fleet::ModelKey`]
+//!   canonical strings, with virtual nodes, so repeat TRAIN/DIAGNOSE for a
+//!   workload × topology × seed hit the backend whose model cache is warm.
+//! - [`health`] — per-backend up/down marks with jittered exponential
+//!   backoff between probes of a dead backend.
+//! - [`pool`] — pre-opened one-shot connections per backend (the protocol
+//!   closes after each reply, so pooling means pre-connecting).
+//! - [`gateway`] — the daemon: acceptor + bounded queue + forwarding
+//!   workers, transparent single-retry failover to the next ring owner,
+//!   version-negotiated passthrough, and an aggregated fleet `STATUS`.
+//!
+//! Clients need no changes: `act train --remote`, `act diagnose --remote`,
+//! and act-fleet campaigns point at the gateway address exactly as they
+//! would at a single act-serve daemon.
+
+pub mod gateway;
+pub mod health;
+pub mod pool;
+pub mod ring;
+
+pub use gateway::{GateConfig, GateStats, Gateway};
+pub use health::Health;
+pub use pool::ConnPool;
+pub use ring::{hash_key, HashRing};

@@ -1,0 +1,130 @@
+//! Per-backend pools of pre-opened connections.
+//!
+//! The act-serve protocol is one-shot — one request, one reply, the
+//! connection closes — so a "pooled" connection is one that has been
+//! connected but not yet used. The prober can keep a few warm per backend
+//! so a forward skips the TCP handshake; a connection that went stale
+//! while idle (the backend restarts, or its accept-side read timeout
+//! fires) simply fails its exchange and the router falls back to a fresh
+//! connect.
+//!
+//! Warm pooling is off by default ([`crate::GateConfig`] sets
+//! `pool_capacity: 0`, making the pool a plain connection factory with
+//! uniform timeouts): act-serve's acceptor reads each accepted
+//! connection's request frame inline, so an accepted-but-silent warm
+//! socket blocks the backend's accept loop until a read timeout fires.
+//! Only point a non-zero capacity at backends that accept asynchronously.
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Pre-opened one-shot connections for a fixed set of backend addresses.
+pub struct ConnPool {
+    backends: Vec<String>,
+    idle: Vec<Mutex<Vec<TcpStream>>>,
+    capacity: usize,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl ConnPool {
+    /// A pool keeping up to `capacity` idle connections per backend.
+    pub fn new(
+        backends: Vec<String>,
+        capacity: usize,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> ConnPool {
+        let idle = backends.iter().map(|_| Mutex::new(Vec::new())).collect();
+        ConnPool { backends, idle, capacity, connect_timeout, io_timeout }
+    }
+
+    /// The backend addresses, in index order.
+    pub fn addrs(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// Pop an idle pre-opened connection for backend `i`, if any.
+    pub fn take_idle(&self, i: usize) -> Option<TcpStream> {
+        self.idle[i].lock().expect("pool lock").pop()
+    }
+
+    /// Open a fresh connection to backend `i` with the pool's timeouts.
+    pub fn connect(&self, i: usize) -> io::Result<TcpStream> {
+        let stream = act_serve::connect_tcp(&self.backends[i], Some(self.connect_timeout))?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        Ok(stream)
+    }
+
+    /// Top the idle set for backend `i` up to capacity. Returns how many
+    /// connections were opened; stops quietly at the first failure (the
+    /// health layer, not the pool, decides what a failure means).
+    pub fn refill(&self, i: usize) -> usize {
+        let mut opened = 0;
+        loop {
+            {
+                let idle = self.idle[i].lock().expect("pool lock");
+                if idle.len() >= self.capacity {
+                    return opened;
+                }
+            }
+            match self.connect(i) {
+                Ok(conn) => {
+                    self.idle[i].lock().expect("pool lock").push(conn);
+                    opened += 1;
+                }
+                Err(_) => return opened,
+            }
+        }
+    }
+
+    /// Drop every idle connection to backend `i` (it was marked down; its
+    /// pre-opened sockets are dead weight).
+    pub fn clear(&self, i: usize) {
+        self.idle[i].lock().expect("pool lock").clear();
+    }
+
+    /// Idle connections currently pooled for backend `i`.
+    pub fn idle_len(&self, i: usize) -> usize {
+        self.idle[i].lock().expect("pool lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pool_for(addr: &str) -> ConnPool {
+        ConnPool::new(
+            vec![addr.to_string()],
+            2,
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        )
+    }
+
+    #[test]
+    fn refill_fills_to_capacity_and_clear_empties() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool = pool_for(&listener.local_addr().unwrap().to_string());
+        assert_eq!(pool.refill(0), 2);
+        assert_eq!(pool.idle_len(0), 2);
+        assert_eq!(pool.refill(0), 0, "already full");
+        assert!(pool.take_idle(0).is_some());
+        assert_eq!(pool.idle_len(0), 1);
+        pool.clear(0);
+        assert_eq!(pool.idle_len(0), 0);
+    }
+
+    #[test]
+    fn refill_against_a_dead_backend_opens_nothing() {
+        let pool = pool_for("127.0.0.1:1");
+        assert_eq!(pool.refill(0), 0);
+        assert!(pool.take_idle(0).is_none());
+        assert!(pool.connect(0).is_err());
+    }
+}

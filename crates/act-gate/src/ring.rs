@@ -1,0 +1,168 @@
+//! Consistent-hash ring over backend indices, with virtual nodes.
+//!
+//! The gateway shards by [`act_fleet::ModelKey`] canonical strings so every
+//! TRAIN/DIAGNOSE for the same workload × topology × seed lands on the same
+//! backend and its model cache stays hot. Virtual nodes smooth the split: a
+//! backend owns many small arcs of the hash circle instead of one large
+//! one, so three backends each see roughly a third of a uniform key space.
+//!
+//! The ring is a pure function of `(backends, vnodes)` — no registration
+//! order, no randomness — so a test (or a second gateway in front of the
+//! same fleet) can rebuild it and predict ownership exactly.
+
+/// FNV-1a 64-bit with a splitmix64 finalizer. Stable and dependency-free;
+/// speed is irrelevant here (one hash per request, a few hundred at ring
+/// build). The finalizer matters: raw FNV-1a barely mixes the high bits on
+/// short keys, and ring placement sorts on the full 64-bit value.
+pub fn hash_key(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring mapping key strings to backend indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, backend)` sorted by point — the hash circle.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Build the ring for `backends` backends with `vnodes` virtual nodes
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either count is zero (a gateway with no backends cannot
+    /// route).
+    pub fn new(backends: usize, vnodes: usize) -> HashRing {
+        assert!(backends > 0, "ring needs at least one backend");
+        assert!(vnodes > 0, "ring needs at least one virtual node");
+        let mut points = Vec::with_capacity(backends * vnodes);
+        for b in 0..backends {
+            for v in 0..vnodes {
+                points.push((hash_key(&format!("{b}#{v}")), b));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, backends }
+    }
+
+    /// Number of backends the ring was built over.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// The backend owning `key`: the first ring point at or after the
+    /// key's hash, wrapping around.
+    pub fn owner(&self, key: &str) -> usize {
+        self.points[self.start_of(key)].1
+    }
+
+    /// Every backend in ring order starting at the owner, each listed
+    /// once — the failover order: if the owner is down, the next distinct
+    /// backend along the circle inherits the key (and only that key's arc,
+    /// which is what keeps failover remapping minimal).
+    pub fn route(&self, key: &str) -> Vec<usize> {
+        let start = self.start_of(key);
+        let mut seen = vec![false; self.backends];
+        let mut order = Vec::with_capacity(self.backends);
+        for i in 0..self.points.len() {
+            let b = self.points[(start + i) % self.points.len()].1;
+            if !seen[b] {
+                seen[b] = true;
+                order.push(b);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Index of the first ring point at or after `key`'s hash.
+    fn start_of(&self, key: &str) -> usize {
+        let h = hash_key(key);
+        match self.points.binary_search_by(|&(p, _)| p.cmp(&h)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0, // wrap
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<String> {
+        // Realistic key shapes: ModelKey canonical strings.
+        (0..n).map(|i| format!("workload{}-n2-h10-s{}", i % 13, i)).collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic() {
+        let a = HashRing::new(3, 64);
+        let b = HashRing::new(3, 64);
+        for k in keys(100) {
+            assert_eq!(a.owner(&k), b.owner(&k));
+            assert_eq!(a.route(&k), b.route(&k));
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_balance_the_split() {
+        let ring = HashRing::new(3, 64);
+        let mut counts = [0usize; 3];
+        let keys = keys(3000);
+        for k in &keys {
+            counts[ring.owner(k)] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            // Perfect would be 1000 each; 64 vnodes keeps every backend
+            // within a factor ~1.6 of fair on a uniform key space.
+            assert!((600..=1600).contains(&c), "backend {b} owns {c} of 3000 keys: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn route_lists_every_backend_once_owner_first() {
+        let ring = HashRing::new(4, 32);
+        for k in keys(50) {
+            let order = ring.route(&k);
+            assert_eq!(order.len(), 4);
+            assert_eq!(order[0], ring.owner(&k));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "route must be a permutation: {order:?}");
+        }
+    }
+
+    #[test]
+    fn skipping_a_dead_backend_remaps_only_its_keys() {
+        // Consistent hashing's point: with backend 0 skipped, keys owned
+        // by 1 and 2 keep their owner; only backend 0's keys move.
+        let ring = HashRing::new(3, 64);
+        for k in keys(500) {
+            let order = ring.route(&k);
+            let survivor = *order.iter().find(|&&b| b != 0).unwrap();
+            if order[0] != 0 {
+                assert_eq!(survivor, order[0], "live owners must not move");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_ring_is_rejected() {
+        let _ = HashRing::new(0, 8);
+    }
+}

@@ -1,0 +1,361 @@
+//! End-to-end gateway tests: boot real in-process act-serve backends (and
+//! a few misbehaving stubs) behind an act-gate daemon and drive it with
+//! real client connections.
+//!
+//! Covers the gateway acceptance criteria:
+//! - killing a key's owning backend mid-fleet fails the request over to
+//!   the next ring owner with zero client-visible errors;
+//! - a backend answering `BUSY` gets the same failover treatment;
+//! - frames pass through byte-identically at every supported protocol
+//!   version (proptest over v1/v2/v3 and payload shapes);
+//! - `STATUS` aggregates every backend's metrics under one reply.
+
+use act_gate::{GateConfig, Gateway};
+use act_serve::proto::{read_frame, write_frame, Frame, FrameKind, VERSION};
+use act_serve::{request, ClientConfig, Endpoint, ModelSpec, Reply, Request};
+use act_serve::{ServeConfig, Server};
+use proptest::prelude::*;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Boot a real act-serve backend on an ephemeral port.
+fn boot_backend() -> Server {
+    let cfg = ServeConfig {
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        workers: 2,
+        queue_depth: 16,
+        ..ServeConfig::default()
+    };
+    Server::start(cfg).expect("backend boots")
+}
+
+fn addr_of(server: &Server) -> String {
+    server.tcp_addr().expect("tcp bound").to_string()
+}
+
+/// Boot a gateway over `backends` with test-friendly timeouts.
+fn boot_gateway(backends: Vec<String>) -> Gateway {
+    let cfg = GateConfig {
+        backends,
+        connect_timeout: Duration::from_millis(500),
+        probe_interval: Duration::from_millis(100),
+        probe_timeout: Duration::from_millis(500),
+        ..GateConfig::default()
+    };
+    Gateway::start(cfg).expect("gateway boots")
+}
+
+fn gate_endpoint(gate: &Gateway) -> Endpoint {
+    Endpoint::Tcp(gate.tcp_addr().to_string())
+}
+
+/// A spec that trains in well under a second, with a tweakable seed so
+/// tests can steer which backend the ring picks.
+fn tiny_spec(workload: &str, seed: u64) -> ModelSpec {
+    let mut spec = ModelSpec::new(workload);
+    spec.seed = seed;
+    spec.traces = 2;
+    spec.seq_len = 2;
+    spec.hidden = 4;
+    spec.max_epochs = 30;
+    spec
+}
+
+/// The shard key the gateway derives for `spec` (must mirror `route_key`).
+fn key_of(spec: &ModelSpec) -> String {
+    act_fleet::ModelKey::new(&spec.workload, spec.seq_len as usize, spec.hidden as usize, spec.seed)
+        .canonical()
+}
+
+/// Find a seed whose key is owned by backend `want` on `gate`'s ring.
+fn seed_owned_by(gate: &Gateway, workload: &str, want: usize) -> u64 {
+    (0..256)
+        .find(|&seed| gate.ring().owner(&key_of(&tiny_spec(workload, seed))) == want)
+        .expect("some seed in 0..256 must map to every backend")
+}
+
+#[test]
+fn killing_the_owner_fails_over_to_the_ring_neighbor() {
+    let backends: Vec<Server> = (0..3).map(|_| boot_backend()).collect();
+    // An hour-long probe interval pins down-discovery to the forwarding
+    // path itself: the gateway must find the corpse mid-request, not be
+    // tipped off by a background probe first.
+    let cfg = GateConfig {
+        backends: backends.iter().map(addr_of).collect(),
+        connect_timeout: Duration::from_millis(500),
+        probe_interval: Duration::from_secs(3600),
+        probe_timeout: Duration::from_millis(500),
+        ..GateConfig::default()
+    };
+    let gate = Gateway::start(cfg).expect("gateway boots");
+    let endpoint = gate_endpoint(&gate);
+
+    // A request through the healthy fleet lands on its ring owner.
+    let victim = 1usize;
+    let seed = seed_owned_by(&gate, "seq", victim);
+    let spec = tiny_spec("seq", seed);
+    match request(&endpoint, &Request::Train(spec.clone())).expect("train through gateway") {
+        Reply::Trained(summary) => assert!(summary.contains("seq"), "odd summary: {summary}"),
+        other => panic!("expected Trained, got {other:?}"),
+    }
+    assert_eq!(gate.stats().failovers(), 0, "healthy fleet must not fail over");
+
+    // Kill the owner; the same key must now be served by its neighbor,
+    // transparently, on the first try (one connect failure -> failover).
+    let mut backends = backends;
+    let victim_server = backends.remove(victim);
+    victim_server.shutdown();
+    victim_server.join();
+
+    match request(&endpoint, &Request::Train(spec)).expect("train survives a dead owner") {
+        Reply::Trained(summary) => assert!(summary.contains("seq"), "odd summary: {summary}"),
+        other => panic!("expected Trained after failover, got {other:?}"),
+    }
+    assert!(gate.stats().failovers() >= 1, "the dead owner must have triggered a failover");
+    assert_eq!(gate.stats().failed(), 0, "no client-visible failures");
+
+    gate.shutdown();
+    gate.join();
+    for b in backends {
+        b.shutdown();
+        b.join();
+    }
+}
+
+/// A stub backend that answers every routable frame with `BUSY` (and
+/// `STATUS` probes with a plausible status, so health checks pass).
+fn spawn_busy_stub() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("stub binds");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { break };
+            let Ok(frame) = read_frame(&mut conn) else { continue };
+            let reply = match frame.kind {
+                FrameKind::Status => Reply::StatusText("stub status\n".into()).to_frame(),
+                _ => Reply::Busy.to_frame(),
+            };
+            let _ = write_frame(&mut conn, &reply.with_version(frame.version));
+        }
+    });
+    addr
+}
+
+#[test]
+fn busy_owner_fails_over_to_the_next_backend() {
+    let real = boot_backend();
+    let stub_addr = spawn_busy_stub();
+    // Backend 0 is the always-busy stub, backend 1 the real server.
+    let gate = boot_gateway(vec![stub_addr, addr_of(&real)]);
+    let endpoint = gate_endpoint(&gate);
+
+    let seed = seed_owned_by(&gate, "seq", 0);
+    match request(&endpoint, &Request::Train(tiny_spec("seq", seed))).expect("train reply") {
+        Reply::Trained(_) => {}
+        other => panic!("expected Trained via busy-failover, got {other:?}"),
+    }
+    assert!(gate.stats().busy_failovers() >= 1, "stub BUSY must have forced a failover");
+    assert_eq!(gate.stats().failed(), 0);
+
+    gate.shutdown();
+    gate.join();
+    real.shutdown();
+    real.join();
+}
+
+/// A stub backend that echoes each routable frame's payload back under a
+/// `Trained` frame at the same version — the passthrough oracle: whatever
+/// bytes enter the gateway must exit it unchanged.
+fn spawn_echo_stub() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("stub binds");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { break };
+            let Ok(frame) = read_frame(&mut conn) else { continue };
+            let reply = match frame.kind {
+                FrameKind::Status => {
+                    Reply::StatusText("stub status\n".into()).to_frame().with_version(frame.version)
+                }
+                _ => Frame {
+                    version: frame.version,
+                    kind: FrameKind::Trained,
+                    payload: frame.payload,
+                },
+            };
+            let _ = write_frame(&mut conn, &reply);
+        }
+    });
+    addr
+}
+
+/// One raw framed exchange with the gateway, no client-library smarts.
+fn raw_exchange(addr: &str, frame: &Frame) -> Frame {
+    let mut conn = TcpStream::connect(addr).expect("connect to gateway");
+    write_frame(&mut conn, frame).expect("send frame");
+    read_frame(&mut conn).expect("reply frame")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any well-formed request at any supported version passes through the
+    /// gateway byte-identically: same payload back, same version stamp.
+    #[test]
+    fn frames_pass_through_byte_identical_at_every_version(
+        version in 1u8..VERSION + 1,
+        workload_ix in 0usize..4,
+        seed in 0u64..1000,
+        traces in 1u32..32,
+    ) {
+        let echo = spawn_echo_stub();
+        let gate = boot_gateway(vec![echo]);
+        let addr = gate.tcp_addr().to_string();
+
+        let workload = ["seq", "prodcons", "pipeline", "mutex"][workload_ix];
+        let mut spec = tiny_spec(workload, seed);
+        spec.traces = traces;
+        let sent = Request::Train(spec).to_frame().with_version(version);
+        let got = raw_exchange(&addr, &sent);
+
+        prop_assert_eq!(got.kind, FrameKind::Trained);
+        prop_assert_eq!(got.version, version);
+        prop_assert_eq!(&got.payload, &sent.payload);
+
+        gate.shutdown();
+        gate.join();
+    }
+}
+
+#[test]
+fn v1_client_sees_v1_replies_from_a_v3_fleet() {
+    let backend = boot_backend();
+    let gate = boot_gateway(vec![addr_of(&backend)]);
+    let addr = gate.tcp_addr().to_string();
+
+    let sent = Request::Train(tiny_spec("seq", 0)).to_frame().with_version(1);
+    let got = raw_exchange(&addr, &sent);
+    assert_eq!(got.kind, FrameKind::Trained);
+    assert_eq!(got.version, 1, "negotiated version is min(client, backend)");
+
+    // STATUS at v1 must downgrade to the plain-text reply.
+    let got = raw_exchange(&addr, &Request::Status.to_frame().with_version(1));
+    assert_eq!(got.kind, FrameKind::StatusText);
+    assert_eq!(got.version, 1);
+
+    gate.shutdown();
+    gate.join();
+    backend.shutdown();
+    backend.join();
+}
+
+#[test]
+fn status_aggregates_the_whole_fleet() {
+    let backends: Vec<Server> = (0..2).map(|_| boot_backend()).collect();
+    let gate = boot_gateway(backends.iter().map(addr_of).collect());
+    let endpoint = gate_endpoint(&gate);
+
+    // Put one trained model on each backend's shard.
+    for want in 0..2 {
+        let seed = seed_owned_by(&gate, "seq", want);
+        match request(&endpoint, &Request::Train(tiny_spec("seq", seed))).expect("train") {
+            Reply::Trained(_) => {}
+            other => panic!("expected Trained, got {other:?}"),
+        }
+    }
+
+    let (text, snap) = match request(&endpoint, &Request::Status).expect("status") {
+        Reply::StatusMetrics(text, snap) => (text, snap),
+        other => panic!("expected StatusMetrics, got {other:?}"),
+    };
+    for needle in [
+        "act-gate status",
+        "backends 2",
+        "backends_up 2",
+        "replies_relayed 2",
+        "fleet_cache_misses 2",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+    for i in 0..2 {
+        assert!(text.contains(&format!("-- backend {i} ")), "no backend {i} section:\n{text}");
+    }
+    // The snapshot namespaces the fleet rollup and each backend's metrics.
+    let fleet_trained = snap.counter("fleet.cache_trained").expect("fleet rollup in snapshot");
+    assert_eq!(fleet_trained, 2, "one cold train per backend");
+    let per_backend: u64 = (0..2)
+        .map(|i| snap.counter(&format!("backend{i}.cache_trained")).expect("backend section"))
+        .sum();
+    assert_eq!(per_backend, fleet_trained, "rollup must equal the sum of the parts");
+
+    gate.shutdown();
+    gate.join();
+    for b in backends {
+        b.shutdown();
+        b.join();
+    }
+}
+
+#[test]
+fn gateway_shutdown_drains_without_touching_backends() {
+    let backend = boot_backend();
+    let gate = boot_gateway(vec![addr_of(&backend)]);
+    let endpoint = gate_endpoint(&gate);
+
+    match request(&endpoint, &Request::Shutdown).expect("shutdown reply") {
+        Reply::Bye => {}
+        other => panic!("expected Bye, got {other:?}"),
+    }
+    assert!(gate.is_shutting_down());
+    gate.join();
+
+    // The backend outlives its gateway.
+    let direct = Endpoint::Tcp(addr_of(&backend));
+    match request(&direct, &Request::Status).expect("backend still up") {
+        Reply::StatusMetrics(..) | Reply::StatusText(_) => {}
+        other => panic!("expected status, got {other:?}"),
+    }
+    backend.shutdown();
+    backend.join();
+}
+
+#[test]
+fn client_retry_rides_through_a_gateway_queue_spike() {
+    // A 1-worker, 1-deep gateway queue over a slow backend: concurrent
+    // clients see BUSY, and the act-serve client retry (satellite of this
+    // change) absorbs one round of it.
+    let backend = boot_backend();
+    let cfg = GateConfig {
+        backends: vec![addr_of(&backend)],
+        workers: 1,
+        queue_depth: 1,
+        connect_timeout: Duration::from_millis(500),
+        probe_timeout: Duration::from_millis(500),
+        ..GateConfig::default()
+    };
+    let gate = Gateway::start(cfg).expect("gateway boots");
+    let endpoint = gate_endpoint(&gate);
+
+    let retrying = ClientConfig::default().with_retry(Duration::from_millis(50), 7);
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let endpoint = endpoint.clone();
+            let retrying = retrying.clone();
+            std::thread::spawn(move || {
+                // __sleep holds a worker for `seed` milliseconds.
+                let mut spec = tiny_spec("__sleep", 30 + i);
+                spec.seed = 30 + i;
+                act_serve::request_with(&endpoint, &Request::Train(spec), &retrying)
+            })
+        })
+        .collect();
+    let replies: Vec<_> = threads.into_iter().map(|t| t.join().expect("client thread")).collect();
+    let served =
+        replies.iter().filter(|r| matches!(r, Ok(Reply::Trained(_)) | Ok(Reply::Error(_)))).count();
+    assert!(served >= 1, "at least one client must get through: {replies:?}");
+
+    gate.shutdown();
+    gate.join();
+    backend.shutdown();
+    backend.join();
+}

@@ -167,6 +167,34 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Sum `other` into `self`, entry-by-entry by name — the fleet-wide
+    /// rollup an aggregating gateway computes over per-backend snapshots.
+    /// Counters and gauges add; histograms add bucket-wise when their
+    /// bounds match. An entry absent from `self` is appended; a name whose
+    /// kinds (or histogram bounds) disagree keeps `self`'s value, since a
+    /// sum across mismatched shapes would be meaningless.
+    pub fn merge_sum(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.entries {
+            let Some(mine) = self.entries.iter_mut().find(|(n, _)| n == name) else {
+                self.entries.push((name.clone(), value.clone()));
+                continue;
+            };
+            match (&mut mine.1, value) {
+                (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                (MetricValue::Histogram(a), MetricValue::Histogram(b))
+                    if a.bounds == b.bounds && a.counts.len() == b.counts.len() =>
+                {
+                    for (c, d) in a.counts.iter_mut().zip(&b.counts) {
+                        *c += d;
+                    }
+                    a.sum += b.sum;
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Look up an entry by name.
     pub fn get(&self, name: &str) -> Option<&MetricValue> {
         self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
@@ -388,5 +416,35 @@ mod tests {
         base.push_counter("x", 1);
         base.merge_prefixed("sim", sample());
         assert_eq!(base.counter("sim.requests_served"), Some(12));
+    }
+
+    #[test]
+    fn merge_sum_adds_matching_entries_and_appends_new_ones() {
+        let mut total = sample();
+        total.merge_sum(&sample());
+        assert_eq!(total.counter("requests_served"), Some(24));
+        assert_eq!(total.gauge("queue_depth"), Some(-6));
+        let h = total.histogram("service_us").unwrap();
+        assert_eq!(h.counts, vec![10, 6, 2, 2]);
+        assert_eq!(h.sum, 24690);
+
+        let mut extra = MetricsSnapshot::new();
+        extra.push_counter("cache_trained", 3);
+        total.merge_sum(&extra);
+        assert_eq!(total.counter("cache_trained"), Some(3), "absent entries append");
+    }
+
+    #[test]
+    fn merge_sum_leaves_mismatched_shapes_alone() {
+        let mut total = sample();
+        let mut other = MetricsSnapshot::new();
+        other.push_gauge("requests_served", 5); // counter vs gauge
+        other.push_histogram(
+            "service_us",
+            HistogramSnapshot { bounds: vec![7], counts: vec![1, 1], sum: 9 },
+        );
+        total.merge_sum(&other);
+        assert_eq!(total.counter("requests_served"), Some(12), "kind mismatch: keep ours");
+        assert_eq!(total.histogram("service_us").unwrap().sum, 12345, "bounds mismatch: keep ours");
     }
 }

@@ -1,11 +1,20 @@
 //! Minimal blocking client for the act-serve protocol: connect, send one
-//! request frame, read one reply frame, done. Used by `act request` and the
-//! integration tests.
+//! request frame, read one reply frame, done. Used by `act request`, the
+//! `act-gate` gateway's backend path, and the integration tests.
+//!
+//! Every exchange runs under a [`ClientConfig`]: a connect timeout, a
+//! socket read/write timeout, and an opt-in single retry with jittered
+//! backoff (seeded through `act-rng`, so retry sleeps are deterministic
+//! per caller). The bare [`request`] helper uses [`ClientConfig::default`]
+//! — bounded connect and generous-but-finite I/O — instead of the
+//! hang-forever sockets it used to open.
 
 use crate::proto::{read_frame, write_frame, ProtoError, Reply, Request};
+use act_rng::rngs::StdRng;
+use act_rng::{Rng, SeedableRng};
 use std::fmt;
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -64,37 +73,132 @@ impl From<ProtoError> for ClientError {
     }
 }
 
-/// Send `request` and wait for the reply (no timeout — training a cold
-/// model can legitimately take a while).
-pub fn request(endpoint: &Endpoint, request: &Request) -> Result<Reply, ClientError> {
-    exchange(endpoint, request, None)
+/// Opt-in single retry: after a transport failure or a `BUSY` reply, sleep
+/// a jittered backoff and try once more. The jitter stream is a pure
+/// function of `seed`, keeping retrying campaign jobs deterministic.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Base backoff; the actual sleep is uniform in `[base/2, base*3/2)`.
+    pub backoff: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
 }
 
-/// Send `request` with a socket read/write timeout.
+impl RetryPolicy {
+    /// A policy with the given base backoff and jitter seed.
+    pub fn new(backoff: Duration, seed: u64) -> RetryPolicy {
+        RetryPolicy { backoff, seed }
+    }
+
+    /// The jittered sleep before retry `attempt` (0-based).
+    fn sleep_for(&self, attempt: u64) -> Duration {
+        let base = self.backoff.as_millis().max(1) as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(attempt));
+        Duration::from_millis(base / 2 + rng.gen_range(0..base.max(1)))
+    }
+}
+
+/// How an exchange connects, waits, and retries.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout (`None` = the OS default). Ignored for Unix
+    /// sockets, whose connect cannot block on a dead network.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read/write timeout (`None` = block forever).
+    pub io_timeout: Option<Duration>,
+    /// Retry once on transport failure or `BUSY` when set.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(10)),
+            // Generous because a cold TRAIN legitimately takes a while —
+            // but finite, so a wedged daemon cannot hang the caller.
+            io_timeout: Some(Duration::from_secs(300)),
+            retry: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// This config with a single-retry policy attached.
+    pub fn with_retry(mut self, backoff: Duration, seed: u64) -> ClientConfig {
+        self.retry = Some(RetryPolicy::new(backoff, seed));
+        self
+    }
+}
+
+/// Send `request` and wait for the reply under the default bounded
+/// timeouts (no retry).
+pub fn request(endpoint: &Endpoint, request: &Request) -> Result<Reply, ClientError> {
+    request_with(endpoint, request, &ClientConfig::default())
+}
+
+/// Send `request` with `timeout` as both the connect and the read/write
+/// bound (no retry).
 pub fn request_timeout(
     endpoint: &Endpoint,
     request: &Request,
     timeout: Duration,
 ) -> Result<Reply, ClientError> {
-    exchange(endpoint, request, Some(timeout))
+    let cfg =
+        ClientConfig { connect_timeout: Some(timeout), io_timeout: Some(timeout), retry: None };
+    request_with(endpoint, request, &cfg)
+}
+
+/// Send `request` under an explicit [`ClientConfig`]. With a retry policy,
+/// a transport failure or `BUSY` reply is retried exactly once after a
+/// jittered backoff; the second outcome is returned as-is.
+pub fn request_with(
+    endpoint: &Endpoint,
+    request: &Request,
+    cfg: &ClientConfig,
+) -> Result<Reply, ClientError> {
+    match exchange(endpoint, request, cfg) {
+        outcome @ (Err(ClientError::Io(_)) | Ok(Reply::Busy)) => match &cfg.retry {
+            Some(policy) => {
+                std::thread::sleep(policy.sleep_for(0));
+                exchange(endpoint, request, cfg)
+            }
+            None => outcome,
+        },
+        outcome => outcome,
+    }
+}
+
+/// Open a TCP connection with a connect timeout, trying each resolved
+/// address. Exposed for callers that pool raw connections (`act-gate`).
+pub fn connect_tcp(addr: &str, timeout: Option<Duration>) -> io::Result<TcpStream> {
+    let Some(t) = timeout else { return TcpStream::connect(addr) };
+    let mut last = None;
+    for sa in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sa, t) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses resolved")))
 }
 
 fn exchange(
     endpoint: &Endpoint,
     request: &Request,
-    timeout: Option<Duration>,
+    cfg: &ClientConfig,
 ) -> Result<Reply, ClientError> {
     match endpoint {
         Endpoint::Tcp(addr) => {
-            let stream = TcpStream::connect(addr)?;
-            stream.set_read_timeout(timeout)?;
-            stream.set_write_timeout(timeout)?;
+            let stream = connect_tcp(addr, cfg.connect_timeout)?;
+            stream.set_read_timeout(cfg.io_timeout)?;
+            stream.set_write_timeout(cfg.io_timeout)?;
             roundtrip(stream, request)
         }
         Endpoint::Unix(path) => {
             let stream = UnixStream::connect(path)?;
-            stream.set_read_timeout(timeout)?;
-            stream.set_write_timeout(timeout)?;
+            stream.set_read_timeout(cfg.io_timeout)?;
+            stream.set_write_timeout(cfg.io_timeout)?;
             roundtrip(stream, request)
         }
     }
@@ -109,6 +213,7 @@ fn roundtrip<S: Read + Write>(mut stream: S, request: &Request) -> Result<Reply,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn endpoints_display_with_scheme() {
@@ -125,5 +230,32 @@ mod tests {
         let err = request(&Endpoint::Tcp("127.0.0.1:1".into()), &Request::Status)
             .expect_err("connect must fail");
         assert!(matches!(err, ClientError::Io(_)), "got: {err}");
+    }
+
+    #[test]
+    fn retry_policy_jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::new(Duration::from_millis(100), 7);
+        let a = policy.sleep_for(0);
+        assert_eq!(a, policy.sleep_for(0), "same seed, same sleep");
+        assert_ne!(a, policy.sleep_for(1), "attempts draw different jitter");
+        for attempt in 0..32 {
+            let s = policy.sleep_for(attempt).as_millis() as u64;
+            assert!((50..150).contains(&s), "sleep {s}ms escaped [base/2, base*3/2)");
+        }
+    }
+
+    #[test]
+    fn retry_attempts_a_dead_endpoint_twice() {
+        let cfg = ClientConfig {
+            connect_timeout: Some(Duration::from_millis(200)),
+            io_timeout: Some(Duration::from_millis(200)),
+            retry: Some(RetryPolicy::new(Duration::from_millis(40), 1)),
+        };
+        let start = Instant::now();
+        let err = request_with(&Endpoint::Tcp("127.0.0.1:1".into()), &Request::Status, &cfg)
+            .expect_err("both attempts must fail");
+        assert!(matches!(err, ClientError::Io(_)), "got: {err}");
+        // The backoff sleep (>= 20ms) proves the second attempt happened.
+        assert!(start.elapsed() >= Duration::from_millis(20), "no backoff observed");
     }
 }

@@ -40,6 +40,9 @@ pub mod proto;
 pub mod server;
 
 pub use cache::{CacheOutcome, Model, ModelCache, ModelKey};
-pub use client::{request, request_timeout, ClientError, Endpoint};
+pub use client::{
+    connect_tcp, request, request_timeout, request_with, ClientConfig, ClientError, Endpoint,
+    RetryPolicy,
+};
 pub use proto::{Frame, FrameKind, ModelSpec, ProtoError, Reply, Request};
 pub use server::{ServeConfig, Server, ServerStats};

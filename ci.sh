@@ -124,3 +124,35 @@ test -s act-gate-events.jsonl
 grep '"target":"gate.start"' act-gate-events.jsonl
 grep '"target":"gate.down"' act-gate-events.jsonl
 grep '"target":"gate.shutdown"' act-gate-events.jsonl
+
+# Streaming ingest smoke (protocol v4): chunk a >64 MiB trace — too big
+# for any one-shot frame — through gate -> serve -> store, then read it
+# back from the corpus byte-for-byte (PROTOCOL.md, "Streaming uploads").
+BIG_B=127.0.0.1:7465
+BIG_GATE=127.0.0.1:7466
+BIG_DIR=$(mktemp -d)
+"$ACT" trace seq --out "$BIG_DIR/traces" --runs 1
+# Inflate a canonical trace past the 64 MiB one-shot cap by repeating one
+# store record; parse -> columnar encode -> re-serialize reproduces the
+# lines verbatim, so the round trip below stays byte-exact.
+cp "$BIG_DIR/traces/seq-0.trace" "$BIG_DIR/big.trace"
+LINE=$(grep -m1 '^S ' "$BIG_DIR/big.trace")
+yes "$LINE" | head -n 4500000 >> "$BIG_DIR/big.trace"
+test "$(wc -c < "$BIG_DIR/big.trace")" -gt 67108864
+"$ACT" serve --addr "$BIG_B" --workers 2 --queue-depth 8 \
+    --corpus "$BIG_DIR/corpus" &
+BIG_B_PID=$!
+"$ACT" gate --backends "$BIG_B" --listen "$BIG_GATE" --workers 2 &
+BIG_GATE_PID=$!
+trap 'kill "$BIG_GATE_PID" "$BIG_B_PID" 2>/dev/null || true' EXIT
+sleep 1
+"$ACT" request trace-put seq --addr "$BIG_GATE" --stream \
+    --trace "$BIG_DIR/big.trace" --key big | grep "stored big"
+"$ACT" request shutdown --addr "$BIG_GATE"
+wait "$BIG_GATE_PID"
+"$ACT" request shutdown --addr "$BIG_B"
+wait "$BIG_B_PID"
+trap - EXIT
+"$ACT" store get "$BIG_DIR/corpus" big --out "$BIG_DIR/back.trace"
+cmp "$BIG_DIR/big.trace" "$BIG_DIR/back.trace"
+rm -rf "$BIG_DIR"

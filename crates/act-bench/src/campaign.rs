@@ -155,11 +155,17 @@ pub fn executor_for(
     // same) — instead of running the pipeline in-process.
     if let Some(addr) = spec.params.get("gateway").cloned() {
         let model = remote_model_spec(spec);
+        // `pipeline_depth = N` (N > 1) sends every job through one shared
+        // v4 session with N requests in flight instead of one
+        // connection-per-job; the report stays byte-identical either way.
+        let shared = shared_pipeline(spec, &addr);
         return match spec.kind.as_str() {
-            "train" => Ok(Box::new(move |job: &JobDesc| remote_train_exec(job, &addr, &model))),
-            "diagnose" => {
-                Ok(Box::new(move |job: &JobDesc| remote_diagnose_exec(job, &addr, &model)))
-            }
+            "train" => Ok(Box::new(move |job: &JobDesc| {
+                remote_train_exec(job, &addr, &model, shared.as_deref())
+            })),
+            "diagnose" => Ok(Box::new(move |job: &JobDesc| {
+                remote_diagnose_exec(job, &addr, &model, shared.as_deref())
+            })),
             other => Err(ActError::Parse(format!(
                 "campaign kind `{other}` cannot run through a gateway (train and diagnose can)"
             ))),
@@ -189,19 +195,35 @@ fn remote_model_spec(spec: &CampaignSpec) -> act_serve::ModelSpec {
     model
 }
 
-/// The client config remote jobs use: bounded timeouts plus one jittered
+/// The client remote jobs use: bounded default timeouts plus one jittered
 /// retry keyed on the job seed, so a gateway BUSY or a mid-failover blip
 /// does not crash the job (and retry sleeps stay deterministic per job).
-fn remote_client_cfg(job: &JobDesc) -> act_serve::ClientConfig {
-    act_serve::ClientConfig::default().with_retry(std::time::Duration::from_millis(100), job.seed)
+fn remote_client(job: &JobDesc, addr: &str) -> act_client::Client {
+    act_client::Client::builder()
+        .addr(addr)
+        .retry(std::time::Duration::from_millis(100), job.seed)
+        .build()
+        .expect("endpoint is set")
 }
 
-fn remote_request(job: &JobDesc, addr: &str, request: &act_serve::Request) -> act_serve::Reply {
-    let endpoint = act_serve::Endpoint::Tcp(addr.to_string());
-    match act_serve::request_with(&endpoint, request, &remote_client_cfg(job)) {
-        Ok(reply) => reply,
-        Err(e) => panic!("{}: gateway {addr}: {e}", job.workload),
+/// The one pipelined client every worker shares when the spec asks for
+/// `pipeline_depth > 1`. A single client means a single v4 session, so
+/// concurrent jobs genuinely overlap in flight; the retry seed is fixed
+/// (retries only pick sleep jitter, never results, so sharing it keeps
+/// reports deterministic).
+fn shared_pipeline(spec: &CampaignSpec, addr: &str) -> Option<std::sync::Arc<act_client::Client>> {
+    let depth: usize = spec.param_or("pipeline_depth", 1);
+    if depth <= 1 {
+        return None;
     }
+    Some(std::sync::Arc::new(
+        act_client::Client::builder()
+            .addr(addr)
+            .retry(std::time::Duration::from_millis(100), 0)
+            .pipeline_depth(depth as u32)
+            .build()
+            .expect("endpoint is set"),
+    ))
 }
 
 /// Strip the cache-outcome tag (` [cache-hit]`, ` [trained]`, ...) off a
@@ -225,31 +247,49 @@ fn header_int(line: &str, key: &str) -> Option<i64> {
 }
 
 /// `train` through a gateway: one TRAIN frame per job.
-fn remote_train_exec(job: &JobDesc, addr: &str, model: &act_serve::ModelSpec) -> JobOutput {
+fn remote_train_exec(
+    job: &JobDesc,
+    addr: &str,
+    model: &act_serve::ModelSpec,
+    shared: Option<&act_client::Client>,
+) -> JobOutput {
     let mut spec = model.clone();
     spec.workload = job.workload.clone();
     spec.seed = job.seed;
-    match remote_request(job, addr, &act_serve::Request::Train(spec)) {
-        act_serve::Reply::Trained(summary) => {
+    let result = match shared {
+        Some(client) => client.train(&spec),
+        None => remote_client(job, addr).train(&spec),
+    };
+    match result {
+        Ok(summary) => {
             let summary = strip_cache_tag(&summary);
             JobOutput::default()
                 .text("summary", summary)
                 .line(format!("{:<14} seed {:<4} {summary}", job.workload, job.seed))
         }
-        other => panic!("{}: unexpected TRAIN reply {other:?}", job.workload),
+        Err(e) => panic!("{}: gateway {addr}: {e}", job.workload),
     }
 }
 
 /// `diagnose` through a gateway: manifest a failing run locally (the
 /// production machine's side of the paper's workflow), ship its trace,
 /// and record the ranked diagnosis the service returns.
-fn remote_diagnose_exec(job: &JobDesc, addr: &str, model: &act_serve::ModelSpec) -> JobOutput {
+fn remote_diagnose_exec(
+    job: &JobDesc,
+    addr: &str,
+    model: &act_serve::ModelSpec,
+    shared: Option<&act_client::Client>,
+) -> JobOutput {
     let mut spec = model.clone();
     spec.workload = job.workload.clone();
     spec.seed = job.seed;
     let trace = failing_trace_bytes(&job.workload, job.seed);
-    match remote_request(job, addr, &act_serve::Request::Diagnose(spec, trace)) {
-        act_serve::Reply::Diagnosis(text) => {
+    let result = match shared {
+        Some(client) => client.diagnose(&spec, &trace),
+        None => remote_client(job, addr).diagnose(&spec, &trace),
+    };
+    match result {
+        Ok(text) => {
             let header = strip_model_token(text.lines().next().unwrap_or(""));
             let ranked = header_int(&header, "ranked").unwrap_or(0);
             let top = text.lines().find(|l| l.trim_start().starts_with("#1")).map(str::trim);
@@ -259,7 +299,7 @@ fn remote_diagnose_exec(job: &JobDesc, addr: &str, model: &act_serve::ModelSpec)
             }
             out.line(format!("{:<14} seed {:<4} {header}", job.workload, job.seed))
         }
-        other => panic!("{}: unexpected DIAGNOSE reply {other:?}", job.workload),
+        Err(e) => panic!("{}: gateway {addr}: {e}", job.workload),
     }
 }
 

@@ -322,7 +322,7 @@ pub fn table4_wall_s(quick: bool, jobs: usize) -> f64 {
 /// op is a millisecond-scale network round trip, so a 5000-op batch would
 /// overshoot the target a thousandfold.
 pub fn gate_diagnose_rps(target: Duration) -> f64 {
-    use act_serve::{Reply, Request, ServeConfig, Server};
+    use act_serve::{ServeConfig, Server};
     let backends: Vec<Server> = (0..2)
         .map(|_| {
             Server::start(ServeConfig {
@@ -339,7 +339,10 @@ pub fn gate_diagnose_rps(target: Duration) -> f64 {
         ..act_gate::GateConfig::default()
     })
     .expect("bench gateway boots");
-    let endpoint = act_serve::Endpoint::Tcp(gate.tcp_addr().to_string());
+    let client = act_client::Client::builder()
+        .addr(gate.tcp_addr().to_string())
+        .build()
+        .expect("endpoint is set");
 
     let mut spec = act_serve::ModelSpec::new("seq");
     spec.traces = 2;
@@ -348,18 +351,13 @@ pub fn gate_diagnose_rps(target: Duration) -> f64 {
     let trace = crate::campaign::failing_trace_bytes("seq", 0);
     // Warm-up trains the model once; every timed op then measures the
     // serving path, not offline training.
-    match act_serve::request(&endpoint, &Request::Train(spec.clone())) {
-        Ok(Reply::Trained(_)) => {}
-        other => panic!("gate bench warm-up train: {other:?}"),
-    }
+    client.train(&spec).expect("gate bench warm-up train");
 
     let start = Instant::now();
     let mut ops = 0u64;
     while start.elapsed() < target {
-        match act_serve::request(&endpoint, &Request::Diagnose(spec.clone(), trace.clone())) {
-            Ok(Reply::Diagnosis(_)) => ops += 1,
-            other => panic!("gate bench diagnose: {other:?}"),
-        }
+        client.diagnose(&spec, &trace).expect("gate bench diagnose");
+        ops += 1;
     }
     let rate = ops as f64 / start.elapsed().as_secs_f64();
     gate.shutdown();
@@ -368,6 +366,68 @@ pub fn gate_diagnose_rps(target: Duration) -> f64 {
         b.shutdown();
         b.join();
     }
+    rate
+}
+
+/// DIAGNOSE round-trips per second against a single act-serve daemon at a
+/// given pipeline depth. Depth 1 is the classic one-shot exchange (a
+/// fresh connection per request, one request on the wire at a time);
+/// larger depths ride one multiplexed protocol-v4 session with `depth`
+/// requests in flight, so the daemon's queue never drains between ops and
+/// the per-request connect/teardown round trips disappear. The ratio of
+/// a depth-8 run over a depth-1 run is the bench's reason to exist.
+pub fn pipelined_diagnose_rps(target: Duration, depth: u32) -> f64 {
+    use act_serve::{Reply, Request, ServeConfig, Server};
+    use std::collections::VecDeque;
+    let server = Server::start(ServeConfig {
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        workers: 2,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    })
+    .expect("bench daemon boots");
+    let client = act_client::Client::builder()
+        .addr(server.tcp_addr().expect("tcp").to_string())
+        .pipeline_depth(depth)
+        .build()
+        .expect("endpoint is set");
+
+    let mut spec = act_serve::ModelSpec::new("seq");
+    spec.traces = 2;
+    spec.hidden = 4;
+    spec.max_epochs = 30;
+    let trace = crate::campaign::failing_trace_bytes("seq", 0);
+    // Warm-up trains the model once; every timed op is then a cache-hit
+    // classify, so the depths compare transport overhead, not training.
+    client.train(&spec).expect("pipelined bench warm-up train");
+
+    let start = Instant::now();
+    let mut ops = 0u64;
+    if depth <= 1 {
+        while start.elapsed() < target {
+            client.diagnose(&spec, &trace).expect("pipelined bench diagnose");
+            ops += 1;
+        }
+    } else {
+        let session = client.pipeline().expect("v4 session opens");
+        let mut pending = VecDeque::new();
+        while start.elapsed() < target {
+            while pending.len() < depth as usize {
+                let req = Request::Diagnose(spec.clone(), trace.clone());
+                pending.push_back(session.call(&req).expect("pipelined call enqueues"));
+            }
+            match pending.pop_front().expect("window is full").wait() {
+                Ok(Reply::Diagnosis(_)) => ops += 1,
+                other => panic!("pipelined bench diagnose: {other:?}"),
+            }
+        }
+        for p in pending {
+            let _ = p.wait(); // drain the tail so shutdown is clean
+        }
+    }
+    let rate = ops as f64 / start.elapsed().as_secs_f64();
+    server.shutdown();
+    server.join();
     rate
 }
 
@@ -446,6 +506,22 @@ pub fn run_all(quick: bool, jobs: usize, only: Option<&str>) -> Vec<BenchEntry> 
     }
     if want("gate_diagnose_rps") {
         entries.push(BenchEntry::new("gate_diagnose_rps", gate_diagnose_rps(target), "ops/s", 1));
+    }
+    if want("pipelined_diagnose_rps") {
+        // `jobs` records the pipeline depth: the depth-8 row over the
+        // depth-1 row is the pipelining speedup.
+        entries.push(BenchEntry::new(
+            "pipelined_diagnose_rps",
+            pipelined_diagnose_rps(target, 1),
+            "ops/s",
+            1,
+        ));
+        entries.push(BenchEntry::new(
+            "pipelined_diagnose_rps",
+            pipelined_diagnose_rps(target, 8),
+            "ops/s",
+            8,
+        ));
     }
     if want("table4_wall_s") {
         entries.push(BenchEntry::new("table4_wall_s", table4_wall_s(quick, 1), "s", 1));

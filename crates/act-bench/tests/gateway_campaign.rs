@@ -45,8 +45,11 @@ fn diagnose_spec(gateway_addr: &str) -> CampaignSpec {
     spec
 }
 
-fn run_diagnose_campaign(gateway_addr: &str) -> CampaignReport {
-    let spec = diagnose_spec(gateway_addr);
+fn run_diagnose_campaign(gateway_addr: &str, pipeline_depth: usize) -> CampaignReport {
+    let mut spec = diagnose_spec(gateway_addr);
+    if pipeline_depth > 1 {
+        spec.params.insert("pipeline_depth".into(), pipeline_depth.to_string());
+    }
     let exec = executor_for(&spec).expect("remote executor");
     run_campaign(&spec, 2, exec)
 }
@@ -62,7 +65,7 @@ fn killing_a_backend_mid_campaign_loses_nothing_and_changes_nothing() {
         victim.shutdown();
         victim.join();
     });
-    let fleet_report = run_diagnose_campaign(&gate.tcp_addr().to_string());
+    let fleet_report = run_diagnose_campaign(&gate.tcp_addr().to_string(), 1);
     killer.join().expect("killer thread");
     assert_eq!(
         fleet_report.aggregate.crashed,
@@ -80,7 +83,7 @@ fn killing_a_backend_mid_campaign_loses_nothing_and_changes_nothing() {
     // The same campaign against a single-backend fleet.
     let single = vec![boot_backend()];
     let gate1 = boot_gateway(&single);
-    let single_report = run_diagnose_campaign(&gate1.tcp_addr().to_string());
+    let single_report = run_diagnose_campaign(&gate1.tcp_addr().to_string(), 1);
     assert_eq!(single_report.aggregate.crashed, 0);
     gate1.shutdown();
     gate1.join();
@@ -96,17 +99,41 @@ fn killing_a_backend_mid_campaign_loses_nothing_and_changes_nothing() {
     );
 }
 
+/// Requests through one shared depth-8 session must produce the same
+/// campaign report as one-connection-per-job — out-of-order completion
+/// never leaks into results.
+#[test]
+fn pipeline_depth_changes_nothing_in_the_campaign_report() {
+    let run_at = |depth: usize| {
+        let backends = vec![boot_backend()];
+        let gate = boot_gateway(&backends);
+        let report = run_diagnose_campaign(&gate.tcp_addr().to_string(), depth);
+        assert_eq!(report.aggregate.crashed, 0, "depth {depth}: crashed jobs");
+        gate.shutdown();
+        gate.join();
+        for b in backends {
+            b.shutdown();
+            b.join();
+        }
+        report
+    };
+    let sequential = run_at(1);
+    let pipelined = run_at(8);
+    assert_eq!(
+        sequential.deterministic_json(),
+        pipelined.deterministic_json(),
+        "campaign results must not depend on pipeline depth"
+    );
+}
+
 /// Fleet-wide cache hit rate, read off the gateway's aggregated snapshot.
 fn fleet_hit_rate(gate: &Gateway) -> f64 {
-    let reply = act_serve::request(
-        &act_serve::Endpoint::Tcp(gate.tcp_addr().to_string()),
-        &act_serve::Request::Status,
-    )
-    .expect("gateway status");
-    let snap = match reply {
-        act_serve::Reply::StatusMetrics(_, snap) => snap,
-        other => panic!("expected StatusMetrics, got {other:?}"),
-    };
+    let client = act_client::Client::builder()
+        .addr(gate.tcp_addr().to_string())
+        .build()
+        .expect("endpoint is set");
+    let status = client.status().expect("gateway status");
+    let snap = status.metrics.expect("gateway replies with metrics");
     let c = |name: &str| snap.counter(name).unwrap_or(0) as f64;
     let hits =
         c("fleet.cache_memory_hits") + c("fleet.cache_disk_loads") + c("fleet.cache_store_loads");

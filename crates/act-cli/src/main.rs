@@ -30,6 +30,9 @@ use act_workloads::spec::{Params, Workload};
 use std::io::BufReader;
 use std::process::ExitCode;
 
+mod netopts;
+use netopts::{parse_count, NetOpts};
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: act <command> [args]\n\
@@ -45,13 +48,16 @@ fn usage() -> ExitCode {
          \x20                                        run a campaign spec in parallel\n\
          \x20 serve [--addr A] [--unix PATH] [--workers N] [--queue-depth D]\n\
          \x20       [--model-dir DIR] [--corpus DIR] [--cache N] [--deadline-ms MS]\n\
-         \x20       [--event-log FILE]               run the diagnosis daemon\n\
+         \x20       [--io-timeout MS] [--event-log FILE]\n\
+         \x20                                        run the diagnosis daemon\n\
          \x20 gate --backends A,B,... [--listen ADDR] [--workers N] [--queue-depth D]\n\
-         \x20      [--vnodes N] [--event-log FILE]    run the sharding gateway\n\
+         \x20      [--vnodes N] [--connect-timeout MS] [--io-timeout MS]\n\
+         \x20      [--event-log FILE]                 run the sharding gateway\n\
          \x20 request <train|diagnose|status|shutdown|trace-put|trace-get> [workload]\n\
          \x20       [--addr A] [--unix PATH] [--seed N] [--traces N]\n\
          \x20       [--seq-len N] [--hidden N] [--epochs N] [--trace FILE] [--key K]\n\
-         \x20                                        talk to a running daemon\n\
+         \x20       [--connect-timeout MS] [--io-timeout MS] [--retry MS]\n\
+         \x20       [--pipeline-depth N] [--stream]  talk to a running daemon\n\
          \x20 store init DIR                         create an empty corpus store\n\
          \x20 store put DIR <workload> [--runs N] [--trace FILE --key K]\n\
          \x20                                        ingest correct-run traces\n\
@@ -63,13 +69,13 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-struct Args {
-    positional: Vec<String>,
-    flags: std::collections::HashMap<String, String>,
-    switches: std::collections::HashSet<String>,
+pub(crate) struct Args {
+    pub(crate) positional: Vec<String>,
+    pub(crate) flags: std::collections::HashMap<String, String>,
+    pub(crate) switches: std::collections::HashSet<String>,
 }
 
-fn parse_args(raw: &[String]) -> Args {
+pub(crate) fn parse_args(raw: &[String]) -> Args {
     let mut a =
         Args { positional: Vec::new(), flags: Default::default(), switches: Default::default() };
     let mut i = 0;
@@ -101,6 +107,10 @@ fn parse_args(raw: &[String]) -> Args {
                 "backends",
                 "listen",
                 "vnodes",
+                "connect-timeout",
+                "io-timeout",
+                "retry",
+                "pipeline-depth",
             ];
             if takes_value.contains(&name) && i + 1 < raw.len() {
                 a.flags.insert(name.to_string(), raw[i + 1].clone());
@@ -495,24 +505,21 @@ fn cmd_serve(args: &Args) -> ExitCode {
         Ok(n) => n,
         Err(e) => return e,
     };
-    let parse_or = |flag: &str, default: usize| -> Result<usize, ExitCode> {
-        match args.flags.get(flag) {
-            None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                eprintln!("--{flag} expects a positive integer, got `{raw}`");
-                ExitCode::from(2)
-            }),
-        }
-    };
-    let queue_depth = match parse_or("queue-depth", 64) {
+    let queue_depth = match parse_count(args, "queue-depth", 64) {
         Ok(n) => n,
         Err(e) => return e,
     };
-    let cache_capacity = match parse_or("cache", 32) {
+    let cache_capacity = match parse_count(args, "cache", 32) {
         Ok(n) => n,
         Err(e) => return e,
     };
-    let deadline_ms = match parse_or("deadline-ms", 120_000) {
+    let deadline_ms = match parse_count(args, "deadline-ms", 120_000) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    // Only --io-timeout applies to a listening daemon, but the flag set
+    // (and its validation) is shared with `act gate` / `act request`.
+    let net = match NetOpts::from_args(args, 2_000, 30_000) {
         Ok(n) => n,
         Err(e) => return e,
     };
@@ -542,6 +549,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
         corpus_dir: args.flags.get("corpus").map(std::path::PathBuf::from),
         cache_capacity,
         deadline: std::time::Duration::from_millis(deadline_ms as u64),
+        io_timeout: net.io_timeout,
         ..act_serve::ServeConfig::default()
     };
     let server = match act_serve::Server::start(cfg.clone()) {
@@ -592,20 +600,17 @@ fn cmd_gate(args: &Args) -> ExitCode {
         Ok(n) => n,
         Err(e) => return e,
     };
-    let parse_or = |flag: &str, default: usize| -> Result<usize, ExitCode> {
-        match args.flags.get(flag) {
-            None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                eprintln!("--{flag} expects a positive integer, got `{raw}`");
-                ExitCode::from(2)
-            }),
-        }
-    };
-    let queue_depth = match parse_or("queue-depth", 64) {
+    let queue_depth = match parse_count(args, "queue-depth", 64) {
         Ok(n) => n,
         Err(e) => return e,
     };
-    let vnodes = match parse_or("vnodes", 64) {
+    let vnodes = match parse_count(args, "vnodes", 64) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    // --connect-timeout / --io-timeout govern the backend links (a cold
+    // TRAIN on a backend legitimately takes minutes).
+    let net = match NetOpts::from_args(args, 2_000, 300_000) {
         Ok(n) => n,
         Err(e) => return e,
     };
@@ -627,6 +632,8 @@ fn cmd_gate(args: &Args) -> ExitCode {
         vnodes,
         workers,
         queue_depth,
+        connect_timeout: net.connect_timeout,
+        backend_timeout: net.io_timeout,
         ..act_gate::GateConfig::default()
     };
     let gate = match act_gate::Gateway::start(cfg.clone()) {
@@ -653,15 +660,27 @@ fn cmd_gate(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The daemon endpoint named by `--addr`/`--unix` (default local TCP port).
-fn endpoint_from(args: &Args) -> act_serve::Endpoint {
-    if let Some(path) = args.flags.get("unix") {
-        act_serve::Endpoint::Unix(std::path::PathBuf::from(path))
+/// An [`act_client::Client`] for the daemon named by `--addr`/`--unix`
+/// (default local TCP port), configured from the shared network flags.
+fn client_from(args: &Args) -> Result<act_client::Client, ExitCode> {
+    let net = NetOpts::from_args(args, 10_000, 300_000)?;
+    let depth = parse_count(args, "pipeline-depth", 1)?;
+    let mut builder = act_client::Client::builder();
+    builder = if let Some(path) = args.flags.get("unix") {
+        builder.unix(path)
     } else {
-        act_serve::Endpoint::Tcp(
-            args.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7411".to_string()),
-        )
+        builder
+            .addr(args.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7411".to_string()))
+    };
+    builder = builder.timeouts(net.connect_timeout, net.io_timeout).pipeline_depth(depth as u32);
+    if let Some(backoff) = net.retry {
+        let seed = args.flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+        builder = builder.retry(backoff, seed);
     }
+    builder.build().map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(2)
+    })
 }
 
 /// The model spec named by `act request` flags.
@@ -712,13 +731,49 @@ fn failing_trace_bytes(args: &Args, name: &str) -> Result<Vec<u8>, ExitCode> {
     Err(ExitCode::FAILURE)
 }
 
-/// `act request <train|diagnose|status|shutdown>`: one request, one reply.
+/// `act request <train|diagnose|status|shutdown|trace-put|trace-get>`:
+/// one typed call through [`act_client::Client`]. `--pipeline-depth N`
+/// (N > 1) rides a multiplexed v4 session; `--stream` sends uploads in
+/// chunks instead of one frame, so they are not bounded by the 64 MiB
+/// payload cap.
 fn cmd_request(args: &Args) -> ExitCode {
     let Some(verb) = args.positional.first().map(String::as_str) else { return usage() };
-    let endpoint = endpoint_from(args);
-    let request = match verb {
-        "status" => act_serve::Request::Status,
-        "shutdown" => act_serve::Request::Shutdown,
+    let client = match client_from(args) {
+        Ok(c) => c,
+        Err(e) => return e,
+    };
+    let fail = |e: act_client::ActError| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    match verb {
+        "status" => match client.status() {
+            Ok(status) => {
+                print!("{}", status.text);
+                if let Some(snap) = status.metrics {
+                    // Hit rate counts every no-retraining outcome: memory,
+                    // the model dir, and the corpus store.
+                    let hits = snap.counter("cache_memory_hits").unwrap_or(0)
+                        + snap.counter("cache_disk_loads").unwrap_or(0)
+                        + snap.counter("cache_store_loads").unwrap_or(0);
+                    let total = hits + snap.counter("cache_trained").unwrap_or(0);
+                    if total > 0 {
+                        println!("cache_hit_rate {:.1}%", 100.0 * hits as f64 / total as f64);
+                    }
+                    println!("\n-- metrics --");
+                    print!("{}", snap.render_table());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "shutdown" => match client.shutdown() {
+            Ok(()) => {
+                println!("server shutting down");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
         "trace-put" => {
             let Some(name) = args.positional.get(1) else {
                 eprintln!("request trace-put requires a workload name");
@@ -728,19 +783,37 @@ fn cmd_request(args: &Args) -> ExitCode {
                 eprintln!("request trace-put requires --trace FILE (a correct-run text trace)");
                 return ExitCode::from(2);
             };
-            let trace = match std::fs::read(path) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
             let key = args.flags.get("key").cloned().unwrap_or_else(|| {
                 std::path::Path::new(path)
                     .file_stem()
                     .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned())
             });
-            act_serve::Request::TracePut { key, workload: name.clone(), trace }
+            let stored = if args.switches.contains("stream") {
+                // Chunked upload straight off the file handle: the trace
+                // is never fully resident in this process.
+                match std::fs::File::open(path) {
+                    Ok(file) => client.trace_put_streaming(&key, name, BufReader::new(file)),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match std::fs::read(path) {
+                    Ok(bytes) => client.trace_put(&key, name, &bytes),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            match stored {
+                Ok(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
         }
         "trace-get" => {
             let Some(key) =
@@ -749,7 +822,22 @@ fn cmd_request(args: &Args) -> ExitCode {
                 eprintln!("request trace-get requires a key (--key K or positional)");
                 return ExitCode::from(2);
             };
-            act_serve::Request::TraceGet { key }
+            match client.trace_get(&key) {
+                Ok(bytes) => {
+                    match args.flags.get("out") {
+                        Some(path) => {
+                            if let Err(e) = std::fs::write(path, &bytes) {
+                                eprintln!("cannot write {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            println!("trace written to {path} ({} bytes)", bytes.len());
+                        }
+                        None => print!("{}", String::from_utf8_lossy(&bytes)),
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
         }
         "train" | "diagnose" => {
             let Some(name) = args.positional.get(1) else {
@@ -757,75 +845,28 @@ fn cmd_request(args: &Args) -> ExitCode {
                 return ExitCode::from(2);
             };
             let spec = spec_from(args, name);
-            if verb == "train" {
-                act_serve::Request::Train(spec)
+            let answer = if verb == "train" {
+                client.train(&spec)
             } else {
                 let bytes = match failing_trace_bytes(args, name) {
                     Ok(b) => b,
                     Err(e) => return e,
                 };
-                act_serve::Request::Diagnose(spec, bytes)
-            }
-        }
-        _ => return usage(),
-    };
-    match act_serve::request(&endpoint, &request) {
-        Ok(act_serve::Reply::Trained(text)) | Ok(act_serve::Reply::Diagnosis(text)) => {
-            println!("{text}");
-            ExitCode::SUCCESS
-        }
-        Ok(act_serve::Reply::StatusText(text)) => {
-            print!("{text}");
-            ExitCode::SUCCESS
-        }
-        Ok(act_serve::Reply::Stored(text)) => {
-            println!("{text}");
-            ExitCode::SUCCESS
-        }
-        Ok(act_serve::Reply::TraceData(bytes)) => {
-            match args.flags.get("out") {
-                Some(path) => {
-                    if let Err(e) = std::fs::write(path, &bytes) {
-                        eprintln!("cannot write {path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                    println!("trace written to {path} ({} bytes)", bytes.len());
+                if args.switches.contains("stream") {
+                    client.diagnose_streaming(&spec, std::io::Cursor::new(bytes))
+                } else {
+                    client.diagnose(&spec, &bytes)
                 }
-                None => print!("{}", String::from_utf8_lossy(&bytes)),
+            };
+            match answer {
+                Ok(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
             }
-            ExitCode::SUCCESS
         }
-        Ok(act_serve::Reply::StatusMetrics(text, snap)) => {
-            print!("{text}");
-            // Hit rate counts every no-retraining outcome: memory, the
-            // model dir, and the corpus store.
-            let hits = snap.counter("cache_memory_hits").unwrap_or(0)
-                + snap.counter("cache_disk_loads").unwrap_or(0)
-                + snap.counter("cache_store_loads").unwrap_or(0);
-            let total = hits + snap.counter("cache_trained").unwrap_or(0);
-            if total > 0 {
-                println!("cache_hit_rate {:.1}%", 100.0 * hits as f64 / total as f64);
-            }
-            println!("\n-- metrics --");
-            print!("{}", snap.render_table());
-            ExitCode::SUCCESS
-        }
-        Ok(act_serve::Reply::Bye) => {
-            println!("server shutting down");
-            ExitCode::SUCCESS
-        }
-        Ok(act_serve::Reply::Busy) => {
-            eprintln!("server busy (queue full); retry later");
-            ExitCode::FAILURE
-        }
-        Ok(act_serve::Reply::Error(msg)) => {
-            eprintln!("server error: {msg}");
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("{endpoint}: {e}");
-            ExitCode::FAILURE
-        }
+        _ => usage(),
     }
 }
 

@@ -1,0 +1,130 @@
+//! Shared, clap-free parsing for the network flags `act serve`,
+//! `act gate`, and `act request` all take.
+//!
+//! One code path validates every numeric flag, so the three daemons-and-
+//! client subcommands reject `0` and garbage with the same message
+//! instead of each carrying its own slightly different closure:
+//!
+//! ```text
+//! --connect-timeout MS   TCP connect timeout
+//! --io-timeout MS        per-read/write socket timeout
+//! --retry MS             retry once after a failure/BUSY, backoff MS
+//! ```
+
+use crate::Args;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Parse `--{flag} N` as a count, requiring `N >= 1`. Absent means
+/// `default`; `0` and non-numbers are rejected with a clear message.
+pub fn parse_count(args: &Args, flag: &str, default: usize) -> Result<usize, ExitCode> {
+    match args.flags.get(flag) {
+        None => Ok(default),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(0) => {
+                eprintln!("--{flag} must be at least 1 (got 0)");
+                Err(ExitCode::from(2))
+            }
+            Ok(n) => Ok(n),
+            Err(_) => {
+                eprintln!("--{flag} expects a positive integer, got `{raw}`");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
+}
+
+/// The transport knobs shared by every networked subcommand.
+pub struct NetOpts {
+    /// `--connect-timeout MS` (TCP connect).
+    pub connect_timeout: Duration,
+    /// `--io-timeout MS` (each socket read/write).
+    pub io_timeout: Duration,
+    /// `--retry MS`: retry once after a transport failure or `BUSY`,
+    /// sleeping a jittered `MS` first. `None` = fail fast.
+    pub retry: Option<Duration>,
+}
+
+impl NetOpts {
+    /// Parse the shared flags, with per-command millisecond defaults
+    /// (a gateway probes fast; a client waits out a cold TRAIN).
+    pub fn from_args(
+        args: &Args,
+        default_connect_ms: usize,
+        default_io_ms: usize,
+    ) -> Result<NetOpts, ExitCode> {
+        let connect = parse_count(args, "connect-timeout", default_connect_ms)?;
+        let io = parse_count(args, "io-timeout", default_io_ms)?;
+        let retry = match args.flags.get("retry") {
+            None => None,
+            Some(_) => Some(Duration::from_millis(parse_count(args, "retry", 100)? as u64)),
+        };
+        Ok(NetOpts {
+            connect_timeout: Duration::from_millis(connect as u64),
+            io_timeout: Duration::from_millis(io as u64),
+            retry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_args;
+
+    fn args_of(raw: &[&str]) -> Args {
+        parse_args(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn absent_flags_fall_back_to_the_given_defaults() {
+        let opts = NetOpts::from_args(&args_of(&[]), 2_000, 30_000).expect("defaults parse");
+        assert_eq!(opts.connect_timeout, Duration::from_millis(2_000));
+        assert_eq!(opts.io_timeout, Duration::from_millis(30_000));
+        assert!(opts.retry.is_none(), "no --retry means fail fast");
+    }
+
+    #[test]
+    fn explicit_values_override_defaults() {
+        let args = args_of(&["--connect-timeout", "250", "--io-timeout", "9000", "--retry", "40"]);
+        let opts = NetOpts::from_args(&args, 2_000, 30_000).expect("flags parse");
+        assert_eq!(opts.connect_timeout, Duration::from_millis(250));
+        assert_eq!(opts.io_timeout, Duration::from_millis(9_000));
+        assert_eq!(opts.retry, Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn zero_is_rejected_for_every_net_flag() {
+        for flag in ["connect-timeout", "io-timeout", "retry"] {
+            let switch = format!("--{flag}");
+            let args = args_of(&[switch.as_str(), "0"]);
+            assert!(
+                NetOpts::from_args(&args, 1_000, 1_000).is_err(),
+                "--{flag} 0 must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_for_every_net_flag() {
+        for flag in ["connect-timeout", "io-timeout", "retry"] {
+            for bad in ["abc", "-5", "1.5", ""] {
+                let switch = format!("--{flag}");
+                let args = args_of(&[switch.as_str(), bad]);
+                assert!(
+                    NetOpts::from_args(&args, 1_000, 1_000).is_err(),
+                    "--{flag} {bad:?} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_reject_zero_and_garbage_but_accept_numbers() {
+        let ok = args_of(&["--queue-depth", "128"]);
+        assert_eq!(parse_count(&ok, "queue-depth", 64).ok(), Some(128));
+        assert_eq!(parse_count(&args_of(&[]), "queue-depth", 64).ok(), Some(64));
+        assert!(parse_count(&args_of(&["--queue-depth", "0"]), "queue-depth", 64).is_err());
+        assert!(parse_count(&args_of(&["--queue-depth", "many"]), "queue-depth", 64).is_err());
+    }
+}

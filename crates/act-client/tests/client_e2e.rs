@@ -1,0 +1,405 @@
+//! End-to-end client tests: boot an in-process `act-serve` daemon on an
+//! ephemeral loopback port and drive it through the [`act_client::Client`]
+//! façade at every transport depth.
+//!
+//! Covers the client/protocol-v4 acceptance criteria:
+//! - typed methods produce identical results at pipeline depth 1 (one-shot
+//!   v1–v3 framing) and depth 8 (multiplexed v4 session);
+//! - streamed uploads (`TRACE_PUT_START`/`DIAGNOSE_START` + chunks) answer
+//!   with byte-identical summaries to their one-frame twins;
+//! - replies demultiplex out of order across a pipelined session;
+//! - a connection killed mid-stream leaves no partial corpus segment;
+//! - the in-flight window is negotiated down to the server's cap;
+//! - any interleaving of pipelined v4 requests yields the same replies as
+//!   the same requests issued sequentially over one-shot v3 (proptest);
+//! - raw v1–v3 one-shot clients keep working bit-for-bit.
+
+use act_client::{Client, ModelSpec, Reply, Request};
+use act_serve::proto::{read_frame, write_frame, FrameKind};
+use act_serve::server::{ServeConfig, Server};
+use act_serve::Endpoint;
+use act_store::{Corpus, EntryKind};
+use act_trace::collector::TraceCollector;
+use act_trace::io::trace_to_bytes;
+use act_workloads::registry;
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Boot a daemon on 127.0.0.1:0 and return it with its client endpoint.
+fn boot(cfg: ServeConfig) -> (Server, Endpoint) {
+    let cfg = ServeConfig { tcp_addr: Some("127.0.0.1:0".to_string()), ..cfg };
+    let server = Server::start(cfg).expect("daemon boots");
+    let endpoint = Endpoint::Tcp(server.tcp_addr().expect("tcp bound").to_string());
+    (server, endpoint)
+}
+
+fn small(workers: usize, queue_depth: usize) -> ServeConfig {
+    ServeConfig { workers, queue_depth, ..ServeConfig::default() }
+}
+
+/// A client for `endpoint` with snappy test timeouts.
+fn client_at(endpoint: &Endpoint, depth: u32) -> Client {
+    let builder = match endpoint {
+        Endpoint::Tcp(addr) => Client::builder().addr(addr.clone()),
+        Endpoint::Unix(path) => Client::builder().unix(path.clone()),
+    };
+    builder
+        .timeouts(Duration::from_secs(2), Duration::from_secs(30))
+        .pipeline_depth(depth)
+        .build()
+        .expect("client builds")
+}
+
+/// A small spec that trains in well under a second.
+fn tiny_spec(workload: &str) -> ModelSpec {
+    let mut spec = ModelSpec::new(workload);
+    spec.traces = 2;
+    spec.seq_len = 2;
+    spec.hidden = 4;
+    spec.max_epochs = 30;
+    spec
+}
+
+/// Serialize a `seq` run: failing when `failing`, else correct.
+fn trace_bytes(base_seed: u64, failing: bool) -> Vec<u8> {
+    let w = registry::by_name("seq").expect("seq workload");
+    let norm = w.norm_code_len().unwrap_or_else(|| w.build(&w.default_params()).program.code_len());
+    for seed in base_seed..base_seed + 64 {
+        let params = if failing {
+            w.default_params().triggered().with_seed(seed)
+        } else {
+            w.default_params().with_seed(seed)
+        };
+        let built = w.build(&params);
+        let mut collector = TraceCollector::new(norm);
+        let run_cfg =
+            act_sim::config::MachineConfig { seed, jitter_ppm: 10_000, ..Default::default() };
+        let mut machine = act_sim::machine::Machine::new(&built.program, run_cfg);
+        let outcome = machine.run_observed(&mut collector);
+        let wanted = if failing { built.is_failure(&outcome) } else { built.is_correct(&outcome) };
+        if wanted {
+            return trace_to_bytes(&collector.into_trace());
+        }
+    }
+    panic!("no matching seq run in 64 seeds from {base_seed}");
+}
+
+fn scratch_corpus(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("act-client-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn typed_methods_agree_between_depth_one_and_depth_eight() {
+    let dir = scratch_corpus("typed");
+    let cfg = ServeConfig { corpus_dir: Some(dir.clone()), ..small(2, 16) };
+    let (server, endpoint) = boot(cfg);
+    let spec = tiny_spec("seq");
+    let failing = trace_bytes(0, true);
+    let correct = trace_bytes(0, false);
+
+    // Warm the model once so both depths diagnose against the same cache
+    // state and the reports can be compared byte-for-byte.
+    client_at(&endpoint, 1).train(&spec).expect("warm train");
+
+    let mut reports = Vec::new();
+    for depth in [1u32, 8] {
+        let client = client_at(&endpoint, depth);
+        let trained = client.train(&spec).expect("train");
+        assert!(trained.contains("cache-hit"), "depth {depth}: {trained}");
+        let report = client.diagnose(&spec, &failing).expect("diagnose");
+        assert!(report.starts_with("diagnosis workload=seq"), "depth {depth}: {report}");
+        let key = format!("clean-depth-{depth}");
+        let stored = client.trace_put(&key, "seq", &correct).expect("trace put");
+        assert!(stored.contains(&key), "depth {depth}: {stored}");
+        let back = client.trace_get(&key).expect("trace get");
+        assert_eq!(back, correct, "depth {depth}: trace round trip must be lossless");
+        let status = client.status().expect("status");
+        assert!(status.text.contains("requests_served"), "depth {depth}: {}", status.text);
+        let snap = status.metrics.expect("v2+ metrics snapshot");
+        if depth > 1 {
+            assert!(snap.counter("req_hello").unwrap_or(0) >= 1, "session handshake counted");
+            assert!(
+                snap.counter("sessions_open").is_some() || snap.gauge("sessions_open").is_some()
+            );
+        }
+        reports.push(report);
+    }
+    assert_eq!(reports[0], reports[1], "reports must be byte-identical at any pipeline depth");
+
+    client_at(&endpoint, 1).shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streamed_uploads_match_their_one_frame_twins() {
+    let dir = scratch_corpus("stream");
+    let cfg = ServeConfig { corpus_dir: Some(dir.clone()), ..small(2, 16) };
+    let (server, endpoint) = boot(cfg);
+    let spec = tiny_spec("seq");
+    let failing = trace_bytes(0, true);
+    let correct = trace_bytes(0, false);
+    let client = client_at(&endpoint, 4);
+
+    // One-frame and streamed TRACE_PUT of the same bytes: summaries differ
+    // only in the key, and both read back losslessly.
+    let one_frame = client.trace_put("one-frame", "seq", &correct).expect("one-frame put");
+    let streamed =
+        client.trace_put_streaming("streamed", "seq", &correct[..]).expect("streamed put");
+    assert_eq!(
+        one_frame.replace("one-frame", "KEY"),
+        streamed.replace("streamed", "KEY"),
+        "streamed and one-frame summaries must agree"
+    );
+    assert_eq!(client.trace_get("streamed").expect("get"), correct);
+
+    // Materialized and streamed DIAGNOSE of the same trace: identical text.
+    client.train(&spec).expect("warm");
+    let materialized = client.diagnose(&spec, &failing).expect("diagnose");
+    let streamed = client.diagnose_streaming(&spec, &failing[..]).expect("streamed diagnose");
+    assert_eq!(materialized, streamed, "streamed diagnose must match the one-frame report");
+
+    client.shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_replies_demultiplex_out_of_order() {
+    let (server, endpoint) = boot(small(2, 16));
+    let client = client_at(&endpoint, 4);
+    let session = client.pipeline().expect("session");
+
+    let sleeper = |ms: u64| {
+        let mut spec = ModelSpec::new("__sleep");
+        spec.seed = ms;
+        Request::Train(spec)
+    };
+    // The slow request is issued first; with two workers the fast one
+    // finishes (and is demultiplexed) while the slow one still runs.
+    let slow = session.call(&sleeper(400)).expect("send slow");
+    let fast = session.call(&sleeper(10)).expect("send fast");
+    let t0 = std::time::Instant::now();
+    match fast.wait().expect("fast reply") {
+        Reply::Trained(s) => assert_eq!(s, "slept 10ms"),
+        other => panic!("unexpected fast reply: {other:?}"),
+    }
+    assert!(t0.elapsed() < Duration::from_millis(350), "fast reply must not wait for the slow one");
+    match slow.wait().expect("slow reply") {
+        Reply::Trained(s) => assert_eq!(s, "slept 400ms"),
+        other => panic!("unexpected slow reply: {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn window_is_negotiated_down_to_the_server_cap() {
+    let cfg = ServeConfig { session_window: 2, ..small(1, 8) };
+    let (server, endpoint) = boot(cfg);
+
+    let session =
+        act_client::session::Session::open(&endpoint, &act_client::ClientConfig::default(), 8)
+            .expect("session opens");
+    assert_eq!(session.window(), 2, "server caps the asked-for window");
+    drop(session);
+
+    client_at(&endpoint, 1).shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn mid_stream_kill_leaves_no_partial_corpus_segment() {
+    let dir = scratch_corpus("kill");
+    let cfg = ServeConfig { corpus_dir: Some(dir.clone()), ..small(1, 8) };
+    let (server, endpoint) = boot(cfg);
+    let addr = match &endpoint {
+        Endpoint::Tcp(addr) => addr.clone(),
+        other => panic!("tcp endpoint expected, got {other}"),
+    };
+    let correct = trace_bytes(0, false);
+
+    // Open a raw v4 session, start a chunked TRACE_PUT, feed half the
+    // trace, then kill the socket without STREAM_END.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    write_frame(&mut stream, &Request::Hello { window: 2 }.to_frame().with_request(0))
+        .expect("hello");
+    let ack = read_frame(&mut stream).expect("hello ack");
+    assert_eq!(ack.kind, FrameKind::HelloAck);
+    let start = Request::TracePutStart { key: "half".into(), workload: "seq".into() };
+    write_frame(&mut stream, &start.to_frame().with_request(1)).expect("start");
+    let half = &correct[..correct.len() / 2];
+    write_frame(&mut stream, &Request::StreamChunk(half.to_vec()).to_frame().with_request(1))
+        .expect("chunk");
+    stream.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(100)); // let the server ingest the chunk
+    stream.shutdown(Shutdown::Both).expect("kill connection");
+    drop(stream);
+    std::thread::sleep(Duration::from_millis(200)); // let the session clean up
+
+    // The daemon still serves, and the key was never published.
+    let client = client_at(&endpoint, 1);
+    let err = client.trace_get("half").expect_err("half-streamed key must not exist");
+    assert!(err.to_string().contains("trace get failed"), "got {err}");
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    // Offline reopen: recovery finds no trace of the aborted stream.
+    let corpus = Corpus::open(&dir).expect("corpus reopens cleanly");
+    assert!(!corpus.contains(EntryKind::Trace, "half"), "no partial entry may survive");
+    assert_eq!(corpus.entries(None).len(), 0, "corpus must be empty after the aborted stream");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn raw_v1_to_v3_one_shot_clients_still_work() {
+    let (server, endpoint) = boot(small(1, 8));
+    let addr = match &endpoint {
+        Endpoint::Tcp(addr) => addr.clone(),
+        other => panic!("tcp endpoint expected, got {other}"),
+    };
+
+    for version in 1u8..=3 {
+        // STATUS: v1 gets the plain text frame, v2/v3 the metrics frame —
+        // exactly as before the v4 redesign, stamped with the asked version.
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        write_frame(&mut stream, &Request::Status.to_frame().with_version(version))
+            .expect("send status");
+        stream.flush().expect("flush");
+        let frame = read_frame(&mut stream).expect("status reply");
+        assert_eq!(frame.version, version, "reply restamped for the v{version} requester");
+        let expected = if version == 1 { FrameKind::StatusText } else { FrameKind::StatusMetrics };
+        assert_eq!(frame.kind, expected, "v{version} status frame kind");
+        assert_eq!(frame.request_id, 0, "pre-v4 frames carry no request id");
+
+        // A worker-path request round-trips too.
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let mut spec = ModelSpec::new("__sleep");
+        spec.seed = 1;
+        write_frame(&mut stream, &Request::Train(spec).to_frame().with_version(version))
+            .expect("send train");
+        stream.flush().expect("flush");
+        let frame = read_frame(&mut stream).expect("train reply");
+        assert_eq!(frame.version, version);
+        match Reply::from_frame(&frame).expect("decode") {
+            Reply::Trained(s) => assert_eq!(s, "slept 1ms"),
+            other => panic!("unexpected v{version} reply: {other:?}"),
+        }
+    }
+
+    client_at(&endpoint, 1).shutdown().expect("shutdown");
+    server.join();
+}
+
+/// The fixed request vocabulary the equivalence property draws from. All
+/// replies are deterministic and order-independent: fault-hook sleeps echo
+/// their duration, diagnoses hit the pre-warmed model cache, and trace
+/// gets return pre-stored bytes.
+struct Vocabulary {
+    endpoint: Endpoint,
+    spec: ModelSpec,
+    failing: Vec<u8>,
+    stored: Vec<(String, Vec<u8>)>,
+}
+
+impl Vocabulary {
+    fn request(&self, op: u8) -> Request {
+        match op % 5 {
+            0 | 1 => {
+                let mut spec = ModelSpec::new("__sleep");
+                spec.seed = 5 + (op as u64 % 7) * 3;
+                Request::Train(spec)
+            }
+            2 => Request::Diagnose(self.spec.clone(), self.failing.clone()),
+            3 => Request::TraceGet { key: self.stored[0].0.clone() },
+            _ => Request::TraceGet { key: self.stored[1].0.clone() },
+        }
+    }
+}
+
+/// Render a reply for multiset comparison.
+fn fingerprint(reply: &Reply) -> String {
+    format!("{reply:?}")
+}
+
+fn equivalence_fixture() -> &'static Vocabulary {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(Server, Vocabulary)> = OnceLock::new();
+    let (_, vocab) = FIXTURE.get_or_init(|| {
+        let dir = scratch_corpus("prop");
+        let cfg = ServeConfig { corpus_dir: Some(dir.clone()), ..small(2, 64) };
+        let (server, endpoint) = boot(cfg);
+        let spec = tiny_spec("seq");
+        let failing = trace_bytes(0, true);
+        let client = client_at(&endpoint, 1);
+        client.train(&spec).expect("warm model");
+        let stored: Vec<(String, Vec<u8>)> = [(0u64, "prop-a"), (100, "prop-b")]
+            .into_iter()
+            .map(|(seed, key)| {
+                let bytes = trace_bytes(seed, false);
+                client.trace_put(key, "seq", &bytes).expect("seed corpus");
+                (key.to_string(), bytes)
+            })
+            .collect();
+        (server, Vocabulary { endpoint, spec, failing, stored })
+    });
+    vocab
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn any_pipelined_interleaving_matches_sequential_v3(
+        depth in 2u32..6,
+        plan in prop::collection::vec((any::<u8>(), any::<u8>()), 1..10),
+    ) {
+        let vocab = equivalence_fixture();
+
+        // Sequential baseline: the same requests one at a time over raw
+        // one-shot v3 connections.
+        let mut expected = Vec::new();
+        for (op, _) in &plan {
+            let req = vocab.request(*op);
+            let addr = match &vocab.endpoint {
+                Endpoint::Tcp(addr) => addr.clone(),
+                other => panic!("tcp endpoint expected, got {other}"),
+            };
+            let mut stream = TcpStream::connect(&addr).expect("connect");
+            write_frame(&mut stream, &req.to_frame().with_version(3)).expect("send v3");
+            let frame = read_frame(&mut stream).expect("v3 reply");
+            expected.push(fingerprint(&Reply::from_frame(&frame).expect("decode")));
+        }
+
+        // Pipelined run: same requests over one v4 session, issue/wait
+        // order driven by the generated plan, replies collected per id.
+        let session = act_client::session::Session::open(
+            &vocab.endpoint,
+            &act_client::ClientConfig::default(),
+            depth,
+        ).expect("session opens");
+        let mut pending: Vec<(usize, act_client::session::Pending)> = Vec::new();
+        let mut got: Vec<Option<String>> = vec![None; plan.len()];
+        for (i, (op, pick)) in plan.iter().enumerate() {
+            // Keep strictly under the granted window so `call` never blocks;
+            // drain a plan-chosen pending once the window fills.
+            while pending.len() >= session.window() as usize {
+                let victim = (*pick as usize) % pending.len();
+                let (slot, p) = pending.swap_remove(victim);
+                got[slot] = Some(fingerprint(&p.wait().expect("pipelined reply")));
+            }
+            pending.push((i, session.call(&vocab.request(*op)).expect("send pipelined")));
+        }
+        while let Some((slot, p)) = pending.pop() {
+            got[slot] = Some(fingerprint(&p.wait().expect("pipelined reply")));
+        }
+        let got: Vec<String> = got.into_iter().map(|g| g.expect("every reply collected")).collect();
+
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,32 +1,39 @@
 //! The gateway daemon: accept client frames, shard them across the
 //! backend fleet, fail over, and answer aggregated `STATUS`.
 //!
-//! Life of a request: an acceptor thread reads one frame, answers
-//! `STATUS`/`SHUTDOWN` inline (STATUS is the aggregated fleet view), and
-//! queues everything routable — the frame itself plus its shard key — on a
-//! bounded queue, answering `BUSY` when full (the same refused-not-dropped
-//! backpressure contract as act-serve). Forwarding workers drain the
-//! queue: the consistent-hash ring orders the backends for the key, dead
-//! backends are skipped, and the request gets the owner plus at most one
-//! failover attempt on the next ring owner when the owner is down or
-//! answers `BUSY`. The backend's reply bytes are relayed verbatim,
-//! restamped with the client's protocol version.
+//! Life of a one-shot request: an acceptor thread reads one frame,
+//! answers `STATUS`/`SHUTDOWN` inline (STATUS is the aggregated fleet
+//! view), and queues everything routable — the frame, its decoded
+//! request, and its shard key — on a bounded queue, answering `BUSY` when
+//! full (the same refused-not-dropped backpressure contract as
+//! act-serve). Forwarding workers drain the queue: the consistent-hash
+//! ring orders the backends for the key, dead backends are skipped, and
+//! the request gets the owner plus at most one failover attempt on the
+//! next ring owner when the owner is down or answers `BUSY`.
 //!
-//! Version negotiation: the frame forwarded to a backend carries
-//! `min(client version, gateway version)` and the relayed reply carries
-//! `min(client version, backend reply version)` — a v1 client talking
-//! through the gateway to a v3 fleet sees exactly the frames a v1
-//! act-serve would have sent it.
+//! A v4 client that opens with `HELLO` instead gets a multiplexed session
+//! (see [`crate::session`]): its requests enter the same queue, each with
+//! a per-request reply target, so pipelined requests from one connection
+//! route, fail over, and complete independently.
+//!
+//! Backend links are pooled v4 sessions ([`crate::pool`]) shared by all
+//! workers; backends that do not speak v4 sessions fall back to classic
+//! one-shot exchanges with the frame relayed verbatim. Version
+//! negotiation holds either way: the reply reaches the client stamped
+//! `min(client version, reply version)` — a v1 client talking through the
+//! gateway sees exactly the frames a v1 act-serve would have sent it.
 
 use crate::health::Health;
-use crate::pool::ConnPool;
+use crate::pool::{BackendLink, SessionPool};
 use crate::ring::HashRing;
+use crate::session::{run_gate_session, GateSessionShared};
+use act_client::{ActError, Client, ServerStatus};
 use act_fleet::{BoundedQueue, ModelKey};
 use act_obs::{
     events, latency_bounds_us, Counter, Gauge, Histogram, Level, MetricsSnapshot, Registry,
 };
-use act_serve::proto::{read_frame, write_frame, Frame, FrameKind, VERSION};
-use act_serve::{request_with, ClientConfig, ClientError, Endpoint, Reply, Request};
+use act_serve::proto::{read_frame, write_frame, Frame, FrameKind, SESSION_VERSION, VERSION};
+use act_serve::{ClientError, Reply, Request};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,11 +58,12 @@ pub struct GateConfig {
     pub workers: usize,
     /// Bounded queue depth; a full queue answers `BUSY`.
     pub queue_depth: usize,
-    /// Idle pre-opened connections kept warm per backend. **Default 0**:
-    /// the act-serve acceptor reads each accepted connection's frame
-    /// inline, so a pre-opened socket that has not sent its request yet
-    /// stalls the backend's accept loop for a full read timeout. Raise
-    /// this only for backends that accept asynchronously.
+    /// Warm multiplexed v4 sessions kept per backend (default 1; every
+    /// worker shares them, so one is usually plenty). `0` disables
+    /// session mode and forces classic one-shot exchanges — the old
+    /// pre-v4 behavior, kept as an escape hatch. Backends that answer
+    /// the session `HELLO` with anything but an ack get one-shot
+    /// exchanges automatically, whatever this says.
     pub pool_capacity: usize,
     /// Backend TCP connect timeout.
     pub connect_timeout: Duration,
@@ -78,7 +86,7 @@ impl Default for GateConfig {
             vnodes: 64,
             workers: 4,
             queue_depth: 64,
-            pool_capacity: 0,
+            pool_capacity: 1,
             connect_timeout: Duration::from_secs(2),
             io_timeout: Duration::from_secs(30),
             backend_timeout: Duration::from_secs(300),
@@ -92,20 +100,23 @@ impl Default for GateConfig {
 /// [`Registry`] (tests boot several gateways in one process).
 pub struct GateStats {
     registry: Registry,
-    routed: Counter,
-    relayed: Counter,
-    failovers: Counter,
-    busy_failovers: Counter,
-    failed: Counter,
-    rejected_busy: Counter,
-    proto_errors: Counter,
-    probes_ok: Counter,
-    probes_failed: Counter,
-    forwarded_by: Vec<Counter>,
-    failures_by: Vec<Counter>,
+    pub(crate) routed: Counter,
+    pub(crate) relayed: Counter,
+    pub(crate) failovers: Counter,
+    pub(crate) busy_failovers: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) rejected_busy: Counter,
+    pub(crate) proto_errors: Counter,
+    pub(crate) probes_ok: Counter,
+    pub(crate) probes_failed: Counter,
+    pub(crate) streams_relayed: Counter,
+    pub(crate) stream_chunks_relayed: Counter,
+    pub(crate) forwarded_by: Vec<Counter>,
+    pub(crate) failures_by: Vec<Counter>,
     backends_up: Gauge,
     queue_depth: Gauge,
     uptime_ms: Gauge,
+    pub(crate) sessions_open: Gauge,
     service_us: Histogram,
 }
 
@@ -122,6 +133,8 @@ impl GateStats {
             proto_errors: registry.counter("protocol_errors"),
             probes_ok: registry.counter("probes_ok"),
             probes_failed: registry.counter("probes_failed"),
+            streams_relayed: registry.counter("streams_relayed"),
+            stream_chunks_relayed: registry.counter("stream_chunks_relayed"),
             forwarded_by: (0..backends)
                 .map(|i| registry.counter(&format!("backend{i}_forwarded")))
                 .collect(),
@@ -131,6 +144,7 @@ impl GateStats {
             backends_up: registry.gauge("backends_up"),
             queue_depth: registry.gauge("queue_depth"),
             uptime_ms: registry.gauge("uptime_ms"),
+            sessions_open: registry.gauge("sessions_open"),
             service_us: registry.histogram("gate_service_us", &latency_bounds_us()),
             registry,
         }
@@ -162,6 +176,23 @@ impl GateStats {
         self.rejected_busy.get()
     }
 
+    /// Chunked uploads relayed to a backend through to their verdict.
+    pub fn streams_relayed(&self) -> u64 {
+        self.streams_relayed.get()
+    }
+
+    /// Probes attempted so far, successful or not. The prober sweeps every
+    /// backend once at startup, so a value of at least the backend count
+    /// means the initial health marks and warm pools are in place.
+    pub fn probes_completed(&self) -> u64 {
+        self.probes_ok.get() + self.probes_failed.get()
+    }
+
+    /// Client v4 sessions currently open.
+    pub fn sessions_open(&self) -> i64 {
+        self.sessions_open.get()
+    }
+
     /// The gateway's own counters as one snapshot, gauges stamped.
     fn snapshot(&self, uptime: Duration, queue_len: usize, up: usize) -> MetricsSnapshot {
         self.uptime_ms.set(uptime.as_millis() as i64);
@@ -185,63 +216,99 @@ impl GateStats {
         line("requests_failed", self.failed.get());
         line("requests_rejected_busy", self.rejected_busy.get());
         line("protocol_errors", self.proto_errors.get());
+        line("streams_relayed", self.streams_relayed.get());
+        line("stream_chunks_relayed", self.stream_chunks_relayed.get());
+        line("sessions_open", self.sessions_open.get().max(0) as u64);
         line("queue_depth", queue_len as u64);
         out
     }
 }
 
-/// One accepted, routable request waiting for a forwarding worker.
-struct GateJob {
-    conn: TcpStream,
-    /// Protocol version the client's frame arrived with.
-    version: u8,
-    /// The client's frame, forwarded verbatim (modulo version restamp).
-    frame: Frame,
-    /// Shard key (ModelKey canonical form, or `trace:<key>`).
-    key: String,
-    accepted: Instant,
+/// Where a forwarded request's reply goes: back down a one-shot
+/// connection, or onto a multiplexed client session under its request id.
+pub(crate) enum GateTarget {
+    /// Classic connection: one frame in, one frame out, closed after.
+    OneShot {
+        conn: TcpStream,
+        /// Protocol version the client's frame arrived with.
+        version: u8,
+        /// Request id the client stamped (0 below v4).
+        request_id: u32,
+    },
+    /// A request from a client v4 session; the reply releases its slot.
+    Session { shared: Arc<GateSessionShared>, request_id: u32 },
 }
 
-/// Everything the acceptor, workers, and prober share.
-struct GateState {
-    ring: HashRing,
-    health: Health,
-    pool: ConnPool,
-    stats: GateStats,
+impl GateTarget {
+    /// Deliver the reply frame, version-negotiated for the client.
+    pub(crate) fn respond(self, frame: Frame) {
+        match self {
+            GateTarget::OneShot { mut conn, version, request_id } => {
+                let version = version.min(frame.version);
+                let _ =
+                    write_frame(&mut conn, &frame.with_request(request_id).with_version(version));
+            }
+            GateTarget::Session { shared, request_id } => {
+                shared.send_final_frame(request_id, frame);
+            }
+        }
+    }
+}
+
+/// One accepted, routable request waiting for a forwarding worker.
+pub(crate) struct GateJob {
+    pub(crate) target: GateTarget,
+    /// The client's frame, for verbatim relay to one-shot backends.
+    pub(crate) frame: Frame,
+    /// The decoded request, for typed forwarding over backend sessions.
+    pub(crate) request: Request,
+    /// Shard key (ModelKey canonical form, or `trace:<key>`).
+    pub(crate) key: String,
+    pub(crate) accepted: Instant,
+}
+
+/// Everything the acceptor, workers, session readers, and prober share.
+pub(crate) struct GateState {
+    pub(crate) ring: HashRing,
+    pub(crate) health: Health,
+    pub(crate) pool: SessionPool,
+    pub(crate) stats: GateStats,
     started: Instant,
-    queue: BoundedQueue<GateJob>,
-    probe_timeout: Duration,
+    pub(crate) queue: BoundedQueue<GateJob>,
+    /// One act-client per backend, probe-timeout-configured, for health
+    /// probes and STATUS aggregation.
+    probe_clients: Vec<Client>,
 }
 
 impl GateState {
-    fn probe_client_cfg(&self) -> ClientConfig {
-        ClientConfig {
-            connect_timeout: Some(self.probe_timeout),
-            io_timeout: Some(self.probe_timeout),
-            retry: None,
-        }
-    }
-
     /// One STATUS probe of backend `i`, updating health marks and the
-    /// connection pool. Returns the reply on success.
-    fn probe(&self, i: usize) -> Option<Reply> {
-        let endpoint = Endpoint::Tcp(self.pool.addrs()[i].clone());
-        match request_with(&endpoint, &Request::Status, &self.probe_client_cfg()) {
-            Ok(reply) => {
+    /// session pool. Returns the status on success; a backend that
+    /// answers *something* — even not a STATUS reply — is alive.
+    pub(crate) fn probe(&self, i: usize) -> Option<ServerStatus> {
+        match self.probe_clients[i].status() {
+            Ok(status) => {
                 self.stats.probes_ok.inc();
                 self.note_backend_up(i);
                 self.pool.refill(i);
-                Some(reply)
+                Some(status)
             }
-            Err(e) => {
+            Err(e @ ActError::Io { .. }) => {
                 self.stats.probes_failed.inc();
                 self.note_backend_down(i, &e.to_string());
                 None
             }
+            Err(_) => {
+                // It answered, just not with STATUS (a stub, something
+                // very old). Alive is alive; there's no fleet data in it.
+                self.stats.probes_ok.inc();
+                self.note_backend_up(i);
+                self.pool.refill(i);
+                Some(ServerStatus { text: String::new(), metrics: None })
+            }
         }
     }
 
-    fn note_backend_up(&self, i: usize) {
+    pub(crate) fn note_backend_up(&self, i: usize) {
         if self.health.note_success(i) {
             events().emit(
                 Level::Info,
@@ -251,7 +318,7 @@ impl GateState {
         }
     }
 
-    fn note_backend_down(&self, i: usize, why: &str) {
+    pub(crate) fn note_backend_down(&self, i: usize, why: &str) {
         self.stats.failures_by[i].inc();
         self.pool.clear(i);
         if self.health.note_failure(i) {
@@ -263,22 +330,40 @@ impl GateState {
         }
     }
 
-    /// One request/reply exchange with backend `i`, pooled connection
-    /// first (a stale pooled socket gets one fresh-connect retry before
-    /// the failure counts against the backend).
-    fn attempt(&self, i: usize, frame: &Frame) -> Result<Frame, ClientError> {
-        let fwd = frame.clone().with_version(frame.version.min(VERSION));
-        if let Some(mut conn) = self.pool.take_idle(i) {
-            if let Ok(reply) = exchange(&mut conn, &fwd) {
-                return Ok(reply);
-            }
+    /// One request/reply exchange with backend `i`: over a pooled session
+    /// when the backend speaks v4 (a dead pooled session gets one
+    /// fresh-session retry before the failure counts against the
+    /// backend), verbatim one-shot otherwise.
+    fn attempt(&self, i: usize, frame: &Frame, request: &Request) -> Result<Frame, ClientError> {
+        match self.pool.link(i)? {
+            BackendLink::Session(session) => match session.call(request).and_then(|p| p.wait()) {
+                Ok(reply) => Ok(reply.to_frame()),
+                Err(ClientError::Io(_)) => {
+                    self.pool.discard(i, &session);
+                    match self.pool.link(i)? {
+                        BackendLink::Session(fresh) => {
+                            let reply = fresh.call(request).and_then(|p| p.wait())?;
+                            Ok(reply.to_frame())
+                        }
+                        BackendLink::OneShot => self.one_shot_attempt(i, frame),
+                    }
+                }
+                Err(e) => Err(e),
+            },
+            BackendLink::OneShot => self.one_shot_attempt(i, frame),
         }
+    }
+
+    /// The classic exchange: fresh connection, client's frame relayed
+    /// verbatim (modulo version clamp), one reply frame back.
+    fn one_shot_attempt(&self, i: usize, frame: &Frame) -> Result<Frame, ClientError> {
+        let fwd = frame.clone().with_version(frame.version.min(VERSION));
         let mut conn = self.pool.connect(i)?;
         exchange(&mut conn, &fwd)
     }
 
-    /// Route, forward with single-retry failover, and relay the reply.
-    fn forward(&self, mut job: GateJob) {
+    /// Route, forward with single-retry failover, and deliver the reply.
+    pub(crate) fn forward(&self, job: GateJob) {
         let order = self.ring.route(&job.key);
         let mut candidates: Vec<usize> =
             order.iter().copied().filter(|&b| self.health.is_up(b)).collect();
@@ -291,6 +376,7 @@ impl GateState {
         // outage into a retry storm.
         candidates.truncate(2);
 
+        let mut outcome = None;
         let mut last_busy = false;
         let mut last_err = String::new();
         for (hop, &b) in candidates.iter().enumerate() {
@@ -306,7 +392,7 @@ impl GateState {
                     format!("key {} failing over to backend {b}", job.key),
                 );
             }
-            match self.attempt(b, &job.frame) {
+            match self.attempt(b, &job.frame, &job.request) {
                 Ok(reply) if reply.kind == FrameKind::Busy => {
                     self.note_backend_up(b); // it answered; busy is healthy
                     last_busy = true;
@@ -317,9 +403,8 @@ impl GateState {
                     self.stats.forwarded_by[b].inc();
                     self.stats.relayed.inc();
                     self.stats.service_us.observe(job.accepted.elapsed().as_micros() as u64);
-                    let version = job.version.min(reply.version);
-                    let _ = write_frame(&mut job.conn, &reply.with_version(version));
-                    return;
+                    outcome = Some(reply);
+                    break;
                 }
                 Err(e) => {
                     self.note_backend_down(b, &e.to_string());
@@ -328,14 +413,17 @@ impl GateState {
                 }
             }
         }
-        // Both candidates exhausted.
-        let reply = if last_busy {
-            Reply::Busy
-        } else {
-            self.stats.failed.inc();
-            Reply::Error(format!("no backend could serve key {}: {last_err}", job.key))
+        let reply = match outcome {
+            Some(frame) => frame,
+            None if last_busy => Reply::Busy.to_frame(),
+            None => {
+                // Both candidates exhausted.
+                self.stats.failed.inc();
+                Reply::Error(format!("no backend could serve key {}: {last_err}", job.key))
+                    .to_frame()
+            }
         };
-        let _ = write_frame(&mut job.conn, &reply.to_frame().with_version(job.version));
+        job.target.respond(reply);
     }
 
     /// The aggregated `STATUS`: the gateway's own block, a fleet rollup
@@ -343,7 +431,7 @@ impl GateState {
     /// and each backend's own status section. The returned snapshot
     /// namespaces the rollup under `fleet.` and each backend's metrics
     /// under `backendN.`.
-    fn aggregated_status(&self) -> (String, MetricsSnapshot) {
+    pub(crate) fn aggregated_status(&self) -> (String, MetricsSnapshot) {
         let uptime = self.started.elapsed();
         let queue_len = self.queue.len();
         let mut fleet = MetricsSnapshot::new();
@@ -352,9 +440,9 @@ impl GateState {
         for i in 0..self.pool.addrs().len() {
             let addr = self.pool.addrs()[i].clone();
             match self.probe(i) {
-                Some(Reply::StatusMetrics(btext, bsnap)) => {
+                Some(ServerStatus { text, metrics: Some(bsnap) }) => {
                     fleet.merge_sum(&bsnap);
-                    sections.push_str(&format!("-- backend {i} {addr}: up --\n{btext}"));
+                    sections.push_str(&format!("-- backend {i} {addr}: up --\n{text}"));
                     per_backend.push((i, bsnap));
                 }
                 Some(_) => sections.push_str(&format!("-- backend {i} {addr}: up --\n")),
@@ -394,17 +482,24 @@ fn exchange(conn: &mut TcpStream, frame: &Frame) -> Result<Frame, ClientError> {
 }
 
 /// The shard key of a routable request. `STATUS`/`SHUTDOWN` have none
-/// (the acceptor answers them itself).
-fn route_key(request: &Request) -> Option<String> {
+/// (the acceptor answers them itself), and neither do the session-control
+/// and stream-continuation kinds (they never enter the forwarding queue).
+pub(crate) fn route_key(request: &Request) -> Option<String> {
     match request {
-        Request::Train(spec) | Request::Diagnose(spec, _) => Some(
+        Request::Train(spec) | Request::Diagnose(spec, _) | Request::DiagnoseStart(spec) => Some(
             ModelKey::new(&spec.workload, spec.seq_len as usize, spec.hidden as usize, spec.seed)
                 .canonical(),
         ),
         // Trace frames shard by corpus key so a TRACE_GET finds the
-        // backend its TRACE_PUT landed on.
-        Request::TracePut { key, .. } | Request::TraceGet { key } => Some(format!("trace:{key}")),
-        Request::Status | Request::Shutdown => None,
+        // backend its TRACE_PUT landed on — streamed or not.
+        Request::TracePut { key, .. }
+        | Request::TraceGet { key }
+        | Request::TracePutStart { key, .. } => Some(format!("trace:{key}")),
+        Request::Status
+        | Request::Shutdown
+        | Request::Hello { .. }
+        | Request::StreamChunk(_)
+        | Request::StreamEnd { .. } => None,
     }
 }
 
@@ -440,10 +535,21 @@ impl Gateway {
         }
 
         let n = cfg.backends.len();
+        let probe_clients = cfg
+            .backends
+            .iter()
+            .map(|addr| {
+                Client::builder()
+                    .addr(addr.clone())
+                    .timeouts(cfg.probe_timeout, cfg.probe_timeout)
+                    .build()
+                    .expect("endpoint is set")
+            })
+            .collect();
         let state = Arc::new(GateState {
             ring: HashRing::new(n, cfg.vnodes),
             health: Health::new(n, 0x6761_7465), // "gate"
-            pool: ConnPool::new(
+            pool: SessionPool::new(
                 cfg.backends.clone(),
                 cfg.pool_capacity,
                 cfg.connect_timeout,
@@ -452,7 +558,7 @@ impl Gateway {
             stats: GateStats::new(n),
             started: Instant::now(),
             queue: BoundedQueue::new(cfg.queue_depth),
-            probe_timeout: cfg.probe_timeout,
+            probe_clients,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
@@ -575,11 +681,13 @@ impl Gateway {
     }
 }
 
-/// Read one client frame and answer inline, enqueue, or reject.
+/// Read one client frame and answer inline, enqueue, reject, or — for a
+/// v4 `HELLO` — promote the connection to a multiplexed session on its
+/// own reader thread.
 fn handle_connection(
     mut conn: TcpStream,
-    state: &GateState,
-    shutdown: &AtomicBool,
+    state: &Arc<GateState>,
+    shutdown: &Arc<AtomicBool>,
     io_timeout: Duration,
 ) {
     let _ = conn.set_read_timeout(Some(io_timeout));
@@ -593,45 +701,86 @@ fn handle_connection(
             return;
         }
     };
+    let version = frame.version;
+    let request_id = frame.request_id;
     let request = match Request::from_frame(&frame) {
         Ok(r) => r,
         Err(e) => {
             state.stats.proto_errors.inc();
             let reply = Reply::Error(format!("bad request: {e}"));
-            let _ = write_frame(&mut conn, &reply.to_frame().with_version(frame.version));
+            let _ = write_frame(
+                &mut conn,
+                &reply.to_frame().with_request(request_id).with_version(version),
+            );
             return;
         }
     };
-    match route_key(&request) {
-        None => match request {
-            Request::Status => {
-                let (text, snap) = state.aggregated_status();
-                let reply = if frame.version >= 2 {
-                    Reply::StatusMetrics(text, snap)
-                } else {
-                    Reply::StatusText(text)
-                };
-                let _ = write_frame(&mut conn, &reply.to_frame().with_version(frame.version));
+    let answer = |mut conn: TcpStream, reply: &Reply| {
+        let _ = write_frame(
+            &mut conn,
+            &reply.to_frame().with_request(request_id).with_version(version),
+        );
+    };
+    match request {
+        // A v4 connection that opens with HELLO becomes a session; the
+        // reader thread owns the connection from here.
+        Request::Hello { window } if version >= SESSION_VERSION => {
+            let state = state.clone();
+            let shutdown = shutdown.clone();
+            let spawned =
+                std::thread::Builder::new().name("act-gate-session".into()).spawn(move || {
+                    run_gate_session(conn, request_id, window, state, shutdown, io_timeout)
+                });
+            if spawned.is_err() {
+                events().emit(Level::Warn, "gate.session", "failed to spawn session thread");
             }
-            Request::Shutdown => {
-                let _ = write_frame(&mut conn, &Reply::Bye.to_frame().with_version(frame.version));
-                events().emit(Level::Info, "gate.shutdown", "shutdown requested; draining");
-                shutdown.store(true, Ordering::SeqCst);
-                state.queue.close();
-            }
-            _ => unreachable!("only STATUS/SHUTDOWN have no shard key"),
-        },
-        Some(key) => {
-            let job =
-                GateJob { conn, version: frame.version, frame, key, accepted: Instant::now() };
+        }
+        Request::Hello { .. } => {
+            answer(conn, &Reply::Error("HELLO requires protocol v4".into()));
+        }
+        // The stream kinds only exist inside a session.
+        Request::TracePutStart { .. } | Request::DiagnoseStart(_) => {
+            answer(
+                conn,
+                &Reply::Error("streaming uploads require a v4 session (send HELLO first)".into()),
+            );
+        }
+        Request::StreamChunk(_) | Request::StreamEnd { .. } => {
+            state.stats.proto_errors.inc();
+            answer(conn, &Reply::Error("stream frame outside an open stream".into()));
+        }
+        Request::Status => {
+            let (text, snap) = state.aggregated_status();
+            let reply = if version >= 2 {
+                Reply::StatusMetrics(text, snap)
+            } else {
+                Reply::StatusText(text)
+            };
+            answer(conn, &reply);
+        }
+        Request::Shutdown => {
+            answer(conn, &Reply::Bye);
+            events().emit(Level::Info, "gate.shutdown", "shutdown requested; draining");
+            shutdown.store(true, Ordering::SeqCst);
+            state.queue.close();
+        }
+        req @ (Request::Train(_)
+        | Request::Diagnose(..)
+        | Request::TracePut { .. }
+        | Request::TraceGet { .. }) => {
+            let key = route_key(&req).expect("routable requests carry a shard key");
+            let job = GateJob {
+                target: GateTarget::OneShot { conn, version, request_id },
+                frame,
+                request: req,
+                key,
+                accepted: Instant::now(),
+            };
             match state.queue.try_push(job) {
                 Ok(()) => state.stats.routed.inc(),
-                Err(mut job) => {
+                Err(job) => {
                     state.stats.rejected_busy.inc();
-                    let _ = write_frame(
-                        &mut job.conn,
-                        &Reply::Busy.to_frame().with_version(job.version),
-                    );
+                    job.target.respond(Reply::Busy.to_frame());
                 }
             }
         }
@@ -661,13 +810,27 @@ mod tests {
         let spec = act_serve::ModelSpec::new("apache");
         assert_eq!(route_key(&Request::Train(spec.clone())).unwrap(), "apache-n2-h10-s0");
         assert_eq!(
-            route_key(&Request::Diagnose(spec, Vec::new())).unwrap(),
+            route_key(&Request::Diagnose(spec.clone(), Vec::new())).unwrap(),
             "apache-n2-h10-s0",
             "TRAIN and DIAGNOSE of one key share a backend"
         );
+        assert_eq!(
+            route_key(&Request::DiagnoseStart(spec)).unwrap(),
+            "apache-n2-h10-s0",
+            "a streamed DIAGNOSE lands where the one-frame one would"
+        );
         assert_eq!(route_key(&Request::TraceGet { key: "seq-0".into() }).unwrap(), "trace:seq-0");
+        assert_eq!(
+            route_key(&Request::TracePutStart { key: "seq-0".into(), workload: "seq".into() })
+                .unwrap(),
+            "trace:seq-0",
+            "a streamed TRACE_PUT lands where TRACE_GET will look"
+        );
         assert!(route_key(&Request::Status).is_none());
         assert!(route_key(&Request::Shutdown).is_none());
+        assert!(route_key(&Request::Hello { window: 4 }).is_none());
+        assert!(route_key(&Request::StreamChunk(Vec::new())).is_none());
+        assert!(route_key(&Request::StreamEnd { crc32: 0, total_len: 0 }).is_none());
     }
 
     #[test]
@@ -684,6 +847,8 @@ mod tests {
             "replies_relayed 1",
             "failovers 0",
             "requests_rejected_busy 0",
+            "streams_relayed 0",
+            "sessions_open 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

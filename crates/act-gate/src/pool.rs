@@ -1,44 +1,93 @@
-//! Per-backend pools of pre-opened connections.
+//! Per-backend pools of warm, multiplexed protocol-v4 sessions.
 //!
-//! The act-serve protocol is one-shot — one request, one reply, the
-//! connection closes — so a "pooled" connection is one that has been
-//! connected but not yet used. The prober can keep a few warm per backend
-//! so a forward skips the TCP handshake; a connection that went stale
-//! while idle (the backend restarts, or its accept-side read timeout
-//! fires) simply fails its exchange and the router falls back to a fresh
-//! connect.
+//! Protocol v4 made the backend link long-lived: one `HELLO`-negotiated
+//! session carries many pipelined requests, so the pool finally earns its
+//! name — `pool_capacity` is the number of persistent sessions kept per
+//! backend (default 1), each shared by every forwarding worker at once.
+//! This also retires the old `pool_capacity: 0` workaround: a pre-v4
+//! "warm" connection was a *silent* pre-opened socket that stalled the
+//! backend's inline first-frame read, but a v4 session says `HELLO` the
+//! moment it connects, so the backend parks it on a session reader and
+//! the accept loop moves on.
 //!
-//! Warm pooling is off by default ([`crate::GateConfig`] sets
-//! `pool_capacity: 0`, making the pool a plain connection factory with
-//! uniform timeouts): act-serve's acceptor reads each accepted
-//! connection's request frame inline, so an accepted-but-silent warm
-//! socket blocks the backend's accept loop until a read timeout fires.
-//! Only point a non-zero capacity at backends that accept asynchronously.
+//! Mixed fleets keep working: a backend that answers the `HELLO` with
+//! anything but `HELLO_ACK` (an old act-serve, a stub) is remembered as
+//! one-shot — [`SessionPool::link`] then tells the forwarder to fall back
+//! to the classic connect-send-receive exchange, frames relayed verbatim.
+//! The memory resets when the backend bounces, so an upgraded backend is
+//! re-offered a session on its next probe.
 
+use act_client::session::{OpenError, Session};
+use act_serve::{ClientConfig, ClientError, Endpoint};
 use std::io;
 use std::net::TcpStream;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// Pre-opened one-shot connections for a fixed set of backend addresses.
-pub struct ConnPool {
-    backends: Vec<String>,
-    idle: Vec<Mutex<Vec<TcpStream>>>,
-    capacity: usize,
-    connect_timeout: Duration,
-    io_timeout: Duration,
+/// In-flight window asked of each backend session (the backend may grant
+/// less). Big enough that every forwarding worker can wait on one session
+/// concurrently.
+const BACKEND_SESSION_DEPTH: u32 = 32;
+
+/// How a forwarder should talk to a backend right now.
+pub enum BackendLink {
+    /// A live multiplexed v4 session (shared; call + wait concurrently).
+    Session(Arc<Session>),
+    /// The backend does not speak v4 sessions: use a one-shot exchange.
+    OneShot,
 }
 
-impl ConnPool {
-    /// A pool keeping up to `capacity` idle connections per backend.
+/// What the pool has learned about a backend's protocol support.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Not yet probed with a `HELLO`.
+    Unknown,
+    /// Speaks v4: keep warm sessions.
+    Sessions,
+    /// Answered the `HELLO` with a non-ack: one-shot until it bounces.
+    OneShot,
+}
+
+struct BackendSlot {
+    sessions: Vec<Arc<Session>>,
+    /// Round-robin cursor over `sessions`.
+    next: usize,
+    mode: Mode,
+}
+
+/// Warm v4 sessions (with one-shot fallback) for a fixed backend set.
+pub struct SessionPool {
+    backends: Vec<String>,
+    slots: Vec<Mutex<BackendSlot>>,
+    capacity: usize,
+    cfg: ClientConfig,
+}
+
+impl SessionPool {
+    /// A pool keeping up to `capacity` sessions per backend. Capacity 0
+    /// disables session mode entirely (every link is one-shot).
     pub fn new(
         backends: Vec<String>,
         capacity: usize,
         connect_timeout: Duration,
         io_timeout: Duration,
-    ) -> ConnPool {
-        let idle = backends.iter().map(|_| Mutex::new(Vec::new())).collect();
-        ConnPool { backends, idle, capacity, connect_timeout, io_timeout }
+    ) -> SessionPool {
+        let slots = backends
+            .iter()
+            .map(|_| {
+                Mutex::new(BackendSlot {
+                    sessions: Vec::new(),
+                    next: 0,
+                    mode: if capacity == 0 { Mode::OneShot } else { Mode::Unknown },
+                })
+            })
+            .collect();
+        let cfg = ClientConfig {
+            connect_timeout: Some(connect_timeout),
+            io_timeout: Some(io_timeout),
+            retry: None,
+        };
+        SessionPool { backends, slots, capacity, cfg }
     }
 
     /// The backend addresses, in index order.
@@ -46,62 +95,134 @@ impl ConnPool {
         &self.backends
     }
 
-    /// Pop an idle pre-opened connection for backend `i`, if any.
-    pub fn take_idle(&self, i: usize) -> Option<TcpStream> {
-        self.idle[i].lock().expect("pool lock").pop()
+    /// A link to backend `i`: a pooled session (opening one if below
+    /// capacity), or the one-shot marker for backends that lack v4.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures opening a needed session (these count against
+    /// the backend's health; a non-v4 answer does not — it's a healthy
+    /// backend speaking an older protocol).
+    pub fn link(&self, i: usize) -> Result<BackendLink, ClientError> {
+        let mut slot = self.slots[i].lock().expect("pool lock");
+        if slot.mode == Mode::OneShot {
+            return Ok(BackendLink::OneShot);
+        }
+        slot.sessions.retain(|s| !s.is_dead());
+        if slot.sessions.len() < self.capacity {
+            let endpoint = Endpoint::Tcp(self.backends[i].clone());
+            match Session::open(&endpoint, &self.cfg, BACKEND_SESSION_DEPTH) {
+                Ok(session) => {
+                    slot.mode = Mode::Sessions;
+                    slot.sessions.push(session);
+                }
+                Err(OpenError::Unsupported(_)) => {
+                    slot.mode = Mode::OneShot;
+                    slot.sessions.clear();
+                    return Ok(BackendLink::OneShot);
+                }
+                Err(OpenError::Transport(e)) => {
+                    if slot.sessions.is_empty() {
+                        return Err(e);
+                    }
+                    // A surviving warm session beats failing the request.
+                }
+            }
+        }
+        let n = slot.sessions.len();
+        slot.next = (slot.next + 1) % n.max(1);
+        Ok(BackendLink::Session(slot.sessions[slot.next % n].clone()))
     }
 
-    /// Open a fresh connection to backend `i` with the pool's timeouts.
+    /// Drop `stale` from backend `i`'s pool (its exchange just failed) so
+    /// the next [`SessionPool::link`] opens a replacement.
+    pub fn discard(&self, i: usize, stale: &Arc<Session>) {
+        let mut slot = self.slots[i].lock().expect("pool lock");
+        slot.sessions.retain(|s| !Arc::ptr_eq(s, stale));
+    }
+
+    /// Open a fresh raw connection to backend `i` with the pool's
+    /// timeouts — for one-shot fallback exchanges and for the dedicated
+    /// per-stream connections chunked uploads ride on.
+    ///
+    /// # Errors
+    ///
+    /// Connect failure or socket-option failure.
     pub fn connect(&self, i: usize) -> io::Result<TcpStream> {
-        let stream = act_serve::connect_tcp(&self.backends[i], Some(self.connect_timeout))?;
-        stream.set_read_timeout(Some(self.io_timeout))?;
-        stream.set_write_timeout(Some(self.io_timeout))?;
+        let stream = act_serve::connect_tcp(&self.backends[i], self.cfg.connect_timeout)?;
+        stream.set_read_timeout(self.cfg.io_timeout)?;
+        stream.set_write_timeout(self.cfg.io_timeout)?;
         Ok(stream)
     }
 
-    /// Top the idle set for backend `i` up to capacity. Returns how many
-    /// connections were opened; stops quietly at the first failure (the
-    /// health layer, not the pool, decides what a failure means).
+    /// Top backend `i` up to `capacity` live sessions (probe path).
+    /// Returns how many sessions were opened; stops quietly at the first
+    /// failure (the health layer decides what a failure means).
     pub fn refill(&self, i: usize) -> usize {
         let mut opened = 0;
         loop {
-            {
-                let idle = self.idle[i].lock().expect("pool lock");
-                if idle.len() >= self.capacity {
-                    return opened;
-                }
+            let mut slot = self.slots[i].lock().expect("pool lock");
+            if slot.mode == Mode::OneShot {
+                return opened;
             }
-            match self.connect(i) {
-                Ok(conn) => {
-                    self.idle[i].lock().expect("pool lock").push(conn);
+            slot.sessions.retain(|s| !s.is_dead());
+            if slot.sessions.len() >= self.capacity {
+                return opened;
+            }
+            let endpoint = Endpoint::Tcp(self.backends[i].clone());
+            match Session::open(&endpoint, &self.cfg, BACKEND_SESSION_DEPTH) {
+                Ok(session) => {
+                    slot.mode = Mode::Sessions;
+                    slot.sessions.push(session);
                     opened += 1;
                 }
-                Err(_) => return opened,
+                Err(OpenError::Unsupported(_)) => {
+                    slot.mode = Mode::OneShot;
+                    slot.sessions.clear();
+                    return opened;
+                }
+                Err(OpenError::Transport(_)) => return opened,
             }
         }
     }
 
-    /// Drop every idle connection to backend `i` (it was marked down; its
-    /// pre-opened sockets are dead weight).
+    /// Drop every session to backend `i` and forget its protocol mode (it
+    /// was marked down; whatever comes back up may speak differently).
     pub fn clear(&self, i: usize) {
-        self.idle[i].lock().expect("pool lock").clear();
+        let mut slot = self.slots[i].lock().expect("pool lock");
+        slot.sessions.clear();
+        if self.capacity > 0 {
+            slot.mode = Mode::Unknown;
+        }
     }
 
-    /// Idle connections currently pooled for backend `i`.
+    /// Live sessions currently pooled for backend `i`.
     pub fn idle_len(&self, i: usize) -> usize {
-        self.idle[i].lock().expect("pool lock").len()
+        let mut slot = self.slots[i].lock().expect("pool lock");
+        slot.sessions.retain(|s| !s.is_dead());
+        slot.sessions.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
+    use act_serve::server::{ServeConfig, Server};
 
-    fn pool_for(addr: &str) -> ConnPool {
-        ConnPool::new(
+    fn backend() -> Server {
+        let cfg = ServeConfig {
+            tcp_addr: Some("127.0.0.1:0".to_string()),
+            workers: 1,
+            queue_depth: 4,
+            ..ServeConfig::default()
+        };
+        Server::start(cfg).expect("backend boots")
+    }
+
+    fn pool_for(addr: &str, capacity: usize) -> SessionPool {
+        SessionPool::new(
             vec![addr.to_string()],
-            2,
+            capacity,
             Duration::from_millis(500),
             Duration::from_millis(500),
         )
@@ -109,22 +230,59 @@ mod tests {
 
     #[test]
     fn refill_fills_to_capacity_and_clear_empties() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let pool = pool_for(&listener.local_addr().unwrap().to_string());
+        let server = backend();
+        let addr = server.tcp_addr().unwrap().to_string();
+        let pool = pool_for(&addr, 2);
         assert_eq!(pool.refill(0), 2);
         assert_eq!(pool.idle_len(0), 2);
         assert_eq!(pool.refill(0), 0, "already full");
-        assert!(pool.take_idle(0).is_some());
-        assert_eq!(pool.idle_len(0), 1);
+        assert!(matches!(pool.link(0), Ok(BackendLink::Session(_))));
         pool.clear(0);
         assert_eq!(pool.idle_len(0), 0);
+        server.shutdown();
+        server.join();
     }
 
     #[test]
     fn refill_against_a_dead_backend_opens_nothing() {
-        let pool = pool_for("127.0.0.1:1");
+        let pool = pool_for("127.0.0.1:1", 2);
         assert_eq!(pool.refill(0), 0);
-        assert!(pool.take_idle(0).is_none());
+        assert!(pool.link(0).is_err());
         assert!(pool.connect(0).is_err());
+    }
+
+    #[test]
+    fn a_non_v4_backend_is_remembered_as_one_shot() {
+        use act_serve::proto::{read_frame, write_frame};
+        use act_serve::Reply;
+        // A stub that answers any frame with BUSY — decodable, not an ack.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                if read_frame(&mut conn).is_ok() {
+                    let _ = write_frame(&mut conn, &Reply::Busy.to_frame());
+                }
+            }
+        });
+        let pool = pool_for(&addr, 2);
+        assert!(matches!(pool.link(0), Ok(BackendLink::OneShot)));
+        assert_eq!(pool.refill(0), 0, "one-shot backends pool nothing");
+        assert!(matches!(pool.link(0), Ok(BackendLink::OneShot)), "the mode sticks");
+        // A down-mark resets the memory so an upgraded backend gets re-probed.
+        pool.clear(0);
+        assert!(matches!(pool.link(0), Ok(BackendLink::OneShot)), "stub still answers non-ack");
+    }
+
+    #[test]
+    fn capacity_zero_forces_one_shot_mode() {
+        let server = backend();
+        let addr = server.tcp_addr().unwrap().to_string();
+        let pool = pool_for(&addr, 0);
+        assert!(matches!(pool.link(0), Ok(BackendLink::OneShot)), "0 = sessions disabled");
+        assert_eq!(pool.refill(0), 0);
+        server.shutdown();
+        server.join();
     }
 }

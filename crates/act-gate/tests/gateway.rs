@@ -4,15 +4,17 @@
 //!
 //! Covers the gateway acceptance criteria:
 //! - killing a key's owning backend mid-fleet fails the request over to
-//!   the next ring owner with zero client-visible errors;
+//!   the next ring owner with zero client-visible errors — one-shot and
+//!   with four pipelined requests in flight on one v4 session;
 //! - a backend answering `BUSY` gets the same failover treatment;
 //! - frames pass through byte-identically at every supported protocol
-//!   version (proptest over v1/v2/v3 and payload shapes);
+//!   version (proptest over v1–v4 and payload shapes);
 //! - `STATUS` aggregates every backend's metrics under one reply.
 
+use act_client::Client;
 use act_gate::{GateConfig, Gateway};
 use act_serve::proto::{read_frame, write_frame, Frame, FrameKind, VERSION};
-use act_serve::{request, ClientConfig, Endpoint, ModelSpec, Reply, Request};
+use act_serve::{ModelSpec, Reply, Request};
 use act_serve::{ServeConfig, Server};
 use proptest::prelude::*;
 use std::net::{TcpListener, TcpStream};
@@ -45,8 +47,13 @@ fn boot_gateway(backends: Vec<String>) -> Gateway {
     Gateway::start(cfg).expect("gateway boots")
 }
 
-fn gate_endpoint(gate: &Gateway) -> Endpoint {
-    Endpoint::Tcp(gate.tcp_addr().to_string())
+/// A one-shot act-client pointed at the gateway.
+fn gate_client(gate: &Gateway) -> Client {
+    Client::builder()
+        .addr(gate.tcp_addr().to_string())
+        .timeouts(Duration::from_secs(2), Duration::from_secs(30))
+        .build()
+        .expect("client builds")
 }
 
 /// A spec that trains in well under a second, with a tweakable seed so
@@ -88,16 +95,25 @@ fn killing_the_owner_fails_over_to_the_ring_neighbor() {
         ..GateConfig::default()
     };
     let gate = Gateway::start(cfg).expect("gateway boots");
-    let endpoint = gate_endpoint(&gate);
+    let client = gate_client(&gate);
+
+    // Let the startup probe sweep finish while every backend is alive, so
+    // the kill below is discovered on the forwarding path — not by a probe
+    // that happens to run first and quietly mark the victim down.
+    for _ in 0..500 {
+        if gate.stats().probes_completed() >= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(gate.stats().probes_completed() >= 3, "startup probe sweep never finished");
 
     // A request through the healthy fleet lands on its ring owner.
     let victim = 1usize;
     let seed = seed_owned_by(&gate, "seq", victim);
     let spec = tiny_spec("seq", seed);
-    match request(&endpoint, &Request::Train(spec.clone())).expect("train through gateway") {
-        Reply::Trained(summary) => assert!(summary.contains("seq"), "odd summary: {summary}"),
-        other => panic!("expected Trained, got {other:?}"),
-    }
+    let summary = client.train(&spec).expect("train through gateway");
+    assert!(summary.contains("seq"), "odd summary: {summary}");
     assert_eq!(gate.stats().failovers(), 0, "healthy fleet must not fail over");
 
     // Kill the owner; the same key must now be served by its neighbor,
@@ -107,11 +123,14 @@ fn killing_the_owner_fails_over_to_the_ring_neighbor() {
     victim_server.shutdown();
     victim_server.join();
 
-    match request(&endpoint, &Request::Train(spec)).expect("train survives a dead owner") {
-        Reply::Trained(summary) => assert!(summary.contains("seq"), "odd summary: {summary}"),
-        other => panic!("expected Trained after failover, got {other:?}"),
-    }
-    assert!(gate.stats().failovers() >= 1, "the dead owner must have triggered a failover");
+    let summary = client.train(&spec).expect("train survives a dead owner");
+    assert!(summary.contains("seq"), "odd summary: {summary}");
+    // A dying backend may answer BUSY from its draining session for a few
+    // milliseconds before the socket closes; either failover flavor counts.
+    assert!(
+        gate.stats().failovers() + gate.stats().busy_failovers() >= 1,
+        "the dead owner must have triggered a failover"
+    );
     assert_eq!(gate.stats().failed(), 0, "no client-visible failures");
 
     gate.shutdown();
@@ -147,13 +166,10 @@ fn busy_owner_fails_over_to_the_next_backend() {
     let stub_addr = spawn_busy_stub();
     // Backend 0 is the always-busy stub, backend 1 the real server.
     let gate = boot_gateway(vec![stub_addr, addr_of(&real)]);
-    let endpoint = gate_endpoint(&gate);
+    let client = gate_client(&gate);
 
     let seed = seed_owned_by(&gate, "seq", 0);
-    match request(&endpoint, &Request::Train(tiny_spec("seq", seed))).expect("train reply") {
-        Reply::Trained(_) => {}
-        other => panic!("expected Trained via busy-failover, got {other:?}"),
-    }
+    client.train(&tiny_spec("seq", seed)).expect("train via busy-failover");
     assert!(gate.stats().busy_failovers() >= 1, "stub BUSY must have forced a failover");
     assert_eq!(gate.stats().failed(), 0);
 
@@ -180,6 +196,7 @@ fn spawn_echo_stub() -> String {
                 _ => Frame {
                     version: frame.version,
                     kind: FrameKind::Trained,
+                    request_id: frame.request_id,
                     payload: frame.payload,
                 },
             };
@@ -253,21 +270,16 @@ fn v1_client_sees_v1_replies_from_a_v3_fleet() {
 fn status_aggregates_the_whole_fleet() {
     let backends: Vec<Server> = (0..2).map(|_| boot_backend()).collect();
     let gate = boot_gateway(backends.iter().map(addr_of).collect());
-    let endpoint = gate_endpoint(&gate);
+    let client = gate_client(&gate);
 
     // Put one trained model on each backend's shard.
     for want in 0..2 {
         let seed = seed_owned_by(&gate, "seq", want);
-        match request(&endpoint, &Request::Train(tiny_spec("seq", seed))).expect("train") {
-            Reply::Trained(_) => {}
-            other => panic!("expected Trained, got {other:?}"),
-        }
+        client.train(&tiny_spec("seq", seed)).expect("train");
     }
 
-    let (text, snap) = match request(&endpoint, &Request::Status).expect("status") {
-        Reply::StatusMetrics(text, snap) => (text, snap),
-        other => panic!("expected StatusMetrics, got {other:?}"),
-    };
+    let status = client.status().expect("status");
+    let (text, snap) = (status.text, status.metrics.expect("v2+ metrics from the gateway"));
     for needle in [
         "act-gate status",
         "backends 2",
@@ -300,21 +312,13 @@ fn status_aggregates_the_whole_fleet() {
 fn gateway_shutdown_drains_without_touching_backends() {
     let backend = boot_backend();
     let gate = boot_gateway(vec![addr_of(&backend)]);
-    let endpoint = gate_endpoint(&gate);
-
-    match request(&endpoint, &Request::Shutdown).expect("shutdown reply") {
-        Reply::Bye => {}
-        other => panic!("expected Bye, got {other:?}"),
-    }
+    gate_client(&gate).shutdown().expect("shutdown acked with BYE");
     assert!(gate.is_shutting_down());
     gate.join();
 
     // The backend outlives its gateway.
-    let direct = Endpoint::Tcp(addr_of(&backend));
-    match request(&direct, &Request::Status).expect("backend still up") {
-        Reply::StatusMetrics(..) | Reply::StatusText(_) => {}
-        other => panic!("expected status, got {other:?}"),
-    }
+    let direct = Client::builder().addr(addr_of(&backend)).build().expect("client builds");
+    direct.status().expect("backend still up");
     backend.shutdown();
     backend.join();
 }
@@ -334,28 +338,105 @@ fn client_retry_rides_through_a_gateway_queue_spike() {
         ..GateConfig::default()
     };
     let gate = Gateway::start(cfg).expect("gateway boots");
-    let endpoint = gate_endpoint(&gate);
+    let addr = gate.tcp_addr().to_string();
 
-    let retrying = ClientConfig::default().with_retry(Duration::from_millis(50), 7);
     let threads: Vec<_> = (0..4)
         .map(|i| {
-            let endpoint = endpoint.clone();
-            let retrying = retrying.clone();
+            let addr = addr.clone();
             std::thread::spawn(move || {
+                let client = Client::builder()
+                    .addr(addr)
+                    .retry(Duration::from_millis(50), 7 + i)
+                    .build()
+                    .expect("client builds");
                 // __sleep holds a worker for `seed` milliseconds.
-                let mut spec = tiny_spec("__sleep", 30 + i);
-                spec.seed = 30 + i;
-                act_serve::request_with(&endpoint, &Request::Train(spec), &retrying)
+                client.train(&tiny_spec("__sleep", 30 + i))
             })
         })
         .collect();
     let replies: Vec<_> = threads.into_iter().map(|t| t.join().expect("client thread")).collect();
-    let served =
-        replies.iter().filter(|r| matches!(r, Ok(Reply::Trained(_)) | Ok(Reply::Error(_)))).count();
+    let served = replies.iter().filter(|r| r.is_ok()).count();
     assert!(served >= 1, "at least one client must get through: {replies:?}");
 
     gate.shutdown();
     gate.join();
     backend.shutdown();
     backend.join();
+}
+
+#[test]
+fn pipelined_session_fails_over_with_four_requests_in_flight() {
+    let backends: Vec<Server> = (0..2).map(|_| boot_backend()).collect();
+    // An hour-long probe interval again pins down-discovery to the
+    // forwarding path: the corpse must be found under pipelined load.
+    let cfg = GateConfig {
+        backends: backends.iter().map(addr_of).collect(),
+        connect_timeout: Duration::from_millis(500),
+        probe_interval: Duration::from_secs(3600),
+        probe_timeout: Duration::from_millis(500),
+        ..GateConfig::default()
+    };
+    let gate = Gateway::start(cfg).expect("gateway boots");
+
+    // Let the startup probe sweep finish while both backends are alive, so
+    // the kill below is discovered on the forwarding path — not by a probe
+    // that happens to run first and quietly mark the victim down.
+    for _ in 0..500 {
+        if gate.stats().probes_completed() >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(gate.stats().probes_completed() >= 2, "startup probe sweep never finished");
+
+    // Four distinct keys, every one owned by the backend about to die.
+    let victim = 0usize;
+    let seeds: Vec<u64> = (0..256)
+        .filter(|&seed| gate.ring().owner(&key_of(&tiny_spec("seq", seed))) == victim)
+        .take(4)
+        .collect();
+    assert_eq!(seeds.len(), 4, "need four keys on the victim backend");
+
+    let mut backends = backends;
+    let victim_server = backends.remove(victim);
+    victim_server.shutdown();
+    victim_server.join();
+
+    let client = Client::builder()
+        .addr(gate.tcp_addr().to_string())
+        .pipeline_depth(8)
+        .build()
+        .expect("client builds");
+    let session = client.pipeline().expect("v4 session to the gateway");
+    assert_eq!(gate.stats().sessions_open(), 1, "the HELLO must have opened a gateway session");
+
+    // Fire all four before waiting on any: four requests genuinely in
+    // flight on one session, each needing its own failover to survive.
+    let pending: Vec<_> = seeds
+        .iter()
+        .map(|&seed| session.call(&Request::Train(tiny_spec("seq", seed))).expect("call enqueues"))
+        .collect();
+    for p in pending {
+        match p.wait().expect("pipelined reply") {
+            Reply::Trained(summary) => assert!(summary.contains("seq"), "odd summary: {summary}"),
+            other => panic!("expected Trained after failover, got {other:?}"),
+        }
+    }
+    // The draining victim may answer BUSY before its socket closes; either
+    // failover flavor proves the requests hopped off the dead owner.
+    assert!(
+        gate.stats().failovers() + gate.stats().busy_failovers() >= 1,
+        "the dead owner must have triggered a failover"
+    );
+    assert_eq!(gate.stats().failed(), 0, "no client-visible failures");
+    assert_eq!(gate.stats().relayed(), 4, "all four pipelined replies relayed");
+
+    drop(session);
+    drop(client);
+    gate.shutdown();
+    gate.join();
+    for b in backends {
+        b.shutdown();
+        b.join();
+    }
 }

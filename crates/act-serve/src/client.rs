@@ -1,6 +1,13 @@
 //! Minimal blocking client for the act-serve protocol: connect, send one
-//! request frame, read one reply frame, done. Used by `act request`, the
-//! `act-gate` gateway's backend path, and the integration tests.
+//! request frame, read one reply frame, done.
+//!
+//! The free functions here ([`request`], [`request_timeout`],
+//! [`request_with`]) are **deprecated shims**: application code should use
+//! the `act-client` crate's `Client` façade, which layers typed methods,
+//! pipelined protocol-v4 sessions, and streaming ingest over the same
+//! transport types. The types themselves — [`Endpoint`], [`ClientConfig`],
+//! [`RetryPolicy`], [`ClientError`], [`connect_tcp`] — remain the shared
+//! vocabulary `act-client` builds on and are not deprecated.
 //!
 //! Every exchange runs under a [`ClientConfig`]: a connect timeout, a
 //! socket read/write timeout, and an opt-in single retry with jittered
@@ -132,12 +139,15 @@ impl ClientConfig {
 
 /// Send `request` and wait for the reply under the default bounded
 /// timeouts (no retry).
+#[deprecated(since = "0.1.0", note = "use act_client::Client instead")]
 pub fn request(endpoint: &Endpoint, request: &Request) -> Result<Reply, ClientError> {
+    #[allow(deprecated)]
     request_with(endpoint, request, &ClientConfig::default())
 }
 
 /// Send `request` with `timeout` as both the connect and the read/write
 /// bound (no retry).
+#[deprecated(since = "0.1.0", note = "use act_client::Client instead")]
 pub fn request_timeout(
     endpoint: &Endpoint,
     request: &Request,
@@ -145,12 +155,17 @@ pub fn request_timeout(
 ) -> Result<Reply, ClientError> {
     let cfg =
         ClientConfig { connect_timeout: Some(timeout), io_timeout: Some(timeout), retry: None };
+    #[allow(deprecated)]
     request_with(endpoint, request, &cfg)
 }
 
 /// Send `request` under an explicit [`ClientConfig`]. With a retry policy,
 /// a transport failure or `BUSY` reply is retried exactly once after a
 /// jittered backoff; the second outcome is returned as-is.
+#[deprecated(
+    since = "0.1.0",
+    note = "use act_client::Client (builder-configured, pipelined, streaming) instead"
+)]
 pub fn request_with(
     endpoint: &Endpoint,
     request: &Request,
@@ -211,6 +226,7 @@ fn roundtrip<S: Read + Write>(mut stream: S, request: &Request) -> Result<Reply,
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims' own behavior (timeouts, retry) is still under test
 mod tests {
     use super::*;
     use std::time::Instant;

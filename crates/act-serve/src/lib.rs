@@ -11,10 +11,11 @@
 //!
 //! ```text
 //!  clients ── TCP / Unix socket ──► acceptor threads
-//!                                      │  STATUS / SHUTDOWN answered inline
-//!                                      ▼
-//!                            BoundedQueue<Job>   ── full ──► BUSY reply
-//!                                      │
+//!                  │                    │  STATUS / SHUTDOWN answered inline
+//!                  │ HELLO (v4)         ▼
+//!                  ▼            BoundedQueue<Job>  ── full ──► BUSY reply
+//!          session reader ────────────►│  (pipelined requests, streamed
+//!          (windowed, chunked)         │   chunks decoded on the session)
 //!                                      ▼
 //!                            worker pool (catch_unwind)
 //!                                      │
@@ -25,13 +26,17 @@
 //!                    diagnose_trace ─► ranked suspect list reply
 //! ```
 //!
-//! - [`proto`] — the length-prefixed binary frame protocol (see
-//!   `PROTOCOL.md` for the wire spec).
-//! - [`server`] — listeners, acceptors, backpressure, graceful drain.
+//! - [`proto`] — the length-prefixed binary frame protocol, including the
+//!   v4 multiplexed-session and chunked-stream frames (see `PROTOCOL.md`
+//!   for the wire spec).
+//! - [`server`] — listeners, acceptors, session readers, backpressure,
+//!   graceful drain.
 //! - [`pool`] — crash-isolated request workers.
 //! - [`cache`] — the LRU model cache keyed by (workload, topology, seed),
 //!   persisted through `act-core`'s weight store.
-//! - [`client`] — the one-shot blocking client used by `act request`.
+//! - [`client`] — the transport vocabulary ([`Endpoint`], [`ClientConfig`],
+//!   ...) plus deprecated one-shot request shims; application code should
+//!   use the `act-client` crate's typed `Client` façade instead.
 
 pub mod cache;
 pub mod client;
@@ -40,6 +45,7 @@ pub mod proto;
 pub mod server;
 
 pub use cache::{CacheOutcome, Model, ModelCache, ModelKey};
+#[allow(deprecated)] // the shims stay re-exported until every caller has moved to act-client
 pub use client::{
     connect_tcp, request, request_timeout, request_with, ClientConfig, ClientError, Endpoint,
     RetryPolicy,

@@ -6,28 +6,71 @@
 
 use crate::cache::{CacheOutcome, ModelCache};
 use crate::proto::{ModelSpec, Reply, Request};
-use crate::server::{send_reply, Conn, ServerStats};
+use crate::server::{send_reply, stored_summary, Conn, ServerStats, SessionShared};
 use act_core::diagnosis::diagnose_trace;
 use act_core::postprocess::Diagnosis;
 use act_fleet::{panic_message, BoundedQueue};
 use act_obs::{events, Level};
 use act_trace::io::{trace_from_bytes, trace_to_bytes};
+use act_trace::Trace;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One accepted request, queued for a worker: the parsed request plus the
-/// connection its reply goes back on.
+/// Where a finished request's reply goes: a one-shot connection (the
+/// v1–v3 model — and plain v4 requests outside a session) or a slot on a
+/// multiplexed v4 session.
+pub(crate) enum Responder {
+    /// Reply, then drop the connection (one request per connection).
+    OneShot {
+        /// The connection the reply is written to.
+        conn: Conn,
+        /// Protocol version the request arrived with; the reply is
+        /// stamped with it so old clients can decode what they get back.
+        version: u8,
+        /// Echoed on v4 one-shot replies; 0 below v4.
+        request_id: u32,
+    },
+    /// Reply onto a session's shared writer and release its window slot.
+    Session {
+        /// The session the request arrived on.
+        shared: Arc<SessionShared>,
+        /// Which in-flight request this answers.
+        request_id: u32,
+    },
+}
+
+impl Responder {
+    /// Deliver `reply` wherever this request came from.
+    pub(crate) fn respond(self, reply: &Reply, stats: &ServerStats) {
+        match self {
+            Responder::OneShot { mut conn, version, request_id } => {
+                send_reply(&mut conn, version, request_id, reply, stats);
+            }
+            Responder::Session { shared, request_id } => {
+                shared.send_final(request_id, reply, stats);
+            }
+        }
+    }
+}
+
+/// What a worker executes.
+pub(crate) enum Work {
+    /// An ordinary parsed request.
+    Request(Request),
+    /// A streamed `DIAGNOSE` whose trace the session already parsed
+    /// chunk-by-chunk (the decode half of the decode→classify pipeline).
+    DiagnoseTrace(ModelSpec, Box<Trace>),
+}
+
+/// One accepted request, queued for a worker.
 pub(crate) struct Job {
-    /// Where the reply is written.
-    pub conn: Conn,
-    /// Protocol version the request arrived with; the reply is stamped
-    /// with it so old clients can decode what they get back.
-    pub version: u8,
-    /// The parsed request (only `Train`/`Diagnose` are queued; `STATUS` and
-    /// `SHUTDOWN` are answered by the acceptor).
-    pub request: Request,
+    /// Where the reply goes.
+    pub responder: Responder,
+    /// The work itself (only diagnosable/trainable/corpus requests are
+    /// queued; `STATUS` and `SHUTDOWN` are answered inline).
+    pub work: Work,
     /// When the acceptor enqueued it — the deadline clock starts here, so
     /// time spent *queued* counts against the request.
     pub accepted: Instant,
@@ -59,8 +102,9 @@ pub(crate) fn spawn_workers(
 }
 
 /// Execute one job: deadline check, crash-isolated request handling, reply.
-fn process(mut job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Duration) {
-    let waited = job.accepted.elapsed();
+fn process(job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Duration) {
+    let Job { responder, work, accepted } = job;
+    let waited = accepted.elapsed();
     let reply = if waited > deadline {
         stats.bump_deadline_expired();
         events().emit(
@@ -79,7 +123,7 @@ fn process(mut job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Dura
         ))
     } else {
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(&job.request, cache, stats)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_work(&work, cache, stats)));
         stats.record_service(started.elapsed());
         match outcome {
             Ok(reply) => reply,
@@ -102,12 +146,30 @@ fn process(mut job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Dura
         Reply::Error(_) => stats.bump_errored(),
         _ => {}
     }
-    send_reply(&mut job.conn, job.version, &reply, stats);
+    responder.respond(&reply, stats);
 }
 
-/// Map a request to its reply. Runs *inside* `catch_unwind`: panics out of
-/// the diagnosis stack (malformed topologies, workload asserts, injected
-/// faults) surface as `ERROR` frames.
+/// Map queued work to its reply. Runs *inside* `catch_unwind`: panics out
+/// of the diagnosis stack (malformed topologies, workload asserts,
+/// injected faults) surface as `ERROR` frames.
+fn handle_work(work: &Work, cache: &ModelCache, stats: &ServerStats) -> Reply {
+    match work {
+        Work::Request(request) => handle_request(request, cache, stats),
+        Work::DiagnoseTrace(spec, trace) => {
+            if let Some(reply) = fault_hook(spec) {
+                return reply;
+            }
+            let (model, outcome) = match cache.get_or_train(spec) {
+                Ok(pair) => pair,
+                Err(e) => return Reply::Error(e.to_string()),
+            };
+            stats.note_cache(outcome);
+            let diag = diagnose_trace(&model.store, &model.correct, trace, model.norm_code_len);
+            Reply::Diagnosis(render_diagnosis(&spec.workload, outcome, &diag))
+        }
+    }
+}
+
 fn handle_request(request: &Request, cache: &ModelCache, stats: &ServerStats) -> Reply {
     match request {
         Request::Train(spec) => {
@@ -149,14 +211,7 @@ fn handle_request(request: &Request, cache: &ModelCache, stats: &ServerStats) ->
             };
             let mut c = corpus.lock().expect("corpus lock");
             match c.put_trace_bytes(key, workload, trace) {
-                Ok(info) => Reply::Stored(format!(
-                    "stored {} ({} records, {} -> {} bytes, {:.2}x)",
-                    key,
-                    info.records,
-                    info.raw_bytes,
-                    info.encoded_bytes,
-                    info.raw_bytes as f64 / info.encoded_bytes.max(1) as f64
-                )),
+                Ok(info) => Reply::Stored(stored_summary(key, &info)),
                 Err(e) => Reply::Error(format!("trace put failed: {e}")),
             }
         }
@@ -172,10 +227,16 @@ fn handle_request(request: &Request, cache: &ModelCache, stats: &ServerStats) ->
                 Err(e) => Reply::Error(format!("trace get failed: {e}")),
             }
         }
-        // STATUS and SHUTDOWN never reach the queue (acceptor fast path).
+        // STATUS and SHUTDOWN never reach the queue (acceptor fast path),
+        // and the session kinds are handled on the session reader.
         Request::Status | Request::Shutdown => {
             Reply::Error("status/shutdown are acceptor-handled".into())
         }
+        Request::Hello { .. }
+        | Request::TracePutStart { .. }
+        | Request::DiagnoseStart(_)
+        | Request::StreamChunk(_)
+        | Request::StreamEnd { .. } => Reply::Error("session frames are session-handled".into()),
     }
 }
 

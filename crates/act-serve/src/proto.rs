@@ -5,10 +5,11 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "ACTS"
-//! 4       1     protocol version (1, 2, or 3)
+//! 4       1     protocol version (1 through 4)
 //! 5       1     frame kind (see [`FrameKind`])
 //! 6       4     payload length, little-endian u32 (<= MAX_PAYLOAD)
-//! 10      n     payload
+//! 10      4     request id, little-endian u32 (v4 frames ONLY)
+//! 10|14   n     payload
 //! ```
 //!
 //! Version 2 adds exactly one reply kind, [`FrameKind::StatusMetrics`]:
@@ -25,12 +26,28 @@
 //! kinds, and the daemon never volunteers them, so compatibility is again
 //! two-way; a daemon running without `--corpus` answers them with `ERROR`.
 //!
-//! The connection model is one-shot: a client connects, writes one request
-//! frame, reads one reply frame, and the connection closes. That keeps the
-//! daemon's acceptor trivial (no per-connection session state, no pipelining
-//! ambiguity under backpressure) and makes `BUSY` semantics exact: a
-//! rejected request was never queued. See `crates/act-serve/PROTOCOL.md`
-//! for the full specification.
+//! Version 4 adds multiplexed, pipelined sessions and streaming ingest.
+//! Every v4 frame carries a client-chosen `request_id` between the header
+//! and the payload; v1–v3 frames stay bit-for-bit identical to what they
+//! always were (no request id on the wire). A v4 connection that opens
+//! with [`FrameKind::Hello`] becomes a *session*: many requests may be in
+//! flight at once (bounded by the window the [`FrameKind::HelloAck`]
+//! grants), replies may arrive in any order and are matched by request id,
+//! and `BUSY` applies per request, not per connection. Streaming ingest
+//! rides on sessions: [`FrameKind::TracePutStart`] /
+//! [`FrameKind::DiagnoseStart`] open a chunked upload,
+//! [`FrameKind::StreamChunk`] frames (each <= [`MAX_CHUNK`]) carry the
+//! trace text incrementally, and [`FrameKind::StreamEnd`] seals it with a
+//! running CRC-32 and total length — so a trace larger than one frame's
+//! [`MAX_PAYLOAD`] can be ingested without ever being materialized whole.
+//!
+//! The v1–v3 connection model is one-shot: a client connects, writes one
+//! request frame, reads one reply frame, and the connection closes. A v4
+//! frame whose kind is not `HELLO` is served on the same one-shot path
+//! (with its request id echoed), so plain v4 clients need no session.
+//! `BUSY` semantics stay exact in both models: a rejected request was
+//! never queued. See `crates/act-serve/PROTOCOL.md` for the full
+//! specification.
 //!
 //! Payload schemas are hand-rolled little-endian (the workspace is offline
 //! and std-only — no serde): length-prefixed strings and byte blobs plus
@@ -41,16 +58,22 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"ACTS";
-/// Newest protocol version this implementation speaks (v3 = corpus-store
-/// trace frames).
-pub const VERSION: u8 = 3;
+/// Newest protocol version this implementation speaks (v4 = multiplexed
+/// pipelined sessions + streaming ingest).
+pub const VERSION: u8 = 4;
+/// First version whose frames carry a request id after the header.
+pub const SESSION_VERSION: u8 = 4;
 /// Oldest protocol version still accepted.
 pub const MIN_VERSION: u8 = 1;
 /// Upper bound on payload length; longer declared lengths are rejected
 /// *before* any allocation, so a corrupt or hostile length prefix cannot
 /// balloon memory.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
-/// Bytes of frame header before the payload.
+/// Upper bound on one [`FrameKind::StreamChunk`] payload. Far below
+/// [`MAX_PAYLOAD`] on purpose: chunks interleave with other requests'
+/// frames on a multiplexed session, so one chunk must never hog the pipe.
+pub const MAX_CHUNK: u32 = 4 << 20;
+/// Bytes of frame header before the payload (before the v4 request id).
 pub const HEADER_LEN: usize = 10;
 
 /// What a frame carries. Requests are < 0x80, replies >= 0x80.
@@ -69,6 +92,18 @@ pub enum FrameKind {
     TracePut = 0x05,
     /// Request (v3): read a stored trace back from the corpus.
     TraceGet = 0x06,
+    /// Request (v4): open a multiplexed session; payload is the desired
+    /// in-flight window (0 = server default).
+    Hello = 0x07,
+    /// Request (v4): open a chunked corpus upload for `(key, workload)`.
+    TracePutStart = 0x08,
+    /// Request (v4): open a chunked diagnose upload for a model spec.
+    DiagnoseStart = 0x09,
+    /// Request (v4): one chunk of an open upload (raw trace text bytes,
+    /// <= [`MAX_CHUNK`]); shares the opener's request id.
+    StreamChunk = 0x0a,
+    /// Request (v4): seal an open upload with its CRC-32 and total length.
+    StreamEnd = 0x0b,
     /// Reply to [`FrameKind::Train`]: training summary text.
     Trained = 0x81,
     /// Reply to [`FrameKind::Diagnose`]: the ranked suspect list, text.
@@ -85,6 +120,9 @@ pub enum FrameKind {
     /// Reply to [`FrameKind::TraceGet`] (v3): the trace, `act-trace::io`
     /// v1 text bytes.
     TraceData = 0x87,
+    /// Reply to [`FrameKind::Hello`] (v4): session open; payload is the
+    /// granted in-flight window.
+    HelloAck = 0x88,
     /// Reply: the job queue is full — retry later (backpressure; the
     /// request was *not* accepted).
     Busy = 0xe0,
@@ -102,6 +140,11 @@ impl FrameKind {
             0x04 => Shutdown,
             0x05 => TracePut,
             0x06 => TraceGet,
+            0x07 => Hello,
+            0x08 => TracePutStart,
+            0x09 => DiagnoseStart,
+            0x0a => StreamChunk,
+            0x0b => StreamEnd,
             0x81 => Trained,
             0x82 => Diagnosis,
             0x83 => StatusText,
@@ -109,6 +152,7 @@ impl FrameKind {
             0x85 => StatusMetrics,
             0x86 => Stored,
             0x87 => TraceData,
+            0x88 => HelloAck,
             0xe0 => Busy,
             0xe1 => Error,
             _ => return None,
@@ -116,7 +160,8 @@ impl FrameKind {
     }
 }
 
-/// One protocol frame: a version, a kind, and the raw payload.
+/// One protocol frame: a version, a kind, a request id, and the raw
+/// payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Protocol version the frame was (or will be) stamped with. The
@@ -125,19 +170,34 @@ pub struct Frame {
     pub version: u8,
     /// What the payload means.
     pub kind: FrameKind,
+    /// Request id (v4). Present on the wire only when `version >= `
+    /// [`SESSION_VERSION`]; a reply carries the id of the request it
+    /// answers. Always 0 for v1–v3 frames.
+    pub request_id: u32,
     /// Schema depends on `kind`; see the module docs and `PROTOCOL.md`.
     pub payload: Vec<u8>,
 }
 
 impl Frame {
-    /// A frame stamped with the newest [`VERSION`].
+    /// A frame stamped with the newest [`VERSION`] and request id 0.
     pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
-        Frame { version: VERSION, kind, payload }
+        Frame { version: VERSION, kind, request_id: 0, payload }
     }
 
-    /// The same frame restamped for a peer speaking `version`.
+    /// The same frame restamped for a peer speaking `version`. Dropping
+    /// below [`SESSION_VERSION`] zeroes the request id (it has no wire
+    /// representation there).
     pub fn with_version(mut self, version: u8) -> Frame {
         self.version = version;
+        if version < SESSION_VERSION {
+            self.request_id = 0;
+        }
+        self
+    }
+
+    /// The same frame tagged with a session request id.
+    pub fn with_request(mut self, request_id: u32) -> Frame {
+        self.request_id = request_id;
         self
     }
 }
@@ -202,11 +262,14 @@ impl From<io::Error> for ProtoError {
 /// are built by this crate and replies are bounded text).
 pub fn write_frame<W: Write>(mut w: W, frame: &Frame) -> io::Result<()> {
     assert!(frame.payload.len() <= MAX_PAYLOAD as usize, "frame payload too large");
-    let mut buf = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    let mut buf = Vec::with_capacity(HEADER_LEN + 4 + frame.payload.len());
     buf.extend_from_slice(&MAGIC);
     buf.push(frame.version);
     buf.push(frame.kind as u8);
     buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    if frame.version >= SESSION_VERSION {
+        buf.extend_from_slice(&frame.request_id.to_le_bytes());
+    }
     buf.extend_from_slice(&frame.payload);
     w.write_all(&buf)?;
     w.flush()
@@ -240,6 +303,19 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Frame, ProtoError> {
     if len > MAX_PAYLOAD {
         return Err(ProtoError::Oversized(len));
     }
+    let request_id = if version >= SESSION_VERSION {
+        let mut id = [0u8; 4];
+        r.read_exact(&mut id).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ProtoError::Truncated { expected: 4 }
+            } else {
+                ProtoError::Io(e)
+            }
+        })?;
+        u32::from_le_bytes(id)
+    } else {
+        0
+    };
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
@@ -248,7 +324,7 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Frame, ProtoError> {
             ProtoError::Io(e)
         }
     })?;
-    Ok(Frame { version, kind, payload })
+    Ok(Frame { version, kind, request_id, payload })
 }
 
 // ---------------------------------------------------------------------
@@ -340,6 +416,32 @@ pub enum Request {
         /// Corpus entry key.
         key: String,
     },
+    /// Open a multiplexed session (v4); must be a connection's first frame.
+    Hello {
+        /// In-flight window the client wants (0 = server default). The
+        /// server grants `min(desired, its own cap)` in the `HELLO_ACK`.
+        window: u32,
+    },
+    /// Open a chunked corpus upload under `(workload, key)` (v4 session).
+    TracePutStart {
+        /// Corpus entry key.
+        key: String,
+        /// Workload the trace belongs to.
+        workload: String,
+    },
+    /// Open a chunked diagnose upload for a model key (v4 session).
+    DiagnoseStart(ModelSpec),
+    /// One chunk of the open upload: raw `act-trace::io` v1 text bytes,
+    /// at most [`MAX_CHUNK`] of them (v4 session).
+    StreamChunk(Vec<u8>),
+    /// Seal the open upload (v4 session). The server verifies both fields
+    /// against its own running tallies before committing.
+    StreamEnd {
+        /// CRC-32 of every chunk byte, in order.
+        crc32: u32,
+        /// Total chunk bytes.
+        total_len: u64,
+    },
 }
 
 impl Request {
@@ -371,6 +473,30 @@ impl Request {
                 put_str(&mut payload, key);
                 Frame::new(FrameKind::TraceGet, payload)
             }
+            Request::Hello { window } => {
+                Frame::new(FrameKind::Hello, window.to_le_bytes().to_vec())
+            }
+            Request::TracePutStart { key, workload } => {
+                let mut payload = Vec::new();
+                put_str(&mut payload, key);
+                put_str(&mut payload, workload);
+                Frame::new(FrameKind::TracePutStart, payload)
+            }
+            Request::DiagnoseStart(spec) => {
+                let mut payload = Vec::new();
+                spec.encode_into(&mut payload);
+                Frame::new(FrameKind::DiagnoseStart, payload)
+            }
+            Request::StreamChunk(bytes) => {
+                assert!(bytes.len() <= MAX_CHUNK as usize, "stream chunk over MAX_CHUNK");
+                Frame::new(FrameKind::StreamChunk, bytes.clone())
+            }
+            Request::StreamEnd { crc32, total_len } => {
+                let mut payload = Vec::new();
+                payload.extend_from_slice(&crc32.to_le_bytes());
+                payload.extend_from_slice(&total_len.to_le_bytes());
+                Frame::new(FrameKind::StreamEnd, payload)
+            }
         }
     }
 
@@ -398,6 +524,27 @@ impl Request {
                 Request::TracePut { key, workload, trace }
             }
             FrameKind::TraceGet => Request::TraceGet { key: c.take_str()? },
+            FrameKind::Hello => Request::Hello { window: c.take_u32()? },
+            FrameKind::TracePutStart => {
+                let key = c.take_str()?;
+                let workload = c.take_str()?;
+                Request::TracePutStart { key, workload }
+            }
+            FrameKind::DiagnoseStart => Request::DiagnoseStart(ModelSpec::decode(&mut c)?),
+            FrameKind::StreamChunk => {
+                if frame.payload.len() > MAX_CHUNK as usize {
+                    return Err(ProtoError::Malformed(format!(
+                        "stream chunk of {} bytes exceeds the {MAX_CHUNK}-byte cap",
+                        frame.payload.len()
+                    )));
+                }
+                return Ok(Request::StreamChunk(frame.payload.clone()));
+            }
+            FrameKind::StreamEnd => {
+                let crc32 = c.take_u32()?;
+                let total_len = c.take_u64()?;
+                Request::StreamEnd { crc32, total_len }
+            }
             other => return Err(ProtoError::Malformed(format!("{other:?} is not a request"))),
         };
         c.finish()?;
@@ -421,6 +568,11 @@ pub enum Reply {
     Stored(String),
     /// A stored trace, `act-trace::io` v1 text bytes (v3).
     TraceData(Vec<u8>),
+    /// Session open (v4); the granted in-flight window.
+    HelloAck {
+        /// How many requests the client may keep in flight at once.
+        window: u32,
+    },
     /// Shutdown acknowledged; the daemon is draining.
     Bye,
     /// Queue full — the request was rejected, not accepted-then-dropped.
@@ -444,6 +596,7 @@ impl Reply {
             }
             Reply::Stored(s) => (FrameKind::Stored, s.clone().into_bytes()),
             Reply::TraceData(bytes) => (FrameKind::TraceData, bytes.clone()),
+            Reply::HelloAck { window } => (FrameKind::HelloAck, window.to_le_bytes().to_vec()),
             Reply::Bye => (FrameKind::Bye, Vec::new()),
             Reply::Busy => (FrameKind::Busy, Vec::new()),
             Reply::Error(s) => (FrameKind::Error, s.clone().into_bytes()),
@@ -475,6 +628,12 @@ impl Reply {
             }
             FrameKind::Stored => Reply::Stored(text(&frame.payload)?),
             FrameKind::TraceData => Reply::TraceData(frame.payload.clone()),
+            FrameKind::HelloAck => {
+                let mut c = Cursor::new(&frame.payload);
+                let window = c.take_u32()?;
+                c.finish()?;
+                Reply::HelloAck { window }
+            }
             FrameKind::Bye => Reply::Bye,
             FrameKind::Busy => Reply::Busy,
             FrameKind::Error => Reply::Error(text(&frame.payload)?),
@@ -626,6 +785,60 @@ mod tests {
     }
 
     #[test]
+    fn v4_frames_carry_the_request_id_and_v3_frames_do_not() {
+        // v4: 4 extra wire bytes between header and payload.
+        let frame = Request::Status.to_frame().with_request(0xdead_beef);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        assert_eq!(wire.len(), HEADER_LEN + 4);
+        assert_eq!(&wire[10..14], &0xdead_beefu32.to_le_bytes());
+        let back = read_frame(wire.as_slice()).unwrap();
+        assert_eq!(back.request_id, 0xdead_beef);
+
+        // v3: exactly the old bytes, and restamping drops the id.
+        let frame = Request::Status.to_frame().with_request(7).with_version(3);
+        assert_eq!(frame.request_id, 0, "restamp below v4 zeroes the id");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        assert_eq!(wire.len(), HEADER_LEN, "v3 wire layout unchanged");
+        assert_eq!(read_frame(wire.as_slice()).unwrap().request_id, 0);
+    }
+
+    #[test]
+    fn session_requests_round_trip() {
+        let reqs = [
+            Request::Hello { window: 0 },
+            Request::Hello { window: 16 },
+            Request::TracePutStart { key: "seq-clean-7".into(), workload: "seq".into() },
+            Request::DiagnoseStart(spec()),
+            Request::StreamChunk(b"L 0 5 0 14 100\n".to_vec()),
+            Request::StreamEnd { crc32: 0xCBF4_3926, total_len: 1 << 33 },
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let frame = req.to_frame().with_request(i as u32 + 1);
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &frame).unwrap();
+            let back = read_frame(wire.as_slice()).unwrap();
+            assert_eq!(back.request_id, i as u32 + 1);
+            assert_eq!(Request::from_frame(&back).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn hello_ack_round_trips_and_oversized_chunks_are_rejected() {
+        let reply = Reply::HelloAck { window: 32 };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &reply.to_frame().with_request(1)).unwrap();
+        let back = read_frame(wire.as_slice()).unwrap();
+        assert_eq!(Reply::from_frame(&back).unwrap(), reply);
+
+        let frame = Frame::new(FrameKind::StreamChunk, vec![0u8; MAX_CHUNK as usize + 1]);
+        assert!(matches!(Request::from_frame(&frame), Err(ProtoError::Malformed(_))));
+        let ok = Frame::new(FrameKind::StreamChunk, vec![0u8; MAX_CHUNK as usize]);
+        assert!(Request::from_frame(&ok).is_ok());
+    }
+
+    #[test]
     fn every_request_round_trips() {
         let reqs = [
             Request::Train(spec()),
@@ -638,6 +851,11 @@ mod tests {
                 trace: b"acttrace v1 10\n".to_vec(),
             },
             Request::TraceGet { key: "seq-clean-7".into() },
+            Request::Hello { window: 8 },
+            Request::TracePutStart { key: "seq-clean-7".into(), workload: "seq".into() },
+            Request::DiagnoseStart(spec()),
+            Request::StreamChunk(b"S 1 6 0 15 200\n".to_vec()),
+            Request::StreamEnd { crc32: 42, total_len: 99 },
         ];
         for req in reqs {
             let frame = req.to_frame();
@@ -657,6 +875,7 @@ mod tests {
             Reply::StatusMetrics("requests_served 5".into(), MetricsSnapshot::new()),
             Reply::Stored("stored seq-clean-7 (3.2x)".into()),
             Reply::TraceData(b"acttrace v1 10\n".to_vec()),
+            Reply::HelloAck { window: 32 },
             Reply::Bye,
             Reply::Busy,
             Reply::Error("unknown workload".into()),
@@ -705,11 +924,19 @@ mod tests {
         wire.push(VERSION);
         wire.push(FrameKind::Error as u8);
         wire.extend_from_slice(&100u32.to_le_bytes());
+        wire.extend_from_slice(&7u32.to_le_bytes()); // v4 request id
         wire.extend_from_slice(b"abc");
         assert!(matches!(
             read_frame(wire.as_slice()),
             Err(ProtoError::Truncated { expected: 100 })
         ));
+        // A v4 header with no request id behind it is truncated too.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(VERSION);
+        wire.push(FrameKind::Status as u8);
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(read_frame(wire.as_slice()), Err(ProtoError::Truncated { expected: 4 })));
     }
 
     #[test]

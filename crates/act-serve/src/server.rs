@@ -12,15 +12,18 @@
 //! workers finish every accepted job before [`Server::join`] returns.
 
 use crate::cache::{CacheOutcome, ModelCache};
-use crate::pool::{spawn_workers, Job};
-use crate::proto::{read_frame, write_frame, Reply, Request, VERSION};
+use crate::pool::{spawn_workers, Job, Responder, Work};
+use crate::proto::{read_frame, write_frame, ModelSpec, Reply, Request, SESSION_VERSION, VERSION};
 use act_fleet::BoundedQueue;
 use act_obs::{events, latency_bounds_us, Counter, Gauge, Histogram, Level, Registry};
+use act_store::Crc32;
+use act_trace::io::{parse_record_line, TraceBuilder, TraceSink, MAX_CODE_LEN};
+use act_trace::Trace;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -28,6 +31,18 @@ use std::time::{Duration, Instant};
 /// How long acceptors sleep between polls of an idle listener (they poll so
 /// the shutdown flag is noticed without a wakeup connection).
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How long a session reader blocks waiting for the next frame's first
+/// byte before re-checking the shutdown flag. The poll reads exactly one
+/// byte (all-or-nothing), so an idle timeout can never strand a partial
+/// frame header.
+const SESSION_POLL: Duration = Duration::from_millis(25);
+
+/// Ceiling on one streamed `DIAGNOSE` upload. Unlike streamed `TRACE_PUT`
+/// (disk-backed, memory bounded by the chunk size) a streamed diagnose
+/// materializes the parsed trace in memory, so it needs a cap; this one is
+/// 4x the old single-frame limit.
+const MAX_STREAM_DIAGNOSE_BYTES: u64 = 256 << 20;
 
 /// A client connection, TCP or Unix-domain.
 pub(crate) enum Conn {
@@ -75,6 +90,22 @@ impl Conn {
             }
         }
     }
+
+    fn set_read_timeout(&self, t: Duration) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(Some(t)),
+            Conn::Unix(s) => s.set_read_timeout(Some(t)),
+        }
+    }
+
+    /// A second handle on the same socket — the session writer, so workers
+    /// can send replies while the reader blocks on the next frame.
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
 }
 
 /// Daemon configuration.
@@ -101,6 +132,10 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// Socket read/write timeout for each connection.
     pub io_timeout: Duration,
+    /// Ceiling on the per-session in-flight window granted at `HELLO`
+    /// (protocol v4). A session asking for more (or for the default, 0)
+    /// gets `min(asked, session_window)`.
+    pub session_window: u32,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +150,7 @@ impl Default for ServeConfig {
             cache_capacity: 32,
             deadline: Duration::from_secs(120),
             io_timeout: Duration::from_secs(30),
+            session_window: 32,
         }
     }
 }
@@ -145,6 +181,14 @@ pub struct ServerStats {
     req_shutdown: Counter,
     req_trace_put: Counter,
     req_trace_get: Counter,
+    req_hello: Counter,
+    req_trace_put_start: Counter,
+    req_diagnose_start: Counter,
+    req_stream_chunk: Counter,
+    req_stream_end: Counter,
+    stream_chunk_bytes: Counter,
+    streams_opened: Counter,
+    streams_aborted: Counter,
     reply_trained: Counter,
     reply_diagnosis: Counter,
     reply_status: Counter,
@@ -153,10 +197,14 @@ pub struct ServerStats {
     reply_error: Counter,
     reply_stored: Counter,
     reply_trace_data: Counter,
+    reply_hello_ack: Counter,
     uptime_ms: Gauge,
     queue_depth: Gauge,
     models_resident: Gauge,
+    sessions_open: Gauge,
+    requests_in_flight: Gauge,
     service_us: Histogram,
+    enqueue_depth: Histogram,
 }
 
 impl Default for ServerStats {
@@ -187,6 +235,14 @@ impl ServerStats {
             req_shutdown: registry.counter("req_shutdown"),
             req_trace_put: registry.counter("req_trace_put"),
             req_trace_get: registry.counter("req_trace_get"),
+            req_hello: registry.counter("req_hello"),
+            req_trace_put_start: registry.counter("req_trace_put_start"),
+            req_diagnose_start: registry.counter("req_diagnose_start"),
+            req_stream_chunk: registry.counter("req_stream_chunk"),
+            req_stream_end: registry.counter("req_stream_end"),
+            stream_chunk_bytes: registry.counter("stream_chunk_bytes"),
+            streams_opened: registry.counter("streams_opened"),
+            streams_aborted: registry.counter("streams_aborted"),
             reply_trained: registry.counter("reply_trained"),
             reply_diagnosis: registry.counter("reply_diagnosis"),
             reply_status: registry.counter("reply_status"),
@@ -195,10 +251,15 @@ impl ServerStats {
             reply_error: registry.counter("reply_error"),
             reply_stored: registry.counter("reply_stored"),
             reply_trace_data: registry.counter("reply_trace_data"),
+            reply_hello_ack: registry.counter("reply_hello_ack"),
             uptime_ms: registry.gauge("uptime_ms"),
             queue_depth: registry.gauge("queue_depth"),
             models_resident: registry.gauge("models_resident"),
+            sessions_open: registry.gauge("sessions_open"),
+            requests_in_flight: registry.gauge("requests_in_flight"),
             service_us: registry.histogram("service_us", &latency_bounds_us()),
+            enqueue_depth: registry
+                .histogram("enqueue_depth", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256]),
             registry,
         }
     }
@@ -246,6 +307,14 @@ impl ServerStats {
             Request::Shutdown => self.req_shutdown.inc(),
             Request::TracePut { .. } => self.req_trace_put.inc(),
             Request::TraceGet { .. } => self.req_trace_get.inc(),
+            Request::Hello { .. } => self.req_hello.inc(),
+            Request::TracePutStart { .. } => self.req_trace_put_start.inc(),
+            Request::DiagnoseStart(_) => self.req_diagnose_start.inc(),
+            Request::StreamChunk(bytes) => {
+                self.req_stream_chunk.inc();
+                self.stream_chunk_bytes.add(bytes.len() as u64);
+            }
+            Request::StreamEnd { .. } => self.req_stream_end.inc(),
         }
     }
 
@@ -260,7 +329,38 @@ impl ServerStats {
             Reply::Error(_) => self.reply_error.inc(),
             Reply::Stored(_) => self.reply_stored.inc(),
             Reply::TraceData(_) => self.reply_trace_data.inc(),
+            Reply::HelloAck { .. } => self.reply_hello_ack.inc(),
         }
+    }
+
+    /// Observe the queue depth seen by one enqueued request (the
+    /// per-request queue-depth histogram behind v2 `STATUS`).
+    pub(crate) fn note_enqueue_depth(&self, depth: usize) {
+        self.enqueue_depth.observe(depth as u64);
+    }
+
+    pub(crate) fn note_session_opened(&self) {
+        self.sessions_open.add(1);
+    }
+
+    pub(crate) fn note_session_closed(&self) {
+        self.sessions_open.add(-1);
+    }
+
+    pub(crate) fn note_request_started(&self) {
+        self.requests_in_flight.add(1);
+    }
+
+    pub(crate) fn note_request_finished(&self) {
+        self.requests_in_flight.add(-1);
+    }
+
+    pub(crate) fn note_stream_opened(&self) {
+        self.streams_opened.inc();
+    }
+
+    pub(crate) fn note_stream_aborted(&self) {
+        self.streams_aborted.inc();
     }
 
     pub(crate) fn note_cache(&self, outcome: CacheOutcome) {
@@ -367,6 +467,9 @@ impl Server {
         if cfg.cache_capacity == 0 {
             return Err(invalid("cache capacity must be >= 1"));
         }
+        if cfg.session_window == 0 {
+            return Err(invalid("session window must be >= 1"));
+        }
         if cfg.tcp_addr.is_none() && cfg.unix_path.is_none() {
             return Err(invalid("at least one of tcp_addr/unix_path is required"));
         }
@@ -402,6 +505,7 @@ impl Server {
                 stats.clone(),
                 shutdown.clone(),
                 cfg.io_timeout,
+                cfg.session_window,
                 Instant::now(),
             )?);
         }
@@ -419,6 +523,7 @@ impl Server {
                 stats.clone(),
                 shutdown.clone(),
                 cfg.io_timeout,
+                cfg.session_window,
                 Instant::now(),
             )?);
         }
@@ -506,14 +611,22 @@ fn spawn_acceptor(
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     io_timeout: Duration,
+    session_window: u32,
     started: Instant,
 ) -> io::Result<JoinHandle<()>> {
     std::thread::Builder::new().name(name.to_string()).spawn(move || {
         while !shutdown.load(Ordering::SeqCst) {
             match accept() {
-                Ok(conn) => {
-                    handle_connection(conn, &queue, &cache, &stats, &shutdown, io_timeout, started)
-                }
+                Ok(conn) => handle_connection(
+                    conn,
+                    &queue,
+                    &cache,
+                    &stats,
+                    &shutdown,
+                    io_timeout,
+                    session_window,
+                    started,
+                ),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
                 // Transient accept errors (e.g. aborted handshakes) must
                 // not kill the acceptor.
@@ -523,25 +636,30 @@ fn spawn_acceptor(
     })
 }
 
-/// Read one request frame and either answer inline, enqueue, or reject.
+/// Read one request frame and either answer inline, enqueue, reject, or —
+/// for a v4 `HELLO` — promote the connection to a multiplexed session on
+/// its own reader thread.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut conn: Conn,
-    queue: &BoundedQueue<Job>,
-    cache: &ModelCache,
-    stats: &ServerStats,
-    shutdown: &AtomicBool,
+    queue: &Arc<BoundedQueue<Job>>,
+    cache: &Arc<ModelCache>,
+    stats: &Arc<ServerStats>,
+    shutdown: &Arc<AtomicBool>,
     io_timeout: Duration,
+    session_window: u32,
     started: Instant,
 ) {
     let _ = conn.set_timeouts(io_timeout);
-    let (version, request) = match read_frame(&mut conn) {
+    let (version, request_id, request) = match read_frame(&mut conn) {
         Ok(frame) => match Request::from_frame(&frame) {
-            Ok(req) => (frame.version, req),
+            Ok(req) => (frame.version, frame.request_id, req),
             Err(e) => {
                 stats.bump_proto_errors();
                 send_reply(
                     &mut conn,
                     frame.version,
+                    frame.request_id,
                     &Reply::Error(format!("bad request: {e}")),
                     stats,
                 );
@@ -550,28 +668,70 @@ fn handle_connection(
         },
         Err(e) => {
             stats.bump_proto_errors();
-            send_reply(&mut conn, VERSION, &Reply::Error(format!("bad request: {e}")), stats);
+            send_reply(&mut conn, VERSION, 0, &Reply::Error(format!("bad request: {e}")), stats);
             return;
         }
     };
     stats.note_request(&request);
     match request {
+        // A v4 connection that opens with HELLO becomes a session; the
+        // reader thread owns the connection from here.
+        Request::Hello { window } if version >= SESSION_VERSION => {
+            let session = SessionCtx {
+                queue: queue.clone(),
+                cache: cache.clone(),
+                stats: stats.clone(),
+                shutdown: shutdown.clone(),
+                io_timeout,
+                started,
+            };
+            let granted =
+                if window == 0 { session_window } else { window.min(session_window) }.max(1);
+            let spawned = std::thread::Builder::new()
+                .name("act-serve-session".to_string())
+                .spawn(move || run_session(conn, request_id, granted, session));
+            if spawned.is_err() {
+                events().emit(Level::Warn, "serve.session", "failed to spawn session thread");
+            }
+        }
+        Request::Hello { .. } => {
+            // HELLO has no meaning below v4 (old clients never send it).
+            send_reply(
+                &mut conn,
+                version,
+                request_id,
+                &Reply::Error("HELLO requires protocol v4".into()),
+                stats,
+            );
+        }
+        // The stream kinds only exist inside a session.
+        Request::TracePutStart { .. } | Request::DiagnoseStart(_) => {
+            send_reply(
+                &mut conn,
+                version,
+                request_id,
+                &Reply::Error("streaming uploads require a v4 session (send HELLO first)".into()),
+                stats,
+            );
+        }
+        Request::StreamChunk(_) | Request::StreamEnd { .. } => {
+            stats.bump_proto_errors();
+            send_reply(
+                &mut conn,
+                version,
+                request_id,
+                &Reply::Error("stream frame outside an open stream".into()),
+                stats,
+            );
+        }
         // Always answerable, even with a saturated queue — that is the
         // point of handling them on the acceptor.
         Request::Status => {
-            let text = stats.render(started.elapsed(), queue.len(), cache.resident());
-            // v2 requesters get the metrics snapshot; v1 requesters get
-            // the plain text block their decoder knows.
-            let reply = if version >= 2 {
-                let snap = stats.metrics_snapshot(started.elapsed(), queue.len(), cache.resident());
-                Reply::StatusMetrics(text, snap)
-            } else {
-                Reply::StatusText(text)
-            };
-            send_reply(&mut conn, version, &reply, stats);
+            let reply = status_reply(version, queue, cache, stats, started);
+            send_reply(&mut conn, version, request_id, &reply, stats);
         }
         Request::Shutdown => {
-            send_reply(&mut conn, version, &Reply::Bye, stats);
+            send_reply(&mut conn, version, request_id, &Reply::Bye, stats);
             events().emit(Level::Info, "serve.shutdown", "shutdown requested; draining");
             shutdown.store(true, Ordering::SeqCst);
             queue.close();
@@ -580,25 +740,528 @@ fn handle_connection(
         | Request::Diagnose(..)
         | Request::TracePut { .. }
         | Request::TraceGet { .. }) => {
-            let job = Job { conn, version, request: req, accepted: Instant::now() };
+            let depth = queue.len();
+            let job = Job {
+                responder: Responder::OneShot { conn, version, request_id },
+                work: Work::Request(req),
+                accepted: Instant::now(),
+            };
             match queue.try_push(job) {
-                Ok(()) => stats.bump_accepted(),
-                Err(mut job) => {
+                Ok(()) => {
+                    stats.bump_accepted();
+                    stats.note_enqueue_depth(depth);
+                }
+                Err(job) => {
                     stats.bump_rejected();
                     events().emit(Level::Debug, "serve.busy", "queue full: request rejected");
-                    send_reply(&mut job.conn, version, &Reply::Busy, stats);
+                    job.responder.respond(&Reply::Busy, stats);
                 }
             }
         }
     }
 }
 
+/// Build the `STATUS` reply for a `version` requester: v2+ gets the
+/// metrics snapshot, v1 the plain text block its decoder knows.
+fn status_reply(
+    version: u8,
+    queue: &BoundedQueue<Job>,
+    cache: &ModelCache,
+    stats: &ServerStats,
+    started: Instant,
+) -> Reply {
+    let text = stats.render(started.elapsed(), queue.len(), cache.resident());
+    if version >= 2 {
+        let snap = stats.metrics_snapshot(started.elapsed(), queue.len(), cache.resident());
+        Reply::StatusMetrics(text, snap)
+    } else {
+        Reply::StatusText(text)
+    }
+}
+
 /// Count and write one reply, stamped with the requester's protocol
-/// version so v1 clients never see a frame they cannot decode.
-pub(crate) fn send_reply(conn: &mut Conn, version: u8, reply: &Reply, stats: &ServerStats) {
+/// version (so v1 clients never see a frame they cannot decode) and — on
+/// v4 — the request id it answers.
+pub(crate) fn send_reply(
+    conn: &mut Conn,
+    version: u8,
+    request_id: u32,
+    reply: &Reply,
+    stats: &ServerStats,
+) {
     stats.note_reply(reply);
     // A vanished client is its own problem; the daemon moves on.
-    let _ = write_frame(conn, &reply.to_frame().with_version(version));
+    let _ = write_frame(conn, &reply.to_frame().with_request(request_id).with_version(version));
+}
+
+// ---------------------------------------------------------------------
+// v4 multiplexed sessions.
+// ---------------------------------------------------------------------
+
+/// The half of a session shared between its reader thread and the workers
+/// answering its requests: the write side of the socket plus the in-flight
+/// account. Replies go out under the writer lock, one whole frame at a
+/// time, so frames from concurrent workers never interleave mid-frame.
+pub(crate) struct SessionShared {
+    writer: Mutex<Conn>,
+    version: u8,
+    window: u32,
+    in_flight: AtomicU32,
+}
+
+impl SessionShared {
+    /// Write one reply frame tagged with the request id it answers.
+    pub(crate) fn send(&self, request_id: u32, reply: &Reply, stats: &ServerStats) {
+        stats.note_reply(reply);
+        let frame = reply.to_frame().with_request(request_id).with_version(self.version);
+        let mut w = self.writer.lock().expect("session writer lock");
+        // A vanished session client is noticed by the reader; move on.
+        let _ = write_frame(&mut *w, &frame);
+    }
+
+    /// Claim one in-flight slot; `false` means the window is exhausted and
+    /// the request must be answered `BUSY`. Only the session reader calls
+    /// this, so a plain load-then-add cannot race another claimer.
+    fn begin_request(&self, stats: &ServerStats) -> bool {
+        if self.in_flight.load(Ordering::SeqCst) >= self.window {
+            return false;
+        }
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        stats.note_request_started();
+        true
+    }
+
+    /// Release the slot claimed by [`SessionShared::begin_request`].
+    pub(crate) fn finish_request(&self, stats: &ServerStats) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        stats.note_request_finished();
+    }
+
+    /// Send the final reply for a claimed request. The slot is released
+    /// *before* the write: the reply is the client's signal that the slot
+    /// is free, so a pipelined client that fires its next request the
+    /// moment a reply lands must never race a late decrement into `BUSY`.
+    pub(crate) fn send_final(&self, request_id: u32, reply: &Reply, stats: &ServerStats) {
+        self.finish_request(stats);
+        self.send(request_id, reply, stats);
+    }
+}
+
+/// Everything a session reader thread needs from the daemon.
+struct SessionCtx {
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<ModelCache>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    io_timeout: Duration,
+    started: Instant,
+}
+
+/// The at-most-one inbound stream a session may have open.
+enum SessionStream {
+    /// A chunked `TRACE_PUT`; the corpus holds the parser/CRC state.
+    TracePut { request_id: u32 },
+    /// A chunked `DIAGNOSE`; the trace is parsed here, then queued whole.
+    Diagnose { request_id: u32, spec: ModelSpec, parse: Box<DiagnoseStream> },
+}
+
+impl SessionStream {
+    fn request_id(&self) -> u32 {
+        match self {
+            SessionStream::TracePut { request_id } => *request_id,
+            SessionStream::Diagnose { request_id, .. } => *request_id,
+        }
+    }
+}
+
+/// Drive one v4 session: ack the HELLO, then demultiplex frames until the
+/// client closes, the daemon drains, or the stream desyncs. Replies are
+/// written by whichever thread finishes a request — out of order is the
+/// point — while this thread keeps reading.
+fn run_session(mut conn: Conn, hello_id: u32, window: u32, ctx: SessionCtx) {
+    let SessionCtx { queue, cache, stats, shutdown, io_timeout, started } = ctx;
+    let writer = match conn.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            let reply = Reply::Error(format!("session setup failed: {e}"));
+            send_reply(&mut conn, VERSION, hello_id, &reply, &stats);
+            return;
+        }
+    };
+    let shared = Arc::new(SessionShared {
+        writer: Mutex::new(writer),
+        version: VERSION,
+        window,
+        in_flight: AtomicU32::new(0),
+    });
+    shared.send(hello_id, &Reply::HelloAck { window }, &stats);
+    stats.note_session_opened();
+    let mut stream: Option<SessionStream> = None;
+
+    'session: while !shutdown.load(Ordering::SeqCst) {
+        // Wait for the next frame's first byte with a short timeout (an
+        // all-or-nothing 1-byte read), so idle sessions notice shutdown
+        // without ever stranding a partial header.
+        let _ = conn.set_read_timeout(SESSION_POLL);
+        let mut first = [0u8; 1];
+        match conn.read(&mut first) {
+            Ok(0) => break 'session, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue 'session;
+            }
+            Err(_) => break 'session,
+        }
+        // A frame has started: the rest must arrive within io_timeout.
+        let _ = conn.set_read_timeout(io_timeout);
+        let frame = match read_frame((&first[..]).chain(&mut conn)) {
+            Ok(f) => f,
+            Err(e) => {
+                // The stream position is unknown now; the session cannot
+                // continue. Best-effort error, then close.
+                stats.bump_proto_errors();
+                shared.send(0, &Reply::Error(format!("bad frame: {e}")), &stats);
+                break 'session;
+            }
+        };
+        let request_id = frame.request_id;
+        let request = match Request::from_frame(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing is intact — only this request is malformed.
+                stats.bump_proto_errors();
+                shared.send(request_id, &Reply::Error(format!("bad request: {e}")), &stats);
+                continue 'session;
+            }
+        };
+        stats.note_request(&request);
+        match request {
+            Request::Hello { .. } => {
+                shared.send(request_id, &Reply::Error("session already open".into()), &stats);
+            }
+            Request::Status => {
+                let reply = status_reply(frame.version, &queue, &cache, &stats, started);
+                shared.send(request_id, &reply, &stats);
+            }
+            Request::Shutdown => {
+                shared.send(request_id, &Reply::Bye, &stats);
+                events().emit(Level::Info, "serve.shutdown", "shutdown requested; draining");
+                shutdown.store(true, Ordering::SeqCst);
+                queue.close();
+                break 'session;
+            }
+            Request::TracePutStart { key, workload } => {
+                if stream.is_some() {
+                    // One inbound stream per session; the client retries.
+                    shared.send(request_id, &Reply::Busy, &stats);
+                    continue 'session;
+                }
+                if !shared.begin_request(&stats) {
+                    shared.send(request_id, &Reply::Busy, &stats);
+                    continue 'session;
+                }
+                let Some(corpus) = cache.corpus() else {
+                    shared.send_final(
+                        request_id,
+                        &Reply::Error(
+                            "no corpus store configured; start the daemon with --corpus".into(),
+                        ),
+                        &stats,
+                    );
+                    continue 'session;
+                };
+                let mut c = corpus.lock().expect("corpus lock");
+                if c.streaming_key().is_some() {
+                    // Another session owns the corpus stream right now.
+                    drop(c);
+                    shared.send_final(request_id, &Reply::Busy, &stats);
+                    continue 'session;
+                }
+                match c.stream_begin(&key, &workload) {
+                    Ok(()) => {
+                        drop(c);
+                        stats.note_stream_opened();
+                        stream = Some(SessionStream::TracePut { request_id });
+                    }
+                    Err(e) => {
+                        drop(c);
+                        shared.send_final(
+                            request_id,
+                            &Reply::Error(format!("trace put failed: {e}")),
+                            &stats,
+                        );
+                    }
+                }
+            }
+            Request::DiagnoseStart(spec) => {
+                if stream.is_some() {
+                    shared.send(request_id, &Reply::Busy, &stats);
+                    continue 'session;
+                }
+                if !shared.begin_request(&stats) {
+                    shared.send(request_id, &Reply::Busy, &stats);
+                    continue 'session;
+                }
+                stats.note_stream_opened();
+                stream = Some(SessionStream::Diagnose {
+                    request_id,
+                    spec,
+                    parse: Box::new(DiagnoseStream::new()),
+                });
+            }
+            Request::StreamChunk(bytes) => {
+                let Some(open) = stream.as_mut() else {
+                    stats.bump_proto_errors();
+                    shared.send(
+                        request_id,
+                        &Reply::Error("stream frame outside an open stream".into()),
+                        &stats,
+                    );
+                    continue 'session;
+                };
+                let owner = open.request_id();
+                let failed = match open {
+                    SessionStream::TracePut { .. } => {
+                        let corpus = cache.corpus().expect("stream opened with a corpus");
+                        let mut c = corpus.lock().expect("corpus lock");
+                        c.stream_chunk(&bytes).err().map(|e| format!("trace put failed: {e}"))
+                    }
+                    SessionStream::Diagnose { parse, .. } => parse.feed(&bytes).err(),
+                };
+                if let Some(why) = failed {
+                    // The corpus/parser side already aborted; drop ours.
+                    stream = None;
+                    stats.note_stream_aborted();
+                    shared.send_final(owner, &Reply::Error(why), &stats);
+                }
+            }
+            Request::StreamEnd { crc32, total_len } => {
+                let Some(open) = stream.take() else {
+                    stats.bump_proto_errors();
+                    shared.send(
+                        request_id,
+                        &Reply::Error("stream frame outside an open stream".into()),
+                        &stats,
+                    );
+                    continue 'session;
+                };
+                match open {
+                    SessionStream::TracePut { request_id } => {
+                        let corpus = cache.corpus().expect("stream opened with a corpus");
+                        let reply = {
+                            let mut c = corpus.lock().expect("corpus lock");
+                            match c.stream_finish(crc32, total_len) {
+                                Ok(info) => Reply::Stored(stored_summary(&info.meta.key, &info)),
+                                Err(e) => {
+                                    stats.note_stream_aborted();
+                                    Reply::Error(format!("trace put failed: {e}"))
+                                }
+                            }
+                        };
+                        shared.send_final(request_id, &reply, &stats);
+                    }
+                    SessionStream::Diagnose { request_id, spec, parse } => {
+                        match parse.finish(crc32, total_len) {
+                            Ok(trace) => {
+                                let depth = queue.len();
+                                let job = Job {
+                                    responder: Responder::Session {
+                                        shared: shared.clone(),
+                                        request_id,
+                                    },
+                                    work: Work::DiagnoseTrace(spec, Box::new(trace)),
+                                    accepted: Instant::now(),
+                                };
+                                match queue.try_push(job) {
+                                    Ok(()) => {
+                                        stats.bump_accepted();
+                                        stats.note_enqueue_depth(depth);
+                                    }
+                                    Err(job) => {
+                                        stats.bump_rejected();
+                                        job.responder.respond(&Reply::Busy, &stats);
+                                    }
+                                }
+                            }
+                            Err(why) => {
+                                stats.note_stream_aborted();
+                                shared.send_final(request_id, &Reply::Error(why), &stats);
+                            }
+                        }
+                    }
+                }
+            }
+            req @ (Request::Train(_)
+            | Request::Diagnose(..)
+            | Request::TracePut { .. }
+            | Request::TraceGet { .. }) => {
+                if !shared.begin_request(&stats) {
+                    // Window exhausted: BUSY for this request only.
+                    stats.bump_rejected();
+                    shared.send(request_id, &Reply::Busy, &stats);
+                    continue 'session;
+                }
+                let depth = queue.len();
+                let job = Job {
+                    responder: Responder::Session { shared: shared.clone(), request_id },
+                    work: Work::Request(req),
+                    accepted: Instant::now(),
+                };
+                match queue.try_push(job) {
+                    Ok(()) => {
+                        stats.bump_accepted();
+                        stats.note_enqueue_depth(depth);
+                    }
+                    Err(job) => {
+                        stats.bump_rejected();
+                        events().emit(Level::Debug, "serve.busy", "queue full: request rejected");
+                        job.responder.respond(&Reply::Busy, &stats);
+                    }
+                }
+            }
+        }
+    }
+
+    // A stream still open here means the client died mid-upload: truncate
+    // the half-written corpus entry so no partial segment survives.
+    if let Some(open) = stream {
+        stats.note_stream_aborted();
+        if matches!(open, SessionStream::TracePut { .. }) {
+            if let Some(corpus) = cache.corpus() {
+                corpus.lock().expect("corpus lock").stream_abort();
+            }
+        }
+        shared.finish_request(&stats);
+        events().emit(Level::Warn, "serve.stream", "session closed mid-stream; upload aborted");
+    }
+    stats.note_session_closed();
+}
+
+/// The `STORED` reply text — shared verbatim by the one-frame and the
+/// streamed `TRACE_PUT` paths, so clients see one format.
+pub(crate) fn stored_summary(key: &str, info: &act_store::EntryInfo) -> String {
+    format!(
+        "stored {} ({} records, {} -> {} bytes, {:.2}x)",
+        key,
+        info.records,
+        info.raw_bytes,
+        info.encoded_bytes,
+        info.raw_bytes as f64 / info.encoded_bytes.max(1) as f64
+    )
+}
+
+/// Incremental parser for a streamed `DIAGNOSE` upload: text-codec lines
+/// arrive in arbitrary chunk splits, records accumulate in a
+/// [`TraceBuilder`], and the CRC-32/length tallies are checked at the end
+/// — the same state machine the corpus runs for streamed `TRACE_PUT`, but
+/// materializing in memory since the trace is diagnosed, not stored.
+struct DiagnoseStream {
+    crc: Crc32,
+    bytes_in: u64,
+    lineno: usize,
+    partial: Vec<u8>,
+    header_seen: bool,
+    builder: TraceBuilder,
+}
+
+/// Longest line a streamed upload may contain (matches the corpus cap).
+const MAX_STREAM_LINE_BYTES: usize = 64 << 10;
+
+impl DiagnoseStream {
+    fn new() -> DiagnoseStream {
+        DiagnoseStream {
+            crc: Crc32::new(),
+            bytes_in: 0,
+            lineno: 0,
+            partial: Vec::new(),
+            header_seen: false,
+            builder: TraceBuilder::new(),
+        }
+    }
+
+    fn feed(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.crc.update(bytes);
+        self.bytes_in += bytes.len() as u64;
+        if self.bytes_in > MAX_STREAM_DIAGNOSE_BYTES {
+            return Err(format!(
+                "streamed diagnose exceeds the {MAX_STREAM_DIAGNOSE_BYTES}-byte cap"
+            ));
+        }
+        let mut rest = bytes;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(nl);
+            rest = &tail[1..];
+            let line = if self.partial.is_empty() {
+                head.to_vec()
+            } else {
+                self.partial.extend_from_slice(head);
+                std::mem::take(&mut self.partial)
+            };
+            self.line(&line)?;
+        }
+        self.partial.extend_from_slice(rest);
+        if self.partial.len() > MAX_STREAM_LINE_BYTES {
+            return Err(format!(
+                "streamed line exceeds {MAX_STREAM_LINE_BYTES} bytes without a newline"
+            ));
+        }
+        Ok(())
+    }
+
+    fn line(&mut self, line: &[u8]) -> Result<(), String> {
+        self.lineno += 1;
+        let text = std::str::from_utf8(line)
+            .map_err(|_| format!("stream line {} is not UTF-8", self.lineno))?;
+        let text = text.strip_suffix('\r').unwrap_or(text);
+        if !self.header_seen {
+            let mut hp = text.split_whitespace();
+            if hp.next() != Some("acttrace") || hp.next() != Some("v1") {
+                return Err("stream header: bad header".into());
+            }
+            let code_len: u64 = hp
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| "stream header: bad code_len".to_string())?;
+            if code_len > MAX_CODE_LEN {
+                return Err(format!("stream header: code_len {code_len} exceeds the cap"));
+            }
+            let Ok(()) = self.builder.begin(code_len as usize);
+            self.header_seen = true;
+            return Ok(());
+        }
+        if text.is_empty() {
+            return Ok(());
+        }
+        let rec =
+            parse_record_line(text, self.lineno).map_err(|e| format!("bad trace payload: {e}"))?;
+        let Ok(()) = self.builder.record(&rec);
+        Ok(())
+    }
+
+    fn finish(mut self: Box<Self>, crc32: u32, total_len: u64) -> Result<Trace, String> {
+        if self.bytes_in != total_len {
+            return Err(format!(
+                "stream length mismatch: received {} bytes, client sealed {total_len}",
+                self.bytes_in
+            ));
+        }
+        let got = self.crc.finish();
+        if got != crc32 {
+            return Err(format!(
+                "stream crc mismatch: received {got:#010x}, client sealed {crc32:#010x}"
+            ));
+        }
+        if !self.partial.is_empty() {
+            let line = std::mem::take(&mut self.partial);
+            self.line(&line)?;
+        }
+        if !self.header_seen {
+            return Err("stream ended before the header line".into());
+        }
+        Ok(self.builder.into_trace())
+    }
 }
 
 #[cfg(test)]

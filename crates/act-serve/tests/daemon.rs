@@ -8,6 +8,8 @@
 //!   cache-hit counter increases);
 //! - a full queue yields `BUSY` immediately, never accepted-then-dropped.
 
+#![allow(deprecated)] // this suite IS the one-shot compatibility reference
+
 use act_serve::client::{request, Endpoint};
 use act_serve::proto::{ModelSpec, Reply, Request};
 use act_serve::server::{ServeConfig, Server};

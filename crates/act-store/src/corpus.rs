@@ -18,6 +18,8 @@
 //! before old data is unlinked, so a crash between the two steps leaves
 //! duplicates, not loss).
 
+use crate::column::CHUNK_RECORDS;
+use crate::crc32::Crc32;
 use crate::error::StoreError;
 use crate::metrics::StoreMetrics;
 use crate::segment::{
@@ -26,9 +28,10 @@ use crate::segment::{
 };
 use act_obs::metrics::Registry;
 use act_trace::io::{
-    copy_trace, stream_trace, CopyError, TextTraceSink, TextTraceSource, TraceBuilder,
+    copy_trace, parse_record_line, stream_trace, CopyError, TextTraceSink, TextTraceSource,
+    TraceBuilder, MAX_CODE_LEN,
 };
-use act_trace::Trace;
+use act_trace::{Trace, TraceRecord};
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
@@ -108,6 +111,27 @@ pub struct Corpus {
     metrics: StoreMetrics,
     seal_bytes: u64,
     next_seg_id: u64,
+    stream: Option<StreamPut>,
+}
+
+/// Cap on a buffered partial line in a streaming put — a chunked upload
+/// with no newlines must not grow memory without bound.
+const MAX_STREAM_LINE_BYTES: usize = 64 << 10;
+
+/// In-flight state of a chunked [`Corpus::stream_begin`] upload: the
+/// incremental text-codec parser (partial trailing line + line counter),
+/// the columnar chunk buffer, and the running CRC/length tallies the
+/// finishing frame is verified against.
+struct StreamPut {
+    key: String,
+    workload: String,
+    crc: Crc32,
+    bytes_in: u64,
+    lineno: usize,
+    partial: Vec<u8>,
+    header_seen: bool,
+    records: Vec<TraceRecord>,
+    total_records: u64,
 }
 
 fn active_path(dir: &Path) -> PathBuf {
@@ -146,6 +170,59 @@ pub fn text_size_of(trace: &Trace) -> u64 {
     sink.into_inner().0
 }
 
+/// Parse the `acttrace v1 <code_len>` header line of a streamed put (the
+/// same validation [`TextTraceSource::new`] applies to materialized input).
+fn parse_stream_header(line: &str) -> Result<u64, String> {
+    let mut hp = line.split_whitespace();
+    if hp.next() != Some("acttrace") || hp.next() != Some("v1") {
+        return Err("bad header".into());
+    }
+    let code_len: u64 =
+        hp.next().and_then(|t| t.parse().ok()).ok_or_else(|| "bad code_len".to_string())?;
+    if code_len > MAX_CODE_LEN {
+        return Err(format!("code_len {code_len} exceeds the {MAX_CODE_LEN} cap"));
+    }
+    Ok(code_len)
+}
+
+/// Apply one complete line of a streaming put: the first line is the
+/// header (which opens the segment entry), every later non-empty line is a
+/// record, buffered into columnar chunks.
+fn stream_line(
+    active: &mut SegmentWriter,
+    s: &mut StreamPut,
+    line: &[u8],
+) -> Result<(), StoreError> {
+    s.lineno += 1;
+    let text = std::str::from_utf8(line)
+        .map_err(|_| StoreError::InvalidInput(format!("stream line {} is not UTF-8", s.lineno)))?;
+    let text = text.strip_suffix('\r').unwrap_or(text);
+    if !s.header_seen {
+        let code_len = parse_stream_header(text)
+            .map_err(|why| StoreError::InvalidInput(format!("stream header: {why}")))?;
+        active.begin_entry(EntryMeta {
+            kind: EntryKind::Trace,
+            key: s.key.clone(),
+            workload: s.workload.clone(),
+            code_len,
+        })?;
+        s.header_seen = true;
+        return Ok(());
+    }
+    if text.is_empty() {
+        return Ok(());
+    }
+    let rec = parse_record_line(text, s.lineno)
+        .map_err(|e| StoreError::InvalidInput(format!("trace payload rejected: {e}")))?;
+    s.records.push(rec);
+    s.total_records += 1;
+    if s.records.len() == CHUNK_RECORDS {
+        active.write_chunk(&s.records)?;
+        s.records.clear();
+    }
+    Ok(())
+}
+
 impl Corpus {
     /// Create a fresh corpus at `dir` (the directory may exist but must not
     /// already hold segments).
@@ -166,6 +243,7 @@ impl Corpus {
             metrics: StoreMetrics::global(),
             seal_bytes: DEFAULT_SEAL_BYTES,
             next_seg_id: 1,
+            stream: None,
         })
     }
 
@@ -267,6 +345,7 @@ impl Corpus {
             metrics,
             seal_bytes: DEFAULT_SEAL_BYTES,
             next_seg_id,
+            stream: None,
         };
         corpus.publish_ratio();
         Ok(corpus)
@@ -369,6 +448,19 @@ impl Corpus {
         r
     }
 
+    /// A streaming put owns the active segment's open entry; any other
+    /// write interleaving with it would corrupt the entry, so they are
+    /// refused while a stream is open.
+    fn reject_if_streaming(&self) -> Result<(), StoreError> {
+        match &self.stream {
+            Some(s) => Err(StoreError::InvalidInput(format!(
+                "a streaming put ({}) is in progress; finish or abort it first",
+                s.key
+            ))),
+            None => Ok(()),
+        }
+    }
+
     /// Store a trace under `(workload, key)`, streaming it through the
     /// columnar codec. Returns the committed entry's accounting.
     pub fn put_trace(
@@ -377,6 +469,7 @@ impl Corpus {
         workload: &str,
         trace: &Trace,
     ) -> Result<EntryInfo, StoreError> {
+        self.reject_if_streaming()?;
         let raw = text_size_of(trace);
         let r = (|| {
             let active = self.active.as_mut().expect("active segment writer present");
@@ -397,6 +490,7 @@ impl Corpus {
         workload: &str,
         bytes: &[u8],
     ) -> Result<EntryInfo, StoreError> {
+        self.reject_if_streaming()?;
         let mut source = TextTraceSource::new(bytes)
             .map_err(|e| StoreError::InvalidInput(format!("trace payload rejected: {e}")))?;
         let r = (|| {
@@ -423,6 +517,7 @@ impl Corpus {
         workload: &str,
         bytes: &[u8],
     ) -> Result<EntryInfo, StoreError> {
+        self.reject_if_streaming()?;
         if kind == EntryKind::Trace {
             return Err(StoreError::InvalidInput("traces go through put_trace".into()));
         }
@@ -444,6 +539,146 @@ impl Corpus {
         })();
         let info = self.abort_on_err(r)?;
         self.commit(SegRef::Active, info)
+    }
+
+    // -- streaming writes --------------------------------------------------
+
+    /// Open a chunked trace put under `(workload, key)`: the protocol's
+    /// `TRACE_PUT_START`. Text-codec bytes arrive via
+    /// [`Corpus::stream_chunk`] and the entry commits only at
+    /// [`Corpus::stream_finish`] — until then the key stays unpublished,
+    /// and [`Corpus::stream_abort`] (or a failed chunk) truncates every
+    /// byte the stream wrote. One stream may be open at a time; a second
+    /// `stream_begin` (or any materialized put) is refused while it is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidInput`] when a stream is already open.
+    pub fn stream_begin(&mut self, key: &str, workload: &str) -> Result<(), StoreError> {
+        self.reject_if_streaming()?;
+        self.stream = Some(StreamPut {
+            key: key.to_string(),
+            workload: workload.to_string(),
+            crc: Crc32::new(),
+            bytes_in: 0,
+            lineno: 0,
+            partial: Vec::new(),
+            header_seen: false,
+            records: Vec::new(),
+            total_records: 0,
+        });
+        Ok(())
+    }
+
+    /// Feed one chunk of text-codec bytes into the open stream. Chunks may
+    /// split lines (and multi-byte sequences) anywhere; the parser carries
+    /// the partial tail over. Any parse or write failure aborts the stream
+    /// — the half-written entry is truncated away before the error returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidInput`] when no stream is open or the
+    /// bytes are not valid text-codec lines, and I/O errors from the
+    /// segment writer.
+    pub fn stream_chunk(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let r = self.stream_chunk_inner(bytes);
+        if r.is_err() {
+            self.stream_abort();
+        }
+        r
+    }
+
+    fn stream_chunk_inner(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let Some(s) = self.stream.as_mut() else {
+            return Err(StoreError::InvalidInput("no streaming put is open".into()));
+        };
+        let active = self.active.as_mut().expect("active segment writer present");
+        s.crc.update(bytes);
+        s.bytes_in += bytes.len() as u64;
+        let mut rest = bytes;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(nl);
+            rest = &tail[1..];
+            s.partial.extend_from_slice(head);
+            let line = std::mem::take(&mut s.partial);
+            stream_line(active, s, &line)?;
+        }
+        s.partial.extend_from_slice(rest);
+        if s.partial.len() > MAX_STREAM_LINE_BYTES {
+            return Err(StoreError::InvalidInput(format!(
+                "streamed line exceeds {MAX_STREAM_LINE_BYTES} bytes without a newline"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Seal the open stream: verify the client's CRC-32 and total length
+    /// against the running tallies, flush the trailing records, and commit
+    /// the entry. On any mismatch or failure the stream aborts — the key
+    /// is never published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidInput`] on CRC/length mismatch, an
+    /// empty stream, or a missing header, and I/O errors from the commit.
+    pub fn stream_finish(&mut self, crc32: u32, total_len: u64) -> Result<EntryInfo, StoreError> {
+        let r = self.stream_finish_inner(crc32, total_len);
+        if r.is_err() {
+            self.stream_abort();
+        }
+        r
+    }
+
+    fn stream_finish_inner(&mut self, crc32: u32, total_len: u64) -> Result<EntryInfo, StoreError> {
+        let Some(s) = self.stream.as_mut() else {
+            return Err(StoreError::InvalidInput("no streaming put is open".into()));
+        };
+        let active = self.active.as_mut().expect("active segment writer present");
+        if s.bytes_in != total_len {
+            return Err(StoreError::InvalidInput(format!(
+                "stream length mismatch: received {} bytes, client sealed {total_len}",
+                s.bytes_in
+            )));
+        }
+        let got = s.crc.finish();
+        if got != crc32 {
+            return Err(StoreError::InvalidInput(format!(
+                "stream crc mismatch: received {got:#010x}, client sealed {crc32:#010x}"
+            )));
+        }
+        // A final line without a trailing newline is still a line.
+        if !s.partial.is_empty() {
+            let line = std::mem::take(&mut s.partial);
+            stream_line(active, s, &line)?;
+        }
+        if !s.header_seen {
+            return Err(StoreError::InvalidInput("stream ended before the header line".into()));
+        }
+        if !s.records.is_empty() {
+            active.write_chunk(&s.records)?;
+            s.records.clear();
+        }
+        let raw = s.bytes_in;
+        let info = active.end_entry(raw)?;
+        self.stream = None;
+        self.commit(SegRef::Active, info)
+    }
+
+    /// Drop the open stream (client vanished mid-upload, CRC mismatch,
+    /// parse failure): the half-written entry is truncated out of the
+    /// active segment, leaving the corpus exactly as it was before
+    /// `stream_begin`. Idempotent; a no-op when nothing is streaming.
+    pub fn stream_abort(&mut self) {
+        if let Some(s) = self.stream.take() {
+            if s.header_seen {
+                let _ = self.active_mut().abort_entry();
+            }
+        }
+    }
+
+    /// Key of the open streaming put, if any.
+    pub fn streaming_key(&self) -> Option<&str> {
+        self.stream.as_ref().map(|s| s.key.as_str())
     }
 
     // -- reads -------------------------------------------------------------
@@ -711,6 +946,115 @@ mod tests {
         assert!(err.is_err());
         assert!(!c.contains(EntryKind::Trace, "bad"));
         // The corpus stays usable and recovery drops the aborted blocks.
+        drop(c);
+        let c = Corpus::open(&dir).unwrap();
+        assert_eq!(c.entries(None).len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streamed_put_matches_materialized_put_for_any_chunking() {
+        let dir = tmp_dir("stream");
+        let mut c = Corpus::init(&dir).unwrap();
+        let trace = sample_trace(300, 5);
+        let text = act_trace::io::trace_to_bytes(&trace);
+        let crc = crate::crc32::crc32(&text);
+        // Chunk sizes chosen to split lines (and the header) mid-way.
+        for (i, chunk_len) in [1usize, 3, 7, 64, text.len()].into_iter().enumerate() {
+            let key = format!("s{i}");
+            c.stream_begin(&key, "wl").unwrap();
+            assert_eq!(c.streaming_key(), Some(key.as_str()));
+            for chunk in text.chunks(chunk_len) {
+                c.stream_chunk(chunk).unwrap();
+            }
+            let info = c.stream_finish(crc, text.len() as u64).unwrap();
+            assert_eq!(info.raw_bytes, text.len() as u64);
+            assert!(c.streaming_key().is_none());
+            assert_eq!(act_trace::io::trace_to_bytes(&c.get_trace(&key).unwrap()), text);
+        }
+        // Byte-for-byte the same accounting as the materialized path.
+        let info = c.put_trace_bytes("mat", "wl", &text).unwrap();
+        let streamed = c.entry_info(EntryKind::Trace, "s0").unwrap();
+        assert_eq!(info.raw_bytes, streamed.raw_bytes);
+        assert_eq!(info.records, streamed.records);
+        assert_eq!(info.encoded_bytes, streamed.encoded_bytes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stream_crc_and_length_mismatches_abort_without_publishing() {
+        let dir = tmp_dir("stream-crc");
+        let mut c = Corpus::init(&dir).unwrap();
+        let text = act_trace::io::trace_to_bytes(&sample_trace(50, 1));
+        let crc = crate::crc32::crc32(&text);
+
+        c.stream_begin("bad-crc", "wl").unwrap();
+        c.stream_chunk(&text).unwrap();
+        let err = c.stream_finish(crc ^ 1, text.len() as u64).unwrap_err();
+        assert!(err.to_string().contains("crc mismatch"), "{err}");
+        assert!(!c.contains(EntryKind::Trace, "bad-crc"));
+        assert!(c.streaming_key().is_none(), "failed finish drops the stream");
+
+        c.stream_begin("bad-len", "wl").unwrap();
+        c.stream_chunk(&text).unwrap();
+        let err = c.stream_finish(crc, text.len() as u64 + 1).unwrap_err();
+        assert!(err.to_string().contains("length mismatch"), "{err}");
+        assert!(!c.contains(EntryKind::Trace, "bad-len"));
+
+        // The corpus is still fully usable afterwards.
+        c.put_trace_bytes("ok", "wl", &text).unwrap();
+        assert!(c.contains(EntryKind::Trace, "ok"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aborted_stream_leaves_no_partial_entry_after_reopen() {
+        let dir = tmp_dir("stream-abort");
+        let mut c = Corpus::init(&dir).unwrap();
+        let text = act_trace::io::trace_to_bytes(&sample_trace(5000, 2));
+        c.stream_begin("half", "wl").unwrap();
+        // Feed enough to open the entry and flush real columnar chunks,
+        // then drop the client mid-upload.
+        c.stream_chunk(&text[..text.len() / 2]).unwrap();
+        c.stream_abort();
+        assert!(!c.contains(EntryKind::Trace, "half"));
+        // Recovery on reopen sees no trace of the half-streamed entry.
+        drop(c);
+        let c = Corpus::open(&dir).unwrap();
+        assert_eq!(c.entries(None).len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn materialized_puts_are_refused_while_a_stream_is_open() {
+        let dir = tmp_dir("stream-lock");
+        let mut c = Corpus::init(&dir).unwrap();
+        let trace = sample_trace(20, 3);
+        let text = act_trace::io::trace_to_bytes(&trace);
+        c.stream_begin("s", "wl").unwrap();
+        c.stream_chunk(&text[..10]).unwrap();
+        assert!(c.put_trace("t", "wl", &trace).is_err());
+        assert!(c.put_trace_bytes("t", "wl", &text).is_err());
+        assert!(c.put_blob(EntryKind::Model, "m", "wl", b"w").is_err());
+        assert!(c.stream_begin("s2", "wl").is_err(), "one stream at a time");
+        // The open stream survives those refusals and still finishes.
+        let rest = &text[10..];
+        c.stream_chunk(rest).unwrap();
+        c.stream_finish(crate::crc32::crc32(&text), text.len() as u64).unwrap();
+        assert_eq!(act_trace::io::trace_to_bytes(&c.get_trace("s").unwrap()), text);
+        c.put_trace("t", "wl", &trace).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_mid_stream_aborts_and_truncates() {
+        let dir = tmp_dir("stream-garbage");
+        let mut c = Corpus::init(&dir).unwrap();
+        c.stream_begin("bad", "wl").unwrap();
+        c.stream_chunk(b"acttrace v1 10\n").unwrap();
+        assert!(c.stream_chunk(b"L not a record\n").is_err());
+        assert!(c.streaming_key().is_none(), "failed chunk aborts the stream");
+        assert!(!c.contains(EntryKind::Trace, "bad"));
         drop(c);
         let c = Corpus::open(&dir).unwrap();
         assert_eq!(c.entries(None).len(), 0);

@@ -23,11 +23,45 @@ static TABLE: [u32; 256] = build_table();
 
 /// CRC-32 of `bytes` (reflected, init/xorout `!0` — the zlib convention).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental CRC-32 over a byte stream, for callers that see the data in
+/// chunks (the protocol's streaming ingest): feed with [`Crc32::update`],
+/// read the digest with [`Crc32::finish`]. `Crc32::new().update(b).finish()`
+/// equals [`crc32`]`(b)` for any chunking of `b`.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !crc
+}
+
+impl Crc32 {
+    /// A fresh hasher (empty input digests to 0).
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0u32 }
+    }
+
+    /// Fold `bytes` into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything fed so far (the hasher stays usable).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
 }
 
 #[cfg(test)]
@@ -40,6 +74,18 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_for_any_chunking() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let want = crc32(data);
+        for split in [0, 1, 7, 20, data.len()] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), want, "split at {split}");
+        }
     }
 
     #[test]

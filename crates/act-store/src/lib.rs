@@ -29,6 +29,7 @@ pub mod segment;
 pub mod varint;
 
 pub use corpus::{CompactStat, Corpus, CorpusStat, OpenReport, DEFAULT_SEAL_BYTES};
+pub use crc32::Crc32;
 pub use error::StoreError;
 pub use metrics::StoreMetrics;
 pub use segment::{

@@ -11,7 +11,17 @@
 //!     --baseline BENCH_baseline.json                          # fill `before`
 //! cargo run --release -p act-bench --bin perf -- \
 //!     --validate BENCH_hotpath.json                           # schema check
+//! cargo run --release -p act-bench --bin perf -- --quick \
+//!     --only classify_predictions,batched_diagnose \
+//!     --gate BENCH_hotpath.json --gate-pct 10                 # CI perf gate
 //! ```
+//!
+//! `--gate FILE` turns the run into a pass/fail check: every measured
+//! bench that has a row in FILE (matched the same way `--baseline` rows
+//! are) must not regress by more than `--gate-pct` percent (default 10),
+//! in the unit's own direction — else exit 1. `--gate-bench NAMES`
+//! (comma-separated, exact match) restricts the verdict to the named
+//! benches; everything else still runs and is recorded, ungated.
 
 use act_bench::perf;
 use act_core::ActError;
@@ -23,6 +33,9 @@ struct Args {
     validate: Option<String>,
     only: Option<String>,
     jobs: usize,
+    gate: Option<String>,
+    gate_pct: f64,
+    gate_bench: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, ActError> {
@@ -33,6 +46,9 @@ fn parse_args(argv: &[String]) -> Result<Args, ActError> {
         validate: None,
         only: None,
         jobs: act_fleet::default_workers(),
+        gate: None,
+        gate_pct: 10.0,
+        gate_bench: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -63,6 +79,24 @@ fn parse_args(argv: &[String]) -> Result<Args, ActError> {
                     return Err("--jobs must be >= 1".into());
                 }
             }
+            "--gate" => {
+                i += 1;
+                args.gate = Some(argv.get(i).ok_or("--gate needs a value")?.clone());
+            }
+            "--gate-pct" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--gate-pct needs a value")?;
+                args.gate_pct = v
+                    .parse()
+                    .map_err(|_| ActError::Parse(format!("bad --gate-pct value `{v}`")))?;
+                if !args.gate_pct.is_finite() || args.gate_pct < 0.0 {
+                    return Err("--gate-pct must be a non-negative percentage".into());
+                }
+            }
+            "--gate-bench" => {
+                i += 1;
+                args.gate_bench = Some(argv.get(i).ok_or("--gate-bench needs a value")?.clone());
+            }
             other => return Err(ActError::Parse(format!("unknown flag `{other}`"))),
         }
         i += 1;
@@ -83,7 +117,8 @@ fn main() {
         Err(e) => {
             eprintln!("perf: {e}");
             eprintln!(
-                "usage: perf [--quick] [--out FILE] [--baseline FILE] [--validate FILE] [--only NAME] [--jobs N]"
+                "usage: perf [--quick] [--out FILE] [--baseline FILE] [--validate FILE] \
+                 [--only NAMES] [--jobs N] [--gate FILE] [--gate-pct PCT] [--gate-bench NAMES]"
             );
             std::process::exit(2);
         }
@@ -141,4 +176,42 @@ fn main() {
         std::process::exit(2);
     }
     println!("wrote {}", args.out);
+
+    // Gate mode: compare against the committed reference file and fail the
+    // run on any regression past the threshold. Benches absent from the
+    // gate file pass vacuously (a new bench cannot block its own PR).
+    if let Some(path) = &args.gate {
+        let reference = match load_entries(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perf: bad gate file: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut gated = entries.clone();
+        perf::merge_baseline(&mut gated, &reference);
+        if let Some(filter) = &args.gate_bench {
+            gated.retain(|e| filter.split(',').any(|p| e.bench == p));
+        }
+        let mut failed = false;
+        for e in &gated {
+            let Some(regression) = e.regression_pct() else {
+                println!("gate: {:<30} no reference, skipped", e.bench);
+                continue;
+            };
+            let ok = regression <= args.gate_pct;
+            println!(
+                "gate: {:<30} {:+.1}% vs {path} (limit +{:.1}%): {}",
+                e.bench,
+                regression,
+                args.gate_pct,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("perf: gate failed (see REGRESSION lines above)");
+            std::process::exit(1);
+        }
+    }
 }

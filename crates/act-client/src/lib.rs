@@ -308,17 +308,53 @@ impl Client {
     /// Dispatch a unary request over the configured transport.
     fn roundtrip(&self, req: &Request) -> Result<Reply, ActError> {
         if self.depth <= 1 {
-            // One-shot framing speaks the current protocol version but is
-            // understood by v1+ daemons; the shimmed free functions remain
-            // the compatibility reference, so keep using them here.
-            #[allow(deprecated)]
-            let reply = act_serve::request_with(&self.endpoint, req, &self.cfg)
-                .map_err(|e| self.convert(e))?;
+            let reply = self.oneshot(req).map_err(|e| self.convert(e))?;
             return check_reply(reply);
         }
         match self.over_session(self.depth, |s| s.call(req)?.wait()) {
             Ok(reply) => check_reply(reply),
             Err(e) => Err(self.convert(e)),
+        }
+    }
+
+    /// One classic one-shot exchange (fresh connection, one frame each
+    /// way — understood by v1+ daemons), retried exactly once on a
+    /// transport failure or `BUSY` when a retry policy is configured.
+    fn oneshot(&self, req: &Request) -> Result<Reply, ClientError> {
+        match self.oneshot_once(req) {
+            outcome @ (Err(ClientError::Io(_)) | Ok(Reply::Busy)) => match &self.cfg.retry {
+                Some(policy) => {
+                    std::thread::sleep(policy.sleep_for(0));
+                    self.oneshot_once(req)
+                }
+                None => outcome,
+            },
+            outcome => outcome,
+        }
+    }
+
+    fn oneshot_once(&self, req: &Request) -> Result<Reply, ClientError> {
+        fn exchange<S: Read + std::io::Write>(
+            mut stream: S,
+            req: &Request,
+        ) -> Result<Reply, ClientError> {
+            act_serve::proto::write_frame(&mut stream, &req.to_frame())?;
+            let frame = act_serve::proto::read_frame(&mut stream)?;
+            Ok(Reply::from_frame(&frame)?)
+        }
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = act_serve::connect_tcp(addr, self.cfg.connect_timeout)?;
+                stream.set_read_timeout(self.cfg.io_timeout)?;
+                stream.set_write_timeout(self.cfg.io_timeout)?;
+                exchange(stream, req)
+            }
+            Endpoint::Unix(path) => {
+                let stream = std::os::unix::net::UnixStream::connect(path)?;
+                stream.set_read_timeout(self.cfg.io_timeout)?;
+                stream.set_write_timeout(self.cfg.io_timeout)?;
+                exchange(stream, req)
+            }
         }
     }
 

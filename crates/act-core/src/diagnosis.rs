@@ -161,6 +161,106 @@ pub fn classify_trace(
     entries
 }
 
+/// How many windows [`classify_trace_batch`] feeds to one
+/// [`act_nn::network::Network::predict_batch`] call. Bounds the network's
+/// batch scratch (so the steady state allocates nothing) while still
+/// amortizing weight loads across a whole tile of windows.
+pub const CLASSIFY_BATCH: usize = 64;
+
+/// Batched [`classify_trace`]: classify several shipped traces against the
+/// same trained `store` in one pass, returning one entry vector per trace
+/// (same order). **Bit-identical** to calling `classify_trace` on each
+/// trace in turn: every window's features go through
+/// [`act_nn::network::Network::predict_batch`], whose per-element float
+/// ops are exactly `predict`'s, and entries are emitted in the original
+/// window order per trace.
+///
+/// What the batching amortizes: per-thread networks are built once for
+/// the whole batch (not once per trace), and windows are grouped per
+/// thread into [`CLASSIFY_BATCH`]-sized matrix-matrix blocks so the
+/// hidden-layer weights are loaded once per block of four windows instead
+/// of once per window.
+///
+/// # Panics
+///
+/// Panics if `norm_code_len == 0` or the store's sequence length is 0.
+pub fn classify_trace_batch(
+    store: &crate::weights::WeightStore,
+    traces: &[&act_trace::event::Trace],
+    norm_code_len: usize,
+    threshold: f32,
+) -> Vec<Vec<DebugEntry>> {
+    use std::collections::HashMap;
+    let enc = crate::encoding::Encoder::new(norm_code_len);
+    let mut nets: HashMap<act_sim::events::ThreadId, act_nn::network::Network> = HashMap::new();
+    // Reused across traces: per-thread feature batches, window outputs,
+    // and the per-window encode buffer.
+    let mut groups: HashMap<act_sim::events::ThreadId, (Vec<f32>, Vec<usize>)> = HashMap::new();
+    let mut outputs: Vec<f32> = Vec::new();
+    let mut batch_out: Vec<f32> = Vec::new();
+    let mut x = Vec::new();
+    let mut results = Vec::with_capacity(traces.len());
+    for trace in traces {
+        let deps = observed_deps(trace);
+        let cycle_of: HashMap<u64, u64> = trace.records.iter().map(|r| (r.seq, r.cycle)).collect();
+        let samples = positive_sequences(&deps, store.seq_len());
+        for (xs, idx) in groups.values_mut() {
+            xs.clear();
+            idx.clear();
+        }
+        for (i, s) in samples.iter().enumerate() {
+            let (xs, idx) = groups.entry(s.tid).or_default();
+            enc.encode_seq_into(&s.deps, &mut x);
+            xs.extend_from_slice(&x);
+            idx.push(i);
+        }
+        outputs.clear();
+        outputs.resize(samples.len(), 0.0);
+        let width = x.len().max(1);
+        for (tid, (xs, idx)) in groups.iter() {
+            if idx.is_empty() {
+                continue;
+            }
+            let net = nets.entry(*tid).or_insert_with(|| store.network_for(*tid, 0.0));
+            for (chunk, ids) in xs.chunks(CLASSIFY_BATCH * width).zip(idx.chunks(CLASSIFY_BATCH)) {
+                batch_out.clear();
+                net.predict_batch(chunk, &mut batch_out);
+                for (&i, &o) in ids.iter().zip(&batch_out) {
+                    outputs[i] = o;
+                }
+            }
+        }
+        let mut entries = Vec::new();
+        for (i, s) in samples.into_iter().enumerate() {
+            if outputs[i] < threshold {
+                entries.push(DebugEntry {
+                    deps: s.deps,
+                    output: outputs[i],
+                    cycle: cycle_of.get(&s.seq).copied().unwrap_or(0),
+                    tid: s.tid,
+                });
+            }
+        }
+        results.push(entries);
+    }
+    results
+}
+
+/// Batched [`diagnose_trace`]: one ranked [`Diagnosis`] per trace (same
+/// order), classified through [`classify_trace_batch`] and postprocessed
+/// per trace. Bit-identical to diagnosing each trace individually.
+pub fn diagnose_trace_batch(
+    store: &crate::weights::WeightStore,
+    correct: &CorrectSet,
+    traces: &[&act_trace::event::Trace],
+    norm_code_len: usize,
+) -> Vec<Diagnosis> {
+    classify_trace_batch(store, traces, norm_code_len, 0.5)
+        .iter()
+        .map(|entries| postprocess(entries, correct))
+        .collect()
+}
+
 /// Full service-side diagnosis of a shipped failing trace: classify every
 /// dependence window with the trained `store`, then prune and rank the
 /// flagged ones against the Correct Set — the same postprocessing a
@@ -285,6 +385,49 @@ mod tests {
             "every sequence of a correct run is in the Correct Set: {:?}",
             diag.ranked
         );
+    }
+
+    #[test]
+    fn classify_trace_batch_matches_sequential_bit_for_bit() {
+        let p = looping_program();
+        let base = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        // Three traces from different seeds, diagnosed as one batch.
+        let traces = crate::offline::collect_traces(&p, &base, [1, 2, 3], |o| o.completed());
+        let store = WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1);
+        let refs: Vec<&act_trace::event::Trace> = traces.iter().collect();
+        let batched = classify_trace_batch(&store, &refs, p.code_len(), 0.5);
+        assert_eq!(batched.len(), traces.len());
+        for (t, b) in traces.iter().zip(&batched) {
+            let seq = classify_trace(&store, t, p.code_len(), 0.5);
+            assert_eq!(seq.len(), b.len());
+            for (s, e) in seq.iter().zip(b) {
+                assert_eq!(s.deps, e.deps);
+                assert_eq!(s.output.to_bits(), e.output.to_bits(), "outputs must be bit-equal");
+                assert_eq!(s.cycle, e.cycle);
+                assert_eq!(s.tid, e.tid);
+            }
+        }
+    }
+
+    #[test]
+    fn diagnose_trace_batch_matches_sequential() {
+        let p = looping_program();
+        let base = MachineConfig { jitter_ppm: 0, ..Default::default() };
+        let traces = crate::offline::collect_traces(&p, &base, [1, 2], |o| o.completed());
+        let store = WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1);
+        let set = build_correct_set(&p, &base, 1..=3, 2, |o| o.completed());
+        let refs: Vec<&act_trace::event::Trace> = traces.iter().collect();
+        let batched = diagnose_trace_batch(&store, &set, &refs, p.code_len());
+        for (t, b) in traces.iter().zip(&batched) {
+            let seq = diagnose_trace(&store, &set, t, p.code_len());
+            assert_eq!(format!("{seq:?}"), format!("{b:?}"), "diagnosis must match sequential");
+        }
+    }
+
+    #[test]
+    fn classify_trace_batch_handles_the_empty_batch() {
+        let store = WeightStore::new(Topology::new(2 * crate::encoding::FEATURES_PER_DEP, 3), 2, 1);
+        assert!(classify_trace_batch(&store, &[], 64, 0.5).is_empty());
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl<T> BoundedQueue<T> {
             return Err(item);
         }
         inner.items.push_back(item);
-        self.nonempty.notify_one();
+        // notify_all, not notify_one: a consumer parked in
+        // [`drain_matching`](BoundedQueue::drain_matching) whose predicate
+        // rejects this item would otherwise swallow the only wakeup and
+        // leave a `pop`-blocked consumer asleep with work queued.
+        self.nonempty.notify_all();
         Ok(())
     }
 
@@ -121,6 +125,60 @@ impl<T> BoundedQueue<T> {
                 return None;
             }
             inner = self.nonempty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Selectively dequeue up to `max` items matching `pred`, waiting
+    /// until `deadline` for at least one match — the gather half of a
+    /// request-coalescing scheduler. Non-matching items are left queued
+    /// *in order* for other consumers.
+    ///
+    /// Returns as soon as a scan finds one or more matches (so a gatherer
+    /// loops until its batch is full or this returns empty), and returns
+    /// an empty vector when the deadline passes or the queue closes with
+    /// no match. Each arrival re-triggers a scan, so a matching item
+    /// pushed mid-wait is picked up immediately.
+    pub fn drain_matching<F>(&self, max: usize, deadline: std::time::Instant, pred: F) -> Vec<T>
+    where
+        F: Fn(&T) -> bool,
+    {
+        fn scan<T>(
+            items: &mut VecDeque<T>,
+            got: &mut Vec<T>,
+            max: usize,
+            pred: &impl Fn(&T) -> bool,
+        ) {
+            let mut i = 0;
+            while i < items.len() && got.len() < max {
+                if pred(&items[i]) {
+                    got.push(items.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let mut got = Vec::new();
+        if max == 0 {
+            return got;
+        }
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            scan(&mut inner.items, &mut got, max, &pred);
+            if !got.is_empty() || inner.closed {
+                return got;
+            }
+            let now = std::time::Instant::now();
+            let Some(wait) = deadline.checked_duration_since(now).filter(|w| !w.is_zero()) else {
+                return got;
+            };
+            let (guard, timeout) = self.nonempty.wait_timeout(inner, wait).expect("queue lock");
+            inner = guard;
+            if timeout.timed_out() {
+                // Final scan: an item may have landed between the last
+                // scan and the deadline expiring.
+                scan(&mut inner.items, &mut got, max, &pred);
+                return got;
+            }
         }
     }
 
@@ -233,5 +291,70 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn bounded_queue_rejects_zero_capacity() {
         let _ = BoundedQueue::<u32>::new(0);
+    }
+
+    #[test]
+    fn drain_matching_takes_only_matches_and_keeps_order() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(8);
+        for v in [1, 2, 3, 4, 5, 6] {
+            q.try_push(v).unwrap();
+        }
+        let now = std::time::Instant::now();
+        let evens = q.drain_matching(10, now, |v| v % 2 == 0);
+        assert_eq!(evens, vec![2, 4, 6]);
+        assert_eq!(q.pop(), Some(1), "non-matching items stay, in order");
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+    }
+
+    #[test]
+    fn drain_matching_respects_max() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(8);
+        for v in 0..6 {
+            q.try_push(v).unwrap();
+        }
+        let got = q.drain_matching(2, std::time::Instant::now(), |_| true);
+        assert_eq!(got, vec![0, 1]);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn drain_matching_times_out_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        let start = std::time::Instant::now();
+        let deadline = start + std::time::Duration::from_millis(40);
+        let got = q.drain_matching(4, deadline, |v| *v == 99);
+        assert!(got.is_empty(), "no match ever arrives");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(40), "waited to deadline");
+        assert_eq!(q.pop(), Some(7), "the non-match is untouched");
+    }
+
+    #[test]
+    fn drain_matching_wakes_on_midwait_arrival() {
+        let q: std::sync::Arc<BoundedQueue<u32>> = std::sync::Arc::new(BoundedQueue::new(4));
+        let qc = q.clone();
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            qc.try_push(42).unwrap();
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let got = q.drain_matching(1, deadline, |v| *v == 42);
+        pusher.join().unwrap();
+        assert_eq!(got, vec![42], "a matching arrival ends the wait early");
+    }
+
+    #[test]
+    fn drain_matching_returns_empty_on_close() {
+        let q: std::sync::Arc<BoundedQueue<u32>> = std::sync::Arc::new(BoundedQueue::new(4));
+        let qc = q.clone();
+        let closer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            qc.close();
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let got = q.drain_matching(1, deadline, |_| true);
+        closer.join().unwrap();
+        assert!(got.is_empty(), "close unblocks the gatherer");
     }
 }

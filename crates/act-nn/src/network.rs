@@ -86,6 +86,10 @@ pub struct Network {
     /// Scratch: hidden-layer errors (training), padded like the tiles.
     /// Pad entries are permanently zero so pad rows never learn.
     err_h: Vec<f32>,
+    /// Scratch: per-element hidden activations for [`Network::predict_batch`],
+    /// `stride` floats per batch element (same invariants as `hidden_act`).
+    /// Grows to the largest batch seen, then never reallocates.
+    batch_act: Vec<f32>,
 }
 
 impl Network {
@@ -120,6 +124,7 @@ impl Network {
             sigmoid: SigmoidMode::Exact,
             hidden_act: vec![0.0; nh_pad.max(out_stride)],
             err_h: vec![0.0; nh_pad],
+            batch_act: Vec::new(),
         }
     }
 
@@ -254,6 +259,130 @@ impl Network {
     /// Whether an output classifies the sequence as valid.
     pub fn classify(output: f32) -> bool {
         output >= VALID_THRESHOLD
+    }
+
+    /// Batched forward pass: evaluate `B = xs.len() / inputs` inputs, laid
+    /// out back to back in `xs`, and append their outputs to `out` in
+    /// order. **Bit-identical** to calling [`Network::predict`] on each
+    /// input in turn — see the determinism argument below — but much
+    /// faster for B > 1: the hidden layer runs as a tiled matrix-matrix
+    /// product in 4×4 register blocks (four hidden rows × four batch
+    /// elements), so each tile's weight columns are loaded once per block
+    /// of four inputs instead of once per input.
+    ///
+    /// Determinism: per element, every hidden row still accumulates
+    /// bias-first then columns left-to-right (the blocking interleaves
+    /// *elements*, never an element's own additions), the activation map
+    /// covers the same padded slice, and the output row uses the same
+    /// [`Self::dot_lanes`] contract over a per-element scratch slice that
+    /// carries the exact invariants of `hidden_act` (pad lanes zero, bias
+    /// slot 1.0). Same inputs, same float ops, same order ⇒ same bits.
+    ///
+    /// Scratch (`batch_act`) grows to the largest batch seen and is then
+    /// reused: a steady-state caller with a bounded batch size allocates
+    /// nothing (`out` reuses the caller's capacity; only `extend` beyond
+    /// it allocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len()` is not a multiple of `topology().inputs`.
+    pub fn predict_batch(&mut self, xs: &[f32], out: &mut Vec<f32>) {
+        let ni = self.topo.inputs;
+        let nh = self.topo.hidden;
+        assert_eq!(xs.len() % ni, 0, "batch input size mismatch");
+        let b = xs.len() / ni;
+        let cols = ni + 1;
+        let nh_pad = pad4(nh);
+        let out_stride = pad4(nh + 1);
+        let stride = nh_pad.max(out_stride);
+        if self.batch_act.len() < b * stride {
+            // Fresh slots start (and pad slots stay) zero, the same
+            // invariant `hidden_act` is constructed with.
+            self.batch_act.resize(b * stride, 0.0);
+        }
+
+        let (tiles, out_w) = self.weights.split_at(nh_pad * cols);
+        for (ti, tile) in tiles.chunks_exact(4 * cols).enumerate() {
+            let (xw, bias) = tile.split_at(4 * ni);
+            let bias = [bias[0], bias[1], bias[2], bias[3]];
+            // Full 4-element blocks: 16 accumulator lanes, one weight
+            // column load shared by four inputs.
+            let mut e = 0;
+            while e + 4 <= b {
+                let x0 = &xs[e * ni..][..ni];
+                let x1 = &xs[(e + 1) * ni..][..ni];
+                let x2 = &xs[(e + 2) * ni..][..ni];
+                let x3 = &xs[(e + 3) * ni..][..ni];
+                let (mut a0, mut a1, mut a2, mut a3) = (bias, bias, bias, bias);
+                for (c, col) in xw.chunks_exact(4).enumerate() {
+                    let (y0, y1, y2, y3) = (x0[c], x1[c], x2[c], x3[c]);
+                    a0[0] += col[0] * y0;
+                    a0[1] += col[1] * y0;
+                    a0[2] += col[2] * y0;
+                    a0[3] += col[3] * y0;
+                    a1[0] += col[0] * y1;
+                    a1[1] += col[1] * y1;
+                    a1[2] += col[2] * y1;
+                    a1[3] += col[3] * y1;
+                    a2[0] += col[0] * y2;
+                    a2[1] += col[1] * y2;
+                    a2[2] += col[2] * y2;
+                    a2[3] += col[3] * y2;
+                    a3[0] += col[0] * y3;
+                    a3[1] += col[1] * y3;
+                    a3[2] += col[2] * y3;
+                    a3[3] += col[3] * y3;
+                }
+                for (k, acc) in [a0, a1, a2, a3].iter().enumerate() {
+                    self.batch_act[(e + k) * stride + 4 * ti..][..4].copy_from_slice(acc);
+                }
+                e += 4;
+            }
+            // Remainder elements: the scalar shape of `predict`'s loop.
+            while e < b {
+                let x = &xs[e * ni..][..ni];
+                let mut acc = bias;
+                for (col, &xc) in xw.chunks_exact(4).zip(x.iter()) {
+                    acc[0] += col[0] * xc;
+                    acc[1] += col[1] * xc;
+                    acc[2] += col[2] * xc;
+                    acc[3] += col[3] * xc;
+                }
+                self.batch_act[e * stride + 4 * ti..][..4].copy_from_slice(&acc);
+                e += 1;
+            }
+        }
+
+        out.reserve(b);
+        for e in 0..b {
+            let h = &mut self.batch_act[e * stride..][..stride];
+            let o = match self.sigmoid {
+                SigmoidMode::Exact => {
+                    sigmoid_map(&mut h[..nh_pad]);
+                    h[nh] = 1.0;
+                    sigmoid(Self::dot_lanes(out_w, &h[..out_stride]))
+                }
+                SigmoidMode::Table => {
+                    let t = SigmoidTable::hardware_default();
+                    for a in &mut h[..nh_pad] {
+                        *a = t.eval(*a);
+                    }
+                    h[nh] = 1.0;
+                    t.eval(Self::dot_lanes(out_w, &h[..out_stride]))
+                }
+            };
+            out.push(o);
+        }
+    }
+
+    /// Batched classify: [`Network::predict_batch`] plus the
+    /// [`Network::classify`] threshold per element, appended to `valid`.
+    /// `out` receives the raw outputs (same contract as `predict_batch`).
+    pub fn classify_batch(&mut self, xs: &[f32], out: &mut Vec<f32>, valid: &mut Vec<bool>) {
+        let first = out.len();
+        self.predict_batch(xs, out);
+        valid.reserve(out.len() - first);
+        valid.extend(out[first..].iter().map(|&o| Self::classify(o)));
     }
 
     /// One step of online back-propagation toward target `t` (0 or 1).
@@ -428,6 +557,60 @@ mod tests {
         assert!(Network::classify(0.5));
         assert!(Network::classify(0.9));
         assert!(!Network::classify(0.49));
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_sequential() {
+        // Every batch size around the 4-element blocking boundary, several
+        // topologies around the 4-row tile boundary, both sigmoid modes.
+        for (ni, nh) in [(1, 1), (3, 4), (4, 4), (10, 10), (7, 9), (12, 8), (5, 13)] {
+            let topo = Topology::new(ni, nh);
+            for mode in [SigmoidMode::Exact, SigmoidMode::Table] {
+                let mut net = Network::random(topo, 0.2, (ni * 131 + nh) as u64);
+                net.set_sigmoid(mode);
+                for b in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+                    let xs: Vec<f32> =
+                        (0..b * ni).map(|i| ((i * 37 + 5) % 23) as f32 / 23.0 - 0.3).collect();
+                    let mut batched = Vec::new();
+                    net.predict_batch(&xs, &mut batched);
+                    let seq: Vec<f32> = xs.chunks_exact(ni).map(|x| net.predict(x)).collect();
+                    assert_eq!(
+                        batched.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        seq.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        "{topo} {mode:?} B={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_batch_applies_the_threshold_per_element() {
+        let topo = Topology::new(4, 4);
+        let mut net = Network::random(topo, 0.2, 17);
+        let xs: Vec<f32> = (0..6 * 4).map(|i| (i % 9) as f32 / 9.0).collect();
+        let (mut out, mut valid) = (Vec::new(), Vec::new());
+        net.classify_batch(&xs, &mut out, &mut valid);
+        assert_eq!(out.len(), 6);
+        assert_eq!(valid.len(), 6);
+        for (o, v) in out.iter().zip(&valid) {
+            assert_eq!(Network::classify(*o), *v);
+        }
+    }
+
+    #[test]
+    fn predict_batch_handles_the_empty_batch() {
+        let mut net = Network::random(Topology::new(3, 2), 0.2, 1);
+        let mut out = Vec::new();
+        net.predict_batch(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch input size mismatch")]
+    fn predict_batch_rejects_ragged_input() {
+        let mut net = Network::random(Topology::new(3, 2), 0.2, 0);
+        let _ = net.predict_batch(&[0.0; 7], &mut Vec::new());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Steady-state allocation audit for the *batched* classify path.
+//!
+//! `classify_batch` extends the hot-path contract (DESIGN.md § Performance)
+//! to batched execution: after the first call has sized the persistent
+//! batch scratch and the caller's output vectors have reached capacity,
+//! repeated batches must not touch the heap. A counting global allocator
+//! makes that a test instead of a code-review property.
+//!
+//! This file holds exactly one `#[test]` so no sibling test thread
+//! allocates concurrently and trips the counter.
+
+use act_nn::network::{Network, Topology};
+use act_nn::sigmoid::SigmoidMode;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn batched_classify_does_not_allocate_in_steady_state() {
+    // The paper's deployed shape at the coalescer's default batch bound.
+    let (inputs, batch) = (10, 16);
+    let mut net = Network::random(Topology::new(inputs, 10), 0.2, 42);
+    let xs: Vec<f32> = (0..inputs * batch).map(|i| ((i * 13 + 7) % 100) as f32 / 100.0).collect();
+    let mut out = Vec::new();
+    let mut valid = Vec::new();
+
+    for mode in [SigmoidMode::Exact, SigmoidMode::Table] {
+        net.set_sigmoid(mode);
+        // Warm up: the first call sizes the batch scratch and grows the
+        // caller-owned output vectors to their steady-state capacity.
+        net.classify_batch(&xs, &mut out, &mut valid);
+        // Best of three windows: the loop below is deterministic, so a real
+        // allocation in the batch path would fire in *every* window (1000+
+        // counts each); the libtest harness thread, however, occasionally
+        // allocates concurrently and a single window can catch that ambient
+        // noise. One clean window proves the code path is allocation-free.
+        let mut best = usize::MAX;
+        for _window in 0..3 {
+            let before = ALLOCS.load(Ordering::SeqCst);
+            let mut sink = 0.0f32;
+            for _ in 0..1000 {
+                out.clear();
+                valid.clear();
+                net.classify_batch(&xs, &mut out, &mut valid);
+                sink += out[0] + out[batch - 1];
+            }
+            let after = ALLOCS.load(Ordering::SeqCst);
+            assert!(sink.is_finite());
+            assert_eq!(out.len(), batch);
+            assert_eq!(valid.len(), batch);
+            best = best.min(after - before);
+            if best == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            best, 0,
+            "{:?}: at least {} heap allocations in every one of three 1000-call \
+             steady-state classify_batch windows",
+            mode, best
+        );
+    }
+}

@@ -85,6 +85,45 @@ proptest! {
         prop_assert_eq!(o.to_bits(), reference.to_bits());
     }
 
+    /// Batched inference is bit-identical to the sequential loop it
+    /// replaces — for any batch size, topology, and input contents, and
+    /// across model mutation (training between calls must leave both
+    /// paths in lockstep). This is the invariant the coalescing server
+    /// leans on: a client cannot tell from the bytes of a reply whether
+    /// its request ran alone or inside a batch.
+    #[test]
+    fn batched_predict_is_bit_identical_to_sequential(
+        seed in any::<u64>(),
+        inputs in 1usize..24,
+        hidden in 1usize..16,
+        batch in 1usize..33,
+        raw in prop::collection::vec(0.0f32..1.0, 24 * 32),
+    ) {
+        let topo = Topology::new(inputs, hidden);
+        let mut net = Network::random(topo, 0.2, seed);
+        let mut reference = Network::from_flat(topo, &net.weights_flat(), 0.2);
+        let xs = &raw[..inputs * batch];
+        for round in 0..2 {
+            let seq: Vec<f32> = xs.chunks_exact(inputs).map(|x| reference.predict(x)).collect();
+            let mut out = Vec::new();
+            let mut valid = Vec::new();
+            net.classify_batch(xs, &mut out, &mut valid);
+            prop_assert_eq!(out.len(), batch);
+            for (row, (&batched, &sequential)) in out.iter().zip(&seq).enumerate() {
+                prop_assert!(
+                    batched.to_bits() == sequential.to_bits(),
+                    "round {} row {}: batched {} != sequential {}",
+                    round, row, batched, sequential
+                );
+                prop_assert_eq!(valid[row], Network::classify(sequential));
+            }
+            // Mutate both models identically, then re-check: batching must
+            // stay bit-exact on a trained (non-random) weight matrix too.
+            net.train(&xs[..inputs], 1.0);
+            reference.train(&xs[..inputs], 1.0);
+        }
+    }
+
     /// The sigmoid table approximates the exact function everywhere.
     #[test]
     fn sigmoid_table_is_accurate(x in -20.0f32..20.0) {

@@ -33,7 +33,8 @@ use act_workloads::registry;
 use act_workloads::spec::Workload;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Default training epoch cap when the request leaves `max_epochs` at 0
 /// (matches the experiment harness's `act_cfg`).
@@ -82,17 +83,25 @@ pub enum CacheOutcome {
 
 struct Slot {
     model: Arc<Model>,
-    last_used: u64,
-}
-
-struct Inner {
-    map: HashMap<ModelKey, Slot>,
-    tick: u64,
+    /// Relaxed-atomic LRU stamp: hits bump it under the *read* lock, so
+    /// the hot path never takes an exclusive lock (see [`ModelCache`]).
+    last_used: AtomicU64,
 }
 
 /// LRU cache over trained models, optionally backed by a model directory.
+///
+/// The hit path is contention-free: lookups take the map's `RwLock` in
+/// *read* mode (shared — concurrent workers never serialize on hits) and
+/// record recency by storing a relaxed-atomic tick into the slot. Only
+/// misses — an insert after disk/store/training resolution — take the
+/// write lock. Under concurrency the LRU ordering is approximate (two
+/// simultaneous hits may stamp ticks out of order), which changes nothing
+/// observable: eviction picks *a* least-recently-used victim, and the
+/// stamps of concurrently-touched entries differ by at most the number of
+/// in-flight readers.
 pub struct ModelCache {
-    inner: Mutex<Inner>,
+    map: RwLock<HashMap<ModelKey, Slot>>,
+    tick: AtomicU64,
     capacity: usize,
     dir: Option<PathBuf>,
     corpus: Option<Arc<Mutex<Corpus>>>,
@@ -108,7 +117,8 @@ impl ModelCache {
     pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         ModelCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            map: RwLock::new(HashMap::new()),
+            tick: AtomicU64::new(0),
             capacity,
             dir,
             corpus: None,
@@ -129,7 +139,7 @@ impl ModelCache {
 
     /// Models currently resident in memory.
     pub fn resident(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.map.read().expect("cache lock").len()
     }
 
     /// Fetch the model for `spec`, training it on a miss. The lock is *not*
@@ -179,27 +189,23 @@ impl ModelCache {
     }
 
     fn lookup(&self, key: &ModelKey) -> Option<Arc<Model>> {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        let slot = inner.map.get_mut(key)?;
-        slot.last_used = tick;
+        let map = self.map.read().expect("cache lock");
+        let slot = map.get(key)?;
+        slot.last_used.store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
         Some(slot.model.clone())
     }
 
     fn insert(&self, key: ModelKey, model: Arc<Model>) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(key, Slot { model, last_used: tick });
-        while inner.map.len() > self.capacity {
-            let evict = inner
-                .map
+        let mut map = self.map.write().expect("cache lock");
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        map.insert(key, Slot { model, last_used: AtomicU64::new(tick) });
+        while map.len() > self.capacity {
+            let evict = map
                 .iter()
-                .min_by_key(|(_, s)| s.last_used)
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone())
                 .expect("nonempty map");
-            inner.map.remove(&evict);
+            map.remove(&evict);
         }
     }
 

@@ -97,8 +97,10 @@ impl RetryPolicy {
         RetryPolicy { backoff, seed }
     }
 
-    /// The jittered sleep before retry `attempt` (0-based).
-    fn sleep_for(&self, attempt: u64) -> Duration {
+    /// The jittered sleep before retry `attempt` (0-based). Public so
+    /// `act-client` applies the same deterministic jitter to its own
+    /// one-shot retries without going through the deprecated shims.
+    pub fn sleep_for(&self, attempt: u64) -> Duration {
         let base = self.backoff.as_millis().max(1) as u64;
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(attempt));
         Duration::from_millis(base / 2 + rng.gen_range(0..base.max(1)))
@@ -139,7 +141,10 @@ impl ClientConfig {
 
 /// Send `request` and wait for the reply under the default bounded
 /// timeouts (no retry).
-#[deprecated(since = "0.1.0", note = "use act_client::Client instead")]
+#[deprecated(
+    since = "0.1.0",
+    note = "use act_client::Client instead; this shim will be removed in 0.3"
+)]
 pub fn request(endpoint: &Endpoint, request: &Request) -> Result<Reply, ClientError> {
     #[allow(deprecated)]
     request_with(endpoint, request, &ClientConfig::default())
@@ -147,7 +152,10 @@ pub fn request(endpoint: &Endpoint, request: &Request) -> Result<Reply, ClientEr
 
 /// Send `request` with `timeout` as both the connect and the read/write
 /// bound (no retry).
-#[deprecated(since = "0.1.0", note = "use act_client::Client instead")]
+#[deprecated(
+    since = "0.1.0",
+    note = "use act_client::Client instead; this shim will be removed in 0.3"
+)]
 pub fn request_timeout(
     endpoint: &Endpoint,
     request: &Request,
@@ -164,7 +172,8 @@ pub fn request_timeout(
 /// jittered backoff; the second outcome is returned as-is.
 #[deprecated(
     since = "0.1.0",
-    note = "use act_client::Client (builder-configured, pipelined, streaming) instead"
+    note = "use act_client::Client (builder-configured, pipelined, streaming) instead; \
+            this shim will be removed in 0.3"
 )]
 pub fn request_with(
     endpoint: &Endpoint,

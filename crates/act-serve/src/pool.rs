@@ -3,11 +3,27 @@
 //! `catch_unwind` — the same crash-isolation discipline as `act-fleet`'s
 //! campaign workers, so one poisoned request becomes an `ERROR` reply, not
 //! a dead daemon.
+//!
+//! # Coalescing scheduler
+//!
+//! Workers do not dispatch one diagnose request at a time. A worker that
+//! pops a batchable diagnose job becomes the *leader* of a micro-batch: it
+//! drains every queued job targeting the same [`ModelKey`] (and briefly
+//! waits — the gather window — for stragglers) up to the configured batch
+//! size, then runs the whole batch through
+//! [`act_core::diagnosis::diagnose_trace_batch`] and answers every member.
+//! Replies bound for the same v4 session go out as one buffered write.
+//! The win on a loaded daemon is amortization: one worker wakeup, one
+//! model-cache lookup, one classify sweep, and one reply syscall per
+//! *batch* instead of per request — while the batched kernel is
+//! bit-identical to the sequential one, so coalescing is invisible in the
+//! reply bytes. Fault-hook workloads (`__`-prefixed) are never coalesced;
+//! their per-request semantics (panic/sleep injection) must hold exactly.
 
-use crate::cache::{CacheOutcome, ModelCache};
+use crate::cache::{CacheOutcome, ModelCache, ModelKey};
 use crate::proto::{ModelSpec, Reply, Request};
 use crate::server::{send_reply, stored_summary, Conn, ServerStats, SessionShared};
-use act_core::diagnosis::diagnose_trace;
+use act_core::diagnosis::{diagnose_trace, diagnose_trace_batch};
 use act_core::postprocess::Diagnosis;
 use act_fleet::{panic_message, BoundedQueue};
 use act_obs::{events, Level};
@@ -17,6 +33,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How workers coalesce diagnose requests into micro-batches.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchPolicy {
+    /// Most requests per micro-batch; `1` disables coalescing.
+    pub size: usize,
+    /// How long a leader waits for same-model companions before
+    /// dispatching what it has.
+    pub wait: Duration,
+}
 
 /// Where a finished request's reply goes: a one-shot connection (the
 /// v1–v3 model — and plain v4 requests outside a session) or a slot on a
@@ -83,6 +109,7 @@ pub(crate) fn spawn_workers(
     cache: Arc<ModelCache>,
     stats: Arc<ServerStats>,
     deadline: Duration,
+    policy: BatchPolicy,
 ) -> Vec<JoinHandle<()>> {
     (0..n.max(1))
         .map(|i| {
@@ -93,7 +120,7 @@ pub(crate) fn spawn_workers(
                 .name(format!("act-serve-worker-{i}"))
                 .spawn(move || {
                     while let Some(job) = queue.pop() {
-                        process(job, &cache, &stats, deadline);
+                        dispatch(job, &queue, &cache, &stats, deadline, policy);
                     }
                 })
                 .expect("spawn worker thread")
@@ -101,26 +128,93 @@ pub(crate) fn spawn_workers(
         .collect()
 }
 
+/// The model a piece of work can coalesce under, or `None` when it must
+/// run alone: non-diagnose requests, and the reserved `__` fault-hook
+/// workloads whose injected panic/sleep must stay scoped to exactly one
+/// request.
+fn batch_key(work: &Work) -> Option<ModelKey> {
+    let spec = match work {
+        Work::Request(Request::Diagnose(spec, _)) => spec,
+        Work::DiagnoseTrace(spec, _) => spec,
+        Work::Request(_) => return None,
+    };
+    if spec.workload.starts_with("__") {
+        return None;
+    }
+    Some(ModelKey::from(spec))
+}
+
+/// Route one popped job: gather a micro-batch around a batchable diagnose
+/// leader, or fall through to the classic one-job path.
+fn dispatch(
+    job: Job,
+    queue: &BoundedQueue<Job>,
+    cache: &ModelCache,
+    stats: &ServerStats,
+    deadline: Duration,
+    policy: BatchPolicy,
+) {
+    let key = if policy.size > 1 { batch_key(&job.work) } else { None };
+    let Some(key) = key else {
+        process(job, cache, stats, deadline);
+        return;
+    };
+    let mut batch = vec![job];
+    // The gather window is absolute: once it passes, `drain_matching`
+    // only returns companions that are *already* queued and never parks,
+    // so a lone request is dispatched at most `policy.wait` after its
+    // leader popped — a slow trickle of matches can fill the batch but
+    // cannot stall it.
+    let gather_until = Instant::now() + policy.wait;
+    while batch.len() < policy.size {
+        let want = policy.size - batch.len();
+        let more =
+            queue.drain_matching(want, gather_until, |j| batch_key(&j.work).as_ref() == Some(&key));
+        if more.is_empty() {
+            break;
+        }
+        batch.extend(more);
+    }
+    stats.note_batch(batch.len());
+    process_batch(batch, cache, stats, deadline);
+}
+
+/// Count and emit one expired request; build its `ERROR` reply.
+fn deadline_reply(waited: Duration, deadline: Duration, stats: &ServerStats) -> Reply {
+    stats.bump_deadline_expired();
+    events().emit(
+        Level::Warn,
+        "serve.deadline",
+        format!(
+            "request expired after {}ms queued (limit {}ms)",
+            waited.as_millis(),
+            deadline.as_millis()
+        ),
+    );
+    Reply::Error(format!(
+        "deadline exceeded: request waited {}ms in queue (limit {}ms)",
+        waited.as_millis(),
+        deadline.as_millis()
+    ))
+}
+
+/// Count one finished reply the way the `STATUS` block expects.
+fn count_reply(reply: &Reply, stats: &ServerStats) {
+    match reply {
+        Reply::Trained(_) | Reply::Diagnosis(_) | Reply::Stored(_) | Reply::TraceData(_) => {
+            stats.bump_served()
+        }
+        Reply::Error(_) => stats.bump_errored(),
+        _ => {}
+    }
+}
+
 /// Execute one job: deadline check, crash-isolated request handling, reply.
 fn process(job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Duration) {
     let Job { responder, work, accepted } = job;
     let waited = accepted.elapsed();
     let reply = if waited > deadline {
-        stats.bump_deadline_expired();
-        events().emit(
-            Level::Warn,
-            "serve.deadline",
-            format!(
-                "request expired after {}ms queued (limit {}ms)",
-                waited.as_millis(),
-                deadline.as_millis()
-            ),
-        );
-        Reply::Error(format!(
-            "deadline exceeded: request waited {}ms in queue (limit {}ms)",
-            waited.as_millis(),
-            deadline.as_millis()
-        ))
+        deadline_reply(waited, deadline, stats)
     } else {
         let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| handle_work(&work, cache, stats)));
@@ -139,14 +233,137 @@ fn process(job: Job, cache: &ModelCache, stats: &ServerStats, deadline: Duration
             }
         }
     };
-    match &reply {
-        Reply::Trained(_) | Reply::Diagnosis(_) | Reply::Stored(_) | Reply::TraceData(_) => {
-            stats.bump_served()
-        }
-        Reply::Error(_) => stats.bump_errored(),
-        _ => {}
-    }
+    count_reply(&reply, stats);
     responder.respond(&reply, stats);
+}
+
+/// Execute one gathered micro-batch: per-member deadline checks and trace
+/// parses (failures answered individually), one model-cache resolution
+/// shared by every member, one batched classify sweep, then replies —
+/// grouped per session into a single write. The whole sweep runs inside
+/// `catch_unwind`; if it panics, every member is retried alone so one
+/// poisoned trace cannot take down its batch-mates.
+fn process_batch(batch: Vec<Job>, cache: &ModelCache, stats: &ServerStats, deadline: Duration) {
+    let mut finished: Vec<(Responder, Reply)> = Vec::with_capacity(batch.len());
+    let mut ready: Vec<(Responder, ModelSpec, Trace)> = Vec::with_capacity(batch.len());
+    for job in batch {
+        let Job { responder, work, accepted } = job;
+        let waited = accepted.elapsed();
+        if waited > deadline {
+            finished.push((responder, deadline_reply(waited, deadline, stats)));
+            continue;
+        }
+        match work {
+            Work::Request(Request::Diagnose(spec, bytes)) => match trace_from_bytes(&bytes) {
+                Ok(trace) => ready.push((responder, spec, trace)),
+                Err(e) => {
+                    finished.push((responder, Reply::Error(format!("bad trace payload: {e}"))))
+                }
+            },
+            Work::DiagnoseTrace(spec, trace) => ready.push((responder, spec, *trace)),
+            // `batch_key` admits only the two diagnose shapes; anything
+            // else is a scheduler bug, but answer it normally anyway.
+            work @ Work::Request(_) => {
+                process(Job { responder, work, accepted }, cache, stats, deadline);
+            }
+        }
+    }
+    if !ready.is_empty() {
+        let started = Instant::now();
+        // The first member's spec resolves (or trains) the model — exactly
+        // the request that would have trained it under sequential dispatch.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let spec0 = &ready[0].1;
+            let (model, outcome) = cache.get_or_train(spec0).map_err(|e| e.to_string())?;
+            let traces: Vec<&Trace> = ready.iter().map(|(_, _, t)| t).collect();
+            let diags =
+                diagnose_trace_batch(&model.store, &model.correct, &traces, model.norm_code_len);
+            let replies: Vec<Reply> = ready
+                .iter()
+                .zip(diags.iter())
+                .enumerate()
+                .map(|(i, ((_, spec, _), diag))| {
+                    // Members after the leader see a memory hit, same as
+                    // they would arriving right behind it sequentially.
+                    let tag = if i == 0 { outcome } else { CacheOutcome::Memory };
+                    Reply::Diagnosis(render_diagnosis(&spec.workload, tag, diag))
+                })
+                .collect();
+            Ok::<_, String>((outcome, replies))
+        }));
+        stats.record_service(started.elapsed());
+        match result {
+            Ok(Ok((outcome, replies))) => {
+                stats.note_cache(outcome);
+                for _ in 1..ready.len() {
+                    stats.note_cache(CacheOutcome::Memory);
+                }
+                finished.extend(ready.into_iter().map(|(r, _, _)| r).zip(replies));
+            }
+            Ok(Err(msg)) => {
+                for (responder, _, _) in ready {
+                    finished.push((responder, Reply::Error(msg.clone())));
+                }
+            }
+            Err(payload) => {
+                let message = panic_message(&*payload);
+                events().emit(
+                    Level::Warn,
+                    "serve.worker",
+                    format!("batch crashed (isolated): {message}; retrying members alone"),
+                );
+                for (responder, spec, trace) in ready {
+                    let work = Work::DiagnoseTrace(spec, Box::new(trace));
+                    let one = catch_unwind(AssertUnwindSafe(|| handle_work(&work, cache, stats)));
+                    let reply = match one {
+                        Ok(reply) => reply,
+                        Err(p) => {
+                            stats.bump_crashed();
+                            let m = panic_message(&*p);
+                            events().emit(
+                                Level::Warn,
+                                "serve.worker",
+                                format!("request crashed (isolated): {m}"),
+                            );
+                            Reply::Error(format!("request crashed: {m}"))
+                        }
+                    };
+                    finished.push((responder, reply));
+                }
+            }
+        }
+    }
+    for (_, reply) in &finished {
+        count_reply(reply, stats);
+    }
+    respond_batch(finished, stats);
+}
+
+/// Deliver a batch's replies: one-shot connections answer directly, and
+/// replies sharing a session are concatenated into a single buffered
+/// write via [`SessionShared::send_final_batch`].
+fn respond_batch(finished: Vec<(Responder, Reply)>, stats: &ServerStats) {
+    let mut sessions: Vec<(Arc<SessionShared>, Vec<(u32, Reply)>)> = Vec::new();
+    for (responder, reply) in finished {
+        match responder {
+            Responder::OneShot { mut conn, version, request_id } => {
+                send_reply(&mut conn, version, request_id, &reply, stats);
+            }
+            Responder::Session { shared, request_id } => {
+                match sessions.iter_mut().find(|(s, _)| Arc::ptr_eq(s, &shared)) {
+                    Some((_, replies)) => replies.push((request_id, reply)),
+                    None => sessions.push((shared, vec![(request_id, reply)])),
+                }
+            }
+        }
+    }
+    for (shared, replies) in sessions {
+        if let [(request_id, reply)] = &replies[..] {
+            shared.send_final(*request_id, reply, stats);
+        } else {
+            shared.send_final_batch(&replies, stats);
+        }
+    }
 }
 
 /// Map queued work to its reply. Runs *inside* `catch_unwind`: panics out

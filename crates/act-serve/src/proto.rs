@@ -261,8 +261,22 @@ impl From<io::Error> for ProtoError {
 /// Panics if the payload exceeds [`MAX_PAYLOAD`] (a caller bug: requests
 /// are built by this crate and replies are bounded text).
 pub fn write_frame<W: Write>(mut w: W, frame: &Frame) -> io::Result<()> {
-    assert!(frame.payload.len() <= MAX_PAYLOAD as usize, "frame payload too large");
     let mut buf = Vec::with_capacity(HEADER_LEN + 4 + frame.payload.len());
+    encode_frame(&mut buf, frame);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Append one frame's wire bytes to `buf` without touching a socket — the
+/// building block for batched replies, where a worker concatenates every
+/// frame of a micro-batch and hands the writer a single `write_all`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD`] (a caller bug: requests
+/// are built by this crate and replies are bounded text).
+pub fn encode_frame(buf: &mut Vec<u8>, frame: &Frame) {
+    assert!(frame.payload.len() <= MAX_PAYLOAD as usize, "frame payload too large");
     buf.extend_from_slice(&MAGIC);
     buf.push(frame.version);
     buf.push(frame.kind as u8);
@@ -271,8 +285,6 @@ pub fn write_frame<W: Write>(mut w: W, frame: &Frame) -> io::Result<()> {
         buf.extend_from_slice(&frame.request_id.to_le_bytes());
     }
     buf.extend_from_slice(&frame.payload);
-    w.write_all(&buf)?;
-    w.flush()
 }
 
 /// Read one frame from `r`, validating magic, version, kind, and length

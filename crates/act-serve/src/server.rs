@@ -12,8 +12,10 @@
 //! workers finish every accepted job before [`Server::join`] returns.
 
 use crate::cache::{CacheOutcome, ModelCache};
-use crate::pool::{spawn_workers, Job, Responder, Work};
-use crate::proto::{read_frame, write_frame, ModelSpec, Reply, Request, SESSION_VERSION, VERSION};
+use crate::pool::{spawn_workers, BatchPolicy, Job, Responder, Work};
+use crate::proto::{
+    encode_frame, read_frame, write_frame, ModelSpec, Reply, Request, SESSION_VERSION, VERSION,
+};
 use act_fleet::BoundedQueue;
 use act_obs::{events, latency_bounds_us, Counter, Gauge, Histogram, Level, Registry};
 use act_store::Crc32;
@@ -136,6 +138,19 @@ pub struct ServeConfig {
     /// (protocol v4). A session asking for more (or for the default, 0)
     /// gets `min(asked, session_window)`.
     pub session_window: u32,
+    /// Most diagnose requests coalesced into one micro-batch. `1`
+    /// disables coalescing (every request dispatched alone); `0` is
+    /// rejected at startup.
+    pub batch_size: usize,
+    /// How long a worker holding a diagnose request waits for companions
+    /// targeting the same model before dispatching the batch. Zero — the
+    /// default — means "take whatever is already queued, never wait":
+    /// under sustained load batches form from queue backlog on their own,
+    /// and measured throughput is strictly higher without the stall (the
+    /// gathered members sit idle while the leader waits). A non-zero wait
+    /// only pays off for bursty arrivals where trading latency for fuller
+    /// batches is explicitly wanted.
+    pub batch_wait: Duration,
 }
 
 impl Default for ServeConfig {
@@ -151,6 +166,8 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(120),
             io_timeout: Duration::from_secs(30),
             session_window: 32,
+            batch_size: 16,
+            batch_wait: Duration::ZERO,
         }
     }
 }
@@ -175,6 +192,9 @@ pub struct ServerStats {
     cache_disk_loads: Counter,
     cache_store_loads: Counter,
     cache_trained: Counter,
+    coalesced_batches: Counter,
+    coalesce_hits: Counter,
+    coalesce_misses: Counter,
     req_train: Counter,
     req_diagnose: Counter,
     req_status: Counter,
@@ -205,6 +225,7 @@ pub struct ServerStats {
     requests_in_flight: Gauge,
     service_us: Histogram,
     enqueue_depth: Histogram,
+    batch_size: Histogram,
 }
 
 impl Default for ServerStats {
@@ -229,6 +250,9 @@ impl ServerStats {
             cache_disk_loads: registry.counter("cache_disk_loads"),
             cache_store_loads: registry.counter("cache_store_loads"),
             cache_trained: registry.counter("cache_trained"),
+            coalesced_batches: registry.counter("coalesced_batches"),
+            coalesce_hits: registry.counter("coalesce_hits"),
+            coalesce_misses: registry.counter("coalesce_misses"),
             req_train: registry.counter("req_train"),
             req_diagnose: registry.counter("req_diagnose"),
             req_status: registry.counter("req_status"),
@@ -260,6 +284,7 @@ impl ServerStats {
             service_us: registry.histogram("service_us", &latency_bounds_us()),
             enqueue_depth: registry
                 .histogram("enqueue_depth", &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256]),
+            batch_size: registry.histogram("batch_size", &[1, 2, 4, 8, 16, 32]),
             registry,
         }
     }
@@ -363,6 +388,22 @@ impl ServerStats {
         self.streams_aborted.inc();
     }
 
+    /// Record one dispatched micro-batch of `size` diagnose requests. A
+    /// request that found companions is a coalesce *hit*; a request
+    /// dispatched alone (nothing compatible arrived within the gather
+    /// window) is a *miss* — so `coalesce_hits + coalesce_misses` equals
+    /// the number of batch-eligible requests, and the hit rate reads off
+    /// directly.
+    pub(crate) fn note_batch(&self, size: usize) {
+        self.coalesced_batches.inc();
+        self.batch_size.observe(size as u64);
+        if size > 1 {
+            self.coalesce_hits.add(size as u64);
+        } else {
+            self.coalesce_misses.inc();
+        }
+    }
+
     pub(crate) fn note_cache(&self, outcome: CacheOutcome) {
         match outcome {
             CacheOutcome::Memory => self.cache_memory_hits.inc(),
@@ -427,6 +468,9 @@ impl ServerStats {
         line("protocol_errors", self.proto_errors.get());
         line("cache_hits", self.cache_hits());
         line("cache_misses", self.cache_trained.get());
+        line("coalesced_batches", self.coalesced_batches.get());
+        line("coalesce_hits", self.coalesce_hits.get());
+        line("coalesce_misses", self.coalesce_misses.get());
         line("models_resident", models_resident as u64);
         line("queue_depth", queue_len as u64);
         writeln!(out, "service_ms_p50 {:.3}", p50 as f64 / 1e3).expect("string write");
@@ -469,6 +513,9 @@ impl Server {
         }
         if cfg.session_window == 0 {
             return Err(invalid("session window must be >= 1"));
+        }
+        if cfg.batch_size == 0 {
+            return Err(invalid("batch size must be >= 1 (1 disables coalescing)"));
         }
         if cfg.tcp_addr.is_none() && cfg.unix_path.is_none() {
             return Err(invalid("at least one of tcp_addr/unix_path is required"));
@@ -533,6 +580,7 @@ impl Server {
             cache.clone(),
             stats.clone(),
             cfg.deadline,
+            BatchPolicy { size: cfg.batch_size, wait: cfg.batch_wait },
         ));
 
         events().emit(
@@ -844,6 +892,28 @@ impl SessionShared {
     pub(crate) fn send_final(&self, request_id: u32, reply: &Reply, stats: &ServerStats) {
         self.finish_request(stats);
         self.send(request_id, reply, stats);
+    }
+
+    /// Send the final replies for several claimed requests of one
+    /// micro-batch in a single buffered write. Every slot is released
+    /// first (same ordering contract as [`SessionShared::send_final`]),
+    /// then all frames are concatenated and written under one writer-lock
+    /// acquisition — one syscall per batch per session instead of one per
+    /// reply, which is where a coalesced batch's reply-side win comes
+    /// from on a pipelined session.
+    pub(crate) fn send_final_batch(&self, replies: &[(u32, Reply)], stats: &ServerStats) {
+        for _ in replies {
+            self.finish_request(stats);
+        }
+        let mut buf = Vec::new();
+        for (request_id, reply) in replies {
+            stats.note_reply(reply);
+            let frame = reply.to_frame().with_request(*request_id).with_version(self.version);
+            encode_frame(&mut buf, &frame);
+        }
+        let mut w = self.writer.lock().expect("session writer lock");
+        // A vanished session client is noticed by the reader; move on.
+        let _ = w.write_all(&buf).and_then(|()| w.flush());
     }
 }
 

@@ -136,6 +136,7 @@ impl<'a> DeltaCursor<'a> {
         DeltaCursor { buf, pos: 0, prev: 0 }
     }
 
+    #[inline]
     fn next(&mut self) -> Result<u64, StoreError> {
         let d = get_varint(self.buf, &mut self.pos)?;
         self.prev = self.prev.wrapping_add(unzigzag(d) as u64);

@@ -235,6 +235,18 @@ fn decode_index(body: &[u8]) -> Result<Vec<EntryInfo>, StoreError> {
 /// reports). `Ok(None)` means clean EOF exactly at a block boundary; any
 /// partial header/body, oversize length, or CRC mismatch is `Corrupt`.
 fn read_block(r: &mut impl Read, pos: &mut u64) -> Result<Option<(u8, Vec<u8>)>, StoreError> {
+    let mut body = Vec::new();
+    Ok(read_block_into(r, pos, &mut body)?.map(|kind| (kind, body)))
+}
+
+/// [`read_block`] into a caller-owned buffer, so a streaming decode loop
+/// reuses one allocation across every block instead of paying a fresh
+/// `Vec` per chunk.
+fn read_block_into(
+    r: &mut impl Read,
+    pos: &mut u64,
+    body: &mut Vec<u8>,
+) -> Result<Option<u8>, StoreError> {
     let mut header = [0u8; BLOCK_HEADER_BYTES];
     let mut got = 0;
     while got < header.len() {
@@ -256,7 +268,8 @@ fn read_block(r: &mut impl Read, pos: &mut u64) -> Result<Option<(u8, Vec<u8>)>,
     if len > MAX_BLOCK_BYTES {
         return Err(StoreError::corrupt(*pos, format!("block length {len} exceeds cap")));
     }
-    let mut body = vec![0u8; len];
+    body.clear();
+    body.resize(len, 0);
     let mut filled = 0;
     while filled < len {
         let n = r.read(&mut body[filled..])?;
@@ -265,11 +278,11 @@ fn read_block(r: &mut impl Read, pos: &mut u64) -> Result<Option<(u8, Vec<u8>)>,
         }
         filled += n;
     }
-    if crc32(&body) != crc {
+    if crc32(body) != crc {
         return Err(StoreError::corrupt(*pos, "block CRC mismatch"));
     }
     *pos += (BLOCK_HEADER_BYTES + len) as u64;
-    Ok(Some((kind, body)))
+    Ok(Some(kind))
 }
 
 // ---------------------------------------------------------------------------
@@ -723,18 +736,27 @@ impl EntryStream {
     /// Next verified `DATA` body, or `None` once the entry's `ENTRY_END`
     /// has been consumed.
     pub fn next_data(&mut self) -> Result<Option<Vec<u8>>, StoreError> {
+        let mut body = Vec::new();
+        Ok(if self.next_data_into(&mut body)? { Some(body) } else { None })
+    }
+
+    /// [`EntryStream::next_data`] into a caller-owned buffer (`true` =
+    /// `body` holds the next `DATA` payload). A streaming decoder calls
+    /// this with the same buffer every time, so steady-state decode does
+    /// not allocate per chunk.
+    pub fn next_data_into(&mut self, body: &mut Vec<u8>) -> Result<bool, StoreError> {
         if self.done {
-            return Ok(None);
+            return Ok(false);
         }
-        let Some((kind, body)) = read_block(&mut self.reader, &mut self.pos)? else {
+        let Some(kind) = read_block_into(&mut self.reader, &mut self.pos, body)? else {
             return Err(StoreError::corrupt(self.pos, "entry truncated before its end block"));
         };
         match kind {
-            BLOCK_DATA => Ok(Some(body)),
+            BLOCK_DATA => Ok(true),
             BLOCK_ENTRY_END => {
-                decode_entry_end(&body)?;
+                decode_entry_end(body)?;
                 self.done = true;
-                Ok(None)
+                Ok(false)
             }
             other => Err(StoreError::corrupt(self.pos, format!("unexpected block kind {other}"))),
         }
@@ -747,6 +769,7 @@ impl EntryStream {
 pub struct TraceEntrySource {
     stream: EntryStream,
     buf: Vec<TraceRecord>,
+    body: Vec<u8>,
     next: usize,
     /// Compressed bytes consumed so far (for throughput metrics).
     pub encoded_bytes_read: u64,
@@ -762,7 +785,13 @@ impl TraceEntrySource {
                 stream.meta().kind.name()
             )));
         }
-        Ok(TraceEntrySource { stream, buf: Vec::new(), next: 0, encoded_bytes_read: 0 })
+        Ok(TraceEntrySource {
+            stream,
+            buf: Vec::new(),
+            body: Vec::new(),
+            next: 0,
+            encoded_bytes_read: 0,
+        })
     }
 
     /// The entry's identity header.
@@ -771,13 +800,16 @@ impl TraceEntrySource {
     }
 
     fn refill(&mut self) -> Result<bool, StoreError> {
-        let Some(body) = self.stream.next_data()? else {
+        // Both buffers are reused across refills: block payload and
+        // decoded records — steady-state streaming decode is allocation
+        // free once the buffers reach chunk size.
+        if !self.stream.next_data_into(&mut self.body)? {
             return Ok(false);
-        };
-        self.encoded_bytes_read += body.len() as u64;
+        }
+        self.encoded_bytes_read += self.body.len() as u64;
         self.buf.clear();
         self.next = 0;
-        decode_chunk(&body, &mut self.buf)?;
+        decode_chunk(&self.body, &mut self.buf)?;
         Ok(true)
     }
 

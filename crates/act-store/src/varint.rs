@@ -25,7 +25,33 @@ pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 ///
 /// Rejects truncated input, encodings longer than 10 bytes, and 10-byte
 /// encodings whose top bits overflow a `u64` — all as [`StoreError::Corrupt`].
+///
+/// The one- and two-byte encodings are unrolled ahead of the general
+/// loop: delta-compressed columns are dominated by tiny values (a
+/// sequential workload's PC deltas fit one byte almost always), and the
+/// unrolled path decodes them with a single bounds check and no shift
+/// bookkeeping — this is the decode hot path's inner loop.
+#[inline]
 pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
+    if let Some(&b0) = buf.get(*pos) {
+        if b0 & 0x80 == 0 {
+            *pos += 1;
+            return Ok(b0 as u64);
+        }
+        if let Some(&b1) = buf.get(*pos + 1) {
+            if b1 & 0x80 == 0 {
+                *pos += 2;
+                return Ok(((b1 as u64) << 7) | (b0 & 0x7f) as u64);
+            }
+        }
+    }
+    get_varint_long(buf, pos)
+}
+
+/// The general decode loop for 3+-byte encodings (and all error cases).
+/// Out of line so the common path above stays small enough to inline.
+#[cold]
+fn get_varint_long(buf: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     for i in 0..MAX_VARINT_BYTES {
@@ -48,11 +74,13 @@ pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
 
 /// Zigzag-map a signed delta to an unsigned varint payload (small magnitudes
 /// of either sign become small codes).
+#[inline]
 pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
+#[inline]
 pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
